@@ -1,0 +1,221 @@
+//! Baseline FHE accelerators (CraterLake, ARK, BTS, SHARP) and the
+//! cross-deployment study of Fig. 8.
+//!
+//! The baselines' ResNet-20 latencies and EDPs are the published numbers;
+//! other benchmarks are scaled by a CKKS complexity factor normalized to
+//! ResNet-20, exactly as §5.1 describes ("We normalize the computational
+//! complexity of other benchmarks to that of ResNet-20"). The factor model
+//! charges one unit per conv+activation layer (its two bootstraps dominate),
+//! `k²−1` comparison units per max-pool window element, and a small epilogue
+//! for pooling/softmax — which reproduces the paper's implied per-model
+//! ratios within a few percent.
+
+use athena_nn::models::{ModelSpec, NonLinear};
+
+use crate::lower::lower;
+use crate::sim::AthenaSim;
+use athena_core::trace::{trace_model, TraceParams};
+use athena_nn::qmodel::QuantConfig;
+
+/// A baseline ASIC with its published figures.
+#[derive(Debug, Clone, Copy)]
+pub struct Baseline {
+    /// Name.
+    pub name: &'static str,
+    /// Published ResNet-20 latency (ms), CKKS-based.
+    pub resnet20_ms: f64,
+    /// Published ResNet-20 EDP (J·s).
+    pub resnet20_edp: f64,
+    /// Die area (mm²), Table 9.
+    pub area_mm2: f64,
+    /// Effective element-wise modular-ops throughput per cycle when forced
+    /// to run the *Athena* workload (Fig. 8 model; calibrated to the
+    /// paper's reported 3.8× / 9.9× slowdowns).
+    pub athena_mma_per_cycle: f64,
+    /// NTT throughput relative to the Athena accelerator's NTT unit.
+    pub ntt_rel: f64,
+}
+
+/// The four baselines.
+pub fn baselines() -> Vec<Baseline> {
+    vec![
+        Baseline {
+            name: "CraterLake",
+            resnet20_ms: 321.0,
+            resnet20_edp: 11.61,
+            area_mm2: 222.7,
+            // The CRB unit has many MACs but a broadcast-only dataflow;
+            // only a fraction sustains FBS's independent streams.
+            athena_mma_per_cycle: 9000.0,
+            ntt_rel: 1.5,
+        },
+        Baseline {
+            name: "ARK",
+            resnet20_ms: 125.0,
+            resnet20_edp: 1.99,
+            area_mm2: 418.3,
+            athena_mma_per_cycle: 6000.0,
+            ntt_rel: 2.0,
+        },
+        Baseline {
+            name: "BTS",
+            resnet20_ms: 1910.0,
+            resnet20_edp: 600.6,
+            area_mm2: 373.6,
+            athena_mma_per_cycle: 4000.0,
+            ntt_rel: 1.0,
+        },
+        Baseline {
+            name: "SHARP",
+            resnet20_ms: 99.0,
+            resnet20_edp: 0.96,
+            area_mm2: 178.8,
+            // Short-word BConv systolic arrays: singular dataflow, modest
+            // MM/MA capacity for the FBS pattern.
+            athena_mma_per_cycle: 3400.0,
+            ntt_rel: 2.2,
+        },
+    ]
+}
+
+/// CKKS workload units of a model (bootstrap-dominated cost model; see
+/// module docs).
+pub fn ckks_units(spec: &ModelSpec) -> f64 {
+    let mut units = 0.0;
+    for l in &spec.layers {
+        match l.act {
+            NonLinear::Activation => units += 1.0,
+            NonLinear::MaxPool { k } => units += 1.27 * (k * k - 1) as f64,
+            NonLinear::AvgPool { .. } => units += 0.2,
+            NonLinear::Softmax => units += 0.2,
+            NonLinear::None => units += 0.05, // downsample conv, no bootstrap
+        }
+    }
+    units
+}
+
+/// Baseline latency (ms) of a model: published ResNet-20 number scaled by
+/// the unit ratio.
+pub fn baseline_latency_ms(b: &Baseline, spec: &ModelSpec) -> f64 {
+    let rn20 = ckks_units(&ModelSpec::resnet(3));
+    b.resnet20_ms * ckks_units(spec) / rn20
+}
+
+/// Baseline EDP (J·s) scaled the same way in both factors (energy scales
+/// with work, delay scales with work).
+pub fn baseline_edp(b: &Baseline, spec: &ModelSpec) -> f64 {
+    let rn20 = ckks_units(&ModelSpec::resnet(3));
+    let f = ckks_units(spec) / rn20;
+    b.resnet20_edp * f * f
+}
+
+/// Fig. 8: latency of the *Athena framework* when deployed on a baseline
+/// machine (assuming it is given an SE unit, as the paper does). MM/MA and
+/// NTT throughputs come from the baseline; no region pipelining.
+pub fn athena_workload_on_baseline(b: &Baseline, spec: &ModelSpec, quant: &QuantConfig) -> f64 {
+    let params = TraceParams::athena_production();
+    let trace = trace_model(spec, &params, quant);
+    let sim = AthenaSim::athena();
+    let mut cycles = 0.0;
+    for layer in &trace.layers {
+        for (_, ops) in &layer.phases {
+            let w = lower(ops, &params);
+            let mma = (w.fru_mm + w.fru_ma) as f64 / b.athena_mma_per_cycle;
+            let ntt = w.ntt_polys as f64 * 80.0 / b.ntt_rel;
+            let autom = w.autom_polys as f64 * 96.0;
+            cycles += mma + ntt + autom + w.se_cycles as f64;
+        }
+    }
+    let _ = sim;
+    cycles / 1e6 // 1 GHz → ms
+}
+
+/// Share of MM+MA time in the Fig. 8 deployment (the paper reports >77%
+/// for CraterLake and >84% for SHARP).
+pub fn mma_share_on_baseline(b: &Baseline, spec: &ModelSpec, quant: &QuantConfig) -> f64 {
+    let params = TraceParams::athena_production();
+    let trace = trace_model(spec, &params, quant);
+    let mut mma_cy = 0.0;
+    let mut total = 0.0;
+    for layer in &trace.layers {
+        for (_, ops) in &layer.phases {
+            let w = lower(ops, &params);
+            let mma = (w.fru_mm + w.fru_ma) as f64 / b.athena_mma_per_cycle;
+            let ntt = w.ntt_polys as f64 * 80.0 / b.ntt_rel;
+            let autom = w.autom_polys as f64 * 96.0;
+            mma_cy += mma;
+            total += mma + ntt + autom + w.se_cycles as f64;
+        }
+    }
+    mma_cy / total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_factors_match_paper_ratios() {
+        // The paper's implied per-model scaling factors (same across all
+        // four baselines): LeNet ≈ 0.567, MNIST ≈ 0.11, ResNet-56 ≈ 2.95.
+        let rn20 = ckks_units(&ModelSpec::resnet(3));
+        let lenet = ckks_units(&ModelSpec::lenet()) / rn20;
+        let mnist = ckks_units(&ModelSpec::mnist()) / rn20;
+        let rn56 = ckks_units(&ModelSpec::resnet(9)) / rn20;
+        assert!((lenet - 0.567).abs() < 0.07, "LeNet factor {lenet}");
+        assert!((mnist - 0.11).abs() < 0.02, "MNIST factor {mnist}");
+        assert!((rn56 - 2.95).abs() < 0.25, "ResNet-56 factor {rn56}");
+    }
+
+    #[test]
+    fn table6_baseline_rows_reproduced() {
+        // Scaled latencies should land near the published Table 6 rows.
+        let rows: &[(&str, [f64; 4])] = &[
+            // (name, [LeNet, MNIST, RN20, RN56])
+            ("CraterLake", [182.0, 35.0, 321.0, 946.0]),
+            ("ARK", [71.0, 14.0, 125.0, 368.0]),
+            ("BTS", [1084.0, 206.0, 1910.0, 5627.0]),
+            ("SHARP", [56.0, 11.0, 99.0, 292.0]),
+        ];
+        let specs = [
+            ModelSpec::lenet(),
+            ModelSpec::mnist(),
+            ModelSpec::resnet(3),
+            ModelSpec::resnet(9),
+        ];
+        for b in baselines() {
+            let (_, published) = rows
+                .iter()
+                .find(|(n, _)| *n == b.name)
+                .expect("baseline row");
+            for (spec, &want) in specs.iter().zip(published) {
+                let got = baseline_latency_ms(&b, spec);
+                let rel = (got - want).abs() / want;
+                assert!(rel < 0.12, "{} on {}: {got:.1} vs {want} ({rel:.2})", b.name, spec.name);
+            }
+        }
+    }
+
+    #[test]
+    fn athena_accelerator_beats_baselines_on_athena_workload() {
+        // Fig. 8: CraterLake ≥ 3.8× and SHARP ≥ 9.9× slower than the
+        // Athena accelerator when running the Athena framework.
+        let spec = ModelSpec::resnet(3);
+        let q = QuantConfig::w7a7();
+        let athena_ms = AthenaSim::athena().run_model(&spec, &q).latency_ms;
+        for b in baselines() {
+            if b.name == "CraterLake" || b.name == "SHARP" {
+                let ms = athena_workload_on_baseline(&b, &spec, &q);
+                let slowdown = ms / athena_ms;
+                let target = if b.name == "CraterLake" { 3.8 } else { 9.9 };
+                assert!(
+                    slowdown > target * 0.6 && slowdown < target * 1.8,
+                    "{}: slowdown {slowdown:.1} vs paper {target}",
+                    b.name
+                );
+                let share = mma_share_on_baseline(&b, &spec, &q);
+                assert!(share > 0.7, "{} MM/MA share {share:.2}", b.name);
+            }
+        }
+    }
+}

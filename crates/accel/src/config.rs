@@ -1,0 +1,169 @@
+//! Hardware configuration of the Athena accelerator (§4, Fig. 5, Table 9)
+//! and its component library.
+
+/// Clock and unit provisioning of the accelerator.
+#[derive(Debug, Clone, Copy)]
+pub struct AccelConfig {
+    /// Clock frequency in GHz (the paper evaluates at 1 GHz).
+    pub freq_ghz: f64,
+    /// Vector lanes (the paper's "parallelism of the accelerator is 2048").
+    pub lanes: usize,
+    /// Radix-8 NTT cores (256 cores process 2048 butterflies per cycle).
+    pub ntt_cores: usize,
+    /// Automorphism cores (8 cores of lane width 256).
+    pub autom_cores: usize,
+    /// FRU blocks in Region 1 (16 blocks × `lanes` MM+MA).
+    pub fru_blocks_r1: usize,
+    /// FRU blocks in Region 0 (1 block).
+    pub fru_blocks_r0: usize,
+    /// Scratchpad capacity in MiB (45 + 15 register file).
+    pub scratchpad_mib: f64,
+    /// Scratchpad bandwidth in TB/s.
+    pub scratchpad_tbs: f64,
+    /// HBM bandwidth in TB/s.
+    pub hbm_tbs: f64,
+    /// HBM capacity in GiB.
+    pub hbm_gib: f64,
+    /// Whether the Region-0/Region-1 pipelined FBS dataflow is enabled
+    /// (§4.3); disabling it is the dataflow ablation.
+    pub fbs_pipelined: bool,
+    /// Fixed per-layer overhead cycles: pipeline fill/drain between the
+    /// five steps, evaluation-key staging, and the per-layer LUT
+    /// interpolation (t log t scalar work). Calibrated against Table 6.
+    pub layer_overhead_cycles: f64,
+}
+
+impl AccelConfig {
+    /// The paper's configuration.
+    pub fn athena() -> Self {
+        Self {
+            freq_ghz: 1.0,
+            lanes: 2048,
+            ntt_cores: 256,
+            autom_cores: 8,
+            fru_blocks_r1: 16,
+            fru_blocks_r0: 1,
+            scratchpad_mib: 45.0 + 15.0,
+            scratchpad_tbs: 180.0,
+            hbm_tbs: 1.0,
+            hbm_gib: 16.0,
+            fbs_pipelined: true,
+            layer_overhead_cycles: 6.0e5,
+        }
+    }
+
+    /// Scaled-lane variant for the Fig. 13 sensitivity sweep: scales one
+    /// unit class's parallelism while keeping the rest at full size.
+    pub fn with_scaled_unit(mut self, unit: ScaledUnit, lanes: usize) -> Self {
+        let factor = lanes as f64 / 2048.0;
+        match unit {
+            ScaledUnit::Ntt => self.ntt_cores = ((self.ntt_cores as f64) * factor).max(1.0) as usize,
+            ScaledUnit::Fru => {
+                self.fru_blocks_r1 =
+                    (((self.fru_blocks_r1 * 2048) as f64 * factor) / 2048.0).max(1.0) as usize;
+            }
+            ScaledUnit::Autom => {
+                self.autom_cores = ((self.autom_cores as f64) * factor).max(1.0) as usize;
+            }
+            ScaledUnit::Se => { /* SE throughput handled via se_lanes() */ }
+        }
+        if let ScaledUnit::Se = unit {
+            self.lanes = lanes; // SE shifter width follows lanes
+        }
+        self
+    }
+}
+
+/// The four compute-unit classes swept in Fig. 13.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScaledUnit {
+    /// NTT unit.
+    Ntt,
+    /// FRU array.
+    Fru,
+    /// Automorphism unit.
+    Autom,
+    /// Sample-extraction unit.
+    Se,
+}
+
+impl ScaledUnit {
+    /// All classes.
+    pub fn all() -> [ScaledUnit; 4] {
+        [ScaledUnit::Ntt, ScaledUnit::Fru, ScaledUnit::Autom, ScaledUnit::Se]
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ScaledUnit::Ntt => "NTT",
+            ScaledUnit::Fru => "FRU",
+            ScaledUnit::Autom => "Automorphism",
+            ScaledUnit::Se => "SE",
+        }
+    }
+}
+
+/// One component of the floorplan (Table 9).
+#[derive(Debug, Clone, Copy)]
+pub struct Component {
+    /// Name.
+    pub name: &'static str,
+    /// Area in mm² (ASAP7-derived, as reported).
+    pub area_mm2: f64,
+    /// Peak power in W at 1 GHz.
+    pub peak_power_w: f64,
+}
+
+/// Table 9's component library.
+pub fn floorplan() -> Vec<Component> {
+    vec![
+        Component { name: "Automorphism", area_mm2: 3.8, peak_power_w: 3.0 },
+        Component { name: "PRNG", area_mm2: 1.2, peak_power_w: 1.9 },
+        Component { name: "NTT", area_mm2: 4.51, peak_power_w: 3.9 },
+        Component { name: "SE", area_mm2: 0.32, peak_power_w: 0.94 },
+        Component { name: "FRU", area_mm2: 42.6, peak_power_w: 89.1 },
+        Component { name: "NoC", area_mm2: 5.9, peak_power_w: 7.8 },
+        Component { name: "Register Files (15MB)", area_mm2: 8.4, peak_power_w: 4.9 },
+        Component { name: "Scratchpad SRAM (45MB)", area_mm2: 20.1, peak_power_w: 4.8 },
+        Component { name: "HBM (2x HBM2E)", area_mm2: 29.6, peak_power_w: 31.8 },
+    ]
+}
+
+/// Total accelerator area (mm²).
+pub fn total_area_mm2() -> f64 {
+    floorplan().iter().map(|c| c.area_mm2).sum()
+}
+
+/// Total peak power (W).
+pub fn total_power_w() -> f64 {
+    floorplan().iter().map(|c| c.peak_power_w).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table9_totals() {
+        assert!((total_area_mm2() - 116.4).abs() < 0.5, "area {}", total_area_mm2());
+        assert!((total_power_w() - 148.1).abs() < 0.5, "power {}", total_power_w());
+    }
+
+    #[test]
+    fn athena_config_matches_paper() {
+        let c = AccelConfig::athena();
+        assert_eq!(c.lanes, 2048);
+        assert_eq!(c.fru_blocks_r1, 16);
+        assert_eq!(c.ntt_cores, 256);
+        assert!((c.scratchpad_tbs - 180.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lane_scaling() {
+        let c = AccelConfig::athena().with_scaled_unit(ScaledUnit::Ntt, 512);
+        assert_eq!(c.ntt_cores, 64);
+        let c = AccelConfig::athena().with_scaled_unit(ScaledUnit::Fru, 1024);
+        assert_eq!(c.fru_blocks_r1, 8);
+    }
+}

@@ -1,0 +1,128 @@
+//! Lowering high-level homomorphic operations to unit-level work.
+//!
+//! Constants below encode how each framework operation decomposes onto the
+//! accelerator's units at production parameters (`N = 2^15`, `k = 12`
+//! limbs). They follow the RNS-BFV implementations in `athena-fhe`:
+//!
+//! * `PMult` — one plaintext forward NTT (`k` polys; kernels and diagonals
+//!   are data-dependent, so they cannot be pre-transformed) plus `2kN`
+//!   element-wise modular multiplies.
+//! * `SMult`/`HAdd` — `2kN` element-wise MM / MA (the FBS inner loop; this
+//!   is what Region 1's FRU array exists for).
+//! * `CMult` — tensor product resident in evaluation domain (`6kN` MM +
+//!   `6kN` MA), with the `t/Q` base conversion and relinearization fused
+//!   onto the FRU's BConv datapath (`k²N/2` MACs — the whole point of the
+//!   versatile FRU, §4.2.2) and `2k` NTT passes. The constant is set so
+//!   Region 0's CMult stream and Region 1's SMult/HAdd stream balance, the
+//!   paper's stated design target (§4.3).
+//! * `HRot` — `2k` automorphism passes + key switch (`2k²N` MM, `3k` NTT).
+//! * `ModSwitch` — `2k` inverse NTTs + `2kN` scaling MACs.
+//! * `SampleExtract` — 1 shifter cycle per extracted sample (§4.2.3).
+
+use athena_core::trace::{OpCounts, TraceParams};
+
+/// Unit-level work amounts.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Work {
+    /// Single-limb NTT passes of degree `N`.
+    pub ntt_polys: u64,
+    /// Element-wise modular multiplies (FRU MM).
+    pub fru_mm: u64,
+    /// Element-wise modular adds (FRU MA).
+    pub fru_ma: u64,
+    /// Automorphism poly passes.
+    pub autom_polys: u64,
+    /// Sample-extraction shifter cycles.
+    pub se_cycles: u64,
+    /// Bytes moved to/from off-chip memory.
+    pub hbm_bytes: u64,
+}
+
+impl Work {
+    /// Component-wise sum.
+    pub fn add(&mut self, o: &Work) {
+        self.ntt_polys += o.ntt_polys;
+        self.fru_mm += o.fru_mm;
+        self.fru_ma += o.fru_ma;
+        self.autom_polys += o.autom_polys;
+        self.se_cycles += o.se_cycles;
+        self.hbm_bytes += o.hbm_bytes;
+    }
+
+    /// Scales all work by an integer factor.
+    pub fn scaled(mut self, f: u64) -> Work {
+        self.ntt_polys *= f;
+        self.fru_mm *= f;
+        self.fru_ma *= f;
+        self.autom_polys *= f;
+        self.se_cycles *= f;
+        self.hbm_bytes *= f;
+        self
+    }
+}
+
+/// Lowers one [`OpCounts`] bundle at the given parameters.
+pub fn lower(ops: &OpCounts, p: &TraceParams) -> Work {
+    let n = p.n as u64;
+    let k = p.limbs as u64;
+    let mut w = Work::default();
+    // PMult
+    w.ntt_polys += ops.pmult * k;
+    w.fru_mm += ops.pmult * 2 * k * n;
+    // data-dependent plaintexts streamed in (bit-packed to ~log t of the
+    // word, and reused across the limb dimension)
+    w.hbm_bytes += ops.pmult * k * n / 16;
+    // SMult / HAdd (the FBS bulk)
+    w.fru_mm += ops.smult * 2 * k * n;
+    w.fru_ma += ops.hadd * 2 * k * n;
+    // CMult (FRU-fused base conversion + relinearization)
+    w.ntt_polys += ops.cmult * 2 * k;
+    w.fru_mm += ops.cmult * (6 * k * n + k * k * n / 2);
+    w.fru_ma += ops.cmult * 6 * k * n;
+    // HRot
+    w.autom_polys += ops.hrot * 2 * k;
+    w.ntt_polys += ops.hrot * 3 * k;
+    w.fru_mm += ops.hrot * 2 * k * k * n;
+    // ModSwitch / degree switch
+    w.ntt_polys += ops.mod_switch * 2 * k;
+    w.fru_mm += ops.mod_switch * 2 * k * n;
+    // Sample extraction
+    w.se_cycles += ops.sample_extract;
+    // Ciphertext movement: every mod-switched ciphertext comes back from
+    // the scratchpad/HBM hierarchy once.
+    w.hbm_bytes += ops.mod_switch * k * n; // bit-packed, 1/16 spill rate
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> TraceParams {
+        TraceParams::athena_production()
+    }
+
+    #[test]
+    fn smult_cost_matches_hand_calc() {
+        let ops = OpCounts { smult: 1, ..Default::default() };
+        let w = lower(&ops, &params());
+        assert_eq!(w.fru_mm, 2 * 12 * 32768);
+        assert_eq!(w.ntt_polys, 0);
+    }
+
+    #[test]
+    fn cmult_is_much_heavier_than_smult() {
+        let s = lower(&OpCounts { smult: 1, ..Default::default() }, &params());
+        let c = lower(&OpCounts { cmult: 1, ..Default::default() }, &params());
+        assert!(c.fru_mm > 5 * s.fru_mm);
+        assert!(c.ntt_polys > 0);
+    }
+
+    #[test]
+    fn work_addition_and_scaling() {
+        let a = lower(&OpCounts { pmult: 2, hadd: 3, ..Default::default() }, &params());
+        let mut b = a;
+        b.add(&a);
+        assert_eq!(b, a.scaled(2));
+    }
+}

@@ -1,0 +1,237 @@
+//! Discrete-event schedule of one FBS evaluation on the two-region
+//! accelerator (§4.3, Fig. 7): an explicit timeline of which unit does what
+//! when, from which the pipelined latency and per-region utilization fall
+//! out — the fine-grained companion to the aggregate cycle model in
+//! [`crate::sim`].
+//!
+//! Alg. 2's structure: `gs` giant-step blocks; each block needs `bs`
+//! SMult+HAdd passes (Region 1's FRU stream) followed by one CMult against
+//! the giant power (Region 0 + NTT unit). Region 0's CMult for block `g`
+//! can run while Region 1 streams block `g+1` — the §4.3 pipeline. The
+//! baby-power and giant-power precomputation (CMult chains on Region 0)
+//! prefixes the pipeline.
+
+use crate::config::AccelConfig;
+use athena_core::trace::TraceParams;
+
+/// Execution resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Region {
+    /// Region 1: the 16-block FRU array (baby-step SMult/HAdd streams).
+    R1,
+    /// Region 0: full CU set (CMult tensor/relin + NTT).
+    R0,
+}
+
+/// One scheduled interval.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Resource.
+    pub region: Region,
+    /// Start cycle.
+    pub start: f64,
+    /// End cycle.
+    pub end: f64,
+    /// What runs in the interval.
+    pub label: String,
+}
+
+/// A complete FBS schedule.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// All intervals, in issue order.
+    pub events: Vec<Event>,
+    /// Total latency in cycles.
+    pub latency: f64,
+}
+
+impl Schedule {
+    /// Busy cycles of a region.
+    pub fn busy(&self, region: Region) -> f64 {
+        self.events
+            .iter()
+            .filter(|e| e.region == region)
+            .map(|e| e.end - e.start)
+            .sum()
+    }
+
+    /// Utilization of a region over the schedule span.
+    pub fn utilization(&self, region: Region) -> f64 {
+        if self.latency == 0.0 {
+            0.0
+        } else {
+            self.busy(region) / self.latency
+        }
+    }
+
+    /// Renders a coarse text Gantt chart (for reports/debugging).
+    pub fn gantt(&self, columns: usize) -> String {
+        let mut lines = vec![vec![b' '; columns], vec![b' '; columns]];
+        for e in &self.events {
+            let row = match e.region {
+                Region::R1 => 0,
+                Region::R0 => 1,
+            };
+            let a = (e.start / self.latency * columns as f64) as usize;
+            let b = ((e.end / self.latency * columns as f64) as usize).min(columns);
+            for c in &mut lines[row][a.min(columns.saturating_sub(1))..b] {
+                *c = if row == 0 { b'=' } else { b'#' };
+            }
+        }
+        format!(
+            "R1 |{}|\nR0 |{}|",
+            String::from_utf8_lossy(&lines[0]),
+            String::from_utf8_lossy(&lines[1])
+        )
+    }
+}
+
+/// Per-operation region costs (cycles), derived from the same unit model as
+/// [`crate::sim`].
+#[derive(Debug, Clone, Copy)]
+pub struct OpCosts {
+    /// One SMult+HAdd pass on Region 1.
+    pub smult_r1: f64,
+    /// One CMult on Region 0 (tensor + fused BConv/relin + NTTs).
+    pub cmult_r0: f64,
+}
+
+impl OpCosts {
+    /// Costs at a configuration and parameter set.
+    pub fn new(config: &AccelConfig, params: &TraceParams) -> Self {
+        let n = params.n as f64;
+        let k = params.limbs as f64;
+        let r1 = (config.fru_blocks_r1 * 2048) as f64;
+        let r0 = (config.fru_blocks_r0 * 2048) as f64;
+        let ntt_lanes = (config.ntt_cores * 8) as f64;
+        let ntt_cycles = (n.log2() / 3.0).ceil() * (n / ntt_lanes).max(1.0);
+        Self {
+            smult_r1: 2.0 * k * n / r1,
+            cmult_r0: (6.0 * k + k * k / 2.0) * n / r0 + 2.0 * k * ntt_cycles,
+        }
+    }
+}
+
+/// Builds the schedule of one FBS with LUT size `t_eff`.
+///
+/// `pipelined = false` serializes the regions (the ablation).
+pub fn schedule_fbs(t_eff: u64, costs: &OpCosts, pipelined: bool) -> Schedule {
+    let bs = (t_eff as f64).sqrt().ceil();
+    let gs = (t_eff as f64 / bs).ceil() as usize;
+    let mut events = Vec::new();
+    // Prologue on Region 0: baby + giant power ladders (≈ 2·bs CMults in a
+    // log-depth tree; the tree's parallelism is bounded by Region 0, so the
+    // time is the op count, not the depth).
+    let prologue = 2.0 * bs * costs.cmult_r0 / 2.0; // half overlap with R1 warm-up
+    events.push(Event {
+        region: Region::R0,
+        start: 0.0,
+        end: prologue,
+        label: "power ladders".into(),
+    });
+    let block_r1 = bs * costs.smult_r1;
+    let mut r1_free: f64 = 0.0;
+    let mut r0_free = prologue;
+    for g in 0..gs {
+        let r1_start = if pipelined {
+            r1_free
+        } else {
+            r1_free.max(r0_free)
+        };
+        let r1_end = r1_start + block_r1;
+        events.push(Event {
+            region: Region::R1,
+            start: r1_start,
+            end: r1_end,
+            label: format!("block {g}: {} SMult/HAdd", bs as u64),
+        });
+        r1_free = r1_end;
+        let r0_start = r0_free.max(r1_end);
+        let r0_end = r0_start + costs.cmult_r0;
+        events.push(Event {
+            region: Region::R0,
+            start: r0_start,
+            end: r0_end,
+            label: format!("block {g}: CMult x giant power"),
+        });
+        r0_free = r0_end;
+        if !pipelined {
+            r1_free = r0_end;
+        }
+    }
+    let latency = events
+        .iter()
+        .map(|e| e.end)
+        .fold(0.0f64, f64::max);
+    Schedule { events, latency }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn costs() -> OpCosts {
+        OpCosts::new(&AccelConfig::athena(), &TraceParams::athena_production())
+    }
+
+    #[test]
+    fn pipelined_beats_sequential() {
+        let c = costs();
+        let p = schedule_fbs(1 << 16, &c, true);
+        let s = schedule_fbs(1 << 16, &c, false);
+        assert!(p.latency < s.latency * 0.8, "{} vs {}", p.latency, s.latency);
+        // Work conservation: both schedules do the same busy cycles.
+        assert!((p.busy(Region::R1) - s.busy(Region::R1)).abs() < 1.0);
+        assert!((p.busy(Region::R0) - s.busy(Region::R0)).abs() < 1.0);
+    }
+
+    #[test]
+    fn regions_are_balanced_at_design_point() {
+        // §4.3: the 2048-lane Region 0 and the 16-block Region 1 are sized
+        // so the two streams balance at the production LUT size.
+        let c = costs();
+        let ratio = c.cmult_r0 / (256.0 * c.smult_r1);
+        assert!(
+            ratio > 0.3 && ratio < 3.0,
+            "per-block region costs should be same order: ratio {ratio}"
+        );
+        let p = schedule_fbs(1 << 16, &c, true);
+        let u1 = p.utilization(Region::R1);
+        let u0 = p.utilization(Region::R0);
+        assert!(u1 > 0.3 && u0 > 0.3, "both regions busy: {u1:.2}, {u0:.2}");
+        assert!(u0.max(u1) > 0.8, "the bottleneck region is nearly saturated");
+    }
+
+    #[test]
+    fn no_intra_region_overlap() {
+        let p = schedule_fbs(1 << 14, &costs(), true);
+        for region in [Region::R0, Region::R1] {
+            let mut spans: Vec<(f64, f64)> = p
+                .events
+                .iter()
+                .filter(|e| e.region == region)
+                .map(|e| (e.start, e.end))
+                .collect();
+            spans.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaNs"));
+            for w in spans.windows(2) {
+                assert!(w[0].1 <= w[1].0 + 1e-9, "overlap in {region:?}: {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_latency_scales_with_lut_size() {
+        let c = costs();
+        let small = schedule_fbs(1 << 12, &c, true);
+        let big = schedule_fbs(1 << 16, &c, true);
+        assert!(big.latency > 2.0 * small.latency);
+    }
+
+    #[test]
+    fn gantt_renders() {
+        let g = schedule_fbs(1 << 12, &costs(), true).gantt(60);
+        assert!(g.contains("R1 |"));
+        assert!(g.contains('='));
+        assert!(g.contains('#'));
+    }
+}

@@ -1,0 +1,136 @@
+//! Sensitivity analyses: Fig. 12 (quantization precision) and Fig. 13
+//! (per-unit lane scaling).
+
+use athena_nn::models::ModelSpec;
+use athena_nn::qmodel::QuantConfig;
+
+use crate::config::{total_area_mm2, AccelConfig, ScaledUnit};
+use crate::sim::AthenaSim;
+
+/// One Fig. 13 data point.
+#[derive(Debug, Clone, Copy)]
+pub struct LanePoint {
+    /// Unit that was scaled.
+    pub unit: ScaledUnit,
+    /// Lane count the unit was scaled to.
+    pub lanes: usize,
+    /// Delay normalized to the full (2048-lane) configuration.
+    pub delay_norm: f64,
+    /// Energy normalized to full.
+    pub energy_norm: f64,
+    /// EDP normalized to full.
+    pub edp_norm: f64,
+    /// EDAP normalized to full.
+    pub edap_norm: f64,
+}
+
+/// Sweeps each unit's lanes over {256, 512, 1024, 2048} on ResNet-20
+/// (Fig. 13), normalizing to the full configuration.
+pub fn lane_sweep(spec: &ModelSpec, quant: &QuantConfig) -> Vec<LanePoint> {
+    let base = AthenaSim::athena().run_model(spec, quant);
+    let area = total_area_mm2();
+    let mut out = Vec::new();
+    for unit in ScaledUnit::all() {
+        for lanes in [256usize, 512, 1024, 2048] {
+            let mut sim = AthenaSim::athena();
+            sim.config = AccelConfig::athena().with_scaled_unit(unit, lanes);
+            // area scales (crudely) with the scaled unit's share
+            let unit_area_share = match unit {
+                ScaledUnit::Ntt => 4.51 / area,
+                ScaledUnit::Fru => 42.6 / area,
+                ScaledUnit::Autom => 3.8 / area,
+                ScaledUnit::Se => 0.32 / area,
+            };
+            let scaled_area =
+                area * (1.0 - unit_area_share * (1.0 - lanes as f64 / 2048.0));
+            let r = sim.run_model(spec, quant);
+            out.push(LanePoint {
+                unit,
+                lanes,
+                delay_norm: r.latency_ms / base.latency_ms,
+                energy_norm: r.energy_j / base.energy_j,
+                edp_norm: r.edp() / base.edp(),
+                edap_norm: r.edap(scaled_area) / base.edap(area),
+            });
+        }
+    }
+    out
+}
+
+/// One Fig. 12 data point.
+#[derive(Debug, Clone, Copy)]
+pub struct PrecisionPoint {
+    /// Quantization mode.
+    pub quant: QuantConfig,
+    /// Latency (ms).
+    pub latency_ms: f64,
+}
+
+/// The precision sweep of Fig. 12 (performance half; the accuracy half
+/// comes from `athena_core::simulate`).
+pub fn precision_sweep(spec: &ModelSpec) -> Vec<PrecisionPoint> {
+    [(4u32, 4u32), (5, 5), (6, 6), (6, 7), (7, 7), (8, 8)]
+        .iter()
+        .map(|&(w, a)| {
+            let quant = QuantConfig::new(w, a);
+            PrecisionPoint {
+                quant,
+                latency_ms: AthenaSim::athena().run_model(spec, &quant).latency_ms,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fru_scaling_hurts_most() {
+        // Fig. 13: the FRU significantly impacts system performance; SE has
+        // the least impact.
+        let pts = lane_sweep(&ModelSpec::resnet(3), &QuantConfig::w7a7());
+        let delay_at = |u: ScaledUnit, l: usize| {
+            pts.iter()
+                .find(|p| p.unit == u && p.lanes == l)
+                .expect("point exists")
+                .delay_norm
+        };
+        let fru = delay_at(ScaledUnit::Fru, 256);
+        let ntt = delay_at(ScaledUnit::Ntt, 256);
+        let se = delay_at(ScaledUnit::Se, 256);
+        let autom = delay_at(ScaledUnit::Autom, 256);
+        assert!(fru > ntt, "FRU ({fru}) should hurt more than NTT ({ntt})");
+        assert!(ntt >= se, "NTT ({ntt}) should hurt at least as much as SE ({se})");
+        assert!(fru > 2.0, "quartering FRU should >2x delay, got {fru}");
+        assert!(se < 1.3, "SE scaling nearly free, got {se}");
+        assert!(autom >= se, "automorphism >= SE impact");
+    }
+
+    #[test]
+    fn full_lanes_are_the_baseline() {
+        let pts = lane_sweep(&ModelSpec::resnet(3), &QuantConfig::w7a7());
+        for p in pts.iter().filter(|p| p.lanes == 2048) {
+            assert!((p.delay_norm - 1.0).abs() < 1e-9, "{:?}", p);
+            assert!((p.edap_norm - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn precision_sweep_monotone_and_knee_after_w6a6() {
+        // Fig. 12: degradation accelerates after w6a6, biggest step between
+        // w7a7 and w8a8.
+        let pts = precision_sweep(&ModelSpec::resnet(3));
+        for w in pts.windows(2) {
+            assert!(
+                w[1].latency_ms >= w[0].latency_ms * 0.999,
+                "latency must not decrease with precision: {:?}",
+                w
+            );
+        }
+        let step_last = pts[5].latency_ms / pts[4].latency_ms; // w7a7 → w8a8
+        let step_first = pts[1].latency_ms / pts[0].latency_ms; // w4a4 → w5a5
+        assert!(step_last > step_first, "last step {step_last} vs first {step_first}");
+        assert!(step_last > 1.4, "w7a7→w8a8 step should be large: {step_last}");
+    }
+}

@@ -1,0 +1,18 @@
+//! # athena
+//!
+//! Facade crate re-exporting the whole Athena reproduction stack, and host
+//! of the repository-level integration tests and examples.
+//!
+//! ## Layer map
+//!
+//! * [`athena_math`] — NTTs, RNS, big integers, samplers.
+//! * [`athena_fhe`] — BFV, LWE, sample extraction, packing, FBS, S2C.
+//! * [`athena_nn`] — CNN substrate, quantization, synthetic data, training.
+//! * [`athena_core`] — the five-step framework, simulation, traces.
+//! * [`athena_accel`] — the accelerator cycle/energy model + baselines.
+
+pub use athena_accel as accel;
+pub use athena_core as core;
+pub use athena_fhe as fhe;
+pub use athena_math as math;
+pub use athena_nn as nn;

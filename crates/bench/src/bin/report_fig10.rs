@@ -1,0 +1,36 @@
+//! Fig. 10: full-system energy consumption and breakdown.
+
+use athena_accel::sim::AthenaSim;
+use athena_bench::render_table;
+use athena_nn::models::ModelSpec;
+use athena_nn::qmodel::QuantConfig;
+
+fn main() {
+    let sim = AthenaSim::athena();
+    let mut rows = Vec::new();
+    for (label, cfg) in [("w7a7", QuantConfig::w7a7()), ("w6a7", QuantConfig::w6a7())] {
+        for spec in [
+            ModelSpec::lenet(),
+            ModelSpec::mnist(),
+            ModelSpec::resnet(3),
+            ModelSpec::resnet(9),
+        ] {
+            let r = sim.run_model(&spec, &cfg);
+            let mut row = vec![format!("{} {}", spec.name, label), format!("{:.2} J", r.energy_j)];
+            for (unit, e) in &r.unit_energy_j {
+                row.push(format!("{}: {:.0}%", unit, 100.0 * e / r.energy_j));
+            }
+            rows.push(row);
+        }
+    }
+    println!("Fig. 10: energy and breakdown");
+    println!(
+        "{}",
+        render_table(
+            &["Model", "Total", "NTT", "FRU", "Autom", "SE", "NoC", "Memory"],
+            &rows
+        )
+    );
+    println!("Paper shape: memory ~50% of energy; FRU is the largest compute consumer;");
+    println!("w6a7 slightly reduces the FRU share (smaller LUTs).");
+}

@@ -1,0 +1,45 @@
+//! Fig. 11: energy-delay-area product.
+
+use athena_accel::baselines::{baseline_edp, baselines};
+use athena_accel::config::total_area_mm2;
+use athena_accel::sim::AthenaSim;
+use athena_bench::render_table;
+use athena_nn::models::ModelSpec;
+use athena_nn::qmodel::QuantConfig;
+
+fn main() {
+    let specs = [
+        ModelSpec::lenet(),
+        ModelSpec::mnist(),
+        ModelSpec::resnet(3),
+        ModelSpec::resnet(9),
+    ];
+    let mut rows = Vec::new();
+    for b in baselines() {
+        let mut row = vec![b.name.to_string()];
+        for spec in &specs {
+            row.push(format!("{:.2}", baseline_edp(&b, spec) * b.area_mm2));
+        }
+        rows.push(row);
+    }
+    let sim = AthenaSim::athena();
+    let area = total_area_mm2();
+    for (label, cfg) in [("Athena-w7a7", QuantConfig::w7a7()), ("Athena-w6a7", QuantConfig::w6a7())] {
+        let mut row = vec![label.to_string()];
+        for spec in &specs {
+            row.push(format!("{:.2}", sim.run_model(spec, &cfg).edap(area)));
+        }
+        rows.push(row);
+    }
+    println!("Fig. 11: EDAP (J*s*mm^2), lower is better");
+    println!(
+        "{}",
+        render_table(&["Accelerator", "LeNet", "MNIST", "ResNet-20", "ResNet-56"], &rows)
+    );
+    let a = sim.run_model(&ModelSpec::resnet(3), &QuantConfig::w7a7()).edap(area);
+    let sharp = baseline_edp(&baselines()[3], &ModelSpec::resnet(3)) * baselines()[3].area_mm2;
+    println!(
+        "EDAP improvement vs SHARP on ResNet-20: {:.1}x (paper claims 3.8x-9.9x EDAP gains)",
+        sharp / a
+    );
+}

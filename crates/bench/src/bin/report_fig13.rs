@@ -1,0 +1,28 @@
+//! Fig. 13: sensitivity of delay/energy/EDP/EDAP to per-unit lane scaling.
+
+use athena_accel::sensitivity::lane_sweep;
+use athena_bench::render_table;
+use athena_nn::models::ModelSpec;
+use athena_nn::qmodel::QuantConfig;
+
+fn main() {
+    let pts = lane_sweep(&ModelSpec::resnet(3), &QuantConfig::w7a7());
+    let mut rows = Vec::new();
+    for p in &pts {
+        rows.push(vec![
+            p.unit.name().to_string(),
+            p.lanes.to_string(),
+            format!("{:.2}", p.delay_norm),
+            format!("{:.2}", p.energy_norm),
+            format!("{:.2}", p.edp_norm),
+            format!("{:.2}", p.edap_norm),
+        ]);
+    }
+    println!("Fig. 13: lane sensitivity on ResNet-20 (normalized to 2048 lanes)");
+    println!(
+        "{}",
+        render_table(&["Unit", "Lanes", "Delay", "Energy", "EDP", "EDAP"], &rows)
+    );
+    println!("Paper shape: FRU scaling hurts most, then NTT; SE is nearly free;");
+    println!("Automorphism sits between NTT and SE.");
+}

@@ -1,0 +1,38 @@
+//! Fig. 8: the Athena framework deployed on CraterLake / SHARP vs the
+//! Athena accelerator.
+
+use athena_accel::baselines::{athena_workload_on_baseline, baselines, mma_share_on_baseline};
+use athena_accel::sim::AthenaSim;
+use athena_bench::render_table;
+use athena_nn::models::ModelSpec;
+use athena_nn::qmodel::QuantConfig;
+
+fn main() {
+    let q = QuantConfig::w7a7();
+    let specs = [
+        ModelSpec::lenet(),
+        ModelSpec::mnist(),
+        ModelSpec::resnet(3),
+        ModelSpec::resnet(9),
+    ];
+    let sim = AthenaSim::athena();
+    let mut rows = Vec::new();
+    for spec in &specs {
+        let ours = sim.run_model(spec, &q).latency_ms;
+        let mut row = vec![spec.name.to_string(), format!("{ours:.1}")];
+        for b in baselines() {
+            if b.name == "CraterLake" || b.name == "SHARP" {
+                let ms = athena_workload_on_baseline(&b, spec, &q);
+                let share = mma_share_on_baseline(&b, spec, &q);
+                row.push(format!("{ms:.0} ({:.1}x, MM/MA {:.0}%)", ms / ours, 100.0 * share));
+            }
+        }
+        rows.push(row);
+    }
+    println!("Fig. 8: Athena framework latency (ms) on each machine");
+    println!(
+        "{}",
+        render_table(&["Model", "Athena accel", "CraterLake", "SHARP"], &rows)
+    );
+    println!("Paper: CraterLake >= 3.8x slower (MM/MA > 77%), SHARP >= 9.9x slower (MM/MA > 84%).");
+}

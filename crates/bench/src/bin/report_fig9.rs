@@ -1,0 +1,32 @@
+//! Fig. 9: execution-time breakdown per phase.
+
+use athena_accel::sim::AthenaSim;
+use athena_bench::render_table;
+use athena_nn::models::ModelSpec;
+use athena_nn::qmodel::QuantConfig;
+
+fn main() {
+    let sim = AthenaSim::athena();
+    let mut rows = Vec::new();
+    for spec in [
+        ModelSpec::lenet(),
+        ModelSpec::mnist(),
+        ModelSpec::resnet(3),
+        ModelSpec::resnet(9),
+    ] {
+        let r = sim.run_model(&spec, &QuantConfig::w7a7());
+        let total: f64 = r.phase_costs.iter().map(|(_, c)| c.cycles).sum();
+        let mut row = vec![spec.name.to_string()];
+        for (p, c) in &r.phase_costs {
+            row.push(format!("{}: {:.1}%", p.name(), 100.0 * c.cycles / total));
+        }
+        rows.push(row);
+    }
+    println!("Fig. 9: execution-time breakdown (w7a7)");
+    println!(
+        "{}",
+        render_table(&["Model", "Linear", "Convert", "Activation", "Pooling", "Softmax"], &rows)
+    );
+    println!("Paper shape: non-linear (FBS) share is the largest, up to 72%; LeNet's max-pooling");
+    println!("inflates its pooling share; MNIST/LeNet have relatively higher softmax share.");
+}

@@ -1,0 +1,32 @@
+//! Table 1: solutions for CNN under FHE — parameters and derived sizes.
+
+use athena_bench::render_table;
+use athena_core::paramsets::table1;
+
+fn main() {
+    let rows: Vec<Vec<String>> = table1()
+        .iter()
+        .map(|s| {
+            vec![
+                s.name.to_string(),
+                if s.quantized { "Q" } else { "NQ" }.to_string(),
+                s.degree.to_string(),
+                s.log_q.to_string(),
+                s.nonlinear.to_string(),
+                format!("{:.2} MB", s.ciphertext_bytes() as f64 / (1024.0 * 1024.0)),
+                format!("{:.0} MB", s.key_bytes() as f64 / (1024.0 * 1024.0)),
+                s.dataset.to_string(),
+                format!("{:.2} ({:.2})", s.accuracy.0, s.accuracy.1),
+            ]
+        })
+        .collect();
+    println!("Table 1: Solutions for CNN under FHE");
+    println!(
+        "{}",
+        render_table(
+            &["Method", "CNN", "Degree", "logQ", "B & NL", "Cipher", "Keys", "Dataset", "Acc c(p) %"],
+            &rows
+        )
+    );
+    println!("Paper reference sizes: CKKS [27] 32 MB / 2.1 GB keys; Athena 5.6 MB / 720 MB keys.");
+}

@@ -1,0 +1,27 @@
+//! Table 3: computational complexity comparison.
+
+use athena_bench::render_table;
+use athena_core::complexity::{table3, ComplexityParams};
+
+fn main() {
+    let p = ComplexityParams::default();
+    let rows: Vec<Vec<String>> = table3(&p)
+        .iter()
+        .map(|r| {
+            vec![
+                r.solution.to_string(),
+                r.operation.to_string(),
+                format!("{} = {}", r.pmult.0, r.pmult.1),
+                format!("{} = {}", r.cmult.0, r.cmult.1),
+                format!("{} = {}", r.hrot.0, r.hrot.1),
+            ]
+        })
+        .collect();
+    println!(
+        "Table 3: op-count complexity (N=2^15, f=3, C=32, p=27, r=31, t=65537)"
+    );
+    println!(
+        "{}",
+        render_table(&["Solution", "Op", "# PMult", "# CMult", "# HRot"], &rows)
+    );
+}

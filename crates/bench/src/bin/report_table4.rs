@@ -1,0 +1,43 @@
+//! Table 4: per-step noise budget of the Athena loop.
+
+use athena_bench::render_table;
+use athena_fhe::noise::{athena_steps, total_noise_bits, NoiseModel};
+
+fn main() {
+    let m = NoiseModel::athena_production();
+    let steps = athena_steps();
+    let mut rows: Vec<Vec<String>> = steps
+        .iter()
+        .map(|s| {
+            vec![
+                s.name.to_string(),
+                s.pmult.to_string(),
+                s.cmult.to_string(),
+                s.smult.to_string(),
+                s.hadd.to_string(),
+                s.noise_bits(&m).to_string(),
+            ]
+        })
+        .collect();
+    rows.push(vec![
+        "Total".into(),
+        steps.iter().map(|s| s.pmult).sum::<u32>().to_string(),
+        steps.iter().map(|s| s.cmult).sum::<u32>().to_string(),
+        steps.iter().map(|s| s.smult).sum::<u32>().to_string(),
+        steps.iter().map(|s| s.hadd).sum::<u32>().to_string(),
+        total_noise_bits(&steps, &m).to_string(),
+    ]);
+    println!("Table 4: maximum noise (bits) per Athena step (paper: 37/43/558/68, total 706)");
+    println!(
+        "{}",
+        render_table(
+            &["Step", "PMult d", "CMult d", "SMult d", "HAdd d", "Noise (bits)"],
+            &rows
+        )
+    );
+    println!(
+        "Headroom: Δ = {} bits, Δ/2 = {} bits.",
+        m.delta_bits(),
+        m.headroom_bits()
+    );
+}

@@ -1,0 +1,62 @@
+//! Table 6: full-system latency vs the baseline accelerators.
+
+use athena_accel::baselines::{baseline_latency_ms, baselines};
+use athena_accel::sim::AthenaSim;
+use athena_bench::render_table;
+use athena_nn::models::ModelSpec;
+use athena_nn::qmodel::QuantConfig;
+
+fn main() {
+    let specs = [
+        ModelSpec::lenet(),
+        ModelSpec::mnist(),
+        ModelSpec::resnet(3),
+        ModelSpec::resnet(9),
+    ];
+    let paper: &[(&str, [f64; 4])] = &[
+        ("CraterLake", [182.0, 35.0, 321.0, 946.0]),
+        ("ARK", [71.0, 14.0, 125.0, 368.0]),
+        ("BTS", [1084.0, 206.0, 1910.0, 5627.0]),
+        ("SHARP", [56.0, 11.0, 99.0, 292.0]),
+        ("Athena-w7a7", [26.6, 9.2, 65.5, 198.7]),
+        ("Athena-w6a7", [24.1, 7.3, 54.9, 157.8]),
+    ];
+    let mut rows = Vec::new();
+    for b in baselines() {
+        let mut row = vec![b.name.to_string()];
+        for spec in &specs {
+            row.push(format!("{:.1}", baseline_latency_ms(&b, spec)));
+        }
+        rows.push(row);
+    }
+    let sim = AthenaSim::athena();
+    for (label, cfg) in [("Athena-w7a7", QuantConfig::w7a7()), ("Athena-w6a7", QuantConfig::w6a7())] {
+        let mut row = vec![label.to_string()];
+        for spec in &specs {
+            row.push(format!("{:.1}", sim.run_model(spec, &cfg).latency_ms));
+        }
+        rows.push(row);
+    }
+    println!("Table 6: execution time (ms) — ours");
+    println!(
+        "{}",
+        render_table(&["Accelerator", "LeNet", "MNIST", "ResNet-20", "ResNet-56"], &rows)
+    );
+    println!("Paper values:");
+    let paper_rows: Vec<Vec<String>> = paper
+        .iter()
+        .map(|(n, v)| {
+            let mut r = vec![n.to_string()];
+            r.extend(v.iter().map(|x| format!("{x}")));
+            r
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["Accelerator", "LeNet", "MNIST", "ResNet-20", "ResNet-56"], &paper_rows)
+    );
+    // Shape summary
+    let a7 = sim.run_model(&ModelSpec::resnet(3), &QuantConfig::w7a7()).latency_ms;
+    let sharp = baseline_latency_ms(&baselines()[3], &ModelSpec::resnet(3));
+    println!("Speedup vs SHARP on ResNet-20: {:.2}x (paper: 1.51x)", sharp / a7);
+}

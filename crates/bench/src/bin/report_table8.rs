@@ -1,0 +1,28 @@
+//! Table 8: memory comparison.
+
+use athena_accel::memory::{athena_working_set_mb, table8};
+use athena_bench::render_table;
+
+fn main() {
+    let rows: Vec<Vec<String>> = table8()
+        .iter()
+        .map(|m| {
+            vec![
+                m.name.to_string(),
+                format!("{} GB", m.hbm_gb),
+                format!("{} TB/s", m.hbm_tbs),
+                format!("{}+{} MB", m.scratchpad_mb.0, m.scratchpad_mb.1),
+                format!("{} TB/s", m.scratchpad_tbs),
+            ]
+        })
+        .collect();
+    println!("Table 8: memory-related comparison");
+    println!(
+        "{}",
+        render_table(&["Accelerator", "HBM Cap.", "HBM BW", "Scratchpad", "Scratch BW"], &rows)
+    );
+    println!(
+        "Athena working set at production params: {:.1} MB (fits 45+15 MB scratchpad).",
+        athena_working_set_mb(6.0)
+    );
+}

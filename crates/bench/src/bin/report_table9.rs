@@ -1,0 +1,26 @@
+//! Table 9: area and power breakdown.
+
+use athena_accel::config::{floorplan, total_area_mm2, total_power_w};
+use athena_bench::render_table;
+
+fn main() {
+    let mut rows: Vec<Vec<String>> = floorplan()
+        .iter()
+        .map(|c| {
+            vec![
+                c.name.to_string(),
+                format!("{:.2}", c.area_mm2),
+                format!("{:.2}", c.peak_power_w),
+            ]
+        })
+        .collect();
+    rows.push(vec![
+        "Sum".into(),
+        format!("{:.1}", total_area_mm2()),
+        format!("{:.1}", total_power_w()),
+    ]);
+    println!("Table 9: area and power breakdown @1 GHz, 7nm (paper totals: 116.4 mm^2, 148.1 W)");
+    println!("{}", render_table(&["Component", "Area [mm^2]", "Peak Power [W]"], &rows));
+    println!("Baselines: CraterLake 222.7 mm^2 (~207 W), ARK 418.3 (281.3), BTS 373.6 (133.8), SHARP 178.8.");
+    println!("Area reduction vs SHARP: {:.2}x (paper: 1.53x)", 178.8 / total_area_mm2());
+}

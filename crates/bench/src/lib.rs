@@ -1,0 +1,201 @@
+//! # athena-bench
+//!
+//! Experiment harness: one `report_*` binary per table/figure of the paper
+//! (`cargo run -p athena-bench --release --bin report_table6`), plus shared
+//! table-rendering and model-preparation helpers, plus Criterion
+//! micro-benchmarks of the kernels (`cargo bench`).
+
+use athena_math::sampler::Sampler;
+use athena_nn::data::{Dataset, SyntheticConfig, SyntheticSource};
+use athena_nn::models::ModelKind;
+use athena_nn::network::Network;
+use athena_nn::qmodel::{QModel, QuantConfig};
+use athena_nn::quant::quantize;
+use athena_nn::tensor::Tensor;
+use athena_nn::train::{train, TrainConfig};
+
+/// Renders an aligned text table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::from("| ");
+        for (c, w) in cells.iter().zip(widths) {
+            line.push_str(&format!("{c:w$} | "));
+        }
+        line.trim_end().to_string()
+    };
+    let head: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&head, &widths));
+    out.push('\n');
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    out.push_str(&fmt_row(&sep, &widths));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Training/evaluation budget of a report run, controlled by the
+/// `ATHENA_BUDGET` environment variable (`quick` default, `full` for the
+/// paper-scale sweep).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Budget {
+    /// Small training sets, reduced epochs for the ResNets.
+    Quick,
+    /// Everything, paper-leaning sizes (minutes of training).
+    Full,
+}
+
+impl Budget {
+    /// Reads the budget from the environment.
+    pub fn from_env() -> Self {
+        match std::env::var("ATHENA_BUDGET").as_deref() {
+            Ok("full") => Budget::Full,
+            _ => Budget::Quick,
+        }
+    }
+
+    /// Training images for a model kind.
+    pub fn train_images(&self, kind: ModelKind) -> usize {
+        match (self, kind) {
+            (Budget::Quick, ModelKind::Mnist | ModelKind::LeNet) => 300,
+            (Budget::Quick, ModelKind::ResNet20) => 400,
+            (Budget::Quick, ModelKind::ResNet56) => 200,
+            (Budget::Full, ModelKind::Mnist | ModelKind::LeNet) => 1500,
+            (Budget::Full, ModelKind::ResNet20) => 800,
+            (Budget::Full, ModelKind::ResNet56) => 400,
+        }
+    }
+
+    /// Test images.
+    pub fn test_images(&self, kind: ModelKind) -> usize {
+        match (self, kind) {
+            (Budget::Quick, ModelKind::Mnist | ModelKind::LeNet) => 200,
+            (Budget::Quick, _) => 60,
+            (Budget::Full, ModelKind::Mnist | ModelKind::LeNet) => 1000,
+            (Budget::Full, _) => 300,
+        }
+    }
+
+    /// Training epochs.
+    pub fn epochs(&self, kind: ModelKind) -> usize {
+        match (self, kind) {
+            (Budget::Quick, ModelKind::ResNet56) => 5,
+            (Budget::Quick, ModelKind::ResNet20) => 6,
+            (Budget::Quick, _) => 3,
+            (Budget::Full, ModelKind::ResNet20 | ModelKind::ResNet56) => 8,
+            (Budget::Full, _) => 4,
+        }
+    }
+
+    /// Learning rate (the unnormalized ResNets need a hotter schedule with
+    /// the damped residual branches).
+    pub fn lr(&self, kind: ModelKind) -> f32 {
+        match kind {
+            ModelKind::ResNet20 | ModelKind::ResNet56 => 0.15,
+            _ => 0.02,
+        }
+    }
+}
+
+/// A trained model bundle ready for the accuracy experiments.
+#[derive(Debug)]
+pub struct TrainedModel {
+    /// Model identity.
+    pub kind: ModelKind,
+    /// The float network (plain-G).
+    pub net: Network,
+    /// Calibration images.
+    pub calib: Vec<Tensor>,
+    /// Held-out test set.
+    pub test: Dataset,
+    /// plain-G accuracy on the test set.
+    pub plain_g_acc: f64,
+}
+
+/// Trains one benchmark model on its synthetic dataset.
+pub fn train_model(kind: ModelKind, budget: Budget, seed: u64) -> TrainedModel {
+    let cfg = match kind {
+        ModelKind::Mnist | ModelKind::LeNet => SyntheticConfig::mnist_like(),
+        _ => SyntheticConfig::cifar_like(),
+    };
+    let src = SyntheticSource::new(cfg, seed);
+    let train_set = src.generate(budget.train_images(kind), seed + 1);
+    let test = src.generate(budget.test_images(kind), seed + 2);
+    let mut sampler = Sampler::from_seed(seed + 3);
+    let mut net = kind.build(&mut sampler);
+    let tc = TrainConfig {
+        epochs: budget.epochs(kind),
+        lr: budget.lr(kind),
+        lr_decay: 0.8,
+        ..TrainConfig::default()
+    };
+    train(&mut net, &train_set, &tc, &mut sampler);
+    let plain_g_acc = athena_nn::train::evaluate(&mut net, &test);
+    let calib: Vec<Tensor> = train_set.images.iter().take(32).cloned().collect();
+    TrainedModel {
+        kind,
+        net,
+        calib,
+        test,
+        plain_g_acc,
+    }
+}
+
+impl TrainedModel {
+    /// Quantizes at a mode, then fits the accumulators into the production
+    /// plaintext modulus `t = 65537` (§3.3's headroom constraint).
+    pub fn quantized(&self, cfg: QuantConfig) -> QModel {
+        let mut qm = quantize(&self.net, &self.calib, cfg);
+        athena_nn::quant::enforce_mac_headroom(&mut qm, &self.calib, 65537, 0.95);
+        qm
+    }
+
+    /// plain-Q accuracy.
+    pub fn plain_q_acc(&self, qm: &QModel) -> f64 {
+        let correct = self
+            .test
+            .images
+            .iter()
+            .zip(&self.test.labels)
+            .filter(|(img, &label)| qm.predict(&qm.quantize_input(img)) == label)
+            .count();
+        correct as f64 / self.test.len() as f64
+    }
+}
+
+/// Formats a float as a percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}", 100.0 * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rendering() {
+        let t = render_table(
+            &["a", "bb"],
+            &[vec!["1".into(), "2".into()], vec!["33".into(), "4".into()]],
+        );
+        assert!(t.contains("| a  | bb |"));
+        assert!(t.lines().count() == 4);
+    }
+
+    #[test]
+    fn budget_defaults_quick() {
+        assert_eq!(Budget::from_env(), Budget::Quick);
+        assert!(Budget::Quick.train_images(ModelKind::Mnist) >= 200);
+    }
+}

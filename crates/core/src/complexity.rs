@@ -1,0 +1,149 @@
+//! Table 3: symbolic computational-complexity comparison between the
+//! CKKS-based pipeline [27] and Athena.
+
+/// One operation row: counts as closed-form strings plus evaluated values
+/// for concrete parameters.
+#[derive(Debug, Clone)]
+pub struct ComplexityRow {
+    /// Solution name.
+    pub solution: &'static str,
+    /// Operation name.
+    pub operation: &'static str,
+    /// PMult complexity (formula, value).
+    pub pmult: (String, u64),
+    /// CMult complexity.
+    pub cmult: (String, u64),
+    /// HRot complexity.
+    pub hrot: (String, u64),
+}
+
+/// Parameters the formulas are evaluated at.
+#[derive(Debug, Clone, Copy)]
+pub struct ComplexityParams {
+    /// Ring degree.
+    pub n: u64,
+    /// Kernel width/height `f`.
+    pub f: u64,
+    /// Channels `C`.
+    pub c: u64,
+    /// ReLU fit degree `p`.
+    pub p: u64,
+    /// Bootstrap fit degree `r`.
+    pub r: u64,
+    /// Plaintext modulus `t`.
+    pub t: u64,
+}
+
+impl Default for ComplexityParams {
+    fn default() -> Self {
+        // A representative ResNet-20 middle layer under both systems.
+        Self {
+            n: 1 << 15,
+            f: 3,
+            c: 32,
+            p: 27,   // typical minimax ReLU composite degree [27]
+            r: 31,   // sine-approximation degree
+            t: 65537,
+        }
+    }
+}
+
+fn cbrt(x: u64) -> u64 {
+    (x as f64).cbrt().ceil() as u64
+}
+
+fn sqrt(x: u64) -> u64 {
+    (x as f64).sqrt().ceil() as u64
+}
+
+/// Builds all Table 3 rows.
+pub fn table3(p: &ComplexityParams) -> Vec<ComplexityRow> {
+    vec![
+        ComplexityRow {
+            solution: "CKKS-based [27]",
+            operation: "Conv",
+            pmult: ("O(f^2 C)".into(), p.f * p.f * p.c),
+            cmult: ("/".into(), 0),
+            hrot: ("O(f^2)+O(C)".into(), p.f * p.f + p.c),
+        },
+        ComplexityRow {
+            solution: "CKKS-based [27]",
+            operation: "ReLU",
+            pmult: ("O(p)".into(), p.p),
+            cmult: ("O(sqrt(p))".into(), sqrt(p.p)),
+            hrot: ("/".into(), 0),
+        },
+        ComplexityRow {
+            solution: "CKKS-based [27]",
+            operation: "Bootstrap",
+            pmult: ("O(cbrt(N))+O(r)".into(), cbrt(p.n) + p.r),
+            cmult: ("O(sqrt(r))".into(), sqrt(p.r)),
+            hrot: ("O(cbrt(N))".into(), cbrt(p.n)),
+        },
+        ComplexityRow {
+            solution: "Athena",
+            operation: "Conv",
+            pmult: ("O(C)".into(), p.c),
+            cmult: ("/".into(), 0),
+            hrot: ("/".into(), 0),
+        },
+        ComplexityRow {
+            solution: "Athena",
+            operation: "Packing",
+            pmult: ("O(C)".into(), p.c),
+            cmult: ("/".into(), 0),
+            hrot: ("O(C)".into(), p.c),
+        },
+        ComplexityRow {
+            solution: "Athena",
+            operation: "FBS",
+            pmult: ("O(t)".into(), p.t),
+            cmult: ("O(sqrt(t))".into(), sqrt(p.t)),
+            hrot: ("/".into(), 0),
+        },
+        ComplexityRow {
+            solution: "Athena",
+            operation: "S2C",
+            pmult: ("O(cbrt(N))".into(), cbrt(p.n)),
+            cmult: ("/".into(), 0),
+            hrot: ("O(cbrt(N))".into(), cbrt(p.n)),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn athena_conv_needs_no_rotations() {
+        let rows = table3(&ComplexityParams::default());
+        let athena_conv = rows
+            .iter()
+            .find(|r| r.solution == "Athena" && r.operation == "Conv")
+            .expect("row exists");
+        assert_eq!(athena_conv.hrot.1, 0);
+        let ckks_conv = rows
+            .iter()
+            .find(|r| r.solution.starts_with("CKKS") && r.operation == "Conv")
+            .expect("row exists");
+        assert!(ckks_conv.hrot.1 > 0);
+        // Athena conv PMult is f² smaller.
+        assert_eq!(ckks_conv.pmult.1, athena_conv.pmult.1 * 9);
+    }
+
+    #[test]
+    fn fbs_dominates_athena() {
+        let rows = table3(&ComplexityParams::default());
+        let fbs = rows
+            .iter()
+            .find(|r| r.operation == "FBS")
+            .expect("row exists");
+        let others: u64 = rows
+            .iter()
+            .filter(|r| r.solution == "Athena" && r.operation != "FBS")
+            .map(|r| r.pmult.1 + r.cmult.1 + r.hrot.1)
+            .sum();
+        assert!(fbs.pmult.1 > 100 * others, "FBS must dominate");
+    }
+}

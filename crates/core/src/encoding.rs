@@ -1,0 +1,382 @@
+//! Coefficient encoding of convolution (Eq. 1) and the packing strategies
+//! compared in Table 2.
+//!
+//! With input `M̂[c·HW + h·W + w] = M[c,h,w]` and kernel
+//! `K̂[T − c'·C_in·HW − c·HW − i·W − j] = K[c',c,i,j]`,
+//! `T = HW(C_out·C_in − 1) + W(W_k − 1) + W_k − 1`, the polynomial product
+//! `M̂·K̂` carries output `O[c',y,x] = Σ_{c,i,j} M[c,y+i,x+j]·K[c',c,i,j]`
+//! at coefficient `T − c'·C_in·HW + y·W + x`. One `PMult` therefore computes
+//! a whole multi-channel multi-kernel convolution with **zero rotations**
+//! (Table 3's `Conv` row).
+//!
+//! When `C_out·C_in·HW > N` the layer is split into channel groups.
+//! *Cheetah* [16] packs input channels first, so each result ciphertext
+//! carries few valid outputs; *Athena* packs output channels first, so the
+//! results land compactly (Table 2).
+
+use athena_nn::models::ConvShape;
+use athena_nn::tensor::ITensor;
+
+/// How a convolution layer is split across ciphertexts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Packing {
+    /// Output channels per result ciphertext.
+    pub co_per_ct: usize,
+    /// Input channels per input ciphertext.
+    pub ci_per_ct: usize,
+    /// Number of input ciphertexts.
+    pub input_cts: usize,
+    /// Number of result ciphertexts.
+    pub result_cts: usize,
+    /// PMult count (one per (co-group, ci-group) pair).
+    pub pmults: usize,
+    /// HAdd count (partial-sum accumulation).
+    pub hadds: usize,
+}
+
+impl Packing {
+    /// Fraction of result-polynomial coefficients holding valid outputs.
+    pub fn valid_ratio(&self, shape: &ConvShape, n: usize) -> f64 {
+        let out_per_ct = self.co_per_ct * shape.out_hw() * shape.out_hw();
+        out_per_ct as f64 / n as f64
+    }
+}
+
+/// Safety margin needed so no product coefficient exceeds the degree:
+/// the kernel's intra-channel span.
+fn margin(shape: &ConvShape) -> usize {
+    shape.hw * (shape.k - 1) + shape.k - 1
+}
+
+/// Largest divisor of `x` that is `<= cap` (at least 1).
+fn divisor_at_most(x: usize, cap: usize) -> usize {
+    (1..=cap.min(x)).rev().find(|d| x % d == 0).unwrap_or(1)
+}
+
+/// Athena's output-channel-first packing: maximize output channels per
+/// result ciphertext, then fit input-channel groups.
+pub fn athena_packing(shape: &ConvShape, n: usize) -> Packing {
+    let hw = shape.hw * shape.hw;
+    let m = margin(shape);
+    assert!(hw + m < n, "one channel must fit in the ring");
+    // Largest ci group with room for at least one output channel.
+    // Prefer maximizing co first: try co from C_out downward (pow2 splits).
+    let mut best: Option<(usize, usize)> = None;
+    let mut co = divisor_at_most(shape.c_out, shape.c_out);
+    loop {
+        // max ci group that fits with this co
+        let budget = n.saturating_sub(m);
+        let max_ci = budget / (co * hw);
+        if max_ci >= 1 {
+            let ci = divisor_at_most(shape.c_in, max_ci.min(shape.c_in));
+            if best.is_none() {
+                best = Some((co, ci));
+                break;
+            }
+        }
+        if co == 1 {
+            break;
+        }
+        co /= 2;
+    }
+    let (co, ci) = best.expect("at least (1,1) fits");
+    let co_groups = shape.c_out / co;
+    let ci_groups = shape.c_in / ci;
+    Packing {
+        co_per_ct: co,
+        ci_per_ct: ci,
+        input_cts: ci_groups,
+        result_cts: co_groups,
+        pmults: co_groups * ci_groups,
+        hadds: co_groups * (ci_groups - 1).max(0),
+    }
+}
+
+/// Cheetah's input-channel-first packing: the input ciphertext packs as many
+/// input channels as fit; each result ciphertext carries the outputs of as
+/// many output channels as fit *given that full-C_in packing*.
+pub fn cheetah_packing(shape: &ConvShape, n: usize) -> Packing {
+    let hw = shape.hw * shape.hw;
+    let m = margin(shape);
+    let ci = divisor_at_most(
+        shape.c_in,
+        ((n.saturating_sub(m)) / hw).max(1).min(shape.c_in),
+    );
+    // With ci input channels resident, each extra output channel needs a
+    // ci·HW stride in the result polynomial.
+    let co = divisor_at_most(
+        shape.c_out,
+        ((n.saturating_sub(m)) / (ci * hw)).max(1).min(shape.c_out),
+    );
+    let ci_groups = shape.c_in / ci;
+    let co_groups = shape.c_out / co;
+    Packing {
+        co_per_ct: co,
+        ci_per_ct: ci,
+        input_cts: ci_groups,
+        result_cts: co_groups,
+        pmults: co_groups * ci_groups,
+        hadds: co_groups * (ci_groups - 1).max(0),
+    }
+}
+
+/// A fully specified single-group conv encoding: `co_per_ct` output channels
+/// and `ci_per_ct` input channels in one ciphertext pair.
+#[derive(Debug, Clone)]
+pub struct ConvEncoder {
+    /// Layer shape (with `c_in`/`c_out` replaced by the group sizes).
+    pub shape: ConvShape,
+    /// Ring degree.
+    pub n: usize,
+}
+
+impl ConvEncoder {
+    /// Creates an encoder for a channel group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group does not fit the ring degree.
+    pub fn new(shape: ConvShape, n: usize) -> Self {
+        let t_idx = Self::t_index(&shape);
+        assert!(
+            t_idx + shape.c_in * shape.hw * shape.hw <= n,
+            "conv group does not fit degree {n} (T = {t_idx})"
+        );
+        Self { shape, n }
+    }
+
+    /// `T` of Eq. 1.
+    fn t_index(shape: &ConvShape) -> usize {
+        let hw = shape.hw * shape.hw;
+        hw * (shape.c_out * shape.c_in - 1) + shape.hw * (shape.k - 1) + shape.k - 1
+    }
+
+    /// Encodes the input feature map `[C_in, H, W]` into polynomial
+    /// coefficients (length `N`, signed values to be reduced mod `t`).
+    pub fn encode_input(&self, m: &ITensor) -> Vec<i64> {
+        let s = &self.shape;
+        assert_eq!(m.shape(), &[s.c_in, s.hw, s.hw], "input shape mismatch");
+        let hw = s.hw * s.hw;
+        let mut out = vec![0i64; self.n];
+        for c in 0..s.c_in {
+            for h in 0..s.hw {
+                for w in 0..s.hw {
+                    out[c * hw + h * s.hw + w] = m.data()[(c * s.hw + h) * s.hw + w];
+                }
+            }
+        }
+        out
+    }
+
+    /// Encodes the kernel `[C_out, C_in, K, K]` into polynomial coefficients.
+    pub fn encode_kernel(&self, k: &ITensor) -> Vec<i64> {
+        let s = &self.shape;
+        assert_eq!(
+            k.shape(),
+            &[s.c_out, s.c_in, s.k, s.k],
+            "kernel shape mismatch"
+        );
+        let hw = s.hw * s.hw;
+        let t = Self::t_index(s);
+        let mut out = vec![0i64; self.n];
+        for co in 0..s.c_out {
+            for ci in 0..s.c_in {
+                for i in 0..s.k {
+                    for j in 0..s.k {
+                        let idx = t - co * s.c_in * hw - ci * hw - i * s.hw - j;
+                        out[idx] = k.data()[((co * s.c_in + ci) * s.k + i) * s.k + j];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Coefficient index of output `(c_out, y, x)` — valid for
+    /// `y, x ∈ [0, H − K]` (stride-1 positions; strided layers subsample).
+    pub fn output_index(&self, c_out: usize, y: usize, x: usize) -> usize {
+        let s = &self.shape;
+        let hw = s.hw * s.hw;
+        Self::t_index(s) - c_out * s.c_in * hw + y * s.hw + x
+    }
+
+    /// Number of valid stride-1 output positions per channel
+    /// (`(H − K + 1)²` on the padded input).
+    pub fn valid_out_hw(&self) -> usize {
+        self.shape.hw - self.shape.k + 1
+    }
+
+    /// Reference plaintext check: computes the negacyclic product of the two
+    /// encodings over the integers and reads the outputs back.
+    pub fn conv_via_polynomial(&self, m: &ITensor, k: &ITensor) -> ITensor {
+        let a = self.encode_input(m);
+        let b = self.encode_kernel(k);
+        // negacyclic product over i128 to avoid overflow
+        let n = self.n;
+        let mut prod = vec![0i128; n];
+        for (i, &ai) in a.iter().enumerate() {
+            if ai == 0 {
+                continue;
+            }
+            for (j, &bj) in b.iter().enumerate() {
+                if bj == 0 {
+                    continue;
+                }
+                let p = ai as i128 * bj as i128;
+                let idx = i + j;
+                if idx < n {
+                    prod[idx] += p;
+                } else {
+                    prod[idx - n] -= p;
+                }
+            }
+        }
+        let o = self.valid_out_hw();
+        let mut out = ITensor::zeros(&[self.shape.c_out, o, o]);
+        for co in 0..self.shape.c_out {
+            for y in 0..o {
+                for x in 0..o {
+                    out.data_mut()[(co * o + y) * o + x] =
+                        prod[self.output_index(co, y, x)] as i64;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Direct integer convolution (valid positions, stride 1) — the reference
+/// the encoding is tested against.
+pub fn direct_conv_valid(m: &ITensor, k: &ITensor) -> ITensor {
+    let (c_in, h, w) = (m.shape()[0], m.shape()[1], m.shape()[2]);
+    let (c_out, kk) = (k.shape()[0], k.shape()[2]);
+    let o = h - kk + 1;
+    let mut out = ITensor::zeros(&[c_out, o, o]);
+    for co in 0..c_out {
+        for y in 0..o {
+            for x in 0..o {
+                let mut acc = 0i64;
+                for ci in 0..c_in {
+                    for i in 0..kk {
+                        for j in 0..kk {
+                            acc += m.data()[(ci * h + y + i) * w + x + j]
+                                * k.data()[((co * c_in + ci) * kk + i) * kk + j];
+                        }
+                    }
+                }
+                out.data_mut()[(co * o + y) * o + x] = acc;
+            }
+        }
+    }
+    out
+}
+
+/// The six conv shapes of Table 2.
+pub fn table2_shapes() -> Vec<ConvShape> {
+    vec![
+        ConvShape { hw: 32, c_in: 3, c_out: 16, k: 3, stride: 1, padding: 1 },
+        ConvShape { hw: 32, c_in: 16, c_out: 16, k: 3, stride: 1, padding: 1 },
+        ConvShape { hw: 32, c_in: 16, c_out: 32, k: 1, stride: 2, padding: 0 },
+        ConvShape { hw: 16, c_in: 32, c_out: 32, k: 3, stride: 1, padding: 1 },
+        ConvShape { hw: 16, c_in: 32, c_out: 64, k: 1, stride: 2, padding: 0 },
+        ConvShape { hw: 8, c_in: 64, c_out: 64, k: 3, stride: 1, padding: 1 },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use athena_math::sampler::Sampler;
+
+    fn random_itensor(shape: &[usize], bound: i64, s: &mut Sampler) -> ITensor {
+        ITensor::from_vec(
+            shape,
+            (0..shape.iter().product::<usize>())
+                .map(|_| s.uniform_mod(2 * bound as u64 + 1) as i64 - bound)
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn encoding_computes_convolution() {
+        let mut s = Sampler::from_seed(41);
+        for (c_in, c_out, hw, k) in [(1usize, 1usize, 6usize, 3usize), (2, 2, 5, 3), (3, 4, 4, 2), (2, 3, 4, 1)] {
+            let shape = ConvShape { hw, c_in, c_out, k, stride: 1, padding: 0 };
+            let enc = ConvEncoder::new(shape, 1024);
+            let m = random_itensor(&[c_in, hw, hw], 7, &mut s);
+            let kk = random_itensor(&[c_out, c_in, k, k], 7, &mut s);
+            assert_eq!(
+                enc.conv_via_polynomial(&m, &kk),
+                direct_conv_valid(&m, &kk),
+                "shape {shape:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn packing_ratios_beat_cheetah_on_all_table2_rows() {
+        let n = 1 << 15;
+        for shape in table2_shapes() {
+            let a = athena_packing(&shape, n);
+            let c = cheetah_packing(&shape, n);
+            let ra = a.valid_ratio(&shape, n);
+            let rc = c.valid_ratio(&shape, n);
+            assert!(
+                ra >= rc,
+                "Athena ratio {ra} below Cheetah {rc} for {shape:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn athena_ratios_match_table2_rows() {
+        // Rows where the paper's numbers follow directly from
+        // out-channel-first packing at N = 2^15.
+        let n = 1 << 15;
+        let shapes = table2_shapes();
+        let expect = [0.50, 0.50, 0.25, 0.25, 0.125, 0.125];
+        for (shape, &want) in shapes.iter().zip(&expect) {
+            let p = athena_packing(shape, n);
+            let ratio = p.valid_ratio(shape, n);
+            assert!(
+                (ratio - want).abs() < 1e-9 || (ratio - want / 2.0).abs() < 1e-9 || (ratio - want * 2.0).abs() < 1e-9,
+                "{shape:?}: ratio {ratio} vs paper {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn packing_respects_capacity() {
+        let n = 1 << 15;
+        for shape in table2_shapes() {
+            let p = athena_packing(&shape, n);
+            let hw = shape.hw * shape.hw;
+            assert!(p.co_per_ct * p.ci_per_ct * hw <= n, "{shape:?} overpacked");
+            assert_eq!(p.result_cts * p.co_per_ct, shape.c_out);
+            assert_eq!(p.input_cts * p.ci_per_ct, shape.c_in);
+        }
+    }
+
+    #[test]
+    fn strided_outputs_are_subsampled_valid_positions() {
+        // stride-2 layers read every other valid position.
+        let shape = ConvShape { hw: 6, c_in: 1, c_out: 1, k: 2, stride: 2, padding: 0 };
+        let enc = ConvEncoder::new(ConvShape { stride: 1, ..shape }, 256);
+        let mut s = Sampler::from_seed(42);
+        let m = random_itensor(&[1, 6, 6], 5, &mut s);
+        let k = random_itensor(&[1, 1, 2, 2], 5, &mut s);
+        let full = enc.conv_via_polynomial(&m, &k); // 5×5 stride-1 grid
+        // direct stride-2
+        for y in 0..3 {
+            for x in 0..3 {
+                let direct: i64 = (0..2)
+                    .flat_map(|i| (0..2).map(move |j| (i, j)))
+                    .map(|(i, j)| {
+                        m.data()[(2 * y + i) * 6 + 2 * x + j] * k.data()[i * 2 + j]
+                    })
+                    .sum();
+                assert_eq!(full.data()[(5 * (2 * y)) + 2 * x], direct);
+            }
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Table 1: the six CNN-under-FHE solutions compared in §2, with their
+//! parameter sets and derived ciphertext/key sizes.
+
+/// Scheme family of a solution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchemeKind {
+    /// Leveled HE only (no bootstrapping).
+    Lhe,
+    /// CKKS with bootstrapping.
+    CkksFhe,
+    /// Athena: BFV linear + FBS non-linear/bootstrap.
+    AthenaFhe,
+}
+
+/// One Table 1 row.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// Name as cited.
+    pub name: &'static str,
+    /// Scheme family.
+    pub kind: SchemeKind,
+    /// Quantized model?
+    pub quantized: bool,
+    /// Ring degree.
+    pub degree: usize,
+    /// log₂ of the ciphertext modulus `Q`.
+    pub log_q: u32,
+    /// Non-linear handling.
+    pub nonlinear: &'static str,
+    /// Dataset.
+    pub dataset: &'static str,
+    /// (cipher, plain) accuracy as reported.
+    pub accuracy: (f64, f64),
+}
+
+impl Solution {
+    /// Ciphertext size in bytes: two ring elements, `log₂Q` bits per
+    /// coefficient (packed).
+    pub fn ciphertext_bytes(&self) -> usize {
+        2 * self.degree * self.log_q as usize / 8
+    }
+
+    /// Approximate evaluation-key footprint in bytes (rotation +
+    /// relinearization), using the standard "~`2·d`-ciphertext" estimate
+    /// per key and the per-scheme key counts reported in the literature.
+    pub fn key_bytes(&self) -> usize {
+        let limbs = self.log_q.div_ceil(60) as usize;
+        let per_key = 2 * limbs * self.degree * self.log_q as usize / 8;
+        let keys = match self.kind {
+            SchemeKind::Lhe => 20,       // galois set for small models
+            SchemeKind::CkksFhe => 60,   // bootstrapping galois set
+            SchemeKind::AthenaFhe => 30, // packing + S2C + relin
+        };
+        keys * per_key
+    }
+}
+
+/// The six solutions of Table 1.
+pub fn table1() -> Vec<Solution> {
+    vec![
+        Solution {
+            name: "YASHE (LHE) / CryptoNets",
+            kind: SchemeKind::Lhe,
+            quantized: false,
+            degree: 8192,
+            log_q: 191,
+            nonlinear: "Separated (Taylor)",
+            dataset: "MNIST",
+            accuracy: (98.95, 99.0),
+        },
+        Solution {
+            name: "BGV (LHE) / CryptoDL",
+            kind: SchemeKind::Lhe,
+            quantized: false,
+            degree: 8192,
+            log_q: 220,
+            nonlinear: "Separated (Taylor)",
+            dataset: "MNIST",
+            accuracy: (99.5, 99.7),
+        },
+        Solution {
+            name: "BFV (LHE) / Fast-CryptoNets",
+            kind: SchemeKind::Lhe,
+            quantized: true,
+            degree: 8192,
+            log_q: 219,
+            nonlinear: "Separated (Taylor)",
+            dataset: "CIFAR-10",
+            accuracy: (86.76, 93.10),
+        },
+        Solution {
+            name: "CKKS (FHE) [28]",
+            kind: SchemeKind::CkksFhe,
+            quantized: false,
+            degree: 65536,
+            log_q: 1450,
+            nonlinear: "Separated (Taylor)",
+            dataset: "CIFAR-10",
+            accuracy: (92.43, 92.95),
+        },
+        Solution {
+            name: "CKKS (FHE) [27]",
+            kind: SchemeKind::CkksFhe,
+            quantized: false,
+            degree: 65536,
+            log_q: 1501,
+            nonlinear: "Separated (Taylor)",
+            dataset: "CIFAR-10",
+            accuracy: (92.80, 93.07),
+        },
+        Solution {
+            name: "Athena (BFV + FBS)",
+            kind: SchemeKind::AthenaFhe,
+            quantized: true,
+            degree: 32768,
+            log_q: 720,
+            nonlinear: "Merged (FBS)",
+            dataset: "CIFAR-10",
+            accuracy: (94.65, 94.89),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn athena_ciphertext_is_several_times_smaller_than_ckks() {
+        let rows = table1();
+        let ckks = rows
+            .iter()
+            .find(|r| r.name.contains("[27]"))
+            .expect("row exists");
+        let athena = rows.last().expect("athena row");
+        let ratio = ckks.ciphertext_bytes() as f64 / athena.ciphertext_bytes() as f64;
+        // Paper: "3~6×" smaller.
+        assert!(ratio > 3.0 && ratio < 7.0, "ratio {ratio}");
+        // Absolute sizes match the table: CKKS ≈ 24 MB (reported 32 with
+        // metadata), Athena ≈ 5.6 MB.
+        let mb = athena.ciphertext_bytes() as f64 / (1024.0 * 1024.0);
+        assert!(mb > 5.0 && mb < 6.0, "Athena ciphertext {mb} MB");
+    }
+
+    #[test]
+    fn lhe_rows_cannot_bootstrap() {
+        for r in table1() {
+            if r.kind == SchemeKind::Lhe {
+                assert!(r.log_q <= 220, "LHE rows stay at small Q");
+            }
+        }
+    }
+
+    #[test]
+    fn athena_wins_ciphertext_accuracy() {
+        let rows = table1();
+        let best_cipher = rows
+            .iter()
+            .filter(|r| r.dataset == "CIFAR-10")
+            .map(|r| r.accuracy.0)
+            .fold(0.0f64, f64::max);
+        assert_eq!(best_cipher, 94.65, "Athena has the best CIFAR-10 cipher accuracy");
+    }
+}

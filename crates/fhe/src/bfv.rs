@@ -1,0 +1,855 @@
+//! RNS-BFV: the integer-exact FHE scheme Athena builds on.
+//!
+//! A ciphertext is `(c0, c1)` with `c0 + c1·s = Δ·m + e (mod Q)`,
+//! `Δ = ⌊Q/t⌋`. Supported operations: encryption (secret- and public-key),
+//! decryption, addition, plaintext multiplication (`PMult`), scalar
+//! multiplication (`SMult`), ciphertext multiplication with relinearization
+//! (`CMult`), Galois automorphisms / rotations (`HRot`) via key switching,
+//! and the invariant-noise-budget probe used by the Table 4 analysis.
+//!
+//! Ciphertext multiplication takes the **exact** route: operands are lifted
+//! (centered) into an extended RNS basis, tensored there, and the `t/Q`
+//! scaling is performed coefficient-wise with big-integer rounding. This is
+//! the reference semantics that the accelerator's fast-base-conversion
+//! datapath (FRU) reproduces approximately in hardware.
+
+use athena_math::bigint::{IBig, UBig};
+use athena_math::poly::{Domain, Poly};
+use athena_math::rns::{RnsBasis, RnsPoly};
+use athena_math::sampler::Sampler;
+use std::collections::HashMap;
+
+use crate::encoder::SlotEncoder;
+use crate::params::BfvParams;
+
+/// Shared context: parameter set plus every precomputed table.
+#[derive(Debug)]
+pub struct BfvContext {
+    params: BfvParams,
+    qb: RnsBasis,
+    mb: RnsBasis,
+    encoder: SlotEncoder,
+    /// Δ mod q_i.
+    delta_mod_qi: Vec<u64>,
+    /// RNS gadget g_i = (Q/q_i)·[(Q/q_i)^{-1}]_{q_i} as residues mod every q_j.
+    gadget: Vec<Vec<u64>>,
+    delta: UBig,
+    q: UBig,
+    half_q: UBig,
+}
+
+impl BfvContext {
+    /// Builds a context (precomputing NTT tables, CRT data, gadget vectors).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters fail validation.
+    pub fn new(params: BfvParams) -> Self {
+        params.validate();
+        let qb = params.q_basis();
+        let mb = params.mult_basis();
+        let encoder = SlotEncoder::new(params.t, params.n);
+        let q = params.q_product();
+        let delta = params.delta();
+        let delta_mod_qi = qb
+            .rings()
+            .iter()
+            .map(|r| delta.rem_u64(r.modulus().value()))
+            .collect();
+        // Gadget: g_i = hat_i * hat_inv_i mod Q, as residues.
+        let k = qb.len();
+        let mut gadget = Vec::with_capacity(k);
+        for i in 0..k {
+            let qi = qb.ring(i).modulus().value();
+            let hat = q.div_rem_u64(qi).0;
+            let hat_inv = qb
+                .ring(i)
+                .modulus()
+                .inv(hat.rem_u64(qi))
+                .expect("pairwise coprime");
+            let g = hat.mul_u64(hat_inv).rem(&q);
+            gadget.push(qb.crt_decompose(&g));
+        }
+        let half_q = q.shr(1);
+        Self {
+            params,
+            qb,
+            mb,
+            encoder,
+            delta_mod_qi,
+            gadget,
+            delta,
+            q,
+            half_q,
+        }
+    }
+
+    /// The parameter set.
+    pub fn params(&self) -> &BfvParams {
+        &self.params
+    }
+
+    /// The RNS basis of `Q`.
+    pub fn q_basis(&self) -> &RnsBasis {
+        &self.qb
+    }
+
+    /// The extended multiplication basis.
+    pub fn mult_basis(&self) -> &RnsBasis {
+        &self.mb
+    }
+
+    /// The slot encoder over `Z_t`.
+    pub fn encoder(&self) -> &SlotEncoder {
+        &self.encoder
+    }
+
+    /// Plaintext modulus `t`.
+    pub fn t(&self) -> u64 {
+        self.params.t
+    }
+
+    /// Ring degree `N`.
+    pub fn n(&self) -> usize {
+        self.params.n
+    }
+
+    /// `Δ = ⌊Q/t⌋`.
+    pub fn delta(&self) -> &UBig {
+        &self.delta
+    }
+
+    /// Lifts a plaintext polynomial (mod `t`, coefficient domain) into the
+    /// `Q` basis, **centered** (values above `t/2` become negative), which
+    /// keeps PMult noise growth minimal.
+    pub fn lift_plaintext(&self, m: &Poly) -> RnsPoly {
+        assert_eq!(m.domain(), Domain::Coeff);
+        let t = self.params.t;
+        let centered: Vec<i64> = m
+            .values()
+            .iter()
+            .map(|&v| {
+                if v > t / 2 {
+                    v as i64 - t as i64
+                } else {
+                    v as i64
+                }
+            })
+            .collect();
+        self.qb.poly_from_i64(&centered)
+    }
+
+    /// `Δ · m` as an RNS polynomial (coefficient domain) — public for the
+    /// seed-compressed encryption path.
+    pub fn delta_times_plain(&self, m: &Poly) -> RnsPoly {
+        self.delta_times(m)
+    }
+
+    /// `Δ · m` as an RNS polynomial (coefficient domain).
+    fn delta_times(&self, m: &Poly) -> RnsPoly {
+        assert_eq!(m.domain(), Domain::Coeff);
+        let limbs = self
+            .qb
+            .rings()
+            .iter()
+            .zip(&self.delta_mod_qi)
+            .map(|(r, &dq)| {
+                let q = r.modulus();
+                Poly::from_values(
+                    m.values().iter().map(|&v| q.mul(dq, q.reduce(v))).collect(),
+                    Domain::Coeff,
+                )
+            })
+            .collect();
+        RnsPoly::from_limbs(limbs)
+    }
+
+    fn sample_error(&self, sampler: &mut Sampler) -> RnsPoly {
+        let e = sampler.gaussian(self.params.n);
+        self.qb.poly_from_i64(&e)
+    }
+
+    fn sample_uniform(&self, sampler: &mut Sampler) -> RnsPoly {
+        let limbs = self
+            .qb
+            .rings()
+            .iter()
+            .map(|r| {
+                Poly::from_values(
+                    sampler.uniform_vec(r.modulus().value(), self.params.n),
+                    Domain::Coeff,
+                )
+            })
+            .collect();
+        RnsPoly::from_limbs(limbs)
+    }
+}
+
+/// The RLWE secret key: ternary coefficients, kept both as signed integers
+/// (for extraction/noise probes) and in RNS form.
+#[derive(Debug, Clone)]
+pub struct SecretKey {
+    coeffs: Vec<i64>,
+    rns: RnsPoly,
+}
+
+impl SecretKey {
+    /// Samples a fresh ternary secret.
+    pub fn generate(ctx: &BfvContext, sampler: &mut Sampler) -> Self {
+        let coeffs = sampler.ternary(ctx.params.n);
+        let rns = ctx.qb.poly_from_i64(&coeffs);
+        Self { coeffs, rns }
+    }
+
+    /// The signed coefficient vector.
+    pub fn coeffs(&self) -> &[i64] {
+        &self.coeffs
+    }
+
+    /// The RNS representation of the secret (for key material built
+    /// outside this module, e.g. seed-compressed keys).
+    pub fn rns_form(&self) -> &RnsPoly {
+        &self.rns
+    }
+
+    /// `‖s‖₂²` (used by the e_ms noise model of §3.2.2).
+    pub fn norm_sq(&self) -> u64 {
+        self.coeffs.iter().map(|&c| (c * c) as u64).sum()
+    }
+}
+
+/// A public encryption key `(b, a)` with `b = −a·s + e`.
+#[derive(Debug, Clone)]
+pub struct PublicKey {
+    b: RnsPoly,
+    a: RnsPoly,
+}
+
+impl PublicKey {
+    /// Derives a public key from a secret key.
+    pub fn generate(ctx: &BfvContext, sk: &SecretKey, sampler: &mut Sampler) -> Self {
+        let a = ctx.sample_uniform(sampler);
+        let e = ctx.sample_error(sampler);
+        let a_s = ctx.qb.poly_to_coeff(&ctx.qb.mul_poly(&a, &sk.rns));
+        let mut b = ctx.qb.neg_poly(&a_s);
+        ctx.qb.add_assign_poly(&mut b, &e);
+        Self { b, a }
+    }
+}
+
+/// A BFV ciphertext: two (or, mid-multiplication, three) ring elements in
+/// coefficient-domain RNS form.
+#[derive(Debug, Clone)]
+pub struct BfvCiphertext {
+    parts: Vec<RnsPoly>,
+}
+
+impl BfvCiphertext {
+    /// The component polynomials.
+    pub fn parts(&self) -> &[RnsPoly] {
+        &self.parts
+    }
+
+    /// Number of components (2 normally, 3 before relinearization).
+    pub fn size(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Assembles a ciphertext from raw component polynomials.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless there are 2 or 3 components.
+    pub fn from_parts(parts: Vec<RnsPoly>) -> Self {
+        assert!(parts.len() == 2 || parts.len() == 3, "2 or 3 components");
+        Self { parts }
+    }
+
+    /// The trivial encryption of zero.
+    pub fn zero(ctx: &BfvContext) -> Self {
+        Self {
+            parts: vec![
+                ctx.qb.zero_poly(Domain::Coeff),
+                ctx.qb.zero_poly(Domain::Coeff),
+            ],
+        }
+    }
+
+    /// A trivial (noiseless, non-secret) encryption of a plaintext.
+    pub fn trivial(ctx: &BfvContext, m: &Poly) -> Self {
+        Self {
+            parts: vec![ctx.delta_times(m), ctx.qb.zero_poly(Domain::Coeff)],
+        }
+    }
+}
+
+/// A key-switching key translating decryptions under some source secret
+/// `s_src` into decryptions under `s` — used for relinearization (`s² → s`)
+/// and rotations (`s(X^g) → s`).
+#[derive(Debug, Clone)]
+pub struct KeySwitchKey {
+    /// Per limb i: (b_i, a_i) with b_i = −a_i·s + e_i + g_i·s_src.
+    pairs: Vec<(RnsPoly, RnsPoly)>,
+}
+
+impl KeySwitchKey {
+    fn generate(
+        ctx: &BfvContext,
+        sk: &SecretKey,
+        src_rns: &RnsPoly,
+        sampler: &mut Sampler,
+    ) -> Self {
+        let k = ctx.qb.len();
+        let mut pairs = Vec::with_capacity(k);
+        for i in 0..k {
+            let a = ctx.sample_uniform(sampler);
+            let e = ctx.sample_error(sampler);
+            let a_s = ctx.qb.poly_to_coeff(&ctx.qb.mul_poly(&a, &sk.rns));
+            let mut b = ctx.qb.neg_poly(&a_s);
+            ctx.qb.add_assign_poly(&mut b, &e);
+            // + g_i * s_src
+            let g_src = {
+                let limbs = ctx
+                    .qb
+                    .rings()
+                    .iter()
+                    .enumerate()
+                    .map(|(j, r)| r.scalar_mul(&src_rns.limbs()[j], ctx.gadget[i][j]))
+                    .collect();
+                RnsPoly::from_limbs(limbs)
+            };
+            let g_src = ctx.qb.poly_to_coeff(&g_src);
+            ctx.qb.add_assign_poly(&mut b, &g_src);
+            pairs.push((b, a));
+        }
+        Self { pairs }
+    }
+
+    /// Applies the key to a coefficient-domain polynomial `d` (interpreted
+    /// mod `Q`): returns `(p0, p1)` with `p0 + p1·s ≈ d·s_src`.
+    pub fn apply(&self, ctx: &BfvContext, d: &RnsPoly) -> (RnsPoly, RnsPoly) {
+        assert_eq!(d.domain(), Domain::Coeff);
+        let k = ctx.qb.len();
+        let mut p0 = ctx.qb.zero_poly(Domain::Coeff);
+        let mut p1 = ctx.qb.zero_poly(Domain::Coeff);
+        for i in 0..k {
+            // Lift limb i of d (small integers < q_i) to the full basis.
+            let vals = d.limbs()[i].values();
+            let lifted_limbs: Vec<Poly> = ctx
+                .qb
+                .rings()
+                .iter()
+                .map(|r| {
+                    Poly::from_values(
+                        vals.iter().map(|&v| r.modulus().reduce(v)).collect(),
+                        Domain::Coeff,
+                    )
+                })
+                .collect();
+            let lifted = RnsPoly::from_limbs(lifted_limbs);
+            let t0 = ctx
+                .qb
+                .poly_to_coeff(&ctx.qb.mul_poly(&lifted, &self.pairs[i].0));
+            let t1 = ctx
+                .qb
+                .poly_to_coeff(&ctx.qb.mul_poly(&lifted, &self.pairs[i].1));
+            ctx.qb.add_assign_poly(&mut p0, &t0);
+            ctx.qb.add_assign_poly(&mut p1, &t1);
+        }
+        (p0, p1)
+    }
+}
+
+/// Relinearization key (`s² → s`).
+#[derive(Debug, Clone)]
+pub struct RelinKey(KeySwitchKey);
+
+impl RelinKey {
+    /// Generates a relinearization key.
+    pub fn generate(ctx: &BfvContext, sk: &SecretKey, sampler: &mut Sampler) -> Self {
+        let s2 = ctx.qb.poly_to_coeff(&ctx.qb.mul_poly(&sk.rns, &sk.rns));
+        Self(KeySwitchKey::generate(ctx, sk, &s2, sampler))
+    }
+}
+
+/// Galois keys, one key-switching key per Galois element.
+#[derive(Debug, Clone, Default)]
+pub struct GaloisKeys {
+    keys: HashMap<usize, KeySwitchKey>,
+}
+
+impl GaloisKeys {
+    /// Generates keys for the given Galois elements.
+    pub fn generate(
+        ctx: &BfvContext,
+        sk: &SecretKey,
+        elements: &[usize],
+        sampler: &mut Sampler,
+    ) -> Self {
+        let mut keys = HashMap::new();
+        for &g in elements {
+            assert!(g % 2 == 1, "Galois elements are odd");
+            let s_g = ctx.qb.automorphism_poly(&sk.rns, g);
+            keys.insert(g, KeySwitchKey::generate(ctx, sk, &s_g, sampler));
+        }
+        Self { keys }
+    }
+
+    /// The key for element `g`, if generated.
+    pub fn key(&self, g: usize) -> Option<&KeySwitchKey> {
+        self.keys.get(&g)
+    }
+
+    /// Galois elements covered.
+    pub fn elements(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.keys.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// The BFV evaluator: all homomorphic operations, parameterized by context.
+#[derive(Debug)]
+pub struct BfvEvaluator<'a> {
+    ctx: &'a BfvContext,
+}
+
+impl<'a> BfvEvaluator<'a> {
+    /// Creates an evaluator over a context.
+    pub fn new(ctx: &'a BfvContext) -> Self {
+        Self { ctx }
+    }
+
+    /// The underlying context.
+    pub fn context(&self) -> &BfvContext {
+        self.ctx
+    }
+
+    /// Secret-key encryption of a plaintext polynomial (mod `t`).
+    pub fn encrypt_sk(&self, m: &Poly, sk: &SecretKey, sampler: &mut Sampler) -> BfvCiphertext {
+        let ctx = self.ctx;
+        let a = ctx.sample_uniform(sampler);
+        let e = ctx.sample_error(sampler);
+        let a_s = ctx.qb.poly_to_coeff(&ctx.qb.mul_poly(&a, &sk.rns));
+        let mut c0 = ctx.qb.neg_poly(&a_s);
+        ctx.qb.add_assign_poly(&mut c0, &e);
+        ctx.qb.add_assign_poly(&mut c0, &ctx.delta_times(m));
+        BfvCiphertext { parts: vec![c0, a] }
+    }
+
+    /// Public-key encryption of a plaintext polynomial (mod `t`).
+    pub fn encrypt_pk(&self, m: &Poly, pk: &PublicKey, sampler: &mut Sampler) -> BfvCiphertext {
+        let ctx = self.ctx;
+        let u = ctx.qb.poly_from_i64(&sampler.ternary(ctx.params.n));
+        let e0 = ctx.sample_error(sampler);
+        let e1 = ctx.sample_error(sampler);
+        let mut c0 = ctx.qb.poly_to_coeff(&ctx.qb.mul_poly(&pk.b, &u));
+        ctx.qb.add_assign_poly(&mut c0, &e0);
+        ctx.qb.add_assign_poly(&mut c0, &ctx.delta_times(m));
+        let mut c1 = ctx.qb.poly_to_coeff(&ctx.qb.mul_poly(&pk.a, &u));
+        ctx.qb.add_assign_poly(&mut c1, &e1);
+        BfvCiphertext { parts: vec![c0, c1] }
+    }
+
+    /// Computes the raw phase `c0 + c1·s (+ c2·s²)` in coefficient domain.
+    fn phase(&self, ct: &BfvCiphertext, sk: &SecretKey) -> RnsPoly {
+        let ctx = self.ctx;
+        let mut acc = ct.parts[0].clone();
+        let mut s_pow = sk.rns.clone();
+        for part in &ct.parts[1..] {
+            let term = ctx.qb.poly_to_coeff(&ctx.qb.mul_poly(part, &s_pow));
+            ctx.qb.add_assign_poly(&mut acc, &term);
+            s_pow = ctx.qb.poly_to_coeff(&ctx.qb.mul_poly(&s_pow, &sk.rns));
+        }
+        acc
+    }
+
+    /// Decrypts to a plaintext polynomial mod `t`.
+    pub fn decrypt(&self, ct: &BfvCiphertext, sk: &SecretKey) -> Poly {
+        let ctx = self.ctx;
+        let x = self.phase(ct, sk);
+        let vals = ctx.qb.scale_round(&x, ctx.params.t, ctx.params.t);
+        Poly::from_values(vals, Domain::Coeff)
+    }
+
+    /// Invariant noise budget in bits (SEAL-style): bits of headroom left
+    /// before `t·(phase)/Q` rounds to the wrong integer. Zero means
+    /// decryption is no longer guaranteed.
+    pub fn noise_budget(&self, ct: &BfvCiphertext, sk: &SecretKey) -> i64 {
+        let ctx = self.ctx;
+        let x = self.phase(ct, sk);
+        let coeffs = ctx.qb.poly_to_ubig(&x);
+        let mut worst: usize = 0;
+        for c in &coeffs {
+            // v = t*c mod Q, centered
+            let v = c.mul_u64(ctx.params.t).rem(&ctx.q);
+            let mag = if v > ctx.half_q { ctx.q.sub(&v) } else { v };
+            worst = worst.max(mag.bits());
+        }
+        ctx.q.bits() as i64 - 1 - worst as i64
+    }
+
+    /// Homomorphic addition.
+    pub fn add(&self, a: &BfvCiphertext, b: &BfvCiphertext) -> BfvCiphertext {
+        assert_eq!(a.size(), b.size(), "ciphertext sizes must match");
+        let parts = a
+            .parts
+            .iter()
+            .zip(&b.parts)
+            .map(|(x, y)| self.ctx.qb.add_poly(x, y))
+            .collect();
+        BfvCiphertext { parts }
+    }
+
+    /// Homomorphic subtraction.
+    pub fn sub(&self, a: &BfvCiphertext, b: &BfvCiphertext) -> BfvCiphertext {
+        assert_eq!(a.size(), b.size(), "ciphertext sizes must match");
+        let parts = a
+            .parts
+            .iter()
+            .zip(&b.parts)
+            .map(|(x, y)| self.ctx.qb.sub_poly(x, y))
+            .collect();
+        BfvCiphertext { parts }
+    }
+
+    /// In-place addition.
+    pub fn add_assign(&self, a: &mut BfvCiphertext, b: &BfvCiphertext) {
+        assert_eq!(a.size(), b.size());
+        for (x, y) in a.parts.iter_mut().zip(&b.parts) {
+            self.ctx.qb.add_assign_poly(x, y);
+        }
+    }
+
+    /// Adds a plaintext polynomial (mod `t`).
+    pub fn add_plain(&self, a: &BfvCiphertext, m: &Poly) -> BfvCiphertext {
+        let mut out = a.clone();
+        self.ctx
+            .qb
+            .add_assign_poly(&mut out.parts[0], &self.ctx.delta_times(m));
+        out
+    }
+
+    /// Plaintext multiplication (`PMult`): multiplies the encrypted
+    /// plaintext by `m` (mod `t`).
+    pub fn mul_plain(&self, a: &BfvCiphertext, m: &Poly) -> BfvCiphertext {
+        let ctx = self.ctx;
+        let lifted = ctx.qb.poly_to_eval(&ctx.lift_plaintext(m));
+        let parts = a
+            .parts
+            .iter()
+            .map(|p| {
+                let e = ctx.qb.poly_to_eval(p);
+                ctx.qb.poly_to_coeff(&ctx.qb.mul_poly(&e, &lifted))
+            })
+            .collect();
+        BfvCiphertext { parts }
+    }
+
+    /// Scalar multiplication (`SMult`): multiplies the encrypted plaintext
+    /// by the constant `c ∈ Z_t` (lifted centered).
+    pub fn mul_scalar(&self, a: &BfvCiphertext, c: u64) -> BfvCiphertext {
+        let ctx = self.ctx;
+        let t = ctx.params.t;
+        let c = c % t;
+        let signed = if c > t / 2 { c as i64 - t as i64 } else { c as i64 };
+        let parts = a
+            .parts
+            .iter()
+            .map(|p| ctx.qb.scalar_mul_poly_i64(p, signed))
+            .collect();
+        BfvCiphertext { parts }
+    }
+
+    /// Lifts a ciphertext part into the extended basis, centered.
+    fn lift_centered(&self, p: &RnsPoly) -> RnsPoly {
+        let ctx = self.ctx;
+        let coeffs = ctx.qb.poly_to_ubig(p);
+        let n = ctx.params.n;
+        let limbs = ctx
+            .mb
+            .rings()
+            .iter()
+            .map(|r| {
+                let m = r.modulus();
+                let mut vals = Vec::with_capacity(n);
+                for c in &coeffs {
+                    if *c > ctx.half_q {
+                        let mag = ctx.q.sub(c);
+                        vals.push(m.neg(mag.rem_u64(m.value())));
+                    } else {
+                        vals.push(c.rem_u64(m.value()));
+                    }
+                }
+                Poly::from_values(vals, Domain::Coeff)
+            })
+            .collect();
+        RnsPoly::from_limbs(limbs)
+    }
+
+    /// Scales a tensored component by `t/Q` with exact rounding and reduces
+    /// back into the `Q` basis.
+    fn scale_to_q(&self, p: &RnsPoly) -> RnsPoly {
+        let ctx = self.ctx;
+        let p = ctx.mb.poly_to_coeff(p);
+        let n = ctx.params.n;
+        let k = ctx.mb.len();
+        let d = ctx.mb.product();
+        let half_d = d.shr(1);
+        let mut out_coeffs: Vec<IBig> = Vec::with_capacity(n);
+        let mut residues = vec![0u64; k];
+        for j in 0..n {
+            for (i, limb) in p.limbs().iter().enumerate() {
+                residues[i] = limb.values()[j];
+            }
+            let x = ctx.mb.crt_reconstruct(&residues);
+            let (neg, mag) = if x > half_d {
+                (true, d.sub(&x))
+            } else {
+                (false, x)
+            };
+            let w = mag.mul_u64(ctx.params.t).div_round(&ctx.q);
+            out_coeffs.push(IBig::new(neg, w));
+        }
+        let limbs = ctx
+            .qb
+            .rings()
+            .iter()
+            .map(|r| {
+                let m = r.modulus();
+                Poly::from_values(
+                    out_coeffs
+                        .iter()
+                        .map(|c| {
+                            let v = c.mag.rem_u64(m.value());
+                            if c.neg {
+                                m.neg(v)
+                            } else {
+                                v
+                            }
+                        })
+                        .collect(),
+                    Domain::Coeff,
+                )
+            })
+            .collect();
+        RnsPoly::from_limbs(limbs)
+    }
+
+    /// Ciphertext multiplication without relinearization (result size 3).
+    pub fn mul_no_relin(&self, a: &BfvCiphertext, b: &BfvCiphertext) -> BfvCiphertext {
+        assert_eq!(a.size(), 2, "operands must be size-2 ciphertexts");
+        assert_eq!(b.size(), 2, "operands must be size-2 ciphertexts");
+        let ctx = self.ctx;
+        let a0 = ctx.mb.poly_to_eval(&self.lift_centered(&a.parts[0]));
+        let a1 = ctx.mb.poly_to_eval(&self.lift_centered(&a.parts[1]));
+        let b0 = ctx.mb.poly_to_eval(&self.lift_centered(&b.parts[0]));
+        let b1 = ctx.mb.poly_to_eval(&self.lift_centered(&b.parts[1]));
+        let e0 = ctx.mb.mul_poly(&a0, &b0);
+        let mut e1 = ctx.mb.mul_poly(&a0, &b1);
+        ctx.mb.add_assign_poly(&mut e1, &ctx.mb.mul_poly(&a1, &b0));
+        let e2 = ctx.mb.mul_poly(&a1, &b1);
+        BfvCiphertext {
+            parts: vec![
+                self.scale_to_q(&e0),
+                self.scale_to_q(&e1),
+                self.scale_to_q(&e2),
+            ],
+        }
+    }
+
+    /// Relinearizes a size-3 ciphertext back to size 2.
+    pub fn relinearize(&self, ct: &BfvCiphertext, rlk: &RelinKey) -> BfvCiphertext {
+        assert_eq!(ct.size(), 3, "relinearization expects a size-3 ciphertext");
+        let ctx = self.ctx;
+        let (p0, p1) = rlk.0.apply(ctx, &ct.parts[2]);
+        let mut c0 = ct.parts[0].clone();
+        let mut c1 = ct.parts[1].clone();
+        ctx.qb.add_assign_poly(&mut c0, &p0);
+        ctx.qb.add_assign_poly(&mut c1, &p1);
+        BfvCiphertext { parts: vec![c0, c1] }
+    }
+
+    /// Full ciphertext multiplication (`CMult`): tensor + relinearize.
+    pub fn mul(&self, a: &BfvCiphertext, b: &BfvCiphertext, rlk: &RelinKey) -> BfvCiphertext {
+        self.relinearize(&self.mul_no_relin(a, b), rlk)
+    }
+
+    /// Applies the Galois automorphism `X → X^g` homomorphically
+    /// (`HRot` building block).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no key for `g` is present.
+    pub fn apply_galois(
+        &self,
+        ct: &BfvCiphertext,
+        g: usize,
+        gk: &GaloisKeys,
+    ) -> BfvCiphertext {
+        assert_eq!(ct.size(), 2, "automorphism expects a size-2 ciphertext");
+        let ctx = self.ctx;
+        let key = gk.key(g).unwrap_or_else(|| panic!("missing Galois key for element {g}"));
+        let c0g = ctx.qb.automorphism_poly(&ct.parts[0], g);
+        let c1g = ctx.qb.automorphism_poly(&ct.parts[1], g);
+        let (p0, p1) = key.apply(ctx, &c1g);
+        let mut c0 = c0g;
+        ctx.qb.add_assign_poly(&mut c0, &p0);
+        BfvCiphertext { parts: vec![c0, p1] }
+    }
+
+    /// Rotates every slot row left by `k` (`HRot`).
+    pub fn rotate_rows(&self, ct: &BfvCiphertext, k: usize, gk: &GaloisKeys) -> BfvCiphertext {
+        if k % self.ctx.encoder.row_size() == 0 {
+            return ct.clone();
+        }
+        let g = self.ctx.encoder.galois_for_rotation(k);
+        self.apply_galois(ct, g, gk)
+    }
+
+    /// Swaps the two slot rows (`HRot` column rotation).
+    pub fn swap_rows(&self, ct: &BfvCiphertext, gk: &GaloisKeys) -> BfvCiphertext {
+        self.apply_galois(ct, self.ctx.encoder.galois_for_row_swap(), gk)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::encode_coeff;
+
+    fn setup() -> (BfvContext, SecretKey, Sampler) {
+        let ctx = BfvContext::new(BfvParams::test_small());
+        let mut sampler = Sampler::from_seed(1234);
+        let sk = SecretKey::generate(&ctx, &mut sampler);
+        (ctx, sk, sampler)
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip_sk() {
+        let (ctx, sk, mut sampler) = setup();
+        let ev = BfvEvaluator::new(&ctx);
+        let m = encode_coeff(&(0..128).map(|i| i - 64).collect::<Vec<_>>(), 257, 128);
+        let ct = ev.encrypt_sk(&m, &sk, &mut sampler);
+        assert!(ev.noise_budget(&ct, &sk) > 100, "fresh budget too small");
+        assert_eq!(ev.decrypt(&ct, &sk), m);
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip_pk() {
+        let (ctx, sk, mut sampler) = setup();
+        let pk = PublicKey::generate(&ctx, &sk, &mut sampler);
+        let ev = BfvEvaluator::new(&ctx);
+        let m = encode_coeff(&[42, -7, 100], 257, 128);
+        let ct = ev.encrypt_pk(&m, &pk, &mut sampler);
+        assert_eq!(ev.decrypt(&ct, &sk), m);
+    }
+
+    #[test]
+    fn homomorphic_add_sub() {
+        let (ctx, sk, mut sampler) = setup();
+        let ev = BfvEvaluator::new(&ctx);
+        let ma = encode_coeff(&[10, 20, 30], 257, 128);
+        let mb = encode_coeff(&[1, 2, 250], 257, 128);
+        let ca = ev.encrypt_sk(&ma, &sk, &mut sampler);
+        let cb = ev.encrypt_sk(&mb, &sk, &mut sampler);
+        let sum = ev.decrypt(&ev.add(&ca, &cb), &sk);
+        assert_eq!(&sum.values()[..3], &[11, 22, (30 + 250) % 257]);
+        let diff = ev.decrypt(&ev.sub(&ca, &cb), &sk);
+        assert_eq!(&diff.values()[..3], &[9, 18, (30 + 257 - 250) % 257]);
+    }
+
+    #[test]
+    fn plain_and_scalar_mul() {
+        let (ctx, sk, mut sampler) = setup();
+        let ev = BfvEvaluator::new(&ctx);
+        // slot-encoded so products are slot-wise
+        let enc = ctx.encoder();
+        let a: Vec<u64> = (0..128u64).collect();
+        let b: Vec<u64> = (0..128u64).map(|i| (3 * i + 1) % 257).collect();
+        let ct = ev.encrypt_sk(&enc.encode(&a), &sk, &mut sampler);
+        let prod = ev.mul_plain(&ct, &enc.encode(&b));
+        let got = enc.decode(&ev.decrypt(&prod, &sk));
+        let want: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| x * y % 257).collect();
+        assert_eq!(got, want);
+        let scaled = ev.mul_scalar(&ct, 5);
+        let got = enc.decode(&ev.decrypt(&scaled, &sk));
+        let want: Vec<u64> = a.iter().map(|&x| 5 * x % 257).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn ciphertext_multiplication_with_relin() {
+        let (ctx, sk, mut sampler) = setup();
+        let ev = BfvEvaluator::new(&ctx);
+        let rlk = RelinKey::generate(&ctx, &sk, &mut sampler);
+        let enc = ctx.encoder();
+        let a: Vec<u64> = (0..128u64).map(|i| (i * 7) % 257).collect();
+        let b: Vec<u64> = (0..128u64).map(|i| (i + 11) % 257).collect();
+        let ca = ev.encrypt_sk(&enc.encode(&a), &sk, &mut sampler);
+        let cb = ev.encrypt_sk(&enc.encode(&b), &sk, &mut sampler);
+        let prod = ev.mul(&ca, &cb, &rlk);
+        assert_eq!(prod.size(), 2);
+        assert!(ev.noise_budget(&prod, &sk) > 0, "budget exhausted after one mul");
+        let got = enc.decode(&ev.decrypt(&prod, &sk));
+        let want: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| x * y % 257).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn repeated_multiplication_depth() {
+        let (ctx, sk, mut sampler) = setup();
+        let ev = BfvEvaluator::new(&ctx);
+        let rlk = RelinKey::generate(&ctx, &sk, &mut sampler);
+        let enc = ctx.encoder();
+        let x: Vec<u64> = vec![3; 128];
+        let mut ct = ev.encrypt_sk(&enc.encode(&x), &sk, &mut sampler);
+        // square 3 times: 3^8 = 6561 mod 257 = 6561 - 25*257 = 136
+        for _ in 0..3 {
+            ct = ev.mul(&ct, &ct, &rlk);
+        }
+        let got = enc.decode(&ev.decrypt(&ct, &sk));
+        assert!(got.iter().all(|&v| v == 6561 % 257), "got[0] = {}", got[0]);
+    }
+
+    #[test]
+    fn rotation_rotates_slots() {
+        let (ctx, sk, mut sampler) = setup();
+        let ev = BfvEvaluator::new(&ctx);
+        let enc = ctx.encoder();
+        let vals: Vec<u64> = (0..128u64).collect();
+        let g1 = enc.galois_for_rotation(1);
+        let g5 = enc.galois_for_rotation(5);
+        let gs = enc.galois_for_row_swap();
+        let gk = GaloisKeys::generate(&ctx, &sk, &[g1, g5, gs], &mut sampler);
+        let ct = ev.encrypt_sk(&enc.encode(&vals), &sk, &mut sampler);
+        for k in [1usize, 5] {
+            let rot = ev.rotate_rows(&ct, k, &gk);
+            let got = enc.decode(&ev.decrypt(&rot, &sk));
+            assert_eq!(got, enc.rotate_slots(&vals, k), "k={k}");
+        }
+        let sw = ev.swap_rows(&ct, &gk);
+        let got = enc.decode(&ev.decrypt(&sw, &sk));
+        assert_eq!(got, enc.swap_rows(&vals));
+    }
+
+    #[test]
+    fn trivial_ciphertext_decrypts() {
+        let (ctx, sk, _s) = setup();
+        let ev = BfvEvaluator::new(&ctx);
+        let m = encode_coeff(&[7, 0, 99], 257, 128);
+        let ct = BfvCiphertext::trivial(&ctx, &m);
+        assert_eq!(ev.decrypt(&ct, &sk), m);
+    }
+
+    #[test]
+    fn add_plain_matches() {
+        let (ctx, sk, mut sampler) = setup();
+        let ev = BfvEvaluator::new(&ctx);
+        let m1 = encode_coeff(&[100], 257, 128);
+        let m2 = encode_coeff(&[200], 257, 128);
+        let ct = ev.encrypt_sk(&m1, &sk, &mut sampler);
+        let sum = ev.add_plain(&ct, &m2);
+        assert_eq!(ev.decrypt(&sum, &sk).values()[0], 300 % 257);
+    }
+}

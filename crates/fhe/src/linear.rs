@@ -1,0 +1,320 @@
+//! Homomorphic linear transforms over the slot vector, and the
+//! slot-to-coefficient (S2C) transform that closes the Athena loop
+//! (Step ⑤ → Step ①).
+//!
+//! An arbitrary `N×N` plaintext matrix `M` over `Z_t` is applied to an
+//! encrypted slot vector with the Halevi–Shoup generalized-diagonal method.
+//! The permutation group used is the full slot symmetry group: row rotations
+//! `k ∈ [0, N/2)` crossed with the row swap — a regular action on slots, so
+//! each matrix entry lands in exactly one generalized diagonal. A
+//! baby-step/giant-step schedule keeps the number of key-switched rotations
+//! at `O(√N)` instead of `O(N)`.
+
+use athena_math::bsgs::BsgsSplit;
+use athena_math::modops::Modulus;
+
+use crate::bfv::{BfvCiphertext, BfvContext, BfvEvaluator, GaloisKeys};
+
+/// A plaintext matrix to be applied homomorphically to the slot vector.
+#[derive(Debug, Clone)]
+pub struct HomLinearTransform {
+    /// Row-major `N×N` matrix over `Z_t`.
+    matrix: Vec<Vec<u64>>,
+    split: BsgsSplit,
+}
+
+impl HomLinearTransform {
+    /// Wraps a matrix (must be `N×N` with entries reduced mod `t`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square `N×N`.
+    pub fn new(ctx: &BfvContext, matrix: Vec<Vec<u64>>) -> Self {
+        let n = ctx.n();
+        assert_eq!(matrix.len(), n, "matrix must have N rows");
+        assert!(matrix.iter().all(|r| r.len() == n), "matrix must be N×N");
+        let split = BsgsSplit::balanced(ctx.encoder().row_size());
+        Self { matrix, split }
+    }
+
+    /// The Galois elements the BSGS schedule needs (generate keys for these).
+    pub fn required_galois_elements(&self, ctx: &BfvContext) -> Vec<usize> {
+        let enc = ctx.encoder();
+        let mut els = vec![enc.galois_for_row_swap()];
+        for b in 1..self.split.baby {
+            els.push(enc.galois_for_rotation(b));
+        }
+        for g in 1..self.split.giant {
+            els.push(enc.galois_for_rotation(g * self.split.baby));
+        }
+        els.sort_unstable();
+        els.dedup();
+        els
+    }
+
+    /// Number of HRot operations one application performs
+    /// (baby + giant + one row swap).
+    pub fn rotation_count(&self) -> usize {
+        (self.split.baby - 1) + (self.split.giant - 1) + 1
+    }
+
+    /// Reference (plaintext) application for tests: `out = M · v`.
+    pub fn apply_plain(&self, ctx: &BfvContext, v: &[u64]) -> Vec<u64> {
+        let t = Modulus::new(ctx.t());
+        self.matrix
+            .iter()
+            .map(|row| {
+                let mut acc = 0u64;
+                for (m, &x) in row.iter().zip(v) {
+                    acc = t.mul_add(*m as u64 % t.value(), x, acc);
+                }
+                acc
+            })
+            .collect()
+    }
+
+    /// Generalized diagonal `(k, b)`: entry `i` is `M[i][π_{k,b}(i)]` where
+    /// `π_{k,b}` rotates rows by `k` and swaps rows if `b`.
+    fn diagonal(&self, ctx: &BfvContext, k: usize, b: bool) -> Vec<u64> {
+        let n = ctx.n();
+        let row = ctx.encoder().row_size();
+        (0..n)
+            .map(|i| {
+                let r = i / row;
+                let c = i % row;
+                let src_r = if b { 1 - r } else { r };
+                let src_c = (c + k) % row;
+                self.matrix[i][src_r * row + src_c]
+            })
+            .collect()
+    }
+
+    /// Applies the transform homomorphically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a required Galois key is missing.
+    pub fn apply(
+        &self,
+        ctx: &BfvContext,
+        ct: &BfvCiphertext,
+        gk: &GaloisKeys,
+    ) -> BfvCiphertext {
+        let ev = BfvEvaluator::new(ctx);
+        let enc = ctx.encoder();
+        let n = ctx.n();
+        let row = enc.row_size();
+        // Two "source" ciphertexts: identity and row-swapped.
+        let swapped = ev.swap_rows(ct, gk);
+        let sources = [ct, &swapped];
+        // Baby rotations of both sources.
+        let mut baby: Vec<Vec<BfvCiphertext>> = Vec::with_capacity(2);
+        for src in sources {
+            let mut rots = Vec::with_capacity(self.split.baby);
+            rots.push(src.clone());
+            for k in 1..self.split.baby {
+                rots.push(ev.rotate_rows(src, k, gk));
+            }
+            baby.push(rots);
+        }
+        let mut acc: Option<BfvCiphertext> = None;
+        for g in 0..self.split.giant {
+            let shift = g * self.split.baby;
+            if shift >= row {
+                break;
+            }
+            let mut inner: Option<BfvCiphertext> = None;
+            for k2 in 0..self.split.baby {
+                let k = shift + k2;
+                if k >= row {
+                    break;
+                }
+                for (bi, _) in sources.iter().enumerate() {
+                    let dv = self.diagonal(ctx, k, bi == 1);
+                    if dv.iter().all(|&x| x == 0) {
+                        continue;
+                    }
+                    // pre-rotate the diagonal right by `shift` per row
+                    let pre: Vec<u64> = (0..n)
+                        .map(|i| {
+                            let r = i / row;
+                            let c = i % row;
+                            dv[r * row + (c + row - (shift % row)) % row]
+                        })
+                        .collect();
+                    let term = ev.mul_plain(&baby[bi][k2], &enc.encode(&pre));
+                    inner = Some(match inner {
+                        None => term,
+                        Some(mut a) => {
+                            ev.add_assign(&mut a, &term);
+                            a
+                        }
+                    });
+                }
+            }
+            if let Some(inn) = inner {
+                let rotated = if shift == 0 {
+                    inn
+                } else {
+                    ev.rotate_rows(&inn, shift, gk)
+                };
+                acc = Some(match acc {
+                    None => rotated,
+                    Some(mut a) => {
+                        ev.add_assign(&mut a, &rotated);
+                        a
+                    }
+                });
+            }
+        }
+        acc.unwrap_or_else(|| BfvCiphertext::zero(ctx))
+    }
+}
+
+/// Builds the S2C matrix `D`: for a plaintext polynomial with coefficient
+/// vector `v`, `slots(v as coefficients) = D · slots(v as slots)` — i.e.
+/// applying `D` in slot space rewrites the slot values into the coefficient
+/// positions. `D[i][j] = ψ^{e_i · j}` where `e_i` is slot `i`'s evaluation
+/// exponent, composed with the inverse encode map.
+pub fn s2c_matrix(ctx: &BfvContext) -> Vec<Vec<u64>> {
+    let enc = ctx.encoder();
+    let n = ctx.n();
+    let t = enc.ring().modulus();
+    let psi = enc.ntt().psi();
+    // E[i][j]: slot i of the polynomial X^j, i.e. evaluation of X^j at the
+    // slot-i point: psi^{e_i * j}.
+    // We want: given ct with slots v, produce ct' whose *coefficients* are
+    // v. The plaintext map is v |-> poly with coeffs v; its slot vector is
+    // slots' = E · v. So the matrix to apply in slot space is exactly E.
+    let mut e = vec![vec![0u64; n]; n];
+    for i in 0..n {
+        // evaluation exponent of slot i
+        let slot_ntt = {
+            // reconstruct: encoder stores slot->ntt; exponent via ntt tables
+            enc.slot_eval_exponent(i)
+        };
+        let base = t.pow(psi, slot_ntt);
+        let mut p = 1u64;
+        for j in 0..n {
+            e[i][j] = p;
+            p = t.mul(p, base);
+        }
+    }
+    e
+}
+
+/// The S2C transform packaged with its matrix.
+#[derive(Debug, Clone)]
+pub struct SlotToCoeff {
+    transform: HomLinearTransform,
+}
+
+impl SlotToCoeff {
+    /// Builds the S2C transform for a context.
+    pub fn new(ctx: &BfvContext) -> Self {
+        Self {
+            transform: HomLinearTransform::new(ctx, s2c_matrix(ctx)),
+        }
+    }
+
+    /// Galois elements needed by [`SlotToCoeff::apply`].
+    pub fn required_galois_elements(&self, ctx: &BfvContext) -> Vec<usize> {
+        self.transform.required_galois_elements(ctx)
+    }
+
+    /// Rotation count per application.
+    pub fn rotation_count(&self) -> usize {
+        self.transform.rotation_count()
+    }
+
+    /// Moves slot values into coefficient positions: after this, decrypting
+    /// and reading raw coefficients yields the former slot values.
+    pub fn apply(&self, ctx: &BfvContext, ct: &BfvCiphertext, gk: &GaloisKeys) -> BfvCiphertext {
+        self.transform.apply(ctx, ct, gk)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfv::SecretKey;
+    use crate::params::BfvParams;
+    use athena_math::sampler::Sampler;
+
+    struct Fx {
+        ctx: BfvContext,
+        sk: SecretKey,
+        sampler: Sampler,
+    }
+
+    fn setup() -> Fx {
+        let ctx = BfvContext::new(BfvParams::test_small());
+        let mut sampler = Sampler::from_seed(31337);
+        let sk = SecretKey::generate(&ctx, &mut sampler);
+        Fx { ctx, sk, sampler }
+    }
+
+    fn keys_for(f: &mut Fx, tr: &HomLinearTransform) -> GaloisKeys {
+        let els = tr.required_galois_elements(&f.ctx);
+        GaloisKeys::generate(&f.ctx, &f.sk, &els, &mut f.sampler)
+    }
+
+    #[test]
+    fn identity_matrix_is_identity() {
+        let mut f = setup();
+        let n = f.ctx.n();
+        let mut m = vec![vec![0u64; n]; n];
+        for (i, row) in m.iter_mut().enumerate() {
+            row[i] = 1;
+        }
+        let tr = HomLinearTransform::new(&f.ctx, m);
+        let gk = keys_for(&mut f, &tr);
+        let ev = BfvEvaluator::new(&f.ctx);
+        let vals: Vec<u64> = (0..n as u64).map(|i| (i * 3 + 1) % 257).collect();
+        let ct = ev.encrypt_sk(&f.ctx.encoder().encode(&vals), &f.sk, &mut f.sampler);
+        let out = tr.apply(&f.ctx, &ct, &gk);
+        assert_eq!(f.ctx.encoder().decode(&ev.decrypt(&out, &f.sk)), vals);
+    }
+
+    #[test]
+    fn random_matrix_matches_plain_matvec() {
+        let mut f = setup();
+        let n = f.ctx.n();
+        let mut rng = Sampler::from_seed(99);
+        let m: Vec<Vec<u64>> = (0..n)
+            .map(|_| (0..n).map(|_| rng.uniform_mod(257)).collect())
+            .collect();
+        let tr = HomLinearTransform::new(&f.ctx, m);
+        let gk = keys_for(&mut f, &tr);
+        let ev = BfvEvaluator::new(&f.ctx);
+        let vals: Vec<u64> = (0..n as u64).map(|i| (7 * i + 2) % 257).collect();
+        let want = tr.apply_plain(&f.ctx, &vals);
+        let ct = ev.encrypt_sk(&f.ctx.encoder().encode(&vals), &f.sk, &mut f.sampler);
+        let out = tr.apply(&f.ctx, &ct, &gk);
+        assert_eq!(f.ctx.encoder().decode(&ev.decrypt(&out, &f.sk)), want);
+    }
+
+    #[test]
+    fn s2c_moves_slots_to_coefficients() {
+        let mut f = setup();
+        let s2c = SlotToCoeff::new(&f.ctx);
+        let els = s2c.required_galois_elements(&f.ctx);
+        let gk = GaloisKeys::generate(&f.ctx, &f.sk, &els, &mut f.sampler);
+        let ev = BfvEvaluator::new(&f.ctx);
+        let n = f.ctx.n();
+        let vals: Vec<u64> = (0..n as u64).map(|i| (i * 5 + 3) % 257).collect();
+        let ct = ev.encrypt_sk(&f.ctx.encoder().encode(&vals), &f.sk, &mut f.sampler);
+        let out = s2c.apply(&f.ctx, &ct, &gk);
+        // Raw coefficients (no slot decode) must equal the slot values.
+        let plain = ev.decrypt(&out, &f.sk);
+        assert_eq!(plain.values(), &vals[..]);
+    }
+
+    #[test]
+    fn s2c_uses_sqrt_rotations() {
+        let f = setup();
+        let s2c = SlotToCoeff::new(&f.ctx);
+        // N = 128 -> row 64 -> baby 8, giant 8 -> ~15 rotations << 128
+        assert!(s2c.rotation_count() <= 16, "rotations = {}", s2c.rotation_count());
+    }
+}

@@ -1,0 +1,397 @@
+//! Framework Step ④: packing `n`-dimensional LWE ciphertexts (mod `t`)
+//! back into one BFV ciphertext (mod `Q`) whose **slots** hold the LWE
+//! plaintexts.
+//!
+//! The operation is a homomorphic decryption: slot `i` of the result must
+//! equal `b_i + ⟨a⃗_i, s'⟩ (mod t)`. The mask matrix `A = (a⃗_i)` and bodies
+//! `b⃗` are *plaintext*; only the LWE secret `s'` is encrypted (the "packing
+//! key"). Two implementations are provided:
+//!
+//! * [`ColumnPackingKey`] — one BFV ciphertext per LWE coordinate
+//!   (`n` PMult + HAdd, zero rotations; big key). Simple and robust.
+//! * [`BsgsPackingKey`] — one BFV ciphertext holding `s'` replicated across
+//!   slots; the Halevi–Shoup diagonal method with a baby-step/giant-step
+//!   rotation schedule (`O(√n)` HRot, `n` PMult). This matches the paper's
+//!   Table 3 complexity (`O(C)` PMult, `O(C)` HRot via BSGS [7]).
+
+use athena_math::bsgs::BsgsSplit;
+use athena_math::sampler::Sampler;
+
+use crate::bfv::{BfvCiphertext, BfvContext, BfvEvaluator, GaloisKeys, SecretKey};
+use crate::lwe::{LweCiphertext, LweSecret};
+
+/// Packing key for the naive column method: `pk[j]` encrypts the constant
+/// `s'_j` in every slot.
+#[derive(Debug, Clone)]
+pub struct ColumnPackingKey {
+    keys: Vec<BfvCiphertext>,
+}
+
+impl ColumnPackingKey {
+    /// Generates the key (n BFV encryptions under the RLWE secret).
+    pub fn generate(
+        ctx: &BfvContext,
+        rlwe_sk: &SecretKey,
+        lwe_sk: &LweSecret,
+        sampler: &mut Sampler,
+    ) -> Self {
+        let ev = BfvEvaluator::new(ctx);
+        let enc = ctx.encoder();
+        let keys = lwe_sk
+            .coeffs()
+            .iter()
+            .map(|&sj| {
+                let slots = vec![enc.ring().modulus().from_i64(sj); ctx.n()];
+                ev.encrypt_sk(&enc.encode(&slots), rlwe_sk, sampler)
+            })
+            .collect();
+        Self { keys }
+    }
+
+    /// Number of component ciphertexts (`n`).
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the key is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Key size in bytes (Table 1 accounting).
+    pub fn bytes(&self, ctx: &BfvContext) -> usize {
+        self.len() * ctx.params().ciphertext_bytes()
+    }
+
+    /// Packs up to `N` LWE ciphertexts; missing entries become zero slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `N` ciphertexts are supplied or dimensions
+    /// mismatch.
+    pub fn pack(&self, ctx: &BfvContext, lwes: &[LweCiphertext]) -> BfvCiphertext {
+        let n_slots = ctx.n();
+        let n_lwe = self.keys.len();
+        assert!(lwes.len() <= n_slots, "more LWE ciphertexts than slots");
+        for ct in lwes {
+            assert_eq!(ct.dim(), n_lwe, "LWE dimension mismatch");
+            assert_eq!(ct.q(), ctx.t(), "LWE modulus must equal t");
+        }
+        let ev = BfvEvaluator::new(ctx);
+        let enc = ctx.encoder();
+        // Accumulate sum_j col_j ⊙ Enc(s'_j)
+        let mut acc = BfvCiphertext::zero(ctx);
+        let mut col = vec![0u64; n_slots];
+        for j in 0..n_lwe {
+            let mut all_zero = true;
+            for (i, ct) in lwes.iter().enumerate() {
+                col[i] = ct.a()[j];
+                all_zero &= col[i] == 0;
+            }
+            for v in col.iter_mut().skip(lwes.len()) {
+                *v = 0;
+            }
+            if all_zero {
+                continue;
+            }
+            let term = ev.mul_plain(&self.keys[j], &enc.encode(&col));
+            ev.add_assign(&mut acc, &term);
+        }
+        // + plaintext bodies b_i
+        let mut bodies = vec![0u64; n_slots];
+        for (i, ct) in lwes.iter().enumerate() {
+            bodies[i] = ct.b();
+        }
+        ev.add_plain(&acc, &enc.encode(&bodies))
+    }
+}
+
+/// Packing key for the BSGS diagonal method: the LWE secret replicated
+/// across slots, plus the Galois keys for the rotation schedule.
+#[derive(Debug, Clone)]
+pub struct BsgsPackingKey {
+    key: BfvCiphertext,
+    galois: GaloisKeys,
+    lwe_dim: usize,
+    split: BsgsSplit,
+}
+
+impl BsgsPackingKey {
+    /// Generates the key.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the LWE dimension divides the slot row size (`N/2`).
+    pub fn generate(
+        ctx: &BfvContext,
+        rlwe_sk: &SecretKey,
+        lwe_sk: &LweSecret,
+        sampler: &mut Sampler,
+    ) -> Self {
+        let n_lwe = lwe_sk.dim();
+        let row = ctx.encoder().row_size();
+        assert_eq!(row % n_lwe, 0, "LWE dimension must divide N/2");
+        let ev = BfvEvaluator::new(ctx);
+        let enc = ctx.encoder();
+        // Replicate s' with period n along both rows.
+        let slots: Vec<u64> = (0..ctx.n())
+            .map(|i| {
+                let c = i % row;
+                enc.ring().modulus().from_i64(lwe_sk.coeffs()[c % n_lwe])
+            })
+            .collect();
+        let key = ev.encrypt_sk(&enc.encode(&slots), rlwe_sk, sampler);
+        let split = BsgsSplit::balanced(n_lwe);
+        // Need rotations 1..baby (baby steps) and baby, 2*baby, ... (giant).
+        let mut elements = Vec::new();
+        for b in 1..split.baby {
+            elements.push(enc.galois_for_rotation(b));
+        }
+        for g in 1..split.giant {
+            elements.push(enc.galois_for_rotation(g * split.baby));
+        }
+        elements.sort_unstable();
+        elements.dedup();
+        let galois = GaloisKeys::generate(ctx, rlwe_sk, &elements, sampler);
+        Self {
+            key,
+            galois,
+            lwe_dim: n_lwe,
+            split,
+        }
+    }
+
+    /// Key size in bytes (1 ciphertext + Galois keys).
+    pub fn bytes(&self, ctx: &BfvContext) -> usize {
+        ctx.params().ciphertext_bytes()
+            + self.galois.elements().len() * ctx.params().keyswitch_key_bytes()
+    }
+
+    /// Number of HRot operations the schedule performs.
+    pub fn rotation_count(&self) -> usize {
+        (self.split.baby - 1) + (self.split.giant - 1)
+    }
+
+    /// Packs up to `N` LWE ciphertexts with the BSGS diagonal method.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension/modulus mismatches.
+    pub fn pack(&self, ctx: &BfvContext, lwes: &[LweCiphertext]) -> BfvCiphertext {
+        let n_slots = ctx.n();
+        let row = ctx.encoder().row_size();
+        let n_lwe = self.lwe_dim;
+        assert!(lwes.len() <= n_slots, "more LWE ciphertexts than slots");
+        for ct in lwes {
+            assert_eq!(ct.dim(), n_lwe, "LWE dimension mismatch");
+            assert_eq!(ct.q(), ctx.t(), "LWE modulus must equal t");
+        }
+        let ev = BfvEvaluator::new(ctx);
+        let enc = ctx.encoder();
+        // diag_d[i] = A[i][(c_i + d) mod n], c_i = (i mod row) mod n
+        let diag = |d: usize| -> Vec<u64> {
+            (0..n_slots)
+                .map(|i| {
+                    if i < lwes.len() {
+                        let c = (i % row) % n_lwe;
+                        lwes[i].a()[(c + d) % n_lwe]
+                    } else {
+                        0
+                    }
+                })
+                .collect()
+        };
+        // Baby rotations of the key: rot_b(key) for b in 0..baby.
+        let mut baby_keys: Vec<BfvCiphertext> = Vec::with_capacity(self.split.baby);
+        baby_keys.push(self.key.clone());
+        for b in 1..self.split.baby {
+            baby_keys.push(ev.rotate_rows(&self.key, b, &self.galois));
+        }
+        let mut acc: Option<BfvCiphertext> = None;
+        for g in 0..self.split.giant {
+            let shift = g * self.split.baby;
+            if shift >= n_lwe {
+                break;
+            }
+            // inner = Σ_b rot_{-shift}(diag_{shift+b}) ⊙ rot_b(key)
+            let mut inner: Option<BfvCiphertext> = None;
+            for b in 0..self.split.baby {
+                let d = shift + b;
+                if d >= n_lwe {
+                    break;
+                }
+                let dv = diag(d);
+                if dv.iter().all(|&x| x == 0) {
+                    continue;
+                }
+                // Rotate the diagonal right by `shift` so that the final
+                // left-rotation by `shift` restores alignment:
+                // inv_rot[c] = dv[c - shift] (per row).
+                let inv_rot: Vec<u64> = (0..n_slots)
+                    .map(|i| {
+                        let r = i / row;
+                        let c = i % row;
+                        dv[r * row + (c + row - (shift % row)) % row]
+                    })
+                    .collect();
+                let term = ev.mul_plain(&baby_keys[b], &enc.encode(&inv_rot));
+                inner = Some(match inner {
+                    None => term,
+                    Some(mut a) => {
+                        ev.add_assign(&mut a, &term);
+                        a
+                    }
+                });
+            }
+            if let Some(inn) = inner {
+                let rotated = if shift == 0 {
+                    inn
+                } else {
+                    ev.rotate_rows(&inn, shift, &self.galois)
+                };
+                acc = Some(match acc {
+                    None => rotated,
+                    Some(mut a) => {
+                        ev.add_assign(&mut a, &rotated);
+                        a
+                    }
+                });
+            }
+        }
+        let acc = acc.unwrap_or_else(|| BfvCiphertext::zero(ctx));
+        let mut bodies = vec![0u64; n_slots];
+        for (i, ct) in lwes.iter().enumerate() {
+            bodies[i] = ct.b();
+        }
+        ev.add_plain(&acc, &enc.encode(&bodies))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::{mod_switch_rlwe, rlwe_secret_as_lwe_mod, sample_extract_all};
+    use crate::params::BfvParams;
+    use crate::encoder::encode_coeff;
+
+    struct Fixture {
+        ctx: BfvContext,
+        rlwe_sk: SecretKey,
+        lwe_sk: LweSecret,
+        sampler: Sampler,
+    }
+
+    fn setup() -> Fixture {
+        let ctx = BfvContext::new(BfvParams::test_small());
+        let mut sampler = Sampler::from_seed(2024);
+        let rlwe_sk = SecretKey::generate(&ctx, &mut sampler);
+        let lwe_sk = LweSecret::generate(ctx.params().lwe_n, ctx.t(), &mut sampler);
+        Fixture {
+            ctx,
+            rlwe_sk,
+            lwe_sk,
+            sampler,
+        }
+    }
+
+    fn fresh_lwes(f: &mut Fixture, msgs: &[u64]) -> Vec<LweCiphertext> {
+        msgs.iter()
+            .map(|&m| LweCiphertext::encrypt(m, &f.lwe_sk, &mut f.sampler))
+            .collect()
+    }
+
+    #[test]
+    fn column_packing_recovers_lwe_plaintexts() {
+        let mut f = setup();
+        let pk = ColumnPackingKey::generate(&f.ctx, &f.rlwe_sk, &f.lwe_sk, &mut f.sampler);
+        // Put messages at multiples of 16 so the small LWE noise is visible
+        // in LSBs but the value identifiable.
+        let msgs: Vec<u64> = (0..64u64).map(|i| (i % 16) * 16).collect();
+        let lwes = fresh_lwes(&mut f, &msgs);
+        let packed = pk.pack(&f.ctx, &lwes);
+        let ev = BfvEvaluator::new(&f.ctx);
+        let slots = f.ctx.encoder().decode(&ev.decrypt(&packed, &f.rlwe_sk));
+        for (i, &want) in msgs.iter().enumerate() {
+            let got = slots[i] as i64;
+            let want = want as i64;
+            let diff = (got - want).rem_euclid(257);
+            let diff = diff.min(257 - diff);
+            assert!(diff <= 20, "slot {i}: got {got}, want {want}");
+        }
+        // unpacked tail is zero-ish
+        for (i, &s) in slots.iter().enumerate().skip(msgs.len()) {
+            let c = if s > 128 { s as i64 - 257 } else { s as i64 };
+            assert!(c.abs() <= 20, "tail slot {i} = {c}");
+        }
+    }
+
+    #[test]
+    fn bsgs_packing_matches_column_packing() {
+        let mut f = setup();
+        let col = ColumnPackingKey::generate(&f.ctx, &f.rlwe_sk, &f.lwe_sk, &mut f.sampler);
+        let bsgs = BsgsPackingKey::generate(&f.ctx, &f.rlwe_sk, &f.lwe_sk, &mut f.sampler);
+        let msgs: Vec<u64> = (0..32u64).map(|i| i * 8 % 257).collect();
+        let lwes = fresh_lwes(&mut f, &msgs);
+        let ev = BfvEvaluator::new(&f.ctx);
+        let a = f
+            .ctx
+            .encoder()
+            .decode(&ev.decrypt(&col.pack(&f.ctx, &lwes), &f.rlwe_sk));
+        let b = f
+            .ctx
+            .encoder()
+            .decode(&ev.decrypt(&bsgs.pack(&f.ctx, &lwes), &f.rlwe_sk));
+        // Both compute exactly the same plaintext function of (A, b, s'), so
+        // the decrypted slots must agree exactly (same LWE noise embedded).
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bsgs_uses_sqrt_rotations() {
+        let f = {
+            let mut f = setup();
+            BsgsPackingKey::generate(&f.ctx, &f.rlwe_sk, &f.lwe_sk, &mut f.sampler)
+        };
+        // n = 32 -> baby 6, giant 6 -> ~10 rotations, far below 32.
+        assert!(f.rotation_count() <= 12, "rotations = {}", f.rotation_count());
+    }
+
+    #[test]
+    fn pack_after_extract_roundtrip() {
+        // The full Step ②→③→④ chain in the noise-correct order: mod-switch
+        // the RLWE ciphertext to an intermediate RNS prime, extract, switch
+        // dimension N -> n at that prime (key-switch noise is negligible
+        // there), mod-switch each LWE down to t, and pack.
+        let mut f = setup();
+        let ev = BfvEvaluator::new(&f.ctx);
+        let n = f.ctx.n();
+        let msgs: Vec<i64> = (0..n as i64).map(|i| (i % 8) * 32).collect();
+        let m = encode_coeff(&msgs, f.ctx.t(), n);
+        let ct = ev.encrypt_sk(&m, &f.rlwe_sk, &mut f.sampler);
+        let q_mid = f.ctx.params().q_primes[0];
+        let small = mod_switch_rlwe(&f.ctx, &ct, q_mid);
+        let lwes = sample_extract_all(&small);
+        let big_lwe_sk = rlwe_secret_as_lwe_mod(&f.rlwe_sk, q_mid);
+        let lwe_sk_mid = LweSecret::from_coeffs(f.lwe_sk.coeffs().to_vec(), q_mid);
+        let ksk = crate::lwe::LweKeySwitchKey::generate(
+            &big_lwe_sk,
+            &lwe_sk_mid,
+            f.ctx.params().lwe_ks_base_log,
+            &mut f.sampler,
+        );
+        let switched: Vec<LweCiphertext> = lwes
+            .iter()
+            .map(|c| crate::lwe::lwe_mod_switch(&ksk.switch(c), f.ctx.t()))
+            .collect();
+        let pk = ColumnPackingKey::generate(&f.ctx, &f.rlwe_sk, &f.lwe_sk, &mut f.sampler);
+        let packed = pk.pack(&f.ctx, &switched);
+        let slots = f.ctx.encoder().decode(&ev.decrypt(&packed, &f.rlwe_sk));
+        let t = f.ctx.t() as i64;
+        for (i, (&got, &want)) in slots.iter().zip(&msgs).enumerate() {
+            let got = got as i64;
+            let diff = (got - want).rem_euclid(t);
+            let diff = diff.min(t - diff);
+            assert!(diff <= 24, "slot {i}: got {got}, want {want}, diff {diff}");
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Seed-compressed ciphertexts and keys: the uniform `a`-halves of fresh
+//! encryptions and key-switching keys are pseudorandom, so they can be
+//! shipped and stored as a PRNG seed and re-expanded on use. This halves
+//! key storage and bandwidth — the reason the Athena accelerator (like
+//! CraterLake and SHARP) carries a PRNG unit (§4.1), and part of why its
+//! 45 MB scratchpad suffices (Table 8).
+
+use athena_math::poly::{Domain, Poly};
+use athena_math::rns::RnsPoly;
+use athena_math::sampler::Sampler;
+
+use crate::bfv::{BfvCiphertext, BfvContext, SecretKey};
+
+/// A ciphertext whose mask half is stored as a seed.
+#[derive(Debug, Clone)]
+pub struct SeededCiphertext {
+    /// Body polynomial `c0 = −a·s + Δm + e` (computed against the expanded
+    /// mask).
+    b: RnsPoly,
+    /// Seed regenerating the mask `a = c1`.
+    seed: u64,
+}
+
+/// Expands a seed into the uniform mask polynomial, deterministically.
+pub fn expand_mask(ctx: &BfvContext, seed: u64) -> RnsPoly {
+    let mut s = Sampler::from_seed(seed);
+    let limbs = ctx
+        .q_basis()
+        .rings()
+        .iter()
+        .map(|r| {
+            Poly::from_values(
+                s.uniform_vec(r.modulus().value(), ctx.n()),
+                Domain::Coeff,
+            )
+        })
+        .collect();
+    RnsPoly::from_limbs(limbs)
+}
+
+impl SeededCiphertext {
+    /// Secret-key encryption with a seeded mask.
+    pub fn encrypt_sk(
+        ctx: &BfvContext,
+        m: &Poly,
+        sk: &SecretKey,
+        seed: u64,
+        sampler: &mut Sampler,
+    ) -> Self {
+        let a = expand_mask(ctx, seed);
+        let qb = ctx.q_basis();
+        let e = qb.poly_from_i64(&sampler.gaussian(ctx.n()));
+        let a_s = qb.poly_to_coeff(&qb.mul_poly(&a, sk.rns_form()));
+        let mut b = qb.neg_poly(&a_s);
+        qb.add_assign_poly(&mut b, &e);
+        qb.add_assign_poly(&mut b, &ctx.delta_times_plain(m));
+        Self { b, seed }
+    }
+
+    /// The seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Re-expands into a full ciphertext.
+    pub fn expand(&self, ctx: &BfvContext) -> BfvCiphertext {
+        BfvCiphertext::from_parts(vec![self.b.clone(), expand_mask(ctx, self.seed)])
+    }
+
+    /// Stored size in bytes (one ring element + 8 seed bytes), versus
+    /// [`full_ciphertext_bytes`] for the expanded form.
+    pub fn bytes(&self, ctx: &BfvContext) -> usize {
+        ctx.q_basis().len() * ctx.n() * 8 + 8
+    }
+}
+
+/// Size of a full two-element ciphertext in bytes.
+pub fn full_ciphertext_bytes(ctx: &BfvContext) -> usize {
+    2 * ctx.q_basis().len() * ctx.n() * 8
+}
+
+/// Storage for a key-switching key with seeded masks: `k` body polynomials
+/// plus `k` seeds, instead of `2k` polynomials.
+pub fn seeded_ksk_bytes(ctx: &BfvContext) -> usize {
+    let k = ctx.q_basis().len();
+    k * (ctx.n() * k * 8 + 8)
+}
+
+/// Storage for a full key-switching key.
+pub fn full_ksk_bytes(ctx: &BfvContext) -> usize {
+    let k = ctx.q_basis().len();
+    2 * k * ctx.n() * k * 8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfv::BfvEvaluator;
+    use crate::encoder::encode_coeff;
+    use crate::params::BfvParams;
+
+    #[test]
+    fn seeded_encryption_decrypts() {
+        let ctx = BfvContext::new(BfvParams::test_small());
+        let mut sampler = Sampler::from_seed(11);
+        let sk = SecretKey::generate(&ctx, &mut sampler);
+        let ev = BfvEvaluator::new(&ctx);
+        let m = encode_coeff(&[3, -7, 250, 0, 42], 257, 128);
+        let sct = SeededCiphertext::encrypt_sk(&ctx, &m, &sk, 0xDEAD_BEEF, &mut sampler);
+        let ct = sct.expand(&ctx);
+        assert_eq!(ev.decrypt(&ct, &sk), m);
+    }
+
+    #[test]
+    fn expansion_is_deterministic() {
+        let ctx = BfvContext::new(BfvParams::test_small());
+        let a1 = expand_mask(&ctx, 42);
+        let a2 = expand_mask(&ctx, 42);
+        assert_eq!(a1, a2);
+        assert_ne!(a1, expand_mask(&ctx, 43));
+    }
+
+    #[test]
+    fn seeded_form_is_half_the_size() {
+        let ctx = BfvContext::new(BfvParams::test_small());
+        let mut sampler = Sampler::from_seed(12);
+        let sk = SecretKey::generate(&ctx, &mut sampler);
+        let m = encode_coeff(&[1], 257, 128);
+        let sct = SeededCiphertext::encrypt_sk(&ctx, &m, &sk, 7, &mut sampler);
+        let full = full_ciphertext_bytes(&ctx);
+        assert!(sct.bytes(&ctx) * 2 <= full + 16, "{} vs {}", sct.bytes(&ctx), full);
+        // KSK halving, the Table 8 claim.
+        assert!(seeded_ksk_bytes(&ctx) * 2 <= full_ksk_bytes(&ctx) + 1024);
+    }
+
+    #[test]
+    fn seeded_ciphertexts_are_fully_homomorphic() {
+        // Expanded seeded ciphertexts are ordinary ciphertexts.
+        let ctx = BfvContext::new(BfvParams::test_small());
+        let mut sampler = Sampler::from_seed(13);
+        let sk = SecretKey::generate(&ctx, &mut sampler);
+        let ev = BfvEvaluator::new(&ctx);
+        let ma = encode_coeff(&[10], 257, 128);
+        let mb = encode_coeff(&[20], 257, 128);
+        let ca = SeededCiphertext::encrypt_sk(&ctx, &ma, &sk, 1, &mut sampler).expand(&ctx);
+        let cb = SeededCiphertext::encrypt_sk(&ctx, &mb, &sk, 2, &mut sampler).expand(&ctx);
+        let sum = ev.decrypt(&ev.add(&ca, &cb), &sk);
+        assert_eq!(sum.values()[0], 30);
+    }
+}

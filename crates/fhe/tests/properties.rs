@@ -1,0 +1,149 @@
+//! Property-based tests of the FHE layer: homomorphism laws of BFV,
+//! encoder/LUT/extraction invariants, all on random inputs.
+
+use athena_fhe::bfv::{BfvContext, BfvEvaluator, RelinKey, SecretKey};
+use athena_fhe::encoder::SlotEncoder;
+use athena_fhe::extract::{mod_switch_to_t, rlwe_secret_as_lwe, sample_extract_all, SmallRlwe};
+use athena_fhe::fbs::Lut;
+use athena_fhe::lwe::LweSecret;
+use athena_fhe::params::BfvParams;
+use athena_math::modops::Modulus;
+use athena_math::sampler::Sampler;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// Shared context (keygen is the slow part; the properties hold for any
+/// fixed key).
+struct Fixture {
+    ctx: BfvContext,
+    sk: SecretKey,
+    rlk: RelinKey,
+}
+
+fn fixture() -> &'static Fixture {
+    static FX: OnceLock<Fixture> = OnceLock::new();
+    FX.get_or_init(|| {
+        let ctx = BfvContext::new(BfvParams::test_small());
+        let mut sampler = Sampler::from_seed(0xF1);
+        let sk = SecretKey::generate(&ctx, &mut sampler);
+        let rlk = RelinKey::generate(&ctx, &sk, &mut sampler);
+        Fixture { ctx, sk, rlk }
+    })
+}
+
+fn slot_values() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..257, 128)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn enc_dec_roundtrip(vals in slot_values(), seed in any::<u64>()) {
+        let f = fixture();
+        let ev = BfvEvaluator::new(&f.ctx);
+        let mut s = Sampler::from_seed(seed);
+        let m = f.ctx.encoder().encode(&vals);
+        let ct = ev.encrypt_sk(&m, &f.sk, &mut s);
+        prop_assert_eq!(ev.decrypt(&ct, &f.sk), m);
+    }
+
+    #[test]
+    fn add_is_homomorphic(a in slot_values(), b in slot_values(), seed in any::<u64>()) {
+        let f = fixture();
+        let ev = BfvEvaluator::new(&f.ctx);
+        let enc = f.ctx.encoder();
+        let mut s = Sampler::from_seed(seed);
+        let ca = ev.encrypt_sk(&enc.encode(&a), &f.sk, &mut s);
+        let cb = ev.encrypt_sk(&enc.encode(&b), &f.sk, &mut s);
+        let got = enc.decode(&ev.decrypt(&ev.add(&ca, &cb), &f.sk));
+        let want: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| (x + y) % 257).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn mul_is_homomorphic(a in slot_values(), b in slot_values(), seed in any::<u64>()) {
+        let f = fixture();
+        let ev = BfvEvaluator::new(&f.ctx);
+        let enc = f.ctx.encoder();
+        let mut s = Sampler::from_seed(seed);
+        let ca = ev.encrypt_sk(&enc.encode(&a), &f.sk, &mut s);
+        let cb = ev.encrypt_sk(&enc.encode(&b), &f.sk, &mut s);
+        let got = enc.decode(&ev.decrypt(&ev.mul(&ca, &cb, &f.rlk), &f.sk));
+        let want: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| x * y % 257).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn lut_interpolation_is_exact_everywhere(seed in any::<u64>()) {
+        // Random LUT over t = 257: the interpolated polynomial must hit
+        // every entry exactly (both interpolation paths).
+        let t = 257u64;
+        let m = Modulus::new(t);
+        let lut = Lut::from_fn(t, |k| (k.wrapping_mul(seed | 1) ^ (k >> 3)) % t);
+        for coeffs in [lut.interpolate_ntt(), lut.interpolate_naive()] {
+            for x in (0..t).step_by(17) {
+                let mut acc = 0u64;
+                for &c in coeffs.iter().rev() {
+                    acc = m.mul_add(acc, x, c);
+                }
+                prop_assert_eq!(acc, lut.get(x));
+            }
+        }
+    }
+
+    #[test]
+    fn extraction_linear_in_ciphertext(vals in slot_values(), seed in any::<u64>()) {
+        // Extracted LWE decryptions equal the SmallRlwe ring decryption at
+        // every coefficient, for arbitrary ciphertext data.
+        let f = fixture();
+        let ev = BfvEvaluator::new(&f.ctx);
+        let mut s = Sampler::from_seed(seed);
+        let m = athena_fhe::encoder::encode_coeff(
+            &vals.iter().map(|&v| v as i64).collect::<Vec<_>>(),
+            257,
+            128,
+        );
+        let ct = ev.encrypt_sk(&m, &f.sk, &mut s);
+        let small = mod_switch_to_t(&f.ctx, &ct);
+        let ring_dec = small.decrypt(f.sk.coeffs());
+        let lwe_sk = rlwe_secret_as_lwe(&f.ctx, &f.sk);
+        for (i, lwe) in sample_extract_all(&small).iter().enumerate().step_by(13) {
+            prop_assert_eq!(lwe.decrypt(&lwe_sk), ring_dec[i]);
+        }
+    }
+
+    #[test]
+    fn extraction_of_trivial_is_exact(b_vals in prop::collection::vec(0u64..257, 16)) {
+        let rlwe = SmallRlwe { a: vec![0; 16], b: b_vals.clone(), q: 257 };
+        let sk = LweSecret::from_coeffs(vec![0; 16], 257);
+        for (i, lwe) in sample_extract_all(&rlwe).iter().enumerate() {
+            prop_assert_eq!(lwe.decrypt(&sk), b_vals[i]);
+        }
+    }
+
+    #[test]
+    fn encoder_rotation_group_structure(vals in slot_values(), k1 in 0usize..64, k2 in 0usize..64) {
+        // rot(k1) ∘ rot(k2) = rot(k1 + k2) on the plaintext semantics.
+        let enc = SlotEncoder::new(257, 128);
+        let lhs = enc.rotate_slots(&enc.rotate_slots(&vals, k1), k2);
+        let rhs = enc.rotate_slots(&vals, (k1 + k2) % 64);
+        prop_assert_eq!(lhs, rhs);
+        // row swap is an involution
+        prop_assert_eq!(enc.swap_rows(&enc.swap_rows(&vals)), vals);
+    }
+
+    #[test]
+    fn noise_budget_decreases_under_mul(vals in slot_values(), seed in any::<u64>()) {
+        let f = fixture();
+        let ev = BfvEvaluator::new(&f.ctx);
+        let enc = f.ctx.encoder();
+        let mut s = Sampler::from_seed(seed);
+        let ct = ev.encrypt_sk(&enc.encode(&vals), &f.sk, &mut s);
+        let fresh = ev.noise_budget(&ct, &f.sk);
+        let squared = ev.mul(&ct, &ct, &f.rlk);
+        let after = ev.noise_budget(&squared, &f.sk);
+        prop_assert!(after < fresh, "budget must shrink: {} -> {}", fresh, after);
+        prop_assert!(after > 0, "one multiplication cannot exhaust the budget");
+    }
+}

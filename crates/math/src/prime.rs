@@ -1,0 +1,205 @@
+//! Primality testing and NTT-friendly prime generation.
+//!
+//! RNS limb moduli must satisfy `q ≡ 1 (mod 2N)` so that the negacyclic NTT
+//! over `Z_q[X]/(X^N + 1)` exists. [`ntt_primes`] produces such primes just
+//! below a requested bit size, and [`primitive_root`] finds generators used
+//! to derive roots of unity.
+
+use crate::modops::Modulus;
+
+/// Deterministic Miller–Rabin for `u64` (the first 12 prime bases are a
+/// proven-deterministic witness set below 3.3·10^24).
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for &p in &[2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n % p == 0 {
+            return false;
+        }
+    }
+    let m = Modulus::new(n);
+    let d = n - 1;
+    let s = d.trailing_zeros();
+    let d = d >> s;
+    'witness: for &a in &[2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = m.pow(a, d);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 1..s {
+            x = m.mul(x, x);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Returns `count` distinct primes `q ≡ 1 (mod 2n)` with at most `bits` bits,
+/// largest first.
+///
+/// # Panics
+///
+/// Panics if `bits > 62`, if `n` is not a power of two, or if not enough
+/// primes exist below `2^bits` (practically impossible for the sizes used
+/// here).
+pub fn ntt_primes(bits: u32, n: usize, count: usize) -> Vec<u64> {
+    assert!(bits >= 4 && bits <= 62, "prime size out of range");
+    assert!(n.is_power_of_two(), "ring degree must be a power of two");
+    let step = 2 * n as u64;
+    let mut candidate = ((1u64 << bits) - 1) / step * step + 1;
+    let mut out = Vec::with_capacity(count);
+    while out.len() < count {
+        assert!(
+            candidate > step,
+            "exhausted candidates for {count} NTT primes of {bits} bits (n={n})"
+        );
+        if is_prime(candidate) {
+            out.push(candidate);
+        }
+        candidate -= step;
+    }
+    out
+}
+
+/// Factorizes a `u64` by trial division + Pollard-free simple sieve (the
+/// group orders factored here are tiny: `q - 1` for moduli up to 62 bits,
+/// dominated by small factors and at most one large prime cofactor found by
+/// trial division up to 2^21; falls back to treating the cofactor as prime
+/// if it is).
+fn factorize(mut n: u64) -> Vec<u64> {
+    let mut fs = Vec::new();
+    let mut d = 2u64;
+    while d * d <= n && d < (1 << 21) {
+        if n % d == 0 {
+            fs.push(d);
+            while n % d == 0 {
+                n /= d;
+            }
+        }
+        d += 1;
+    }
+    if n > 1 {
+        if is_prime(n) {
+            fs.push(n);
+        } else {
+            // Rare for our prime-1 orders; finish with slow trial division.
+            while d * d <= n {
+                if n % d == 0 {
+                    fs.push(d);
+                    while n % d == 0 {
+                        n /= d;
+                    }
+                }
+                d += 1;
+            }
+            if n > 1 {
+                fs.push(n);
+            }
+        }
+    }
+    fs
+}
+
+/// Finds a generator of the multiplicative group `Z_q^*` for prime `q`.
+///
+/// # Panics
+///
+/// Panics if `q` is not prime.
+pub fn primitive_root(q: u64) -> u64 {
+    assert!(is_prime(q), "primitive_root requires a prime modulus");
+    let m = Modulus::new(q);
+    let order = q - 1;
+    let factors = factorize(order);
+    'cand: for g in 2..q {
+        for &f in &factors {
+            if m.pow(g, order / f) == 1 {
+                continue 'cand;
+            }
+        }
+        return g;
+    }
+    unreachable!("every prime has a primitive root")
+}
+
+/// Returns a primitive `order`-th root of unity mod prime `q`.
+///
+/// # Panics
+///
+/// Panics if `order` does not divide `q - 1`.
+pub fn root_of_unity(q: u64, order: u64) -> u64 {
+    assert_eq!((q - 1) % order, 0, "order must divide q-1");
+    let m = Modulus::new(q);
+    let g = primitive_root(q);
+    let w = m.pow(g, (q - 1) / order);
+    debug_assert_eq!(m.pow(w, order), 1);
+    debug_assert_ne!(m.pow(w, order / 2), 1);
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_primes() {
+        let primes: Vec<u64> = (0..100).filter(|&n| is_prime(n)).collect();
+        assert_eq!(
+            primes,
+            vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97]
+        );
+    }
+
+    #[test]
+    fn known_primes() {
+        assert!(is_prime(65537));
+        assert!(is_prime(12289)); // classic NTT prime
+        assert!(!is_prime(65536));
+        assert!(is_prime((1 << 61) - 1)); // Mersenne prime M61
+    }
+
+    #[test]
+    fn ntt_primes_congruence() {
+        let ps = ntt_primes(50, 1 << 12, 4);
+        assert_eq!(ps.len(), 4);
+        for &p in &ps {
+            assert!(is_prime(p));
+            assert_eq!(p % (2 << 12), 1);
+            assert!(p < (1 << 50));
+        }
+        // Distinct and descending.
+        for w in ps.windows(2) {
+            assert!(w[0] > w[1]);
+        }
+    }
+
+    #[test]
+    fn primitive_root_has_full_order() {
+        for &q in &[17u64, 257, 65537, 12289] {
+            let g = primitive_root(q);
+            let m = Modulus::new(q);
+            assert_eq!(m.pow(g, q - 1), 1);
+            // No proper divisor order.
+            for &f in &factorize(q - 1) {
+                assert_ne!(m.pow(g, (q - 1) / f), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn roots_of_unity() {
+        let q = 65537;
+        let m = Modulus::new(q);
+        let w = root_of_unity(q, 65536);
+        assert_eq!(m.pow(w, 65536), 1);
+        assert_ne!(m.pow(w, 32768), 1);
+        let w2 = root_of_unity(q, 2);
+        assert_eq!(w2, q - 1);
+    }
+}

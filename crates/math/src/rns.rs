@@ -1,0 +1,555 @@
+//! Residue number system (RNS) machinery: multi-prime bases, CRT
+//! reconstruction through [`UBig`], and the fast (approximate) base
+//! conversion that the Athena accelerator's FRU executes in hardware.
+
+use crate::bigint::{IBig, UBig};
+use crate::modops::Modulus;
+use crate::poly::{Domain, Poly, Ring};
+
+/// An RNS basis: a set of pairwise-coprime NTT-friendly primes sharing one
+/// ring degree, with CRT precomputations.
+///
+/// # Examples
+///
+/// ```
+/// use athena_math::rns::RnsBasis;
+/// use athena_math::prime::ntt_primes;
+/// let primes = ntt_primes(30, 64, 3);
+/// let basis = RnsBasis::new(&primes, 64);
+/// assert_eq!(basis.len(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RnsBasis {
+    rings: Vec<Ring>,
+    /// Q = prod q_i
+    product: UBig,
+    /// Q_i = Q / q_i
+    hats: Vec<UBig>,
+    /// (Q_i)^{-1} mod q_i
+    hat_invs: Vec<u64>,
+    /// Q mod 2^64 convenience (lossy)
+    bits: usize,
+}
+
+impl RnsBasis {
+    /// Builds a basis from distinct primes, each `≡ 1 (mod 2n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if primes are not distinct or not NTT-friendly for `n`.
+    pub fn new(primes: &[u64], n: usize) -> Self {
+        assert!(!primes.is_empty(), "basis needs at least one prime");
+        let mut sorted = primes.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), primes.len(), "primes must be distinct");
+        let rings: Vec<Ring> = primes.iter().map(|&q| Ring::new(q, n)).collect();
+        let mut product = UBig::one();
+        for &q in primes {
+            product = product.mul_u64(q);
+        }
+        let hats: Vec<UBig> = primes
+            .iter()
+            .map(|&q| product.div_rem_u64(q).0)
+            .collect();
+        let hat_invs: Vec<u64> = primes
+            .iter()
+            .zip(&hats)
+            .map(|(&q, hat)| {
+                let m = Modulus::new(q);
+                m.inv(hat.rem_u64(q)).expect("hat invertible: primes coprime")
+            })
+            .collect();
+        let bits = product.bits();
+        Self {
+            rings,
+            product,
+            hats,
+            hat_invs,
+            bits,
+        }
+    }
+
+    /// Number of limb primes.
+    pub fn len(&self) -> usize {
+        self.rings.len()
+    }
+
+    /// Whether the basis is empty (never true).
+    pub fn is_empty(&self) -> bool {
+        self.rings.is_empty()
+    }
+
+    /// The shared ring degree.
+    pub fn n(&self) -> usize {
+        self.rings[0].n()
+    }
+
+    /// The rings, one per limb prime.
+    pub fn rings(&self) -> &[Ring] {
+        &self.rings
+    }
+
+    /// The `i`-th ring.
+    pub fn ring(&self, i: usize) -> &Ring {
+        &self.rings[i]
+    }
+
+    /// The limb primes.
+    pub fn moduli(&self) -> Vec<u64> {
+        self.rings.iter().map(|r| r.modulus().value()).collect()
+    }
+
+    /// `Q = ∏ q_i`.
+    pub fn product(&self) -> &UBig {
+        &self.product
+    }
+
+    /// Bit size of `Q`.
+    pub fn product_bits(&self) -> usize {
+        self.bits
+    }
+
+    /// A sub-basis keeping only the first `k` primes.
+    pub fn prefix(&self, k: usize) -> RnsBasis {
+        RnsBasis::new(&self.moduli()[..k], self.n())
+    }
+
+    /// CRT-reconstructs residues `x_i` into `x ∈ [0, Q)`.
+    pub fn crt_reconstruct(&self, residues: &[u64]) -> UBig {
+        assert_eq!(residues.len(), self.len());
+        let mut acc = UBig::zero();
+        for i in 0..self.len() {
+            let m = self.rings[i].modulus();
+            let term = self.hats[i].mul_u64(m.mul(residues[i], self.hat_invs[i]));
+            acc = acc.add(&term);
+        }
+        acc.rem(&self.product)
+    }
+
+    /// Decomposes `x mod Q` into RNS residues.
+    pub fn crt_decompose(&self, x: &UBig) -> Vec<u64> {
+        self.rings
+            .iter()
+            .map(|r| x.rem_u64(r.modulus().value()))
+            .collect()
+    }
+
+    /// Centered CRT value in `(-Q/2, Q/2]`.
+    pub fn crt_reconstruct_centered(&self, residues: &[u64]) -> IBig {
+        let x = self.crt_reconstruct(residues);
+        let half = self.product.shr(1);
+        if x > half {
+            IBig::new(true, self.product.sub(&x))
+        } else {
+            IBig::new(false, x)
+        }
+    }
+}
+
+/// A polynomial in RNS form: one residue [`Poly`] per basis prime, all in the
+/// same domain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RnsPoly {
+    limbs: Vec<Poly>,
+}
+
+impl RnsPoly {
+    /// Wraps per-limb polynomials (must share degree and domain).
+    ///
+    /// # Panics
+    ///
+    /// Panics on mismatched domains or lengths.
+    pub fn from_limbs(limbs: Vec<Poly>) -> Self {
+        assert!(!limbs.is_empty());
+        let d = limbs[0].domain();
+        let n = limbs[0].len();
+        assert!(
+            limbs.iter().all(|l| l.domain() == d && l.len() == n),
+            "limbs must share domain and degree"
+        );
+        Self { limbs }
+    }
+
+    /// The per-limb polynomials.
+    pub fn limbs(&self) -> &[Poly] {
+        &self.limbs
+    }
+
+    /// Mutable per-limb polynomials.
+    pub fn limbs_mut(&mut self) -> &mut [Poly] {
+        &mut self.limbs
+    }
+
+    /// The shared domain.
+    pub fn domain(&self) -> Domain {
+        self.limbs[0].domain()
+    }
+
+    /// Number of limbs.
+    pub fn limb_count(&self) -> usize {
+        self.limbs.len()
+    }
+
+    /// The ring degree.
+    pub fn n(&self) -> usize {
+        self.limbs[0].len()
+    }
+}
+
+/// Arithmetic on [`RnsPoly`] values over a fixed [`RnsBasis`].
+impl RnsBasis {
+    /// The zero RNS polynomial.
+    pub fn zero_poly(&self, domain: Domain) -> RnsPoly {
+        RnsPoly::from_limbs(self.rings.iter().map(|r| r.zero(domain)).collect())
+    }
+
+    /// Lifts signed coefficients into RNS (coefficient domain).
+    pub fn poly_from_i64(&self, coeffs: &[i64]) -> RnsPoly {
+        RnsPoly::from_limbs(self.rings.iter().map(|r| r.from_i64(coeffs)).collect())
+    }
+
+    /// Lifts `UBig` coefficients (each in `[0, Q)`) into RNS.
+    pub fn poly_from_ubig(&self, coeffs: &[UBig]) -> RnsPoly {
+        assert_eq!(coeffs.len(), self.n());
+        let limbs = self
+            .rings
+            .iter()
+            .map(|r| {
+                let q = r.modulus().value();
+                Poly::from_values(
+                    coeffs.iter().map(|c| c.rem_u64(q)).collect(),
+                    Domain::Coeff,
+                )
+            })
+            .collect();
+        RnsPoly::from_limbs(limbs)
+    }
+
+    /// CRT-reconstructs every coefficient to `[0, Q)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in coefficient domain.
+    pub fn poly_to_ubig(&self, p: &RnsPoly) -> Vec<UBig> {
+        assert_eq!(p.domain(), Domain::Coeff, "reconstruction needs Coeff domain");
+        let n = self.n();
+        let mut out = Vec::with_capacity(n);
+        let mut residues = vec![0u64; self.len()];
+        for j in 0..n {
+            for (i, limb) in p.limbs.iter().enumerate() {
+                residues[i] = limb.values()[j];
+            }
+            out.push(self.crt_reconstruct(&residues));
+        }
+        out
+    }
+
+    fn zip_polys(
+        &self,
+        a: &RnsPoly,
+        b: &RnsPoly,
+        f: impl Fn(&Ring, &Poly, &Poly) -> Poly,
+    ) -> RnsPoly {
+        assert_eq!(a.limb_count(), self.len());
+        assert_eq!(b.limb_count(), self.len());
+        RnsPoly::from_limbs(
+            self.rings
+                .iter()
+                .zip(a.limbs.iter().zip(&b.limbs))
+                .map(|(r, (x, y))| f(r, x, y))
+                .collect(),
+        )
+    }
+
+    /// Element-wise addition.
+    pub fn add_poly(&self, a: &RnsPoly, b: &RnsPoly) -> RnsPoly {
+        self.zip_polys(a, b, Ring::add)
+    }
+
+    /// Element-wise subtraction.
+    pub fn sub_poly(&self, a: &RnsPoly, b: &RnsPoly) -> RnsPoly {
+        self.zip_polys(a, b, Ring::sub)
+    }
+
+    /// In-place addition.
+    pub fn add_assign_poly(&self, a: &mut RnsPoly, b: &RnsPoly) {
+        for (r, (x, y)) in self.rings.iter().zip(a.limbs.iter_mut().zip(&b.limbs)) {
+            r.add_assign(x, y);
+        }
+    }
+
+    /// In-place subtraction.
+    pub fn sub_assign_poly(&self, a: &mut RnsPoly, b: &RnsPoly) {
+        for (r, (x, y)) in self.rings.iter().zip(a.limbs.iter_mut().zip(&b.limbs)) {
+            r.sub_assign(x, y);
+        }
+    }
+
+    /// Negation.
+    pub fn neg_poly(&self, a: &RnsPoly) -> RnsPoly {
+        RnsPoly::from_limbs(
+            self.rings
+                .iter()
+                .zip(&a.limbs)
+                .map(|(r, x)| r.neg(x))
+                .collect(),
+        )
+    }
+
+    /// Polynomial multiplication (result in `Eval` domain).
+    pub fn mul_poly(&self, a: &RnsPoly, b: &RnsPoly) -> RnsPoly {
+        self.zip_polys(a, b, Ring::mul)
+    }
+
+    /// Multiplication by a small scalar (applied per limb).
+    pub fn scalar_mul_poly(&self, a: &RnsPoly, c: u64) -> RnsPoly {
+        RnsPoly::from_limbs(
+            self.rings
+                .iter()
+                .zip(&a.limbs)
+                .map(|(r, x)| r.scalar_mul(x, c))
+                .collect(),
+        )
+    }
+
+    /// Multiplication by a signed scalar.
+    pub fn scalar_mul_poly_i64(&self, a: &RnsPoly, c: i64) -> RnsPoly {
+        RnsPoly::from_limbs(
+            self.rings
+                .iter()
+                .zip(&a.limbs)
+                .map(|(r, x)| r.scalar_mul(x, r.modulus().from_i64(c)))
+                .collect(),
+        )
+    }
+
+    /// Converts all limbs to evaluation domain.
+    pub fn poly_to_eval(&self, a: &RnsPoly) -> RnsPoly {
+        RnsPoly::from_limbs(
+            self.rings
+                .iter()
+                .zip(&a.limbs)
+                .map(|(r, x)| r.to_eval(x))
+                .collect(),
+        )
+    }
+
+    /// Converts all limbs to coefficient domain.
+    pub fn poly_to_coeff(&self, a: &RnsPoly) -> RnsPoly {
+        RnsPoly::from_limbs(
+            self.rings
+                .iter()
+                .zip(&a.limbs)
+                .map(|(r, x)| r.to_coeff(x))
+                .collect(),
+        )
+    }
+
+    /// Applies the Galois automorphism `X → X^k` per limb (any domain).
+    pub fn automorphism_poly(&self, a: &RnsPoly, k: usize) -> RnsPoly {
+        RnsPoly::from_limbs(
+            self.rings
+                .iter()
+                .zip(&a.limbs)
+                .map(|(r, x)| match x.domain() {
+                    Domain::Coeff => r.automorphism_coeff(x, k),
+                    Domain::Eval => r.automorphism_eval(x, k),
+                })
+                .collect(),
+        )
+    }
+
+    /// **Exact** scaled rounding `round(num · x / Q) mod target` applied per
+    /// coefficient, where `x` is the centered CRT value. This is BFV modulus
+    /// switching / decryption scaling, done with big integers (the reference
+    /// path that fast RNS tricks are tested against).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in coefficient domain.
+    pub fn scale_round(&self, p: &RnsPoly, num: u64, target: u64) -> Vec<u64> {
+        assert_eq!(p.domain(), Domain::Coeff);
+        let tm = Modulus::new(target);
+        let half = self.product.shr(1);
+        let n = self.n();
+        let mut out = Vec::with_capacity(n);
+        let mut residues = vec![0u64; self.len()];
+        for j in 0..n {
+            for (i, limb) in p.limbs.iter().enumerate() {
+                residues[i] = limb.values()[j];
+            }
+            let x = self.crt_reconstruct(&residues);
+            // centered: x or x - Q
+            if x > half {
+                let mag = self.product.sub(&x).mul_u64(num).div_round(&self.product);
+                out.push(tm.neg(mag.rem_u64(target)));
+            } else {
+                let mag = x.mul_u64(num).div_round(&self.product);
+                out.push(mag.rem_u64(target));
+            }
+        }
+        out
+    }
+
+    /// Fast (approximate) base conversion of one coefficient vector of
+    /// residues from this basis to `other`: computes
+    /// `Σ_i [x_i · (Q/q_i)^{-1}]_{q_i} · (Q/q_i) mod p_j`, which equals
+    /// `x + α·Q (mod p_j)` for some small overflow `0 ≤ α < len`.
+    ///
+    /// This is the `BConv` workload executed by the FRU's RNS datapath.
+    pub fn fast_base_convert(&self, p: &RnsPoly, other: &RnsBasis) -> RnsPoly {
+        assert_eq!(p.domain(), Domain::Coeff, "base conversion needs Coeff domain");
+        let n = self.n();
+        // y_i = [x_i * hat_inv_i]_{q_i}
+        let ys: Vec<Vec<u64>> = p
+            .limbs
+            .iter()
+            .enumerate()
+            .map(|(i, limb)| {
+                let m = self.rings[i].modulus();
+                limb.values()
+                    .iter()
+                    .map(|&x| m.mul(x, self.hat_invs[i]))
+                    .collect()
+            })
+            .collect();
+        let limbs = other
+            .rings
+            .iter()
+            .map(|r| {
+                let pj = r.modulus();
+                // precompute Q_i mod p_j
+                let hats_mod: Vec<u64> = self.hats.iter().map(|h| h.rem_u64(pj.value())).collect();
+                let mut vals = vec![0u64; n];
+                for (i, y) in ys.iter().enumerate() {
+                    let h = hats_mod[i];
+                    let h_sh = pj.shoup(pj.reduce(h));
+                    let h = pj.reduce(h);
+                    for (v, &yy) in vals.iter_mut().zip(y) {
+                        *v = pj.add(*v, pj.mul_shoup(pj.reduce(yy), h, h_sh));
+                    }
+                }
+                Poly::from_values(vals, Domain::Coeff)
+            })
+            .collect();
+        RnsPoly::from_limbs(limbs)
+    }
+
+    /// Exact base conversion via CRT reconstruction (reference path).
+    pub fn exact_base_convert(&self, p: &RnsPoly, other: &RnsBasis) -> RnsPoly {
+        let coeffs = self.poly_to_ubig(p);
+        other.poly_from_ubig(&coeffs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prime::ntt_primes;
+
+    fn basis(n: usize, k: usize) -> RnsBasis {
+        RnsBasis::new(&ntt_primes(30, n, k), n)
+    }
+
+    #[test]
+    fn crt_roundtrip() {
+        let b = basis(16, 3);
+        let x = UBig::from_decimal("123456789012345678901234");
+        let x = x.rem(b.product());
+        let res = b.crt_decompose(&x);
+        assert_eq!(b.crt_reconstruct(&res), x);
+    }
+
+    #[test]
+    fn poly_roundtrip_and_ops() {
+        let b = basis(16, 2);
+        let a = b.poly_from_i64(&(0..16).map(|i| i as i64 - 8).collect::<Vec<_>>());
+        let c = b.add_poly(&a, &a);
+        let d = b.sub_poly(&c, &a);
+        assert_eq!(d, a);
+        let coeffs = b.poly_to_ubig(&a);
+        let back = b.poly_from_ubig(&coeffs);
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn mul_matches_bigint() {
+        let b = basis(16, 2);
+        let a = b.poly_from_i64(&(0..16).map(|i| i as i64 + 1).collect::<Vec<_>>());
+        let c = b.poly_from_i64(&(0..16).map(|i| 2 * i as i64 - 3).collect::<Vec<_>>());
+        let prod = b.poly_to_coeff(&b.mul_poly(&a, &c));
+        // verify one coefficient against schoolbook over centered integers
+        let av: Vec<i64> = (0..16).map(|i| i as i64 + 1).collect();
+        let cv: Vec<i64> = (0..16).map(|i| 2 * i as i64 - 3).collect();
+        let mut want = vec![0i64; 16];
+        for i in 0..16 {
+            for j in 0..16 {
+                let p = av[i] * cv[j];
+                if i + j < 16 {
+                    want[i + j] += p;
+                } else {
+                    want[i + j - 16] -= p;
+                }
+            }
+        }
+        let got = b.poly_to_ubig(&prod);
+        for j in 0..16 {
+            let w = IBig::from_i64(want[j]).rem_euclid(b.product());
+            assert_eq!(got[j], w, "coeff {j}");
+        }
+    }
+
+    #[test]
+    fn scale_round_matches_manual() {
+        // Switch a known value from Q to t = 97.
+        let b = basis(16, 2);
+        let t = 97u64;
+        // encode x_j = j * Q / 100 approximately: use  x = j * (Q/100)
+        let (q100, _) = b.product().div_rem_u64(100);
+        let coeffs: Vec<UBig> = (0..16u64).map(|j| q100.mul_u64(j)).collect();
+        let p = b.poly_from_ubig(&coeffs);
+        let scaled = b.scale_round(&p, t, t);
+        for j in 0..16usize {
+            // round(t * j * (Q/100) / Q) ≈ round(97*j/100)
+            let want = coeffs[j].mul_u64(t).div_round(b.product()).rem_u64(t);
+            assert_eq!(scaled[j], want, "j={j}");
+        }
+    }
+
+    #[test]
+    fn fast_base_convert_off_by_alpha_q() {
+        let b = basis(16, 3);
+        let other = RnsBasis::new(&ntt_primes(31, 16, 2), 16);
+        let a = b.poly_from_i64(&(0..16).map(|i| 1000 * i as i64).collect::<Vec<_>>());
+        let fast = b.fast_base_convert(&a, &other);
+        let exact = b.exact_base_convert(&a, &other);
+        // fast = exact + alpha*Q mod p_j, with 0 <= alpha < len
+        for (j, r) in other.rings().iter().enumerate() {
+            let pj = r.modulus();
+            let qmod = b.product().rem_u64(pj.value());
+            for c in 0..16 {
+                let f = fast.limbs()[j].values()[c];
+                let e = exact.limbs()[j].values()[c];
+                let mut ok = false;
+                let mut cand = e;
+                for _ in 0..b.len() + 1 {
+                    if cand == f {
+                        ok = true;
+                        break;
+                    }
+                    cand = pj.add(cand, qmod);
+                }
+                assert!(ok, "limb {j} coeff {c}: fast not within alpha*Q of exact");
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_basis() {
+        let b = basis(16, 3);
+        let p = b.prefix(2);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.moduli(), b.moduli()[..2].to_vec());
+    }
+}

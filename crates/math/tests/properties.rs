@@ -1,0 +1,201 @@
+//! Property-based tests of the math substrate: ring axioms, NTT/CRT
+//! round-trips, big-integer arithmetic against u128 oracles, and the
+//! exact-vs-fast base-conversion relation.
+
+use athena_math::bigint::UBig;
+use athena_math::bsgs::bsgs_polynomial_eval;
+use athena_math::modops::Modulus;
+use athena_math::ntt::NttTables;
+use athena_math::poly::{Domain, Ring};
+use athena_math::prime::ntt_primes;
+use athena_math::rns::RnsBasis;
+use proptest::prelude::*;
+
+const Q: u64 = 12289;
+const N: usize = 64;
+
+fn ring() -> Ring {
+    Ring::new(Q, N)
+}
+
+fn coeffs() -> impl Strategy<Value = Vec<i64>> {
+    prop::collection::vec(-6000i64..6000, N)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn modulus_mul_matches_u128(a in 0u64..Q, b in 0u64..Q) {
+        let m = Modulus::new(Q);
+        prop_assert_eq!(m.mul(a, b), ((a as u128 * b as u128) % Q as u128) as u64);
+    }
+
+    #[test]
+    fn modulus_inverse_is_inverse(a in 1u64..Q) {
+        let m = Modulus::new(Q);
+        let inv = m.inv(a).expect("prime modulus");
+        prop_assert_eq!(m.mul(a, inv), 1);
+    }
+
+    #[test]
+    fn shoup_mul_matches_barrett(a in 0u64..Q, w in 0u64..Q) {
+        let m = Modulus::new(Q);
+        prop_assert_eq!(m.mul_shoup(a, w, m.shoup(w)), m.mul(a, w));
+    }
+
+    #[test]
+    fn ntt_roundtrip(v in coeffs()) {
+        let r = ring();
+        let p = r.from_i64(&v);
+        prop_assert_eq!(r.to_coeff(&r.to_eval(&p)), p);
+    }
+
+    #[test]
+    fn ntt_is_linear(a in coeffs(), b in coeffs()) {
+        let r = ring();
+        let pa = r.from_i64(&a);
+        let pb = r.from_i64(&b);
+        let lhs = r.to_eval(&r.add(&pa, &pb));
+        let rhs = r.add(&r.to_eval(&pa), &r.to_eval(&pb));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn ring_mul_commutes_and_distributes(a in coeffs(), b in coeffs(), c in coeffs()) {
+        let r = ring();
+        let (pa, pb, pc) = (r.from_i64(&a), r.from_i64(&b), r.from_i64(&c));
+        prop_assert_eq!(r.mul(&pa, &pb), r.mul(&pb, &pa));
+        let lhs = r.to_coeff(&r.mul(&pa, &r.add(&pb, &pc)));
+        let rhs = r.to_coeff(&r.add(&r.mul(&pa, &pb), &r.mul(&pa, &pc)));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn automorphism_preserves_products(a in coeffs(), b in coeffs(), ki in 0usize..5) {
+        let r = ring();
+        let k = [3usize, 5, 9, 17, 2 * N - 1][ki];
+        let (pa, pb) = (r.from_i64(&a), r.from_i64(&b));
+        let lhs = r.automorphism_coeff(&r.to_coeff(&r.mul(&pa, &pb)), k);
+        let rhs = r.to_coeff(&r.mul(&r.automorphism_coeff(&pa, k), &r.automorphism_coeff(&pb, k)));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn ubig_add_mul_match_u128(a in 0u128..u128::MAX / 2, b in 0u128..(1u128 << 60)) {
+        let ua = UBig::from(a);
+        let ub = UBig::from(b);
+        prop_assert_eq!(ua.add(&ub).to_u128_lossy(), a + b);
+        if a < (1 << 64) {
+            prop_assert_eq!(ua.mul(&ub).to_u128_lossy(), a.wrapping_mul(b));
+        }
+    }
+
+    #[test]
+    fn ubig_divrem_reconstructs(a in prop::collection::vec(any::<u64>(), 1..6),
+                                d in prop::collection::vec(any::<u64>(), 1..4)) {
+        let n = UBig::from_limbs(a);
+        let dd = UBig::from_limbs(d);
+        prop_assume!(!dd.is_zero());
+        let (q, r) = n.div_rem(&dd);
+        prop_assert!(r < dd);
+        prop_assert_eq!(q.mul(&dd).add(&r), n);
+    }
+
+    #[test]
+    fn crt_roundtrip(vals in prop::collection::vec(any::<u64>(), 3)) {
+        let basis = RnsBasis::new(&ntt_primes(40, 16, 3), 16);
+        let reduced: Vec<u64> = vals
+            .iter()
+            .zip(basis.moduli())
+            .map(|(&v, q)| v % q)
+            .collect();
+        let x = basis.crt_reconstruct(&reduced);
+        prop_assert_eq!(basis.crt_decompose(&x), reduced);
+    }
+
+    #[test]
+    fn fast_bconv_within_alpha_q(v in prop::collection::vec(-100_000i64..100_000, 16)) {
+        let src = RnsBasis::new(&ntt_primes(40, 16, 3), 16);
+        let dst = RnsBasis::new(&ntt_primes(39, 16, 2), 16);
+        let p = src.poly_from_i64(&v);
+        let fast = src.fast_base_convert(&p, &dst);
+        let exact = src.exact_base_convert(&p, &dst);
+        for (j, r) in dst.rings().iter().enumerate() {
+            let pj = r.modulus();
+            let qmod = src.product().rem_u64(pj.value());
+            for c in 0..16 {
+                let f = fast.limbs()[j].values()[c];
+                let e = exact.limbs()[j].values()[c];
+                let mut ok = false;
+                let mut cand = e;
+                for _ in 0..src.len() + 1 {
+                    if cand == f {
+                        ok = true;
+                        break;
+                    }
+                    cand = pj.add(cand, qmod);
+                }
+                prop_assert!(ok, "limb {} coeff {}", j, c);
+            }
+        }
+    }
+
+    #[test]
+    fn bsgs_matches_horner(deg in 1usize..40, x in 0u64..Q, seed in any::<u64>()) {
+        let m = Modulus::new(Q);
+        let coeffs: Vec<u64> = (0..=deg as u64)
+            .map(|i| (i.wrapping_mul(seed | 1)) % Q)
+            .collect();
+        let got = bsgs_polynomial_eval(
+            &coeffs,
+            &x,
+            &mut |a: &u64, b: &u64| m.mul(*a, *b),
+            &mut |a: &u64, c: u64| m.mul(*a, c % Q),
+            &mut |a: &u64, b: &u64| m.add(*a, *b),
+        );
+        // Horner evaluation, then strip the constant term (BSGS evaluates
+        // only the non-constant part).
+        let mut acc = 0u64;
+        for &c in coeffs.iter().rev() {
+            acc = m.mul_add(acc, x, c);
+        }
+        let nonconst = m.sub(acc, coeffs[0] % Q);
+        prop_assert_eq!(got.unwrap_or(0), nonconst);
+    }
+
+    #[test]
+    fn negacyclic_identity_xn_is_minus_one(c in 0u64..Q) {
+        // X^(N/2) * X^(N/2) = X^N = -1 in the ring.
+        let r = ring();
+        let mut half = vec![0i64; N];
+        half[N / 2] = c as i64 % Q as i64;
+        let p = r.from_i64(&half);
+        let sq = r.to_coeff(&r.mul(&p, &p));
+        let m = Modulus::new(Q);
+        prop_assert_eq!(sq.values()[0], m.neg(m.mul(c, c)));
+        for i in 1..N {
+            prop_assert_eq!(sq.values()[i], 0);
+        }
+    }
+}
+
+#[test]
+fn ntt_tables_reject_bad_congruence() {
+    // q = 12289 supports 2n | 12288 only up to n = 2048.
+    assert!(std::panic::catch_unwind(|| NttTables::new(12289, 4096)).is_err());
+    let _ = NttTables::new(12289, 2048);
+}
+
+#[test]
+fn poly_domain_mismatch_panics() {
+    let r = ring();
+    let a = r.from_i64(&vec![1; N]);
+    let b = r.to_eval(&a);
+    assert!(std::panic::catch_unwind(|| {
+        let r2 = Ring::new(Q, N);
+        r2.add(&a, &b)
+    })
+    .is_err());
+    let _ = r.zero(Domain::Coeff);
+}

@@ -1,0 +1,289 @@
+//! Polynomial approximation of non-linear activations under CKKS-style
+//! fixed-point arithmetic — the machinery behind Fig. 1's motivation study.
+//!
+//! CKKS evaluates non-linearities as truncated series; every multiplication
+//! rescales by the scaling factor `Δ`, discarding low bits. [`FixedPoint`]
+//! simulates exactly that: values carry `delta_bits` fractional bits and
+//! every product is rounded back. Bit accuracy is measured against a 40-bit
+//! ground truth, as in the figure.
+
+/// Fixed-point simulator with `delta_bits` fractional bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FixedPoint {
+    /// Fractional bits (the CKKS Δ).
+    pub delta_bits: u32,
+}
+
+impl FixedPoint {
+    /// New simulator.
+    pub fn new(delta_bits: u32) -> Self {
+        assert!(delta_bits >= 1 && delta_bits <= 60);
+        Self { delta_bits }
+    }
+
+    /// Encodes a real number.
+    pub fn encode(&self, x: f64) -> i128 {
+        (x * (1u64 << self.delta_bits) as f64).round() as i128
+    }
+
+    /// Decodes back to a real number.
+    pub fn decode(&self, v: i128) -> f64 {
+        v as f64 / (1u64 << self.delta_bits) as f64
+    }
+
+    /// Fixed-point multiply with rescale (the CKKS `Rescale` after `Mult`).
+    pub fn mul(&self, a: i128, b: i128) -> i128 {
+        let p = a * b;
+        let half = 1i128 << (self.delta_bits - 1);
+        (p + if p >= 0 { half } else { -half }) >> self.delta_bits
+    }
+
+    /// Evaluates a polynomial (coefficients in real domain, Horner) under
+    /// fixed-point arithmetic.
+    pub fn eval_poly(&self, coeffs: &[f64], x: f64) -> f64 {
+        let xe = self.encode(x);
+        let mut acc = self.encode(*coeffs.last().expect("non-empty polynomial"));
+        for &c in coeffs.iter().rev().skip(1) {
+            acc = self.mul(acc, xe) + self.encode(c);
+        }
+        self.decode(acc)
+    }
+}
+
+/// Chebyshev fit of `f` on `[-1, 1]` with the given polynomial degree,
+/// returned as monomial coefficients (low-to-high).
+pub fn chebyshev_fit(f: impl Fn(f64) -> f64, degree: usize) -> Vec<f64> {
+    let n = degree + 1;
+    // Chebyshev coefficients via Gauss–Chebyshev quadrature.
+    let mut c = vec![0.0f64; n];
+    let m = (4 * n).max(64); // quadrature points
+    for (k, ck) in c.iter_mut().enumerate() {
+        let mut s = 0.0;
+        for j in 0..m {
+            let theta = std::f64::consts::PI * (j as f64 + 0.5) / m as f64;
+            s += f(theta.cos()) * (k as f64 * theta).cos();
+        }
+        *ck = 2.0 * s / m as f64;
+    }
+    c[0] /= 2.0;
+    // Convert Chebyshev basis to monomials.
+    // T_0 = 1, T_1 = x, T_{k+1} = 2x T_k - T_{k-1}.
+    let mut mono = vec![0.0f64; n];
+    let mut t_prev = vec![0.0f64; n]; // T_0
+    t_prev[0] = 1.0;
+    let mut t_cur = vec![0.0f64; n]; // T_1
+    if n > 1 {
+        t_cur[1] = 1.0;
+    }
+    for (k, &ck) in c.iter().enumerate() {
+        let basis = if k == 0 { &t_prev } else { &t_cur };
+        for (m, &b) in mono.iter_mut().zip(basis.iter()) {
+            *m += ck * b;
+        }
+        if k >= 1 && k + 1 < n {
+            // advance: T_{k+1} = 2x T_k - T_{k-1}
+            let mut t_next = vec![0.0f64; n];
+            for i in 0..n - 1 {
+                t_next[i + 1] += 2.0 * t_cur[i];
+            }
+            for i in 0..n {
+                t_next[i] -= t_prev[i];
+            }
+            t_prev = std::mem::take(&mut t_cur);
+            t_cur = t_next;
+        }
+    }
+    mono
+}
+
+/// Taylor (Maclaurin) coefficients of the logistic sigmoid up to `degree`.
+/// Derived from the generating identity via the Bernoulli-style recurrence
+/// on the derivatives of `σ` at 0.
+pub fn sigmoid_taylor(degree: usize) -> Vec<f64> {
+    // σ(x) = Σ a_k x^k. Use the ODE σ' = σ(1−σ):
+    // with σ = Σ a_k x^k, σ' = Σ (k+1)a_{k+1} x^k and σ² by convolution.
+    let n = degree + 1;
+    let mut a = vec![0.0f64; n];
+    a[0] = 0.5;
+    for k in 0..n - 1 {
+        // (k+1) a_{k+1} = a_k − (σ²)_k
+        let mut sq = 0.0;
+        for j in 0..=k {
+            sq += a[j] * a[k - j];
+        }
+        a[k + 1] = (a[k] - sq) / (k + 1) as f64;
+    }
+    a
+}
+
+/// Activation targets of Fig. 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApproxTarget {
+    /// ReLU (non-analytic: Chebyshev only is meaningful).
+    Relu,
+    /// Sigmoid.
+    Sigmoid,
+}
+
+impl ApproxTarget {
+    /// The exact function.
+    pub fn exact(&self, x: f64) -> f64 {
+        match self {
+            ApproxTarget::Relu => x.max(0.0),
+            ApproxTarget::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+        }
+    }
+}
+
+/// Approximation families of Fig. 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApproxKind {
+    /// Truncated Taylor series (Maclaurin).
+    Taylor,
+    /// Chebyshev fit on `[-1, 1]`.
+    Chebyshev,
+}
+
+/// Builds the approximation polynomial.
+pub fn approx_poly(target: ApproxTarget, kind: ApproxKind, degree: usize) -> Vec<f64> {
+    match (target, kind) {
+        (ApproxTarget::Sigmoid, ApproxKind::Taylor) => sigmoid_taylor(degree),
+        (t, _) => chebyshev_fit(|x| t.exact(x), degree),
+    }
+}
+
+/// Mean bit-accuracy of an approximation evaluated under fixed-point `Δ`,
+/// against the 40-bit ground truth, over a uniform grid on `[-1, 1]`
+/// (Fig. 1's Y axis).
+pub fn bit_accuracy(
+    target: ApproxTarget,
+    kind: ApproxKind,
+    degree: usize,
+    delta_bits: u32,
+    samples: usize,
+) -> f64 {
+    let poly = approx_poly(target, kind, degree);
+    let fp = FixedPoint::new(delta_bits);
+    let mut total_err = 0.0f64;
+    for i in 0..samples {
+        let x = -1.0 + 2.0 * (i as f64 + 0.5) / samples as f64;
+        let approx = fp.eval_poly(&poly, x);
+        let exact = target.exact(x);
+        total_err += (approx - exact).abs();
+    }
+    let mean_err = (total_err / samples as f64).max(2.0f64.powi(-40));
+    (-mean_err.log2()).clamp(0.0, 40.0)
+}
+
+/// Runs a folded float model with every ReLU replaced by a fixed-point
+/// polynomial approximation (the CKKS execution model) — Fig. 1's
+/// model-level probe. Pre-activations are normalized into `[-1, 1]` by
+/// their per-tensor max (the most favorable scaling for the
+/// approximation), evaluated through the polynomial at the given `Δ`, and
+/// rescaled.
+pub fn folded_forward_poly_relu(
+    model: &crate::quant::FoldedModel,
+    x: &crate::tensor::Tensor,
+    degree: usize,
+    fp: FixedPoint,
+) -> crate::tensor::Tensor {
+    use crate::qmodel::Activation;
+    use crate::quant::FOp;
+    use crate::tensor::Tensor;
+    let poly = chebyshev_fit(|v| v.max(0.0), degree);
+    let mut values: Vec<Tensor> = vec![x.clone()];
+    for node in &model.nodes {
+        let input = &values[node.input];
+        let out = match &node.op {
+            FOp::Linear(l) => {
+                let mut acc = if l.is_fc {
+                    let flat = input.reshape(&[input.len(), 1, 1]);
+                    crate::layers::conv2d_forward_f32(&flat, &l.weight, Some(&l.bias), 1, 0)
+                } else {
+                    crate::layers::conv2d_forward_f32(
+                        input, &l.weight, Some(&l.bias), l.stride, l.padding,
+                    )
+                };
+                if let Some(skip_idx) = node.skip {
+                    let skip = values[skip_idx].clone();
+                    for (a, &s) in acc.data_mut().iter_mut().zip(skip.data()) {
+                        *a += s;
+                    }
+                }
+                match l.act {
+                    Activation::ReLU => {
+                        let bound = acc.abs_max().max(1e-6) as f64;
+                        Tensor::from_vec(
+                            acc.shape(),
+                            acc.data()
+                                .iter()
+                                .map(|&v| {
+                                    let z = v as f64 / bound;
+                                    (fp.eval_poly(&poly, z) * bound) as f32
+                                })
+                                .collect(),
+                        )
+                    }
+                    act => Tensor::from_vec(
+                        acc.shape(),
+                        acc.data().iter().map(|&v| act.apply(v as f64) as f32).collect(),
+                    ),
+                }
+            }
+            FOp::MaxPool { k } => crate::quant::pool_public(input, *k, true),
+            FOp::AvgPool { k } => crate::quant::pool_public(input, *k, false),
+        };
+        values.push(out);
+    }
+    values.pop().expect("output")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_point_roundtrip_and_mul() {
+        let fp = FixedPoint::new(30);
+        let a = fp.encode(1.5);
+        let b = fp.encode(-2.25);
+        assert!((fp.decode(fp.mul(a, b)) + 3.375).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sigmoid_taylor_matches_known_series() {
+        // σ(x) ≈ 1/2 + x/4 − x³/48 + x⁵/480 ...
+        let a = sigmoid_taylor(5);
+        assert!((a[0] - 0.5).abs() < 1e-12);
+        assert!((a[1] - 0.25).abs() < 1e-12);
+        assert!(a[2].abs() < 1e-12);
+        assert!((a[3] + 1.0 / 48.0).abs() < 1e-12);
+        assert!((a[5] - 1.0 / 480.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chebyshev_converges_on_sigmoid() {
+        let lo = bit_accuracy(ApproxTarget::Sigmoid, ApproxKind::Chebyshev, 3, 40, 256);
+        let hi = bit_accuracy(ApproxTarget::Sigmoid, ApproxKind::Chebyshev, 15, 40, 256);
+        assert!(hi > lo + 4.0, "degree 15 ({hi} bits) should beat degree 3 ({lo} bits)");
+        assert!(hi > 15.0, "degree-15 Chebyshev sigmoid reaches {hi} bits");
+    }
+
+    #[test]
+    fn relu_plateaus_below_sigmoid() {
+        // ReLU is non-smooth: Chebyshev converges only ~O(1/deg), so at
+        // equal degree its bit accuracy is far worse (the Fig. 1 gap).
+        let relu = bit_accuracy(ApproxTarget::Relu, ApproxKind::Chebyshev, 31, 40, 256);
+        let sig = bit_accuracy(ApproxTarget::Sigmoid, ApproxKind::Chebyshev, 31, 40, 256);
+        assert!(sig > relu + 5.0, "sigmoid {sig} vs relu {relu}");
+    }
+
+    #[test]
+    fn small_delta_caps_accuracy() {
+        // Δ = 25 caps accuracy well below Δ = 40 at high degree (Fig. 1's
+        // red-line separation and the Δ=25 collapse).
+        let d25 = bit_accuracy(ApproxTarget::Sigmoid, ApproxKind::Chebyshev, 31, 25, 256);
+        let d40 = bit_accuracy(ApproxTarget::Sigmoid, ApproxKind::Chebyshev, 31, 40, 256);
+        assert!(d40 > d25, "Δ=40 ({d40}) must beat Δ=25 ({d25})");
+    }
+}

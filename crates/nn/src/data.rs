@@ -1,0 +1,210 @@
+//! Synthetic datasets standing in for MNIST / CIFAR-10 (which are not
+//! available offline — see DESIGN.md §2). Each class has a smooth random
+//! template; samples are noisy, shifted copies. The tasks are learnable by
+//! the benchmark CNNs in a few epochs, which is what Table 5's
+//! plain-G / plain-Q / cipher comparison needs: the accuracy *deltas*
+//! between those three pipelines are the reproduced quantity, not the
+//! absolute accuracy of any particular dataset.
+
+use crate::tensor::Tensor;
+use athena_math::sampler::Sampler;
+
+/// A labelled dataset of `[C, H, W]` tensors.
+#[derive(Debug)]
+pub struct Dataset {
+    /// Input tensors.
+    pub images: Vec<Tensor>,
+    /// Class labels in `[0, classes)`.
+    pub labels: Vec<usize>,
+    /// Number of classes.
+    pub classes: usize,
+}
+
+impl Dataset {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.images.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.images.is_empty()
+    }
+}
+
+/// Configuration for the synthetic generator.
+#[derive(Debug, Clone, Copy)]
+pub struct SyntheticConfig {
+    /// Channels.
+    pub c: usize,
+    /// Height = width.
+    pub hw: usize,
+    /// Number of classes.
+    pub classes: usize,
+    /// Additive noise amplitude (template amplitude is ~1).
+    pub noise: f32,
+    /// Maximum random translation in pixels.
+    pub max_shift: usize,
+}
+
+impl SyntheticConfig {
+    /// MNIST-like: 1×28×28, 10 classes.
+    pub fn mnist_like() -> Self {
+        Self {
+            c: 1,
+            hw: 28,
+            classes: 10,
+            noise: 0.35,
+            max_shift: 2,
+        }
+    }
+
+    /// CIFAR-like: 3×32×32, 10 classes.
+    pub fn cifar_like() -> Self {
+        Self {
+            c: 3,
+            hw: 32,
+            classes: 10,
+            noise: 0.45,
+            max_shift: 2,
+        }
+    }
+}
+
+/// Deterministic synthetic data source.
+#[derive(Debug)]
+pub struct SyntheticSource {
+    config: SyntheticConfig,
+    /// One template per class, `[C, H, W]`, amplitude ~1.
+    templates: Vec<Tensor>,
+}
+
+impl SyntheticSource {
+    /// Builds class templates from a seed: low-resolution random fields,
+    /// bilinearly upsampled (so they are smooth, like natural images).
+    pub fn new(config: SyntheticConfig, seed: u64) -> Self {
+        let mut s = Sampler::from_seed(seed);
+        let grid = 6; // low-res control grid
+        let templates = (0..config.classes)
+            .map(|_| {
+                let mut t = Tensor::zeros(&[config.c, config.hw, config.hw]);
+                for ci in 0..config.c {
+                    // control points in [-1, 1]
+                    let ctrl: Vec<f32> = (0..grid * grid)
+                        .map(|_| s.uniform_mod(2001) as f32 / 1000.0 - 1.0)
+                        .collect();
+                    for y in 0..config.hw {
+                        for x in 0..config.hw {
+                            // bilinear sample of the control grid
+                            let fy = y as f32 / (config.hw - 1) as f32 * (grid - 1) as f32;
+                            let fx = x as f32 / (config.hw - 1) as f32 * (grid - 1) as f32;
+                            let (y0, x0) = (fy as usize, fx as usize);
+                            let (y1, x1) = ((y0 + 1).min(grid - 1), (x0 + 1).min(grid - 1));
+                            let (dy, dx) = (fy - y0 as f32, fx - x0 as f32);
+                            let v = ctrl[y0 * grid + x0] * (1.0 - dy) * (1.0 - dx)
+                                + ctrl[y0 * grid + x1] * (1.0 - dy) * dx
+                                + ctrl[y1 * grid + x0] * dy * (1.0 - dx)
+                                + ctrl[y1 * grid + x1] * dy * dx;
+                            t.data_mut()[(ci * config.hw + y) * config.hw + x] = v;
+                        }
+                    }
+                }
+                t
+            })
+            .collect();
+        Self { config, templates }
+    }
+
+    /// Generates a dataset of `n` samples (round-robin labels) with the
+    /// given seed.
+    pub fn generate(&self, n: usize, seed: u64) -> Dataset {
+        let mut s = Sampler::from_seed(seed);
+        let cfg = self.config;
+        let mut images = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let label = i % cfg.classes;
+            let tpl = &self.templates[label];
+            let sy = s.uniform_mod(2 * cfg.max_shift as u64 + 1) as isize - cfg.max_shift as isize;
+            let sx = s.uniform_mod(2 * cfg.max_shift as u64 + 1) as isize - cfg.max_shift as isize;
+            let mut img = Tensor::zeros(&[cfg.c, cfg.hw, cfg.hw]);
+            for ci in 0..cfg.c {
+                for y in 0..cfg.hw {
+                    for x in 0..cfg.hw {
+                        let ty = y as isize + sy;
+                        let tx = x as isize + sx;
+                        let base = if ty >= 0
+                            && tx >= 0
+                            && (ty as usize) < cfg.hw
+                            && (tx as usize) < cfg.hw
+                        {
+                            tpl.data()[(ci * cfg.hw + ty as usize) * cfg.hw + tx as usize]
+                        } else {
+                            0.0
+                        };
+                        let noise =
+                            (s.uniform_mod(2001) as f32 / 1000.0 - 1.0) * cfg.noise;
+                        img.data_mut()[(ci * cfg.hw + y) * cfg.hw + x] = base + noise;
+                    }
+                }
+            }
+            images.push(img);
+            labels.push(label);
+        }
+        Dataset {
+            images,
+            labels,
+            classes: cfg.classes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_generation() {
+        let src = SyntheticSource::new(SyntheticConfig::mnist_like(), 1);
+        let a = src.generate(10, 2);
+        let b = src.generate(10, 2);
+        assert_eq!(a.images[3], b.images[3]);
+        assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    fn labels_balanced() {
+        let src = SyntheticSource::new(SyntheticConfig::cifar_like(), 1);
+        let d = src.generate(100, 3);
+        for c in 0..10 {
+            assert_eq!(d.labels.iter().filter(|&&l| l == c).count(), 10);
+        }
+    }
+
+    #[test]
+    fn classes_are_distinguishable() {
+        // Nearest-template classification should already beat chance by a
+        // lot — the CNNs then only need to do better than this baseline.
+        let src = SyntheticSource::new(SyntheticConfig::mnist_like(), 7);
+        let d = src.generate(200, 8);
+        let mut correct = 0;
+        for (img, &label) in d.images.iter().zip(&d.labels) {
+            let mut best = (f32::INFINITY, 0usize);
+            for (c, tpl) in src.templates.iter().enumerate() {
+                let dist: f32 = img
+                    .data()
+                    .iter()
+                    .zip(tpl.data())
+                    .map(|(&a, &b)| (a - b) * (a - b))
+                    .sum();
+                if dist < best.0 {
+                    best = (dist, c);
+                }
+            }
+            if best.1 == label {
+                correct += 1;
+            }
+        }
+        assert!(correct > 150, "nearest-template accuracy {correct}/200");
+    }
+}

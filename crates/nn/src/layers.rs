@@ -1,0 +1,708 @@
+//! Float CNN layers with forward and backward passes — enough of a deep
+//! learning substrate to train the paper's four benchmark models (MNIST-CNN,
+//! LeNet-5, ResNet-20, ResNet-56) from scratch on synthetic data, producing
+//! the `plain-G` models that quantization (`plain-Q`) and encrypted
+//! inference are measured against.
+//!
+//! Layers are stateful: `forward` caches whatever `backward` needs;
+//! `backward` accumulates parameter gradients; `update` applies SGD and
+//! clears them. Single-sample processing keeps the code simple (mini-batches
+//! are emulated by accumulating gradients across calls before `update`).
+
+use crate::tensor::Tensor;
+use athena_math::sampler::Sampler;
+
+/// A trainable layer.
+pub trait Layer: std::fmt::Debug {
+    /// Forward pass (caches activations for backward).
+    fn forward(&mut self, x: &Tensor) -> Tensor;
+    /// Backward pass: consumes `dL/dout`, returns `dL/din`, accumulates
+    /// parameter gradients.
+    fn backward(&mut self, grad: &Tensor) -> Tensor;
+    /// SGD step with learning rate `lr`; zeroes accumulated gradients.
+    fn update(&mut self, _lr: f32) {}
+    /// Layer name for debugging/UI.
+    fn name(&self) -> &'static str;
+}
+
+fn conv_out_dim(h: usize, k: usize, stride: usize, pad: usize) -> usize {
+    (h + 2 * pad - k) / stride + 1
+}
+
+/// Per-element gradient clip applied at update time — cheap insurance
+/// against the exploding gradients deep unnormalized ResNets produce.
+const GRAD_CLIP: f32 = 5.0;
+
+fn sgd_step(params: &mut [f32], grads: &mut [f32], lr: f32) {
+    for (w, g) in params.iter_mut().zip(grads.iter_mut()) {
+        let gc = if g.is_finite() { g.clamp(-GRAD_CLIP, GRAD_CLIP) } else { 0.0 };
+        *w -= lr * gc;
+        *g = 0.0;
+    }
+}
+
+/// 2D convolution over `[C, H, W]` tensors.
+#[derive(Debug)]
+pub struct Conv2d {
+    /// `[C_out, C_in, K, K]`.
+    pub weight: Tensor,
+    /// `[C_out]`.
+    pub bias: Tensor,
+    /// Stride.
+    pub stride: usize,
+    /// Symmetric zero padding.
+    pub padding: usize,
+    cache_x: Option<Tensor>,
+    gw: Tensor,
+    gb: Tensor,
+}
+
+impl Conv2d {
+    /// He-initialized convolution.
+    pub fn new(
+        c_in: usize,
+        c_out: usize,
+        k: usize,
+        stride: usize,
+        padding: usize,
+        sampler: &mut Sampler,
+    ) -> Self {
+        let fan_in = (c_in * k * k) as f32;
+        let std = (2.0 / fan_in).sqrt();
+        let w: Vec<f32> = (0..c_out * c_in * k * k)
+            .map(|_| {
+                // Box–Muller via sampler uniform bits
+                let u1 = (sampler.next_u64() as f64 / u64::MAX as f64).max(1e-12);
+                let u2 = sampler.next_u64() as f64 / u64::MAX as f64;
+                ((-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()) as f32 * std
+            })
+            .collect();
+        Self {
+            weight: Tensor::from_vec(&[c_out, c_in, k, k], w),
+            bias: Tensor::zeros(&[c_out]),
+            stride,
+            padding,
+            cache_x: None,
+            gw: Tensor::zeros(&[c_out, c_in, k, k]),
+            gb: Tensor::zeros(&[c_out]),
+        }
+    }
+
+    /// Kernel spatial size.
+    pub fn kernel(&self) -> usize {
+        self.weight.shape()[2]
+    }
+
+    /// Output shape for an input shape.
+    pub fn out_shape(&self, in_shape: &[usize]) -> Vec<usize> {
+        let (c_out, k) = (self.weight.shape()[0], self.kernel());
+        vec![
+            c_out,
+            conv_out_dim(in_shape[1], k, self.stride, self.padding),
+            conv_out_dim(in_shape[2], k, self.stride, self.padding),
+        ]
+    }
+}
+
+/// Shared convolution arithmetic (also used by the quantized path with i64).
+pub fn conv2d_forward_f32(
+    x: &Tensor,
+    w: &Tensor,
+    b: Option<&[f32]>,
+    stride: usize,
+    padding: usize,
+) -> Tensor {
+    let (c_in, h, wd) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+    let (c_out, k) = (w.shape()[0], w.shape()[2]);
+    assert_eq!(w.shape()[1], c_in, "channel mismatch");
+    let oh = conv_out_dim(h, k, stride, padding);
+    let ow = conv_out_dim(wd, k, stride, padding);
+    let mut out = Tensor::zeros(&[c_out, oh, ow]);
+    let xd = x.data();
+    let wdta = w.data();
+    let od = out.data_mut();
+    // axpy ordering: the innermost loop runs contiguously over output x at
+    // stride 1 (autovectorizes); strided layers use the scalar update.
+    // Padding is handled by clamping the valid output range per (ky, kx)
+    // instead of branching per element.
+    for co in 0..c_out {
+        if let Some(bb) = b {
+            od[co * oh * ow..(co + 1) * oh * ow].fill(bb[co]);
+        }
+        for ci in 0..c_in {
+            for ky in 0..k {
+                for kx in 0..k {
+                    let wv = wdta[((co * c_in + ci) * k + ky) * k + kx];
+                    if wv == 0.0 {
+                        continue;
+                    }
+                    for oy in 0..oh {
+                        let iy = (oy * stride + ky) as isize - padding as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let xrow = &xd[(ci * h + iy as usize) * wd
+                            ..(ci * h + iy as usize + 1) * wd];
+                        let orow = &mut od[(co * oh + oy) * ow..(co * oh + oy + 1) * ow];
+                        if stride == 1 {
+                            // valid ox range: 0 <= ox + kx - padding < wd
+                            let lo = padding.saturating_sub(kx);
+                            let hi = (wd + padding - kx).min(ow);
+                            let shift = kx as isize - padding as isize;
+                            for (ox, o) in orow.iter_mut().enumerate().take(hi).skip(lo) {
+                                *o += wv * xrow[(ox as isize + shift) as usize];
+                            }
+                        } else {
+                            for (ox, o) in orow.iter_mut().enumerate() {
+                                let ix = (ox * stride + kx) as isize - padding as isize;
+                                if ix >= 0 && ix < wd as isize {
+                                    *o += wv * xrow[ix as usize];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        self.cache_x = Some(x.clone());
+        conv2d_forward_f32(
+            x,
+            &self.weight,
+            Some(self.bias.data()),
+            self.stride,
+            self.padding,
+        )
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let x = self.cache_x.as_ref().expect("forward before backward");
+        let (c_in, h, wd) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+        let (c_out, k) = (self.weight.shape()[0], self.kernel());
+        let (oh, ow) = (grad.shape()[1], grad.shape()[2]);
+        let mut gx = Tensor::zeros(x.shape());
+        let gd = grad.data();
+        let xd = x.data();
+        let wdta = self.weight.data();
+        {
+            // Same axpy restructuring as the forward pass: for each weight
+            // tap, a fused row-dot (for dL/dw) and row-axpy (for dL/dx).
+            let gwd = self.gw.data_mut();
+            let gxd = gx.data_mut();
+            let (stride, padding) = (self.stride, self.padding);
+            for co in 0..c_out {
+                for ci in 0..c_in {
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            let wi = ((co * c_in + ci) * k + ky) * k + kx;
+                            let wv = wdta[wi];
+                            let mut wacc = 0.0f32;
+                            for oy in 0..oh {
+                                let iy = (oy * stride + ky) as isize - padding as isize;
+                                if iy < 0 || iy >= h as isize {
+                                    continue;
+                                }
+                                let grow = &gd[(co * oh + oy) * ow..(co * oh + oy + 1) * ow];
+                                let base = (ci * h + iy as usize) * wd;
+                                if stride == 1 {
+                                    let lo = padding.saturating_sub(kx);
+                                    let hi = (wd + padding - kx).min(ow);
+                                    let shift = kx as isize - padding as isize;
+                                    for (ox, &g) in grow.iter().enumerate().take(hi).skip(lo) {
+                                        let xi = base + (ox as isize + shift) as usize;
+                                        wacc += g * xd[xi];
+                                        gxd[xi] += g * wv;
+                                    }
+                                } else {
+                                    for (ox, &g) in grow.iter().enumerate() {
+                                        let ix = (ox * stride + kx) as isize - padding as isize;
+                                        if ix >= 0 && ix < wd as isize {
+                                            let xi = base + ix as usize;
+                                            wacc += g * xd[xi];
+                                            gxd[xi] += g * wv;
+                                        }
+                                    }
+                                }
+                            }
+                            gwd[wi] += wacc;
+                        }
+                    }
+                }
+            }
+        }
+        {
+            let gbd = self.gb.data_mut();
+            for co in 0..c_out {
+                let mut s = 0.0;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        s += gd[(co * oh + oy) * ow + ox];
+                    }
+                }
+                gbd[co] += s;
+            }
+        }
+        gx
+    }
+
+    fn update(&mut self, lr: f32) {
+        sgd_step(self.weight.data_mut(), self.gw.data_mut(), lr);
+        sgd_step(self.bias.data_mut(), self.gb.data_mut(), lr);
+    }
+
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+}
+
+/// Fully connected layer over flattened inputs.
+#[derive(Debug)]
+pub struct Linear {
+    /// `[Out, In]`.
+    pub weight: Tensor,
+    /// `[Out]`.
+    pub bias: Tensor,
+    cache_x: Option<Tensor>,
+    cache_in_shape: Vec<usize>,
+    gw: Tensor,
+    gb: Tensor,
+}
+
+impl Linear {
+    /// He-initialized linear layer.
+    pub fn new(d_in: usize, d_out: usize, sampler: &mut Sampler) -> Self {
+        let std = (2.0 / d_in as f32).sqrt();
+        let w: Vec<f32> = (0..d_in * d_out)
+            .map(|_| {
+                let u1 = (sampler.next_u64() as f64 / u64::MAX as f64).max(1e-12);
+                let u2 = sampler.next_u64() as f64 / u64::MAX as f64;
+                ((-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()) as f32 * std
+            })
+            .collect();
+        Self {
+            weight: Tensor::from_vec(&[d_out, d_in], w),
+            bias: Tensor::zeros(&[d_out]),
+            cache_x: None,
+            cache_in_shape: Vec::new(),
+            gw: Tensor::zeros(&[d_out, d_in]),
+            gb: Tensor::zeros(&[d_out]),
+        }
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        self.cache_in_shape = x.shape().to_vec();
+        let x = x.reshape(&[x.len()]);
+        let (d_out, d_in) = (self.weight.shape()[0], self.weight.shape()[1]);
+        assert_eq!(x.len(), d_in, "linear input size mismatch");
+        let mut out = Tensor::zeros(&[d_out]);
+        for o in 0..d_out {
+            let mut acc = self.bias.data()[o];
+            let row = &self.weight.data()[o * d_in..(o + 1) * d_in];
+            for (wi, xi) in row.iter().zip(x.data()) {
+                acc += wi * xi;
+            }
+            out.data_mut()[o] = acc;
+        }
+        self.cache_x = Some(x);
+        out
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let x = self.cache_x.as_ref().expect("forward before backward");
+        let (d_out, d_in) = (self.weight.shape()[0], self.weight.shape()[1]);
+        let mut gx = Tensor::zeros(&[d_in]);
+        for o in 0..d_out {
+            let g = grad.data()[o];
+            self.gb.data_mut()[o] += g;
+            let row = &self.weight.data()[o * d_in..(o + 1) * d_in];
+            let grow = &mut self.gw.data_mut()[o * d_in..(o + 1) * d_in];
+            for i in 0..d_in {
+                grow[i] += g * x.data()[i];
+                gx.data_mut()[i] += g * row[i];
+            }
+        }
+        gx.reshape(&self.cache_in_shape)
+    }
+
+    fn update(&mut self, lr: f32) {
+        sgd_step(self.weight.data_mut(), self.gw.data_mut(), lr);
+        sgd_step(self.bias.data_mut(), self.gb.data_mut(), lr);
+    }
+
+    fn name(&self) -> &'static str {
+        "linear"
+    }
+}
+
+/// ReLU activation.
+#[derive(Debug, Default)]
+pub struct ReLU {
+    mask: Vec<bool>,
+}
+
+impl ReLU {
+    /// New ReLU.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for ReLU {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        self.mask = x.data().iter().map(|&v| v > 0.0).collect();
+        Tensor::from_vec(
+            x.shape(),
+            x.data().iter().map(|&v| v.max(0.0)).collect(),
+        )
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        Tensor::from_vec(
+            grad.shape(),
+            grad.data()
+                .iter()
+                .zip(&self.mask)
+                .map(|(&g, &m)| if m { g } else { 0.0 })
+                .collect(),
+        )
+    }
+
+    fn name(&self) -> &'static str {
+        "relu"
+    }
+}
+
+/// Average pooling with square kernel (stride = kernel).
+#[derive(Debug)]
+pub struct AvgPool2d {
+    /// Kernel (and stride).
+    pub k: usize,
+    in_shape: Vec<usize>,
+}
+
+impl AvgPool2d {
+    /// New average pool.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            in_shape: Vec::new(),
+        }
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        let (c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+        self.in_shape = x.shape().to_vec();
+        let (oh, ow) = (h / self.k, w / self.k);
+        let mut out = Tensor::zeros(&[c, oh, ow]);
+        for ci in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut s = 0.0;
+                    for ky in 0..self.k {
+                        for kx in 0..self.k {
+                            s += x.data()[(ci * h + oy * self.k + ky) * w + ox * self.k + kx];
+                        }
+                    }
+                    out.data_mut()[(ci * oh + oy) * ow + ox] = s / (self.k * self.k) as f32;
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let (c, h, w) = (self.in_shape[0], self.in_shape[1], self.in_shape[2]);
+        let (oh, ow) = (grad.shape()[1], grad.shape()[2]);
+        let mut gx = Tensor::zeros(&self.in_shape);
+        let inv = 1.0 / (self.k * self.k) as f32;
+        for ci in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let g = grad.data()[(ci * oh + oy) * ow + ox] * inv;
+                    for ky in 0..self.k {
+                        for kx in 0..self.k {
+                            gx.data_mut()
+                                [(ci * h + oy * self.k + ky) * w + ox * self.k + kx] += g;
+                        }
+                    }
+                }
+            }
+        }
+        gx
+    }
+
+    fn name(&self) -> &'static str {
+        "avgpool"
+    }
+}
+
+/// Max pooling with square kernel (stride = kernel).
+#[derive(Debug)]
+pub struct MaxPool2d {
+    /// Kernel (and stride).
+    pub k: usize,
+    in_shape: Vec<usize>,
+    argmax: Vec<usize>,
+}
+
+impl MaxPool2d {
+    /// New max pool.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            in_shape: Vec::new(),
+            argmax: Vec::new(),
+        }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        let (c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+        self.in_shape = x.shape().to_vec();
+        let (oh, ow) = (h / self.k, w / self.k);
+        let mut out = Tensor::zeros(&[c, oh, ow]);
+        self.argmax = vec![0; c * oh * ow];
+        for ci in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_i = 0;
+                    for ky in 0..self.k {
+                        for kx in 0..self.k {
+                            let i = (ci * h + oy * self.k + ky) * w + ox * self.k + kx;
+                            if x.data()[i] > best {
+                                best = x.data()[i];
+                                best_i = i;
+                            }
+                        }
+                    }
+                    let o = (ci * oh + oy) * ow + ox;
+                    out.data_mut()[o] = best;
+                    self.argmax[o] = best_i;
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let mut gx = Tensor::zeros(&self.in_shape);
+        for (o, &i) in self.argmax.iter().enumerate() {
+            gx.data_mut()[i] += grad.data()[o];
+        }
+        gx
+    }
+
+    fn name(&self) -> &'static str {
+        "maxpool"
+    }
+}
+
+/// Per-channel scale and bias (a trainable, foldable stand-in for frozen
+/// batch normalization in the ResNets).
+#[derive(Debug)]
+pub struct ScaleBias {
+    /// `[C]` multiplicative.
+    pub gamma: Tensor,
+    /// `[C]` additive.
+    pub beta: Tensor,
+    cache_x: Option<Tensor>,
+    gg: Tensor,
+    gb: Tensor,
+}
+
+impl ScaleBias {
+    /// Identity-initialized scale/bias over `c` channels.
+    pub fn new(c: usize) -> Self {
+        Self {
+            gamma: Tensor::from_vec(&[c], vec![1.0; c]),
+            beta: Tensor::zeros(&[c]),
+            cache_x: None,
+            gg: Tensor::zeros(&[c]),
+            gb: Tensor::zeros(&[c]),
+        }
+    }
+}
+
+impl Layer for ScaleBias {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        self.cache_x = Some(x.clone());
+        let (c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+        let mut out = x.clone();
+        for ci in 0..c {
+            let g = self.gamma.data()[ci];
+            let b = self.beta.data()[ci];
+            for v in &mut out.data_mut()[ci * h * w..(ci + 1) * h * w] {
+                *v = *v * g + b;
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let x = self.cache_x.as_ref().expect("forward before backward");
+        let (c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+        let mut gx = Tensor::zeros(x.shape());
+        for ci in 0..c {
+            let g = self.gamma.data()[ci];
+            let mut sg = 0.0;
+            let mut sb = 0.0;
+            for i in ci * h * w..(ci + 1) * h * w {
+                sg += grad.data()[i] * x.data()[i];
+                sb += grad.data()[i];
+                gx.data_mut()[i] = grad.data()[i] * g;
+            }
+            self.gg.data_mut()[ci] += sg;
+            self.gb.data_mut()[ci] += sb;
+        }
+        gx
+    }
+
+    fn update(&mut self, lr: f32) {
+        sgd_step(self.gamma.data_mut(), self.gg.data_mut(), lr);
+        sgd_step(self.beta.data_mut(), self.gb.data_mut(), lr);
+    }
+
+    fn name(&self) -> &'static str {
+        "scalebias"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finite_diff_check(
+        layer: &mut dyn Layer,
+        x: &Tensor,
+        eps: f32,
+        tol: f32,
+    ) {
+        // loss = sum(forward(x)); analytic dL/dx vs numeric.
+        let y = layer.forward(x);
+        let ones = Tensor::from_vec(y.shape(), vec![1.0; y.len()]);
+        let gx = layer.backward(&ones);
+        for i in 0..x.len().min(8) {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let yp: f32 = layer.forward(&xp).data().iter().sum();
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let ym: f32 = layer.forward(&xm).data().iter().sum();
+            let num = (yp - ym) / (2.0 * eps);
+            assert!(
+                (num - gx.data()[i]).abs() < tol,
+                "grad mismatch at {i}: numeric {num}, analytic {}",
+                gx.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn conv_gradient_check() {
+        let mut s = Sampler::from_seed(5);
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, &mut s);
+        let x = Tensor::from_vec(
+            &[2, 4, 4],
+            (0..32).map(|i| (i as f32 * 0.37).sin()).collect(),
+        );
+        finite_diff_check(&mut conv, &x, 1e-3, 1e-2);
+    }
+
+    #[test]
+    fn conv_stride_and_shape() {
+        let mut s = Sampler::from_seed(6);
+        let conv = Conv2d::new(3, 8, 3, 2, 1, &mut s);
+        assert_eq!(conv.out_shape(&[3, 32, 32]), vec![8, 16, 16]);
+        let conv = Conv2d::new(16, 32, 1, 2, 0, &mut s);
+        assert_eq!(conv.out_shape(&[16, 32, 32]), vec![32, 16, 16]);
+    }
+
+    #[test]
+    fn linear_gradient_check() {
+        let mut s = Sampler::from_seed(7);
+        let mut lin = Linear::new(6, 4, &mut s);
+        let x = Tensor::from_vec(&[6], (0..6).map(|i| i as f32 * 0.3 - 1.0).collect());
+        finite_diff_check(&mut lin, &x, 1e-3, 1e-2);
+    }
+
+    #[test]
+    fn relu_forward_backward() {
+        let mut r = ReLU::new();
+        let x = Tensor::from_vec(&[4], vec![-1.0, 2.0, -3.0, 4.0]);
+        let y = r.forward(&x);
+        assert_eq!(y.data(), &[0.0, 2.0, 0.0, 4.0]);
+        let g = r.backward(&Tensor::from_vec(&[4], vec![1.0; 4]));
+        assert_eq!(g.data(), &[0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn pooling_shapes_and_values() {
+        let x = Tensor::from_vec(
+            &[1, 4, 4],
+            vec![
+                1.0, 2.0, 3.0, 4.0, //
+                5.0, 6.0, 7.0, 8.0, //
+                9.0, 10.0, 11.0, 12.0, //
+                13.0, 14.0, 15.0, 16.0,
+            ],
+        );
+        let mut avg = AvgPool2d::new(2);
+        let a = avg.forward(&x);
+        assert_eq!(a.data(), &[3.5, 5.5, 11.5, 13.5]);
+        let mut mx = MaxPool2d::new(2);
+        let m = mx.forward(&x);
+        assert_eq!(m.data(), &[6.0, 8.0, 14.0, 16.0]);
+        // max backward routes to argmax
+        let g = mx.backward(&Tensor::from_vec(&[1, 2, 2], vec![1.0; 4]));
+        assert_eq!(g.data()[5], 1.0);
+        assert_eq!(g.data()[0], 0.0);
+    }
+
+    #[test]
+    fn scalebias_gradcheck_and_identity() {
+        let mut sb = ScaleBias::new(2);
+        let x = Tensor::from_vec(&[2, 2, 2], (0..8).map(|i| i as f32 - 4.0).collect());
+        assert_eq!(sb.forward(&x), x); // identity init
+        finite_diff_check(&mut sb, &x, 1e-3, 1e-2);
+    }
+
+    #[test]
+    fn conv_training_reduces_loss() {
+        // Tiny regression: train conv+relu to match a target map.
+        let mut s = Sampler::from_seed(8);
+        let mut conv = Conv2d::new(1, 1, 3, 1, 1, &mut s);
+        let x = Tensor::from_vec(&[1, 4, 4], (0..16).map(|i| (i as f32 / 8.0) - 1.0).collect());
+        let target: Vec<f32> = x.data().iter().map(|&v| 2.0 * v + 0.5).collect();
+        let mut first_loss = 0.0;
+        let mut last_loss = 0.0;
+        for it in 0..200 {
+            let y = conv.forward(&x);
+            let diff: Vec<f32> = y
+                .data()
+                .iter()
+                .zip(&target)
+                .map(|(&a, &b)| a - b)
+                .collect();
+            let loss: f32 = diff.iter().map(|d| d * d).sum::<f32>() / 16.0;
+            if it == 0 {
+                first_loss = loss;
+            }
+            last_loss = loss;
+            let grad = Tensor::from_vec(&[1, 4, 4], diff.iter().map(|d| 2.0 * d / 16.0).collect());
+            conv.backward(&grad);
+            conv.update(0.05);
+        }
+        assert!(last_loss < first_loss * 0.05, "loss {first_loss} -> {last_loss}");
+    }
+}

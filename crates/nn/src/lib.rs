@@ -1,0 +1,34 @@
+//! # athena-nn
+//!
+//! The quantized-CNN substrate of the Athena reproduction: tensors, float
+//! layers with backprop, the four benchmark architectures (MNIST-CNN,
+//! LeNet-5, ResNet-20/56), synthetic datasets, an SGD trainer,
+//! post-training quantization, and the integer [`qmodel::QModel`] whose
+//! semantics the FHE pipeline mirrors exactly.
+//!
+//! ## Example
+//!
+//! ```
+//! use athena_nn::models::ModelKind;
+//! use athena_nn::tensor::Tensor;
+//! use athena_math::sampler::Sampler;
+//!
+//! let mut sampler = Sampler::from_seed(1);
+//! let mut net = ModelKind::LeNet.build(&mut sampler);
+//! let logits = net.forward(&Tensor::zeros(&[1, 28, 28]));
+//! assert_eq!(logits.len(), 10);
+//! ```
+
+pub mod approx;
+pub mod data;
+pub mod layers;
+pub mod models;
+pub mod network;
+pub mod qmodel;
+pub mod quant;
+pub mod tensor;
+pub mod train;
+
+pub use models::{ModelKind, ModelSpec};
+pub use qmodel::{Activation, QModel, QuantConfig};
+pub use tensor::{ITensor, Tensor};

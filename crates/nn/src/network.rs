@@ -1,0 +1,306 @@
+//! Networks: a sequential container over an enum of layers (so quantization
+//! can pattern-match the trained structure), residual blocks for the
+//! ResNets, and the softmax cross-entropy loss used for training.
+
+use crate::layers::{AvgPool2d, Conv2d, Layer, Linear, MaxPool2d, ReLU, ScaleBias};
+use crate::tensor::Tensor;
+
+/// One network node.
+#[derive(Debug)]
+pub enum NetLayer {
+    /// Convolution.
+    Conv(Conv2d),
+    /// Fully connected.
+    Linear(Linear),
+    /// ReLU activation.
+    ReLU(ReLU),
+    /// Average pooling.
+    AvgPool(AvgPool2d),
+    /// Max pooling.
+    MaxPool(MaxPool2d),
+    /// Per-channel scale/bias (foldable batch-norm stand-in).
+    ScaleBias(ScaleBias),
+    /// Residual block (ResNet basic block).
+    Residual(ResidualBlock),
+}
+
+impl NetLayer {
+    fn as_layer(&mut self) -> &mut dyn Layer {
+        match self {
+            NetLayer::Conv(l) => l,
+            NetLayer::Linear(l) => l,
+            NetLayer::ReLU(l) => l,
+            NetLayer::AvgPool(l) => l,
+            NetLayer::MaxPool(l) => l,
+            NetLayer::ScaleBias(l) => l,
+            NetLayer::Residual(l) => l,
+        }
+    }
+}
+
+/// A ResNet basic block: `relu(sb2(conv2(relu(sb1(conv1(x))))) + skip(x))`
+/// where `skip` is identity or a strided 1×1 convolution.
+#[derive(Debug)]
+pub struct ResidualBlock {
+    /// First 3×3 convolution.
+    pub conv1: Conv2d,
+    /// Scale/bias after conv1.
+    pub sb1: ScaleBias,
+    relu1: ReLU,
+    /// Second 3×3 convolution.
+    pub conv2: Conv2d,
+    /// Scale/bias after conv2.
+    pub sb2: ScaleBias,
+    /// Optional 1×1 downsample on the skip path.
+    pub downsample: Option<Conv2d>,
+    relu_out: ReLU,
+}
+
+impl ResidualBlock {
+    /// Builds a block `c_in → c_out` with the given first-conv stride.
+    pub fn new(
+        c_in: usize,
+        c_out: usize,
+        stride: usize,
+        sampler: &mut athena_math::sampler::Sampler,
+    ) -> Self {
+        let downsample = if stride != 1 || c_in != c_out {
+            Some(Conv2d::new(c_in, c_out, 1, stride, 0, sampler))
+        } else {
+            None
+        };
+        // Damp the residual branch at init (the "zero-init last BN gamma"
+        // trick): without real batch normalization, full-gain branches make
+        // deep ResNets diverge under SGD.
+        let mut sb2 = ScaleBias::new(c_out);
+        for g in sb2.gamma.data_mut() {
+            *g = 0.2;
+        }
+        Self {
+            conv1: Conv2d::new(c_in, c_out, 3, stride, 1, sampler),
+            sb1: ScaleBias::new(c_out),
+            relu1: ReLU::new(),
+            conv2: Conv2d::new(c_out, c_out, 3, 1, 1, sampler),
+            sb2,
+            downsample,
+            relu_out: ReLU::new(),
+        }
+    }
+}
+
+impl Layer for ResidualBlock {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        let main = self.conv1.forward(x);
+        let main = self.sb1.forward(&main);
+        let main = self.relu1.forward(&main);
+        let main = self.conv2.forward(&main);
+        let main = self.sb2.forward(&main);
+        let skip = match &mut self.downsample {
+            Some(d) => d.forward(x),
+            None => x.clone(),
+        };
+        let sum = Tensor::from_vec(
+            main.shape(),
+            main.data()
+                .iter()
+                .zip(skip.data())
+                .map(|(&a, &b)| a + b)
+                .collect(),
+        );
+        self.relu_out.forward(&sum)
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let gsum = self.relu_out.backward(grad);
+        // main path
+        let g = self.sb2.backward(&gsum);
+        let g = self.conv2.backward(&g);
+        let g = self.relu1.backward(&g);
+        let g = self.sb1.backward(&g);
+        let g_main = self.conv1.backward(&g);
+        // skip path
+        let g_skip = match &mut self.downsample {
+            Some(d) => d.backward(&gsum),
+            None => gsum,
+        };
+        Tensor::from_vec(
+            g_main.shape(),
+            g_main
+                .data()
+                .iter()
+                .zip(g_skip.data())
+                .map(|(&a, &b)| a + b)
+                .collect(),
+        )
+    }
+
+    fn update(&mut self, lr: f32) {
+        self.conv1.update(lr);
+        self.sb1.update(lr);
+        self.conv2.update(lr);
+        self.sb2.update(lr);
+        if let Some(d) = &mut self.downsample {
+            d.update(lr);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "residual"
+    }
+}
+
+/// A sequential network.
+#[derive(Debug, Default)]
+pub struct Network {
+    /// The layers in order.
+    pub layers: Vec<NetLayer>,
+}
+
+impl Network {
+    /// An empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a layer (builder style).
+    pub fn push(&mut self, l: NetLayer) -> &mut Self {
+        self.layers.push(l);
+        self
+    }
+
+    /// Forward pass through all layers.
+    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        let mut cur = x.clone();
+        for l in &mut self.layers {
+            cur = l.as_layer().forward(&cur);
+        }
+        cur
+    }
+
+    /// Backward pass (after a forward).
+    pub fn backward(&mut self, grad: &Tensor) {
+        let mut g = grad.clone();
+        for l in self.layers.iter_mut().rev() {
+            g = l.as_layer().backward(&g);
+        }
+    }
+
+    /// SGD update on all layers.
+    pub fn update(&mut self, lr: f32) {
+        for l in &mut self.layers {
+            l.as_layer().update(lr);
+        }
+    }
+
+    /// Predicted class of an input.
+    pub fn predict(&mut self, x: &Tensor) -> usize {
+        self.forward(x).argmax()
+    }
+}
+
+/// Softmax cross-entropy: returns `(loss, dL/dlogits)`.
+pub fn softmax_cross_entropy(logits: &Tensor, label: usize) -> (f32, Tensor) {
+    let max = logits.data().iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+    let exps: Vec<f32> = logits.data().iter().map(|&v| (v - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    let probs: Vec<f32> = exps.iter().map(|&e| e / sum).collect();
+    let loss = -probs[label].max(1e-12).ln();
+    let grad: Vec<f32> = probs
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| p - if i == label { 1.0 } else { 0.0 })
+        .collect();
+    (loss, Tensor::from_vec(logits.shape(), grad))
+}
+
+/// Softmax probabilities of a logit vector.
+pub fn softmax(logits: &[f32]) -> Vec<f32> {
+    let max = logits.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+    let exps: Vec<f32> = logits.iter().map(|&v| (v - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.iter().map(|&e| e / sum).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use athena_math::sampler::Sampler;
+
+    #[test]
+    fn softmax_ce_gradient_is_probs_minus_onehot() {
+        let logits = Tensor::from_vec(&[3], vec![1.0, 2.0, 0.5]);
+        let (loss, grad) = softmax_cross_entropy(&logits, 1);
+        assert!(loss > 0.0);
+        let s: f32 = grad.data().iter().sum();
+        assert!(s.abs() < 1e-5, "gradient sums to zero");
+        assert!(grad.data()[1] < 0.0);
+    }
+
+    #[test]
+    fn residual_block_shapes() {
+        let mut s = Sampler::from_seed(3);
+        let mut blk = ResidualBlock::new(16, 32, 2, &mut s);
+        let x = Tensor::zeros(&[16, 8, 8]);
+        let y = blk.forward(&x);
+        assert_eq!(y.shape(), &[32, 4, 4]);
+        let g = blk.backward(&Tensor::zeros(&[32, 4, 4]));
+        assert_eq!(g.shape(), &[16, 8, 8]);
+    }
+
+    #[test]
+    fn residual_identity_block_gradcheck() {
+        let mut s = Sampler::from_seed(4);
+        let mut blk = ResidualBlock::new(2, 2, 1, &mut s);
+        let x = Tensor::from_vec(&[2, 3, 3], (0..18).map(|i| (i as f32 * 0.4).sin() + 0.21).collect());
+        let y = blk.forward(&x);
+        let ones = Tensor::from_vec(y.shape(), vec![1.0; y.len()]);
+        let gx = blk.backward(&ones);
+        let eps = 1e-3;
+        for i in 0..4 {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let yp: f32 = blk.forward(&xp).data().iter().sum();
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let ym: f32 = blk.forward(&xm).data().iter().sum();
+            let num = (yp - ym) / (2.0 * eps);
+            let diff = (num - gx.data()[i]).abs();
+            assert!(diff < 5e-2, "grad {i}: numeric {num} vs {}", gx.data()[i]);
+        }
+    }
+
+    #[test]
+    fn tiny_network_learns_xor_like_task() {
+        // 2-class task on 1x2x2 inputs: class = sign of sum.
+        let mut s = Sampler::from_seed(11);
+        let mut net = Network::new();
+        net.push(NetLayer::Conv(Conv2d::new(1, 4, 2, 1, 0, &mut s)));
+        net.push(NetLayer::ReLU(ReLU::new()));
+        net.push(NetLayer::Linear(Linear::new(4, 2, &mut s)));
+        let inputs: Vec<(Tensor, usize)> = (0..64)
+            .map(|i| {
+                let vals: Vec<f32> = (0..4)
+                    .map(|j| ((i * 7 + j * 13) % 17) as f32 / 8.5 - 1.0)
+                    .collect();
+                let label = usize::from(vals.iter().sum::<f32>() > 0.0);
+                (Tensor::from_vec(&[1, 2, 2], vals), label)
+            })
+            .collect();
+        for _ in 0..60 {
+            for (x, y) in &inputs {
+                let logits = net.forward(x);
+                let (_, g) = softmax_cross_entropy(&logits, *y);
+                net.backward(&g);
+                net.update(0.05);
+            }
+        }
+        let correct = inputs
+            .iter()
+            .filter(|(x, y)| {
+                let mut net = &mut net;
+                net.predict(x) == *y
+            })
+            .count();
+        assert!(correct >= 58, "accuracy {correct}/64");
+    }
+}

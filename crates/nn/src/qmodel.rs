@@ -1,0 +1,524 @@
+//! Quantized models: the integer-exact computation that Athena executes
+//! under FHE, plus its plaintext reference implementation ("plain-Q" in
+//! Table 5).
+//!
+//! Semantics mirror the framework exactly: each linear layer is an integer
+//! MAC into a wide accumulator (the BFV coefficient domain), optionally with
+//! a scale-aligned residual addition, followed by a **fused
+//! remap+activation LUT** `v ↦ clamp(round(Act(v·s_in·s_w)/s_out))` — the
+//! same LUT FBS evaluates homomorphically. Pooling is either integer max
+//! (max-tree of LUTs under FHE) or a sum followed by a divide LUT.
+
+use crate::tensor::{ITensor, Tensor};
+
+/// Quantization precision (the paper's `wXaY` notation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuantConfig {
+    /// Weight bits (signed).
+    pub w_bits: u32,
+    /// Activation bits (signed).
+    pub a_bits: u32,
+}
+
+impl QuantConfig {
+    /// The paper's primary mode.
+    pub fn w7a7() -> Self {
+        Self { w_bits: 7, a_bits: 7 }
+    }
+
+    /// The paper's secondary mode.
+    pub fn w6a7() -> Self {
+        Self { w_bits: 6, a_bits: 7 }
+    }
+
+    /// Arbitrary symmetric mode.
+    pub fn new(w_bits: u32, a_bits: u32) -> Self {
+        assert!((2..=16).contains(&w_bits) && (2..=16).contains(&a_bits));
+        Self { w_bits, a_bits }
+    }
+
+    /// Largest representable weight magnitude.
+    pub fn w_max(&self) -> i64 {
+        (1 << (self.w_bits - 1)) - 1
+    }
+
+    /// Largest representable activation magnitude.
+    pub fn a_max(&self) -> i64 {
+        (1 << (self.a_bits - 1)) - 1
+    }
+}
+
+impl std::fmt::Display for QuantConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "w{}a{}", self.w_bits, self.a_bits)
+    }
+}
+
+/// Non-linearity fused into the remap LUT.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// No non-linearity (remap only, or raw logits).
+    Identity,
+    /// max(0, x).
+    ReLU,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Gaussian error linear unit (tanh approximation).
+    Gelu,
+}
+
+impl Activation {
+    /// Applies the activation in the real domain.
+    pub fn apply(&self, x: f64) -> f64 {
+        match self {
+            Activation::Identity => x,
+            Activation::ReLU => x.max(0.0),
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Activation::Gelu => {
+                0.5 * x
+                    * (1.0
+                        + ((2.0 / std::f64::consts::PI).sqrt() * (x + 0.044715 * x * x * x))
+                            .tanh())
+            }
+        }
+    }
+}
+
+/// A quantized linear (conv or FC) node.
+#[derive(Debug, Clone)]
+pub struct QLinear {
+    /// Integer weights: `[C_out, C_in, K, K]` (FC uses `K = 1`, spatial 1).
+    pub weight: ITensor,
+    /// Bias in accumulator scale.
+    pub bias: Vec<i64>,
+    /// Stride.
+    pub stride: usize,
+    /// Padding.
+    pub padding: usize,
+    /// Whether this is a fully connected layer (input flattened).
+    pub is_fc: bool,
+    /// Fused activation.
+    pub act: Activation,
+    /// Scale of the input integers.
+    pub in_scale: f64,
+    /// Scale of the integer weights.
+    pub w_scale: f64,
+    /// Scale of the output integers (after remap).
+    pub out_scale: f64,
+}
+
+impl QLinear {
+    /// The remap LUT this layer needs: `v ↦ clamp(round(Act(v·s)/s_out))`
+    /// on centered inputs, where `s = in_scale·w_scale`.
+    pub fn remap(&self, v: i64, a_max: i64) -> i64 {
+        let real = v as f64 * self.in_scale * self.w_scale;
+        let out = self.act.apply(real) / self.out_scale;
+        (out.round() as i64).clamp(-a_max, a_max)
+    }
+}
+
+/// One operation node.
+#[derive(Debug, Clone)]
+pub enum QOp {
+    /// Convolution / FC with fused remap LUT.
+    Linear(QLinear),
+    /// Integer max pooling.
+    MaxPool {
+        /// Kernel (= stride).
+        k: usize,
+    },
+    /// Sum pooling followed by a divide LUT.
+    AvgPool {
+        /// Kernel (= stride).
+        k: usize,
+    },
+}
+
+/// A node plus its dataflow: input value index and optional residual input
+/// (value index + integer alignment multiplier added into the accumulator).
+#[derive(Debug, Clone)]
+pub struct QNode {
+    /// The operation.
+    pub op: QOp,
+    /// Index of the input value (0 = network input; `i+1` = output of node
+    /// `i`).
+    pub input: usize,
+    /// Residual addition into the accumulator: `(value index, multiplier)`.
+    pub skip: Option<(usize, i64)>,
+}
+
+/// A fully quantized model.
+#[derive(Debug, Clone)]
+pub struct QModel {
+    /// Nodes in topological order.
+    pub nodes: Vec<QNode>,
+    /// Scale of the quantized input image.
+    pub input_scale: f64,
+    /// Precision.
+    pub cfg: QuantConfig,
+}
+
+/// Per-inference statistics (drives Fig. 4 and the `t`-headroom check).
+#[derive(Debug, Clone, Default)]
+pub struct QStats {
+    /// Max |accumulator| per linear/pool node, aligned with `nodes`.
+    pub max_acc: Vec<i64>,
+}
+
+impl QStats {
+    fn observe(&mut self, node: usize, v: i64) {
+        if self.max_acc.len() <= node {
+            self.max_acc.resize(node + 1, 0);
+        }
+        self.max_acc[node] = self.max_acc[node].max(v.abs());
+    }
+
+    /// Merges another run's stats.
+    pub fn merge(&mut self, other: &QStats) {
+        if self.max_acc.len() < other.max_acc.len() {
+            self.max_acc.resize(other.max_acc.len(), 0);
+        }
+        for (a, &b) in self.max_acc.iter_mut().zip(&other.max_acc) {
+            *a = (*a).max(b);
+        }
+    }
+}
+
+fn conv_i64(
+    x: &ITensor,
+    w: &ITensor,
+    bias: &[i64],
+    stride: usize,
+    padding: usize,
+) -> ITensor {
+    let (c_in, h, wd) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+    let (c_out, k) = (w.shape()[0], w.shape()[2]);
+    assert_eq!(w.shape()[1], c_in, "channel mismatch");
+    let oh = (h + 2 * padding - k) / stride + 1;
+    let ow = (wd + 2 * padding - k) / stride + 1;
+    let mut out = ITensor::zeros(&[c_out, oh, ow]);
+    let xd = x.data();
+    let wdta = w.data();
+    let od = out.data_mut();
+    // Same axpy ordering as the float path: contiguous inner loops, padding
+    // handled by range clamping.
+    for co in 0..c_out {
+        od[co * oh * ow..(co + 1) * oh * ow].fill(bias[co]);
+        for ci in 0..c_in {
+            for ky in 0..k {
+                for kx in 0..k {
+                    let wv = wdta[((co * c_in + ci) * k + ky) * k + kx];
+                    if wv == 0 {
+                        continue;
+                    }
+                    for oy in 0..oh {
+                        let iy = (oy * stride + ky) as isize - padding as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let xrow = &xd[(ci * h + iy as usize) * wd
+                            ..(ci * h + iy as usize + 1) * wd];
+                        let orow = &mut od[(co * oh + oy) * ow..(co * oh + oy + 1) * ow];
+                        if stride == 1 {
+                            let lo = padding.saturating_sub(kx);
+                            let hi = (wd + padding - kx).min(ow);
+                            let shift = kx as isize - padding as isize;
+                            for (ox, o) in orow.iter_mut().enumerate().take(hi).skip(lo) {
+                                *o += wv * xrow[(ox as isize + shift) as usize];
+                            }
+                        } else {
+                            for (ox, o) in orow.iter_mut().enumerate() {
+                                let ix = (ox * stride + kx) as isize - padding as isize;
+                                if ix >= 0 && ix < wd as isize {
+                                    *o += wv * xrow[ix as usize];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+impl QModel {
+    /// Quantizes a float input image into the model's integer input domain.
+    pub fn quantize_input(&self, x: &Tensor) -> ITensor {
+        let a_max = self.cfg.a_max();
+        ITensor::from_vec(
+            x.shape(),
+            x.data()
+                .iter()
+                .map(|&v| {
+                    ((v as f64 / self.input_scale).round() as i64).clamp(-a_max, a_max)
+                })
+                .collect(),
+        )
+    }
+
+    /// Runs integer inference, optionally injecting per-accumulator noise
+    /// (the `e_ms` model of §3.2.2). Returns the float logits and stats.
+    pub fn forward_with_noise(
+        &self,
+        x: &ITensor,
+        noise: Option<&mut dyn FnMut() -> i64>,
+        stats: &mut QStats,
+    ) -> Vec<f64> {
+        self.forward_traced(x, noise, stats).0
+    }
+
+    /// Like [`QModel::forward_with_noise`] but also returns every
+    /// intermediate value tensor (index 0 = input), for per-layer error-rate
+    /// measurements (Fig. 4).
+    pub fn forward_traced(
+        &self,
+        x: &ITensor,
+        mut noise: Option<&mut dyn FnMut() -> i64>,
+        stats: &mut QStats,
+    ) -> (Vec<f64>, Vec<ITensor>) {
+        let a_max = self.cfg.a_max();
+        let mut values: Vec<ITensor> = vec![x.clone()];
+        let mut logits: Vec<f64> = Vec::new();
+        for (ni, node) in self.nodes.iter().enumerate() {
+            let input = &values[node.input];
+            let out = match &node.op {
+                QOp::Linear(l) => {
+                    let acc = if l.is_fc {
+                        let flat = ITensor::from_vec(
+                            &[input.len(), 1, 1],
+                            input.data().to_vec(),
+                        );
+                        conv_i64(&flat, &l.weight, &l.bias, 1, 0)
+                    } else {
+                        conv_i64(input, &l.weight, &l.bias, l.stride, l.padding)
+                    };
+                    let mut acc = acc;
+                    if let Some((skip_idx, mult)) = node.skip {
+                        let skip = &values[skip_idx];
+                        assert_eq!(skip.len(), acc.len(), "skip shape mismatch");
+                        for (a, &s) in acc.data_mut().iter_mut().zip(skip.data()) {
+                            *a += s * mult;
+                        }
+                    }
+                    if let Some(f) = noise.as_mut() {
+                        for a in acc.data_mut() {
+                            *a += f();
+                        }
+                    }
+                    for &a in acc.data() {
+                        stats.observe(ni, a);
+                    }
+                    let is_last = ni == self.nodes.len() - 1;
+                    if is_last {
+                        logits = acc
+                            .data()
+                            .iter()
+                            .map(|&v| v as f64 * l.in_scale * l.w_scale)
+                            .collect();
+                        acc // unused afterwards
+                    } else {
+                        ITensor::from_vec(
+                            acc.shape(),
+                            acc.data().iter().map(|&v| l.remap(v, a_max)).collect(),
+                        )
+                    }
+                }
+                QOp::MaxPool { k } => {
+                    let (c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+                    let (oh, ow) = (h / k, w / k);
+                    let mut out = ITensor::zeros(&[c, oh, ow]);
+                    for ci in 0..c {
+                        for oy in 0..oh {
+                            for ox in 0..ow {
+                                let mut best = i64::MIN;
+                                for ky in 0..*k {
+                                    for kx in 0..*k {
+                                        best = best.max(
+                                            input.data()
+                                                [(ci * h + oy * k + ky) * w + ox * k + kx],
+                                        );
+                                    }
+                                }
+                                out.data_mut()[(ci * oh + oy) * ow + ox] = best;
+                            }
+                        }
+                    }
+                    out
+                }
+                QOp::AvgPool { k } => {
+                    let (c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+                    let (oh, ow) = (h / k, w / k);
+                    let kk = (k * k) as i64;
+                    let mut out = ITensor::zeros(&[c, oh, ow]);
+                    for ci in 0..c {
+                        for oy in 0..oh {
+                            for ox in 0..ow {
+                                let mut s = 0i64;
+                                for ky in 0..*k {
+                                    for kx in 0..*k {
+                                        s += input.data()
+                                            [(ci * h + oy * k + ky) * w + ox * k + kx];
+                                    }
+                                }
+                                if let Some(f) = noise.as_mut() {
+                                    s += f();
+                                }
+                                stats.observe(ni, s);
+                                // divide LUT: round(s / k²)
+                                let v = (s as f64 / kk as f64).round() as i64;
+                                out.data_mut()[(ci * oh + oy) * ow + ox] =
+                                    v.clamp(-a_max, a_max);
+                            }
+                        }
+                    }
+                    out
+                }
+            };
+            values.push(out);
+        }
+        (logits, values)
+    }
+
+    /// Integer inference without noise.
+    pub fn forward(&self, x: &ITensor) -> Vec<f64> {
+        let mut stats = QStats::default();
+        self.forward_with_noise(x, None, &mut stats)
+    }
+
+    /// Predicted class.
+    pub fn predict(&self, x: &ITensor) -> usize {
+        let logits = self.forward(x);
+        logits
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaNs"))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// The linear-layer nodes (for LUT/size accounting).
+    pub fn linear_nodes(&self) -> impl Iterator<Item = (usize, &QLinear)> {
+        self.nodes.iter().enumerate().filter_map(|(i, n)| match &n.op {
+            QOp::Linear(l) => Some((i, l)),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_qlinear(act: Activation) -> QLinear {
+        QLinear {
+            weight: ITensor::from_vec(&[1, 1, 1, 1], vec![2]),
+            bias: vec![0],
+            stride: 1,
+            padding: 0,
+            is_fc: false,
+            act,
+            in_scale: 0.5,
+            w_scale: 0.25,
+            out_scale: 0.125,
+        }
+    }
+
+    #[test]
+    fn remap_relu_semantics() {
+        let l = tiny_qlinear(Activation::ReLU);
+        // v = 8 -> real 8*0.125 = 1.0 -> relu 1.0 -> /0.125 = 8
+        assert_eq!(l.remap(8, 127), 8);
+        assert_eq!(l.remap(-8, 127), 0);
+        // clamping
+        assert_eq!(l.remap(1000, 63), 63);
+    }
+
+    #[test]
+    fn conv_i64_matches_manual() {
+        let x = ITensor::from_vec(&[1, 2, 2], vec![1, 2, 3, 4]);
+        let w = ITensor::from_vec(&[1, 1, 2, 2], vec![1, 0, 0, 1]);
+        let y = conv_i64(&x, &w, &[10], 1, 0);
+        assert_eq!(y.data(), &[10 + 1 + 4]);
+    }
+
+    #[test]
+    fn forward_single_layer_model() {
+        let model = QModel {
+            nodes: vec![
+                QNode {
+                    op: QOp::Linear(tiny_qlinear(Activation::ReLU)),
+                    input: 0,
+                    skip: None,
+                },
+                QNode {
+                    op: QOp::Linear(QLinear {
+                        weight: ITensor::from_vec(&[1, 1, 1, 1], vec![1]),
+                        bias: vec![0],
+                        stride: 1,
+                        padding: 0,
+                        is_fc: false,
+                        act: Activation::Identity,
+                        in_scale: 0.125,
+                        w_scale: 1.0,
+                        out_scale: 1.0,
+                    }),
+                    input: 1,
+                    skip: None,
+                },
+            ],
+            input_scale: 0.5,
+            cfg: QuantConfig::w7a7(),
+        };
+        let x = ITensor::from_vec(&[1, 1, 1], vec![4]);
+        let logits = model.forward(&x);
+        // layer1: acc = 8, remap: 8*0.125=1.0 relu -> /0.125 = 8
+        // layer2: acc = 8 -> logits 8*0.125 = 1.0
+        assert_eq!(logits, vec![1.0]);
+    }
+
+    #[test]
+    fn noise_injection_and_stats() {
+        let model = QModel {
+            nodes: vec![QNode {
+                op: QOp::Linear(tiny_qlinear(Activation::Identity)),
+                input: 0,
+                skip: None,
+            }],
+            input_scale: 0.5,
+            cfg: QuantConfig::w7a7(),
+        };
+        let x = ITensor::from_vec(&[1, 1, 1], vec![10]);
+        let mut stats = QStats::default();
+        let mut inject = || 3i64;
+        let logits = model.forward_with_noise(&x, Some(&mut inject), &mut stats);
+        // acc = 20 + 3 = 23 -> logits 23*0.125
+        assert_eq!(logits, vec![23.0 * 0.125]);
+        assert_eq!(stats.max_acc[0], 23);
+    }
+
+    #[test]
+    fn pooling_ops() {
+        let model = QModel {
+            nodes: vec![
+                QNode { op: QOp::MaxPool { k: 2 }, input: 0, skip: None },
+            ],
+            input_scale: 1.0,
+            cfg: QuantConfig::w7a7(),
+        };
+        let x = ITensor::from_vec(&[1, 2, 2], vec![-5, 3, 7, 1]);
+        let mut stats = QStats::default();
+        // max pool output is the final node, but it is not Linear, so logits
+        // stay empty — exercise via values: use forward_with_noise + check
+        // no panic; dedicated avg test below.
+        let _ = model.forward_with_noise(&x, None, &mut stats);
+        let avg_model = QModel {
+            nodes: vec![QNode { op: QOp::AvgPool { k: 2 }, input: 0, skip: None }],
+            input_scale: 1.0,
+            cfg: QuantConfig::w7a7(),
+        };
+        let mut stats = QStats::default();
+        let _ = avg_model.forward_with_noise(&x, None, &mut stats);
+        assert_eq!(stats.max_acc[0], 6); // |sum| = |-5+3+7+1| = 6
+    }
+}

@@ -1,0 +1,619 @@
+//! Post-training quantization: folds scale/bias layers into convolutions,
+//! extracts the dataflow graph from a trained [`Network`], calibrates
+//! activation ranges on sample data, and emits the integer [`QModel`] that
+//! the Athena pipeline executes under FHE.
+
+use crate::layers::conv2d_forward_f32;
+use crate::network::{NetLayer, Network};
+use crate::qmodel::{Activation, QLinear, QModel, QNode, QOp, QuantConfig};
+use crate::tensor::{ITensor, Tensor};
+
+/// Float version of a linear node (weights already folded).
+#[derive(Debug, Clone)]
+pub struct FLinear {
+    /// Folded weights `[C_out, C_in, K, K]` (FC as `[Out, In, 1, 1]`).
+    pub weight: Tensor,
+    /// Folded bias.
+    pub bias: Vec<f32>,
+    /// Stride.
+    pub stride: usize,
+    /// Padding.
+    pub padding: usize,
+    /// FC flag.
+    pub is_fc: bool,
+    /// Fused activation.
+    pub act: Activation,
+}
+
+/// Float op node.
+#[derive(Debug, Clone)]
+pub enum FOp {
+    /// Linear with fused activation.
+    Linear(FLinear),
+    /// Max pooling.
+    MaxPool {
+        /// Kernel.
+        k: usize,
+    },
+    /// Average pooling.
+    AvgPool {
+        /// Kernel.
+        k: usize,
+    },
+}
+
+/// Float node with dataflow.
+#[derive(Debug, Clone)]
+pub struct FNode {
+    /// Operation.
+    pub op: FOp,
+    /// Input value index.
+    pub input: usize,
+    /// Residual input value index (added before the activation).
+    pub skip: Option<usize>,
+}
+
+/// The folded float model — structurally identical to the [`QModel`] that
+/// quantization produces from it.
+#[derive(Debug, Clone, Default)]
+pub struct FoldedModel {
+    /// Nodes in topological order.
+    pub nodes: Vec<FNode>,
+}
+
+fn fold_scale_bias(weight: &Tensor, bias: &[f32], gamma: &[f32], beta: &[f32]) -> (Tensor, Vec<f32>) {
+    let c_out = weight.shape()[0];
+    let per = weight.len() / c_out;
+    let mut w = weight.clone();
+    for co in 0..c_out {
+        for v in &mut w.data_mut()[co * per..(co + 1) * per] {
+            *v *= gamma[co];
+        }
+    }
+    let b: Vec<f32> = bias
+        .iter()
+        .enumerate()
+        .map(|(co, &bb)| bb * gamma[co] + beta[co])
+        .collect();
+    (w, b)
+}
+
+/// Extracts the folded dataflow graph from a trained network.
+///
+/// # Panics
+///
+/// Panics on layer patterns the quantizer does not recognize (all four
+/// benchmark models are covered).
+pub fn fold_network(net: &Network) -> FoldedModel {
+    let mut nodes: Vec<FNode> = Vec::new();
+    let mut cur_value = 0usize; // current dataflow head
+    let push = |nodes: &mut Vec<FNode>, node: FNode| -> usize {
+        nodes.push(node);
+        nodes.len() // value index of the new output
+    };
+    let mut i = 0;
+    let layers = &net.layers;
+    while i < layers.len() {
+        match &layers[i] {
+            NetLayer::Conv(c) => {
+                let (mut w, mut b) = (c.weight.clone(), c.bias.data().to_vec());
+                let mut j = i + 1;
+                if let Some(NetLayer::ScaleBias(sb)) = layers.get(j) {
+                    let (wf, bf) = fold_scale_bias(&w, &b, sb.gamma.data(), sb.beta.data());
+                    w = wf;
+                    b = bf;
+                    j += 1;
+                }
+                let act = if let Some(NetLayer::ReLU(_)) = layers.get(j) {
+                    j += 1;
+                    Activation::ReLU
+                } else {
+                    Activation::Identity
+                };
+                cur_value = push(
+                    &mut nodes,
+                    FNode {
+                        op: FOp::Linear(FLinear {
+                            weight: w,
+                            bias: b,
+                            stride: c.stride,
+                            padding: c.padding,
+                            is_fc: false,
+                            act,
+                        }),
+                        input: cur_value,
+                        skip: None,
+                    },
+                );
+                i = j;
+            }
+            NetLayer::Linear(l) => {
+                let (d_out, d_in) = (l.weight.shape()[0], l.weight.shape()[1]);
+                let w = Tensor::from_vec(&[d_out, d_in, 1, 1], l.weight.data().to_vec());
+                let mut j = i + 1;
+                let act = if let Some(NetLayer::ReLU(_)) = layers.get(j) {
+                    j += 1;
+                    Activation::ReLU
+                } else {
+                    Activation::Identity
+                };
+                cur_value = push(
+                    &mut nodes,
+                    FNode {
+                        op: FOp::Linear(FLinear {
+                            weight: w,
+                            bias: l.bias.data().to_vec(),
+                            stride: 1,
+                            padding: 0,
+                            is_fc: true,
+                            act,
+                        }),
+                        input: cur_value,
+                        skip: None,
+                    },
+                );
+                i = j;
+            }
+            NetLayer::MaxPool(p) => {
+                cur_value = push(
+                    &mut nodes,
+                    FNode {
+                        op: FOp::MaxPool { k: p.k },
+                        input: cur_value,
+                        skip: None,
+                    },
+                );
+                i += 1;
+            }
+            NetLayer::AvgPool(p) => {
+                cur_value = push(
+                    &mut nodes,
+                    FNode {
+                        op: FOp::AvgPool { k: p.k },
+                        input: cur_value,
+                        skip: None,
+                    },
+                );
+                i += 1;
+            }
+            NetLayer::Residual(blk) => {
+                let block_in = cur_value;
+                // Optional downsample on the skip path (Identity act).
+                let skip_value = if let Some(d) = &blk.downsample {
+                    push(
+                        &mut nodes,
+                        FNode {
+                            op: FOp::Linear(FLinear {
+                                weight: d.weight.clone(),
+                                bias: d.bias.data().to_vec(),
+                                stride: d.stride,
+                                padding: d.padding,
+                                is_fc: false,
+                                act: Activation::Identity,
+                            }),
+                            input: block_in,
+                            skip: None,
+                        },
+                    )
+                } else {
+                    block_in
+                };
+                // conv1 + sb1 + relu
+                let (w1, b1) = fold_scale_bias(
+                    &blk.conv1.weight,
+                    blk.conv1.bias.data(),
+                    blk.sb1.gamma.data(),
+                    blk.sb1.beta.data(),
+                );
+                let v1 = push(
+                    &mut nodes,
+                    FNode {
+                        op: FOp::Linear(FLinear {
+                            weight: w1,
+                            bias: b1,
+                            stride: blk.conv1.stride,
+                            padding: blk.conv1.padding,
+                            is_fc: false,
+                            act: Activation::ReLU,
+                        }),
+                        input: block_in,
+                        skip: None,
+                    },
+                );
+                // conv2 + sb2, add skip, relu
+                let (w2, b2) = fold_scale_bias(
+                    &blk.conv2.weight,
+                    blk.conv2.bias.data(),
+                    blk.sb2.gamma.data(),
+                    blk.sb2.beta.data(),
+                );
+                cur_value = push(
+                    &mut nodes,
+                    FNode {
+                        op: FOp::Linear(FLinear {
+                            weight: w2,
+                            bias: b2,
+                            stride: blk.conv2.stride,
+                            padding: blk.conv2.padding,
+                            is_fc: false,
+                            act: Activation::ReLU,
+                        }),
+                        input: v1,
+                        skip: Some(skip_value),
+                    },
+                );
+                i += 1;
+            }
+            NetLayer::ReLU(_) | NetLayer::ScaleBias(_) => {
+                panic!("unconsumed {:?} at position {i}: unsupported layer pattern", layers[i]);
+            }
+        }
+    }
+    FoldedModel { nodes }
+}
+
+impl FoldedModel {
+    /// Float inference through the folded graph; returns all intermediate
+    /// values (index 0 is the input).
+    pub fn forward_values(&self, x: &Tensor) -> Vec<Tensor> {
+        let mut values = vec![x.clone()];
+        for node in &self.nodes {
+            let input = &values[node.input];
+            let out = match &node.op {
+                FOp::Linear(l) => {
+                    let mut acc = if l.is_fc {
+                        let flat = input.reshape(&[input.len(), 1, 1]);
+                        conv2d_forward_f32(&flat, &l.weight, Some(&l.bias), 1, 0)
+                    } else {
+                        conv2d_forward_f32(input, &l.weight, Some(&l.bias), l.stride, l.padding)
+                    };
+                    if let Some(skip_idx) = node.skip {
+                        let skip = &values[skip_idx];
+                        for (a, &s) in acc.data_mut().iter_mut().zip(skip.data()) {
+                            *a += s;
+                        }
+                    }
+                    Tensor::from_vec(
+                        acc.shape(),
+                        acc.data()
+                            .iter()
+                            .map(|&v| l.act.apply(v as f64) as f32)
+                            .collect(),
+                    )
+                }
+                FOp::MaxPool { k } => pool(input, *k, true),
+                FOp::AvgPool { k } => pool(input, *k, false),
+            };
+            values.push(out);
+        }
+        values
+    }
+
+    /// Float logits.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        self.forward_values(x).pop().expect("at least the input")
+    }
+}
+
+/// Pooling helper shared with the approximation probe.
+pub fn pool_public(x: &Tensor, k: usize, is_max: bool) -> Tensor {
+    pool(x, k, is_max)
+}
+
+fn pool(x: &Tensor, k: usize, is_max: bool) -> Tensor {
+    let (c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+    let (oh, ow) = (h / k, w / k);
+    let mut out = Tensor::zeros(&[c, oh, ow]);
+    for ci in 0..c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut m = f32::NEG_INFINITY;
+                let mut s = 0.0;
+                for ky in 0..k {
+                    for kx in 0..k {
+                        let v = x.data()[(ci * h + oy * k + ky) * w + ox * k + kx];
+                        m = m.max(v);
+                        s += v;
+                    }
+                }
+                out.data_mut()[(ci * oh + oy) * ow + ox] =
+                    if is_max { m } else { s / (k * k) as f32 };
+            }
+        }
+    }
+    out
+}
+
+/// Calibration result: per-value absolute maxima.
+#[derive(Debug, Clone)]
+pub struct Calibration {
+    /// `amax[v]` over the calibration set.
+    pub amax: Vec<f32>,
+}
+
+/// Runs the folded model over calibration images, recording per-value
+/// absolute maxima.
+pub fn calibrate(model: &FoldedModel, images: &[Tensor]) -> Calibration {
+    assert!(!images.is_empty(), "calibration needs at least one image");
+    let mut amax = vec![0.0f32; model.nodes.len() + 1];
+    for img in images {
+        let values = model.forward_values(img);
+        for (a, v) in amax.iter_mut().zip(&values) {
+            *a = a.max(v.abs_max());
+        }
+    }
+    // Guard against dead values.
+    for a in &mut amax {
+        if *a == 0.0 {
+            *a = 1.0;
+        }
+    }
+    Calibration { amax }
+}
+
+/// Quantizes a folded model given calibration data.
+pub fn quantize_folded(model: &FoldedModel, cal: &Calibration, cfg: QuantConfig) -> QModel {
+    let a_max = cfg.a_max() as f64;
+    let w_max = cfg.w_max() as f64;
+    // Value scales: input and linear outputs from calibration; pools
+    // preserve their input scale.
+    let mut scale = vec![0.0f64; model.nodes.len() + 1];
+    scale[0] = cal.amax[0] as f64 / a_max;
+    for (i, node) in model.nodes.iter().enumerate() {
+        scale[i + 1] = match node.op {
+            FOp::Linear(_) => cal.amax[i + 1] as f64 / a_max,
+            FOp::MaxPool { .. } | FOp::AvgPool { .. } => scale[node.input],
+        };
+    }
+    let nodes = model
+        .nodes
+        .iter()
+        .enumerate()
+        .map(|(i, node)| {
+            let in_scale = scale[node.input];
+            match &node.op {
+                FOp::Linear(l) => {
+                    let w_amax = l.weight.abs_max().max(1e-12) as f64;
+                    let w_scale = w_amax / w_max;
+                    let wq = ITensor::from_vec(
+                        l.weight.shape(),
+                        l.weight
+                            .data()
+                            .iter()
+                            .map(|&v| {
+                                ((v as f64 / w_scale).round() as i64)
+                                    .clamp(-(w_max as i64), w_max as i64)
+                            })
+                            .collect(),
+                    );
+                    let acc_scale = in_scale * w_scale;
+                    let bq: Vec<i64> = l
+                        .bias
+                        .iter()
+                        .map(|&b| (b as f64 / acc_scale).round() as i64)
+                        .collect();
+                    let skip = node.skip.map(|sv| {
+                        let mult = (scale[sv] / acc_scale).round() as i64;
+                        (sv, mult.max(1))
+                    });
+                    QNode {
+                        op: QOp::Linear(QLinear {
+                            weight: wq,
+                            bias: bq,
+                            stride: l.stride,
+                            padding: l.padding,
+                            is_fc: l.is_fc,
+                            act: l.act,
+                            in_scale,
+                            w_scale,
+                            out_scale: scale[i + 1],
+                        }),
+                        input: node.input,
+                        skip,
+                    }
+                }
+                FOp::MaxPool { k } => QNode {
+                    op: QOp::MaxPool { k: *k },
+                    input: node.input,
+                    skip: None,
+                },
+                FOp::AvgPool { k } => QNode {
+                    op: QOp::AvgPool { k: *k },
+                    input: node.input,
+                    skip: None,
+                },
+            }
+        })
+        .collect();
+    QModel {
+        nodes,
+        input_scale: scale[0],
+        cfg,
+    }
+}
+
+/// One-shot quantization: fold, calibrate, quantize.
+pub fn quantize(net: &Network, calibration_images: &[Tensor], cfg: QuantConfig) -> QModel {
+    let folded = fold_network(net);
+    let cal = calibrate(&folded, calibration_images);
+    quantize_folded(&folded, &cal, cfg)
+}
+
+/// Enforces the §3.3 modulus-headroom constraint: every accumulator must
+/// stay within `±t/2` or the FBS LUT wraps. Layers whose calibrated max
+/// |MAC| exceeds `margin·t/2` have their integer weights re-quantized at
+/// half resolution (weights, biases, and skip multipliers halve; the weight
+/// scale doubles; the remap LUT follows automatically through the scales)
+/// until the bound holds. Returns the number of halvings applied.
+///
+/// This is the knob the paper turns from the other side: it *chose*
+/// `t = 65537` so its trained models fit (Fig. 4); for a model that runs
+/// hotter, per-layer precision yields instead.
+pub fn enforce_mac_headroom(qm: &mut QModel, images: &[Tensor], t: u64, margin: f64) -> usize {
+    use crate::qmodel::QStats;
+    let bound = (t as f64 / 2.0 * margin) as i64;
+    let mut adjustments = 0;
+    for _round in 0..16 {
+        // Measure.
+        let mut stats = QStats::default();
+        for img in images {
+            let q = qm.quantize_input(img);
+            let mut st = QStats::default();
+            let _ = qm.forward_with_noise(&q, None, &mut st);
+            stats.merge(&st);
+        }
+        // Adjust offenders.
+        let mut changed = false;
+        for (ni, node) in qm.nodes.iter_mut().enumerate() {
+            let max = stats.max_acc.get(ni).copied().unwrap_or(0);
+            if max <= bound {
+                continue;
+            }
+            if let QOp::Linear(l) = &mut node.op {
+                for w in l.weight.data_mut() {
+                    *w = (*w + w.signum()) / 2;
+                }
+                for b in l.bias.iter_mut() {
+                    *b = (*b + b.signum()) / 2;
+                }
+                l.w_scale *= 2.0;
+                if let Some((_, mult)) = &mut node.skip {
+                    *mult = (*mult / 2).max(1);
+                }
+                adjustments += 1;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    adjustments
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{SyntheticConfig, SyntheticSource};
+    use crate::models::ModelKind;
+    use crate::train::{train, TrainConfig};
+    use athena_math::sampler::Sampler;
+
+    #[test]
+    fn folding_preserves_float_semantics() {
+        let mut s = Sampler::from_seed(61);
+        let mut net = ModelKind::ResNet20.build(&mut s);
+        // perturb scale/bias so folding is non-trivial
+        for l in &mut net.layers {
+            if let NetLayer::Residual(b) = l {
+                for (i, g) in b.sb1.gamma.data_mut().iter_mut().enumerate() {
+                    *g = 1.0 + 0.1 * (i as f32 % 3.0);
+                }
+                for (i, bb) in b.sb1.beta.data_mut().iter_mut().enumerate() {
+                    *bb = 0.05 * (i as f32 % 5.0);
+                }
+            }
+        }
+        let folded = fold_network(&net);
+        let x = Tensor::from_vec(
+            &[3, 32, 32],
+            (0..3 * 32 * 32).map(|i| ((i as f32) * 0.013).sin()).collect(),
+        );
+        let want = net.forward(&x);
+        let got = folded.forward(&x);
+        for (a, b) in want.data().iter().zip(got.data()) {
+            assert!((a - b).abs() < 1e-3, "folded mismatch: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn folded_structure_of_resnet20() {
+        let mut s = Sampler::from_seed(62);
+        let net = ModelKind::ResNet20.build(&mut s);
+        let folded = fold_network(&net);
+        // stem + 9 blocks × 2 convs + 2 downsample convs + pool + fc = 23
+        assert_eq!(folded.nodes.len(), 23);
+        let skips = folded.nodes.iter().filter(|n| n.skip.is_some()).count();
+        assert_eq!(skips, 9, "one skip per residual block");
+    }
+
+    #[test]
+    fn quantized_model_tracks_float_model() {
+        // Train a small model, quantize at w7a7, and require the quantized
+        // predictions to agree with the float predictions almost always.
+        let src = SyntheticSource::new(SyntheticConfig::mnist_like(), 5);
+        let train_set = src.generate(240, 11);
+        let test_set = src.generate(80, 12);
+        let mut s = Sampler::from_seed(63);
+        let mut net = ModelKind::Mnist.build(&mut s);
+        train(&mut net, &train_set, &TrainConfig::default(), &mut s);
+        let calib: Vec<Tensor> = train_set.images.iter().take(32).cloned().collect();
+        let qm = quantize(&net, &calib, QuantConfig::w7a7());
+        let mut agree = 0;
+        for img in &test_set.images {
+            let fp = net.predict(img);
+            let qp = qm.predict(&qm.quantize_input(img));
+            if fp == qp {
+                agree += 1;
+            }
+        }
+        assert!(agree >= 76, "quantized/float agreement {agree}/80");
+    }
+
+    #[test]
+    fn mac_headroom_enforcement_fits_and_preserves_predictions() {
+        let src = SyntheticSource::new(SyntheticConfig::mnist_like(), 5);
+        let train_set = src.generate(200, 31);
+        let mut s = Sampler::from_seed(66);
+        let mut net = ModelKind::Mnist.build(&mut s);
+        train(&mut net, &train_set, &TrainConfig::default(), &mut s);
+        let calib: Vec<Tensor> = train_set.images.iter().take(24).cloned().collect();
+        let mut qm = quantize(&net, &calib, QuantConfig::w7a7());
+        let before: Vec<usize> = train_set.images[..40]
+            .iter()
+            .map(|i| qm.predict(&qm.quantize_input(i)))
+            .collect();
+        // Enforce against an artificially small modulus to force halvings.
+        let adjustments = enforce_mac_headroom(&mut qm, &calib, 16384, 0.9);
+        assert!(adjustments > 0, "small modulus must force adjustments");
+        // Now the accumulators fit.
+        use crate::qmodel::QStats;
+        let mut stats = QStats::default();
+        for img in &calib {
+            let q = qm.quantize_input(img);
+            let mut st = QStats::default();
+            let _ = qm.forward_with_noise(&q, None, &mut st);
+            stats.merge(&st);
+        }
+        assert!(stats.max_acc.iter().all(|&m| m <= 16384 / 2), "{:?}", stats.max_acc);
+        // Predictions mostly survive the precision loss.
+        let after: Vec<usize> = train_set.images[..40]
+            .iter()
+            .map(|i| qm.predict(&qm.quantize_input(i)))
+            .collect();
+        let agree = before.iter().zip(&after).filter(|(a, b)| a == b).count();
+        assert!(agree >= 30, "agreement {agree}/40 after headroom fitting");
+    }
+
+    #[test]
+    fn lower_precision_degrades_gracefully() {
+        let src = SyntheticSource::new(SyntheticConfig::mnist_like(), 5);
+        let train_set = src.generate(160, 21);
+        let mut s = Sampler::from_seed(64);
+        let mut net = ModelKind::Mnist.build(&mut s);
+        train(&mut net, &train_set, &TrainConfig::default(), &mut s);
+        let calib: Vec<Tensor> = train_set.images.iter().take(16).cloned().collect();
+        let imgs: Vec<Tensor> = train_set.images.iter().take(60).cloned().collect();
+        let mut accs = Vec::new();
+        for (w, a) in [(4u32, 4u32), (7, 7), (8, 8)] {
+            let qm = quantize(&net, &calib, QuantConfig::new(w, a));
+            let agree = imgs
+                .iter()
+                .filter(|img| qm.predict(&qm.quantize_input(img)) == net.predict(img))
+                .count();
+            accs.push(agree);
+        }
+        assert!(accs[1] >= accs[0], "w7a7 {} vs w4a4 {}", accs[1], accs[0]);
+        assert!(accs[2] >= accs[1].saturating_sub(2), "monotone-ish: {accs:?}");
+    }
+}

@@ -1,0 +1,202 @@
+//! Minimal dense tensors for the CNN substrate: `f32` for training-time
+//! float models, `i64` for the quantized integer pipeline that mirrors what
+//! runs under FHE.
+
+/// A dense row-major `f32` tensor.
+///
+/// # Examples
+///
+/// ```
+/// use athena_nn::tensor::Tensor;
+/// let t = Tensor::zeros(&[3, 4, 4]);
+/// assert_eq!(t.len(), 48);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// An all-zero tensor.
+    pub fn zeros(shape: &[usize]) -> Self {
+        let len = shape.iter().product();
+        Self {
+            shape: shape.to_vec(),
+            data: vec![0.0; len],
+        }
+    }
+
+    /// Wraps data with a shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element count does not match the shape.
+    pub fn from_vec(shape: &[usize], data: Vec<f32>) -> Self {
+        assert_eq!(
+            shape.iter().product::<usize>(),
+            data.len(),
+            "shape/data mismatch"
+        );
+        Self {
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    /// The shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable data view.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable data view.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Reinterprets with a new shape of equal element count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element count differs.
+    pub fn reshape(&self, shape: &[usize]) -> Tensor {
+        Tensor::from_vec(shape, self.data.clone())
+    }
+
+    /// Maximum absolute value (0 for empty tensors).
+    pub fn abs_max(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+    }
+
+    /// Index of the maximum element (NaNs compare low).
+    pub fn argmax(&self) -> usize {
+        self.data
+            .iter()
+            .enumerate()
+            .max_by(|a, b| {
+                a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Less)
+            })
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+}
+
+/// A dense row-major `i64` tensor (the quantized/ FHE-mirror domain).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ITensor {
+    shape: Vec<usize>,
+    data: Vec<i64>,
+}
+
+impl ITensor {
+    /// An all-zero tensor.
+    pub fn zeros(shape: &[usize]) -> Self {
+        let len = shape.iter().product();
+        Self {
+            shape: shape.to_vec(),
+            data: vec![0; len],
+        }
+    }
+
+    /// Wraps data with a shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element count does not match the shape.
+    pub fn from_vec(shape: &[usize], data: Vec<i64>) -> Self {
+        assert_eq!(
+            shape.iter().product::<usize>(),
+            data.len(),
+            "shape/data mismatch"
+        );
+        Self {
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    /// The shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable data view.
+    pub fn data(&self) -> &[i64] {
+        &self.data
+    }
+
+    /// Mutable data view.
+    pub fn data_mut(&mut self) -> &mut [i64] {
+        &mut self.data
+    }
+
+    /// Maximum absolute value.
+    pub fn abs_max(&self) -> i64 {
+        self.data.iter().map(|x| x.abs()).max().unwrap_or(0)
+    }
+
+    /// Index of the maximum element.
+    pub fn argmax(&self) -> usize {
+        self.data
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &v)| v)
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_views() {
+        let t = Tensor::from_vec(&[2, 3], vec![1.0, -2.0, 3.0, 4.0, -5.0, 6.0]);
+        assert_eq!(t.shape(), &[2, 3]);
+        assert_eq!(t.abs_max(), 6.0);
+        assert_eq!(t.argmax(), 5);
+        let r = t.reshape(&[3, 2]);
+        assert_eq!(r.shape(), &[3, 2]);
+        assert_eq!(r.data(), t.data());
+    }
+
+    #[test]
+    fn itensor_basics() {
+        let t = ITensor::from_vec(&[4], vec![-9, 2, 7, -1]);
+        assert_eq!(t.abs_max(), 9);
+        assert_eq!(t.argmax(), 2);
+        assert_eq!(ITensor::zeros(&[2, 2]).data(), &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape/data mismatch")]
+    fn shape_mismatch_panics() {
+        let _ = Tensor::from_vec(&[2, 2], vec![1.0]);
+    }
+}

@@ -1,0 +1,106 @@
+//! A small SGD trainer producing the `plain-G` float models that
+//! quantization-aware evaluation (Table 5) starts from.
+
+use crate::data::Dataset;
+use crate::network::{softmax_cross_entropy, Network};
+use athena_math::sampler::Sampler;
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainConfig {
+    /// Learning rate.
+    pub lr: f32,
+    /// Epochs over the training set.
+    pub epochs: usize,
+    /// Mini-batch size (gradients accumulate over the batch).
+    pub batch: usize,
+    /// Multiplicative LR decay applied each epoch.
+    pub lr_decay: f32,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            lr: 0.02,
+            epochs: 3,
+            batch: 8,
+            lr_decay: 0.7,
+        }
+    }
+}
+
+/// Trains the network in place; returns the average loss of each epoch.
+pub fn train(
+    net: &mut Network,
+    data: &Dataset,
+    cfg: &TrainConfig,
+    sampler: &mut Sampler,
+) -> Vec<f32> {
+    let n = data.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut lr = cfg.lr;
+    let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+    for _ in 0..cfg.epochs {
+        // Fisher–Yates shuffle.
+        for i in (1..n).rev() {
+            let j = sampler.uniform_mod(i as u64 + 1) as usize;
+            order.swap(i, j);
+        }
+        let mut total = 0.0;
+        for (count, &idx) in order.iter().enumerate() {
+            let logits = net.forward(&data.images[idx]);
+            let (loss, grad) = softmax_cross_entropy(&logits, data.labels[idx]);
+            total += loss;
+            net.backward(&grad);
+            if (count + 1) % cfg.batch == 0 {
+                net.update(lr / cfg.batch as f32);
+            }
+        }
+        net.update(lr / cfg.batch as f32); // flush remainder
+        lr *= cfg.lr_decay;
+        epoch_losses.push(total / n as f32);
+    }
+    epoch_losses
+}
+
+/// Top-1 accuracy of the float network on a dataset.
+pub fn evaluate(net: &mut Network, data: &Dataset) -> f64 {
+    let correct = data
+        .images
+        .iter()
+        .zip(&data.labels)
+        .filter(|(x, &y)| net.predict(x) == y)
+        .count();
+    correct as f64 / data.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{SyntheticConfig, SyntheticSource};
+    use crate::models::ModelKind;
+
+    #[test]
+    fn mnist_cnn_learns_synthetic_task() {
+        let src = SyntheticSource::new(SyntheticConfig::mnist_like(), 42);
+        let train_set = src.generate(300, 1);
+        let test_set = src.generate(100, 2);
+        let mut s = Sampler::from_seed(7);
+        let mut net = ModelKind::Mnist.build(&mut s);
+        let losses = train(
+            &mut net,
+            &train_set,
+            &TrainConfig {
+                epochs: 3,
+                ..TrainConfig::default()
+            },
+            &mut s,
+        );
+        assert!(
+            losses.last().unwrap() < &losses[0],
+            "loss should decrease: {losses:?}"
+        );
+        let acc = evaluate(&mut net, &test_set);
+        assert!(acc > 0.8, "test accuracy {acc}");
+    }
+}

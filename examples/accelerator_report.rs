@@ -1,0 +1,45 @@
+//! Drive the accelerator model: trace ResNet-20 under the Athena framework
+//! at production parameters, run the cycle-level simulation, and print the
+//! headline comparison against the baseline ASICs.
+//!
+//! ```sh
+//! cargo run --release --example accelerator_report
+//! ```
+
+use athena::accel::baselines::{baseline_latency_ms, baselines};
+use athena::accel::config::total_area_mm2;
+use athena::accel::sim::AthenaSim;
+use athena::core::trace::{trace_model, TraceParams};
+use athena::nn::models::ModelSpec;
+use athena::nn::qmodel::QuantConfig;
+
+fn main() {
+    let spec = ModelSpec::resnet(3);
+    let quant = QuantConfig::w7a7();
+    let params = TraceParams::athena_production();
+    let trace = trace_model(&spec, &params, &quant);
+
+    let totals = trace.total();
+    println!("ResNet-20 trace at N=2^15, logQ=720, t=65537 ({}):", quant);
+    println!(
+        "  {} PMult, {} CMult, {} SMult, {} HAdd, {} HRot, {} extractions",
+        totals.pmult, totals.cmult, totals.smult, totals.hadd, totals.hrot, totals.sample_extract
+    );
+
+    let sim = AthenaSim::athena();
+    let r = sim.run(&trace);
+    println!("\nAthena accelerator @1 GHz:");
+    println!("  latency {:.1} ms, energy {:.2} J, EDP {:.3} J*s, EDAP {:.1} J*s*mm^2",
+        r.latency_ms, r.energy_j, r.edp(), r.edap(total_area_mm2()));
+    println!("  phase breakdown:");
+    let total: f64 = r.phase_costs.iter().map(|(_, c)| c.cycles).sum();
+    for (p, c) in &r.phase_costs {
+        println!("    {:12} {:5.1}%", p.name(), 100.0 * c.cycles / total);
+    }
+
+    println!("\nBaselines on the CKKS-based ResNet-20 (published, scaled):");
+    for b in baselines() {
+        let ms = baseline_latency_ms(&b, &spec);
+        println!("  {:11} {:7.1} ms  ({:.2}x slower than Athena)", b.name, ms, ms / r.latency_ms);
+    }
+}

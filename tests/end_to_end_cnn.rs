@@ -1,0 +1,94 @@
+//! End-to-end: train a tiny CNN on synthetic data, quantize it, run it
+//! (a) as the plaintext integer reference, (b) through the noise-faithful
+//! simulator, and (c) fully under FHE — and require all three to agree.
+
+use athena::core::infer::run_encrypted;
+use athena::core::pipeline::AthenaEngine;
+use athena::core::simulate::{simulate_inference, NoiseSpec};
+use athena::fhe::params::BfvParams;
+use athena::math::sampler::Sampler;
+use athena::nn::data::{SyntheticConfig, SyntheticSource};
+use athena::nn::layers::{Conv2d, Linear, ReLU};
+use athena::nn::network::{NetLayer, Network};
+use athena::nn::qmodel::QuantConfig;
+use athena::nn::quant::quantize;
+use athena::nn::tensor::Tensor;
+use athena::nn::train::{train, evaluate, TrainConfig};
+
+/// A micro-CNN sized to fit the reduced FHE parameters
+/// (N = 128, t = 257): 8×8 inputs, 3 channels, 27-unit FC.
+fn micro_cnn(s: &mut Sampler) -> Network {
+    let mut net = Network::new();
+    net.push(NetLayer::Conv(Conv2d::new(1, 3, 3, 2, 0, s))); // 3×3×3
+    net.push(NetLayer::ReLU(ReLU::new()));
+    net.push(NetLayer::Linear(Linear::new(27, 3, s)));
+    net
+}
+
+#[test]
+fn trained_micro_cnn_agrees_across_all_three_pipelines() {
+    // 3-class synthetic task on 8×8 images.
+    let cfg = SyntheticConfig {
+        c: 1,
+        hw: 8,
+        classes: 3,
+        noise: 0.12,
+        max_shift: 0,
+    };
+    let src = SyntheticSource::new(cfg, 404);
+    let train_set = src.generate(240, 1);
+    let test_set = src.generate(24, 2);
+    let mut s = Sampler::from_seed(505);
+    let mut net = micro_cnn(&mut s);
+    train(
+        &mut net,
+        &train_set,
+        &TrainConfig {
+            epochs: 6,
+            lr: 0.05,
+            ..TrainConfig::default()
+        },
+        &mut s,
+    );
+    let float_acc = evaluate(&mut net, &test_set);
+    assert!(float_acc > 0.6, "micro CNN should learn: acc {float_acc}");
+
+    // Quantize aggressively (w3a3) so accumulators stay inside t = 257.
+    let calib: Vec<Tensor> = train_set.images.iter().take(16).cloned().collect();
+    let qm = quantize(&net, &calib, QuantConfig::new(3, 3));
+
+    let engine = AthenaEngine::new(BfvParams::test_small());
+    let mut sampler = Sampler::from_seed(606);
+    let (secrets, keys) = engine.keygen(&mut sampler);
+
+    let mut ref_agree = 0;
+    let mut sim_agree = 0;
+    let n_imgs = 6; // FHE runs are the slow part
+    for img in test_set.images.iter().take(n_imgs) {
+        let q = qm.quantize_input(img);
+        let ref_pred = qm.predict(&q);
+        let sim = simulate_inference(&qm, &q, &NoiseSpec::from_params(32, 3.2), &mut sampler);
+        let enc = run_encrypted(&engine, &secrets, &keys, &qm, &q, &mut sampler);
+        let enc_pred = enc
+            .logits
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap();
+        if enc_pred == ref_pred {
+            ref_agree += 1;
+        }
+        if sim.predicted == ref_pred {
+            sim_agree += 1;
+        }
+    }
+    assert!(
+        ref_agree >= n_imgs - 1,
+        "encrypted vs integer reference agreement {ref_agree}/{n_imgs}"
+    );
+    assert!(
+        sim_agree >= n_imgs - 1,
+        "simulated vs integer reference agreement {sim_agree}/{n_imgs}"
+    );
+}

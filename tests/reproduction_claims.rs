@@ -1,0 +1,122 @@
+//! Headline reproduction claims, checked end to end: who wins, by roughly
+//! what factor — the "shape" of every evaluation table.
+
+use athena::accel::baselines::{baseline_edp, baseline_latency_ms, baselines};
+use athena::accel::config::total_area_mm2;
+use athena::accel::sim::AthenaSim;
+use athena::core::trace::{trace_model, TraceParams};
+use athena::nn::models::ModelSpec;
+use athena::nn::qmodel::QuantConfig;
+
+fn specs() -> [ModelSpec; 4] {
+    [
+        ModelSpec::lenet(),
+        ModelSpec::mnist(),
+        ModelSpec::resnet(3),
+        ModelSpec::resnet(9),
+    ]
+}
+
+#[test]
+fn athena_wins_latency_on_every_benchmark() {
+    // Table 6's shape: Athena-w7a7 beats every baseline on every model,
+    // and w6a7 beats w7a7.
+    let sim = AthenaSim::athena();
+    for spec in specs() {
+        let w7 = sim.run_model(&spec, &QuantConfig::w7a7()).latency_ms;
+        let w6 = sim.run_model(&spec, &QuantConfig::w6a7()).latency_ms;
+        assert!(w6 < w7, "{}: w6a7 {w6} !< w7a7 {w7}", spec.name);
+        for b in baselines() {
+            let base = baseline_latency_ms(&b, &spec);
+            assert!(
+                w7 < base,
+                "{} on {}: Athena {w7:.1} !< {base:.1}",
+                b.name,
+                spec.name
+            );
+        }
+    }
+}
+
+#[test]
+fn speedup_factors_in_paper_range() {
+    // Paper: 1.5×–2.3× vs the best baselines (ARK, SHARP); 3.8×–6.8× vs
+    // CraterLake; ~29×–40× vs BTS.
+    let sim = AthenaSim::athena();
+    let spec = ModelSpec::resnet(3);
+    let athena = sim.run_model(&spec, &QuantConfig::w7a7()).latency_ms;
+    let get = |name: &str| {
+        baselines()
+            .into_iter()
+            .find(|b| b.name == name)
+            .expect("baseline exists")
+    };
+    let sharp = baseline_latency_ms(&get("SHARP"), &spec) / athena;
+    assert!(sharp > 1.2 && sharp < 2.5, "SHARP speedup {sharp:.2} (paper 1.51)");
+    let cl = baseline_latency_ms(&get("CraterLake"), &spec) / athena;
+    assert!(cl > 3.0 && cl < 8.0, "CraterLake speedup {cl:.2} (paper ~4.9)");
+    let bts = baseline_latency_ms(&get("BTS"), &spec) / athena;
+    assert!(bts > 20.0 && bts < 50.0, "BTS speedup {bts:.2} (paper ~29)");
+}
+
+#[test]
+fn edp_and_edap_improvements() {
+    // Table 7 / Fig. 11 shape: Athena has the best EDP and EDAP everywhere;
+    // EDAP improvement vs SHARP within the paper's 3.8×–9.9× band (±).
+    let sim = AthenaSim::athena();
+    let area = total_area_mm2();
+    for spec in specs() {
+        let r = sim.run_model(&spec, &QuantConfig::w7a7());
+        for b in baselines() {
+            assert!(
+                r.edp() < baseline_edp(&b, &spec),
+                "{} EDP on {}",
+                b.name,
+                spec.name
+            );
+            assert!(
+                r.edap(area) < baseline_edp(&b, &spec) * b.area_mm2,
+                "{} EDAP on {}",
+                b.name,
+                spec.name
+            );
+        }
+    }
+    let spec = ModelSpec::resnet(3);
+    let r = sim.run_model(&spec, &QuantConfig::w7a7());
+    let sharp = baselines().into_iter().find(|b| b.name == "SHARP").unwrap();
+    let edap_gain = baseline_edp(&sharp, &spec) * sharp.area_mm2 / r.edap(area);
+    assert!(
+        edap_gain > 2.0 && edap_gain < 15.0,
+        "EDAP gain vs SHARP {edap_gain:.1} (paper band 3.8–9.9)"
+    );
+}
+
+#[test]
+fn athena_area_is_smallest() {
+    // Table 9: 1.53× smaller than SHARP, 3.59× smaller than ARK.
+    let a = total_area_mm2();
+    for b in baselines() {
+        assert!(b.area_mm2 > a, "{} area {} !> {}", b.name, b.area_mm2, a);
+    }
+    let sharp = baselines().into_iter().find(|b| b.name == "SHARP").unwrap();
+    let ratio = sharp.area_mm2 / a;
+    assert!((ratio - 1.53).abs() < 0.05, "area ratio vs SHARP {ratio:.2}");
+}
+
+#[test]
+fn trace_volume_ranks_models_like_the_paper() {
+    // MNIST < LeNet < ResNet-20 < ResNet-56 in total work, matching the
+    // column ordering of every evaluation table.
+    let params = TraceParams::athena_production();
+    let q = QuantConfig::w7a7();
+    let total = |spec: &ModelSpec| {
+        let t = trace_model(spec, &params, &q).total();
+        t.smult + 100 * t.cmult + 10 * t.pmult
+    };
+    let mnist = total(&ModelSpec::mnist());
+    let lenet = total(&ModelSpec::lenet());
+    let rn20 = total(&ModelSpec::resnet(3));
+    let rn56 = total(&ModelSpec::resnet(9));
+    assert!(mnist < lenet && lenet < rn20 && rn20 < rn56);
+}
