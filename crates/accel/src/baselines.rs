@@ -191,7 +191,12 @@ mod tests {
             for (spec, &want) in specs.iter().zip(published) {
                 let got = baseline_latency_ms(&b, spec);
                 let rel = (got - want).abs() / want;
-                assert!(rel < 0.12, "{} on {}: {got:.1} vs {want} ({rel:.2})", b.name, spec.name);
+                assert!(
+                    rel < 0.12,
+                    "{} on {}: {got:.1} vs {want} ({rel:.2})",
+                    b.name,
+                    spec.name
+                );
             }
         }
     }

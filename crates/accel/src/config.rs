@@ -57,7 +57,9 @@ impl AccelConfig {
     pub fn with_scaled_unit(mut self, unit: ScaledUnit, lanes: usize) -> Self {
         let factor = lanes as f64 / 2048.0;
         match unit {
-            ScaledUnit::Ntt => self.ntt_cores = ((self.ntt_cores as f64) * factor).max(1.0) as usize,
+            ScaledUnit::Ntt => {
+                self.ntt_cores = ((self.ntt_cores as f64) * factor).max(1.0) as usize
+            }
             ScaledUnit::Fru => {
                 self.fru_blocks_r1 =
                     (((self.fru_blocks_r1 * 2048) as f64 * factor) / 2048.0).max(1.0) as usize;
@@ -90,7 +92,12 @@ pub enum ScaledUnit {
 impl ScaledUnit {
     /// All classes.
     pub fn all() -> [ScaledUnit; 4] {
-        [ScaledUnit::Ntt, ScaledUnit::Fru, ScaledUnit::Autom, ScaledUnit::Se]
+        [
+            ScaledUnit::Ntt,
+            ScaledUnit::Fru,
+            ScaledUnit::Autom,
+            ScaledUnit::Se,
+        ]
     }
 
     /// Display name.
@@ -118,15 +125,51 @@ pub struct Component {
 /// Table 9's component library.
 pub fn floorplan() -> Vec<Component> {
     vec![
-        Component { name: "Automorphism", area_mm2: 3.8, peak_power_w: 3.0 },
-        Component { name: "PRNG", area_mm2: 1.2, peak_power_w: 1.9 },
-        Component { name: "NTT", area_mm2: 4.51, peak_power_w: 3.9 },
-        Component { name: "SE", area_mm2: 0.32, peak_power_w: 0.94 },
-        Component { name: "FRU", area_mm2: 42.6, peak_power_w: 89.1 },
-        Component { name: "NoC", area_mm2: 5.9, peak_power_w: 7.8 },
-        Component { name: "Register Files (15MB)", area_mm2: 8.4, peak_power_w: 4.9 },
-        Component { name: "Scratchpad SRAM (45MB)", area_mm2: 20.1, peak_power_w: 4.8 },
-        Component { name: "HBM (2x HBM2E)", area_mm2: 29.6, peak_power_w: 31.8 },
+        Component {
+            name: "Automorphism",
+            area_mm2: 3.8,
+            peak_power_w: 3.0,
+        },
+        Component {
+            name: "PRNG",
+            area_mm2: 1.2,
+            peak_power_w: 1.9,
+        },
+        Component {
+            name: "NTT",
+            area_mm2: 4.51,
+            peak_power_w: 3.9,
+        },
+        Component {
+            name: "SE",
+            area_mm2: 0.32,
+            peak_power_w: 0.94,
+        },
+        Component {
+            name: "FRU",
+            area_mm2: 42.6,
+            peak_power_w: 89.1,
+        },
+        Component {
+            name: "NoC",
+            area_mm2: 5.9,
+            peak_power_w: 7.8,
+        },
+        Component {
+            name: "Register Files (15MB)",
+            area_mm2: 8.4,
+            peak_power_w: 4.9,
+        },
+        Component {
+            name: "Scratchpad SRAM (45MB)",
+            area_mm2: 20.1,
+            peak_power_w: 4.8,
+        },
+        Component {
+            name: "HBM (2x HBM2E)",
+            area_mm2: 29.6,
+            peak_power_w: 31.8,
+        },
     ]
 }
 
@@ -146,8 +189,16 @@ mod tests {
 
     #[test]
     fn table9_totals() {
-        assert!((total_area_mm2() - 116.4).abs() < 0.5, "area {}", total_area_mm2());
-        assert!((total_power_w() - 148.1).abs() < 0.5, "power {}", total_power_w());
+        assert!(
+            (total_area_mm2() - 116.4).abs() < 0.5,
+            "area {}",
+            total_area_mm2()
+        );
+        assert!(
+            (total_power_w() - 148.1).abs() < 0.5,
+            "power {}",
+            total_power_w()
+        );
     }
 
     #[test]

@@ -104,7 +104,10 @@ mod tests {
 
     #[test]
     fn smult_cost_matches_hand_calc() {
-        let ops = OpCounts { smult: 1, ..Default::default() };
+        let ops = OpCounts {
+            smult: 1,
+            ..Default::default()
+        };
         let w = lower(&ops, &params());
         assert_eq!(w.fru_mm, 2 * 12 * 32768);
         assert_eq!(w.ntt_polys, 0);
@@ -112,15 +115,34 @@ mod tests {
 
     #[test]
     fn cmult_is_much_heavier_than_smult() {
-        let s = lower(&OpCounts { smult: 1, ..Default::default() }, &params());
-        let c = lower(&OpCounts { cmult: 1, ..Default::default() }, &params());
+        let s = lower(
+            &OpCounts {
+                smult: 1,
+                ..Default::default()
+            },
+            &params(),
+        );
+        let c = lower(
+            &OpCounts {
+                cmult: 1,
+                ..Default::default()
+            },
+            &params(),
+        );
         assert!(c.fru_mm > 5 * s.fru_mm);
         assert!(c.ntt_polys > 0);
     }
 
     #[test]
     fn work_addition_and_scaling() {
-        let a = lower(&OpCounts { pmult: 2, hadd: 3, ..Default::default() }, &params());
+        let a = lower(
+            &OpCounts {
+                pmult: 2,
+                hadd: 3,
+                ..Default::default()
+            },
+            &params(),
+        );
         let mut b = a;
         b.add(&a);
         assert_eq!(b, a.scaled(2));

@@ -159,10 +159,7 @@ pub fn schedule_fbs(t_eff: u64, costs: &OpCosts, pipelined: bool) -> Schedule {
             r1_free = r0_end;
         }
     }
-    let latency = events
-        .iter()
-        .map(|e| e.end)
-        .fold(0.0f64, f64::max);
+    let latency = events.iter().map(|e| e.end).fold(0.0f64, f64::max);
     Schedule { events, latency }
 }
 
@@ -179,7 +176,12 @@ mod tests {
         let c = costs();
         let p = schedule_fbs(1 << 16, &c, true);
         let s = schedule_fbs(1 << 16, &c, false);
-        assert!(p.latency < s.latency * 0.8, "{} vs {}", p.latency, s.latency);
+        assert!(
+            p.latency < s.latency * 0.8,
+            "{} vs {}",
+            p.latency,
+            s.latency
+        );
         // Work conservation: both schedules do the same busy cycles.
         assert!((p.busy(Region::R1) - s.busy(Region::R1)).abs() < 1.0);
         assert!((p.busy(Region::R0) - s.busy(Region::R0)).abs() < 1.0);
@@ -199,7 +201,10 @@ mod tests {
         let u1 = p.utilization(Region::R1);
         let u0 = p.utilization(Region::R0);
         assert!(u1 > 0.3 && u0 > 0.3, "both regions busy: {u1:.2}, {u0:.2}");
-        assert!(u0.max(u1) > 0.8, "the bottleneck region is nearly saturated");
+        assert!(
+            u0.max(u1) > 0.8,
+            "the bottleneck region is nearly saturated"
+        );
     }
 
     #[test]

@@ -41,8 +41,7 @@ pub fn lane_sweep(spec: &ModelSpec, quant: &QuantConfig) -> Vec<LanePoint> {
                 ScaledUnit::Autom => 3.8 / area,
                 ScaledUnit::Se => 0.32 / area,
             };
-            let scaled_area =
-                area * (1.0 - unit_area_share * (1.0 - lanes as f64 / 2048.0));
+            let scaled_area = area * (1.0 - unit_area_share * (1.0 - lanes as f64 / 2048.0));
             let r = sim.run_model(spec, quant);
             out.push(LanePoint {
                 unit,
@@ -101,7 +100,10 @@ mod tests {
         let se = delay_at(ScaledUnit::Se, 256);
         let autom = delay_at(ScaledUnit::Autom, 256);
         assert!(fru > ntt, "FRU ({fru}) should hurt more than NTT ({ntt})");
-        assert!(ntt >= se, "NTT ({ntt}) should hurt at least as much as SE ({se})");
+        assert!(
+            ntt >= se,
+            "NTT ({ntt}) should hurt at least as much as SE ({se})"
+        );
         assert!(fru > 2.0, "quartering FRU should >2x delay, got {fru}");
         assert!(se < 1.3, "SE scaling nearly free, got {se}");
         assert!(autom >= se, "automorphism >= SE impact");
@@ -130,7 +132,13 @@ mod tests {
         }
         let step_last = pts[5].latency_ms / pts[4].latency_ms; // w7a7 → w8a8
         let step_first = pts[1].latency_ms / pts[0].latency_ms; // w4a4 → w5a5
-        assert!(step_last > step_first, "last step {step_last} vs first {step_first}");
-        assert!(step_last > 1.4, "w7a7→w8a8 step should be large: {step_last}");
+        assert!(
+            step_last > step_first,
+            "last step {step_last} vs first {step_first}"
+        );
+        assert!(
+            step_last > 1.4,
+            "w7a7→w8a8 step should be large: {step_last}"
+        );
     }
 }

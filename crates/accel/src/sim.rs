@@ -174,7 +174,10 @@ impl AthenaSim {
         let mut sram_bytes = 0u64;
         for layer in &trace.layers {
             total_cycles += self.config.layer_overhead_cycles;
-            if let Some((_, slot)) = phase_costs.iter_mut().find(|(p, _)| *p == Phase::Conversion) {
+            if let Some((_, slot)) = phase_costs
+                .iter_mut()
+                .find(|(p, _)| *p == Phase::Conversion)
+            {
                 slot.cycles += self.config.layer_overhead_cycles;
             }
             for (phase, ops) in &layer.phases {
@@ -186,8 +189,7 @@ impl AthenaSim {
                     .expect("phase exists");
                 slot.1.cycles += cycles;
                 unit_cycles[0] += w.ntt_polys as f64 * self.ntt_poly_cycles();
-                unit_cycles[1] +=
-                    (w.fru_mm + w.fru_ma / 2) as f64 / self.r1_mma_per_cycle();
+                unit_cycles[1] += (w.fru_mm + w.fru_ma / 2) as f64 / self.r1_mma_per_cycle();
                 unit_cycles[2] += w.autom_polys as f64 * self.autom_poly_cycles();
                 unit_cycles[3] += w.se_cycles as f64;
                 hbm_bytes += w.hbm_bytes;
@@ -252,7 +254,12 @@ mod tests {
         let sim = AthenaSim::athena();
         let a = sim.run_model(&ModelSpec::resnet(3), &QuantConfig::w7a7());
         let b = sim.run_model(&ModelSpec::resnet(3), &QuantConfig::w6a7());
-        assert!(b.latency_ms < a.latency_ms, "{} !< {}", b.latency_ms, a.latency_ms);
+        assert!(
+            b.latency_ms < a.latency_ms,
+            "{} !< {}",
+            b.latency_ms,
+            a.latency_ms
+        );
     }
 
     #[test]
@@ -277,9 +284,7 @@ mod tests {
         let nonlinear: f64 = r
             .phase_costs
             .iter()
-            .filter(|(p, _)| {
-                matches!(p, Phase::Activation | Phase::Pooling | Phase::Softmax)
-            })
+            .filter(|(p, _)| matches!(p, Phase::Activation | Phase::Pooling | Phase::Softmax))
             .map(|(_, c)| c.cycles)
             .sum();
         let share = nonlinear / total;
@@ -301,7 +306,12 @@ mod tests {
         // Fig. 10: memory ≈ 50%.
         assert!(share > 0.25 && share < 0.75, "memory share {share}");
         // FRU is the largest compute consumer.
-        let fru = r.unit_energy_j.iter().find(|(n, _)| *n == "FRU").expect("fru").1;
+        let fru = r
+            .unit_energy_j
+            .iter()
+            .find(|(n, _)| *n == "FRU")
+            .expect("fru")
+            .1;
         for (n, e) in &r.unit_energy_j {
             if *n != "FRU" && *n != "Memory" {
                 assert!(fru >= *e, "FRU ({fru}) must dominate {n} ({e})");
@@ -331,7 +341,12 @@ mod debug_tests {
         let r = sim.run_model(&ModelSpec::resnet(3), &QuantConfig::w7a7());
         println!("latency {} ms, energy {} J", r.latency_ms, r.energy_j);
         for (p, c) in &r.phase_costs {
-            println!("  {:12} {:>12.0} cycles  {:.3} J", p.name(), c.cycles, c.energy_j);
+            println!(
+                "  {:12} {:>12.0} cycles  {:.3} J",
+                p.name(),
+                c.cycles,
+                c.energy_j
+            );
         }
         for (u, e) in &r.unit_energy_j {
             println!("  unit {:12} {:.3} J", u, e);

@@ -1,11 +1,15 @@
-//! Criterion micro-benchmarks of the kernels whose costs drive every
-//! evaluation table: NTT, the five framework steps, and the FBS internals
-//! (the bottleneck per Table 3 / Fig. 9), measured on real ciphertexts at
-//! the reduced parameter set.
+//! Micro-benchmarks of the kernels whose costs drive every evaluation
+//! table: NTT, the five framework steps, and the FBS internals (the
+//! bottleneck per Table 3 / Fig. 9), measured on real ciphertexts at the
+//! reduced parameter set.
+//!
+//! This is a `std`-only harness (`harness = false`, timed with
+//! `std::time::Instant`) so the workspace builds with zero external
+//! dependencies. Run with `cargo bench -p athena-bench`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
 
+use athena_bench::microbench::{run_named, BenchOpts};
 use athena_core::encoding::ConvEncoder;
 use athena_core::pipeline::{AthenaEngine, PipelineStats};
 use athena_fhe::bfv::{BfvEvaluator, RelinKey, SecretKey};
@@ -17,20 +21,17 @@ use athena_math::sampler::Sampler;
 use athena_nn::models::ConvShape;
 use athena_nn::tensor::ITensor;
 
-fn bench_ntt(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ntt");
-    g.measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+fn bench_ntt(opts: &BenchOpts) {
     for n in [1024usize, 4096] {
         let tables = NttTables::new(athena_math::prime::ntt_primes(50, n, 1)[0], n);
         let mut data: Vec<u64> = (0..n as u64).collect();
-        g.bench_function(format!("forward_{n}"), |b| {
-            b.iter(|| tables.forward(std::hint::black_box(&mut data)))
+        run_named(opts, &format!("ntt/forward_{n}"), || {
+            tables.forward(std::hint::black_box(&mut data))
         });
     }
-    g.finish();
 }
 
-fn bench_framework_steps(c: &mut Criterion) {
+fn bench_framework_steps(opts: &BenchOpts) {
     let params = BfvParams::test_small();
     let ctx_engine = AthenaEngine::new(params.clone());
     let mut sampler = Sampler::from_seed(1);
@@ -38,42 +39,42 @@ fn bench_framework_steps(c: &mut Criterion) {
     let n = ctx_engine.context().n();
     let t = ctx_engine.context().t();
 
-    let mut g = c.benchmark_group("framework");
-    g.measurement_time(Duration::from_secs(4)).warm_up_time(Duration::from_millis(500)).sample_size(10);
-
     // Step 1: conv via one PMult (Table 3's Conv row).
-    let shape = ConvShape { hw: 6, c_in: 2, c_out: 1, k: 3, stride: 1, padding: 0 };
+    let shape = ConvShape {
+        hw: 6,
+        c_in: 2,
+        c_out: 1,
+        k: 3,
+        stride: 1,
+        padding: 0,
+    };
     let enc = ConvEncoder::new(shape, n);
     let img = ITensor::from_vec(&[2, 6, 6], (0..72).map(|i| (i % 7) - 3).collect());
     let ker = ITensor::from_vec(&[1, 2, 3, 3], (0..18).map(|i| (i % 5) - 2).collect());
     let positions: Vec<usize> = (0..n).collect();
     let ct = ctx_engine.encrypt_at(&enc.encode_input(&img), &positions, &secrets, &mut sampler);
     let kcoeffs = enc.encode_kernel(&ker);
-    g.bench_function("conv_pmult", |b| {
-        b.iter(|| {
-            let mut st = PipelineStats::default();
-            ctx_engine.linear(std::hint::black_box(&ct), &kcoeffs, &[], &mut st)
-        })
+    run_named(opts, "framework/conv_pmult", || {
+        let mut st = PipelineStats::default();
+        ctx_engine.linear(std::hint::black_box(&ct), &kcoeffs, &[], &mut st)
     });
 
     // Step 2: modulus switch.
     let ctx = ctx_engine.context();
-    g.bench_function("mod_switch", |b| {
-        b.iter(|| mod_switch_rlwe(ctx, std::hint::black_box(&ct), params.q_primes[0]))
+    run_named(opts, "framework/mod_switch", || {
+        mod_switch_rlwe(ctx, std::hint::black_box(&ct), params.q_primes[0])
     });
 
     // Step 3: sample extraction of all N coefficients.
     let small = mod_switch_rlwe(ctx, &ct, t);
-    g.bench_function("sample_extract_all", |b| {
-        b.iter(|| sample_extract_all(std::hint::black_box(&small)))
+    run_named(opts, "framework/sample_extract_all", || {
+        sample_extract_all(std::hint::black_box(&small))
     });
 
     // Steps 2+3 fused as the engine runs them (incl. dimension switch).
-    g.bench_function("extract_pipeline", |b| {
-        b.iter(|| {
-            let mut st = PipelineStats::default();
-            ctx_engine.extract_lwes(&ct, &positions[..32], &keys, &mut st)
-        })
+    run_named(opts, "framework/extract_pipeline", || {
+        let mut st = PipelineStats::default();
+        ctx_engine.extract_lwes(&ct, &positions[..32], &keys, &mut st)
     });
 
     // Step 4: packing 32 LWEs.
@@ -83,24 +84,19 @@ fn bench_framework_steps(c: &mut Criterion) {
         .into_iter()
         .map(Some)
         .collect();
-    g.bench_function("pack_32_lwes", |b| {
-        b.iter(|| {
-            let mut st = PipelineStats::default();
-            ctx_engine.pack(std::hint::black_box(&lwes), &keys, &mut st)
-        })
+    run_named(opts, "framework/pack_32_lwes", || {
+        let mut st = PipelineStats::default();
+        ctx_engine.pack(std::hint::black_box(&lwes), &keys, &mut st)
     });
 
     // Step 5: S2C.
-    g.bench_function("s2c", |b| {
-        b.iter(|| {
-            let mut st = PipelineStats::default();
-            ctx_engine.s2c(std::hint::black_box(&ct), &keys, &mut st)
-        })
+    run_named(opts, "framework/s2c", || {
+        let mut st = PipelineStats::default();
+        ctx_engine.s2c(std::hint::black_box(&ct), &keys, &mut st)
     });
-    g.finish();
 }
 
-fn bench_fbs(c: &mut Criterion) {
+fn bench_fbs(opts: &BenchOpts) {
     let ctx = athena_fhe::bfv::BfvContext::new(BfvParams::test_small());
     let mut sampler = Sampler::from_seed(2);
     let sk = SecretKey::generate(&ctx, &mut sampler);
@@ -111,35 +107,32 @@ fn bench_fbs(c: &mut Criterion) {
     let ct = ev.encrypt_sk(&enc.encode(&inputs), &sk, &mut sampler);
     let relu = Lut::from_signed_fn(ctx.t(), |x| x.max(0));
 
-    let mut g = c.benchmark_group("fbs");
-    g.measurement_time(Duration::from_secs(5)).warm_up_time(Duration::from_millis(500)).sample_size(10);
-    g.bench_function("fbs_full_t257", |b| {
-        b.iter(|| fbs_apply(&ctx, std::hint::black_box(&ct), &relu, &rlk))
+    run_named(opts, "fbs/fbs_full_t257", || {
+        fbs_apply(&ctx, std::hint::black_box(&ct), &relu, &rlk)
     });
     // The two LUT→polynomial interpolation paths (design decision 2 of
     // DESIGN.md).
-    g.bench_function("lut_interpolate_ntt_t257", |b| {
-        b.iter(|| std::hint::black_box(&relu).interpolate_ntt())
+    run_named(opts, "fbs/lut_interpolate_ntt_t257", || {
+        std::hint::black_box(&relu).interpolate_ntt()
     });
-    g.bench_function("lut_interpolate_naive_t257", |b| {
-        b.iter(|| std::hint::black_box(&relu).interpolate_naive())
+    run_named(opts, "fbs/lut_interpolate_naive_t257", || {
+        std::hint::black_box(&relu).interpolate_naive()
     });
     let big = Lut::from_signed_fn(65537, |x| x.max(0));
-    g.bench_function("lut_interpolate_ntt_t65537", |b| {
-        b.iter(|| std::hint::black_box(&big).interpolate_ntt())
+    run_named(opts, "fbs/lut_interpolate_ntt_t65537", || {
+        std::hint::black_box(&big).interpolate_ntt()
     });
     // One CMult (the giant-step unit of Alg. 2).
-    g.bench_function("cmult_relin", |b| {
-        b.iter(|| ev.mul(std::hint::black_box(&ct), &ct, &rlk))
+    run_named(opts, "fbs/cmult_relin", || {
+        ev.mul(std::hint::black_box(&ct), &ct, &rlk)
     });
     // One SMult (the baby-step unit).
-    g.bench_function("smult", |b| {
-        b.iter(|| ev.mul_scalar(std::hint::black_box(&ct), 123))
+    run_named(opts, "fbs/smult", || {
+        ev.mul_scalar(std::hint::black_box(&ct), 123)
     });
-    g.finish();
 }
 
-fn bench_base_conversion(c: &mut Criterion) {
+fn bench_base_conversion(opts: &BenchOpts) {
     // Exact vs fast base conversion — the FRU's RNS datapath (ablation 1).
     use athena_math::prime::ntt_primes;
     use athena_math::rns::RnsBasis;
@@ -147,22 +140,23 @@ fn bench_base_conversion(c: &mut Criterion) {
     let src = RnsBasis::new(&ntt_primes(50, n, 4), n);
     let dst = RnsBasis::new(&ntt_primes(49, n, 4), n);
     let p = src.poly_from_i64(&(0..n as i64).map(|i| i * 31 % 1000).collect::<Vec<_>>());
-    let mut g = c.benchmark_group("base_conversion");
-    g.measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
-    g.bench_function("fast_bconv_4to4_n1024", |b| {
-        b.iter(|| src.fast_base_convert(std::hint::black_box(&p), &dst))
+    run_named(opts, "base_conversion/fast_bconv_4to4_n1024", || {
+        src.fast_base_convert(std::hint::black_box(&p), &dst)
     });
-    g.bench_function("exact_bconv_4to4_n1024", |b| {
-        b.iter(|| src.exact_base_convert(std::hint::black_box(&p), &dst))
+    run_named(opts, "base_conversion/exact_bconv_4to4_n1024", || {
+        src.exact_base_convert(std::hint::black_box(&p), &dst)
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_ntt,
-    bench_framework_steps,
-    bench_fbs,
-    bench_base_conversion
-);
-criterion_main!(benches);
+fn main() {
+    // `cargo bench` passes --bench (and possibly filter args); ignore them.
+    let opts = BenchOpts {
+        warmup: Duration::from_millis(300),
+        measure: Duration::from_secs(2),
+        ..BenchOpts::default()
+    };
+    bench_ntt(&opts);
+    bench_framework_steps(&opts);
+    bench_fbs(&opts);
+    bench_base_conversion(&opts);
+}

@@ -8,9 +8,21 @@ fn main() {
     let orders = [3usize, 7, 15, 31, 63];
     let deltas = [25u32, 30, 35, 40];
     for (target, kind, label) in [
-        (ApproxTarget::Relu, ApproxKind::Chebyshev, "ReLU (Chebyshev)"),
-        (ApproxTarget::Sigmoid, ApproxKind::Taylor, "Sigmoid (Taylor)"),
-        (ApproxTarget::Sigmoid, ApproxKind::Chebyshev, "Sigmoid (Chebyshev)"),
+        (
+            ApproxTarget::Relu,
+            ApproxKind::Chebyshev,
+            "ReLU (Chebyshev)",
+        ),
+        (
+            ApproxTarget::Sigmoid,
+            ApproxKind::Taylor,
+            "Sigmoid (Taylor)",
+        ),
+        (
+            ApproxTarget::Sigmoid,
+            ApproxKind::Chebyshev,
+            "Sigmoid (Chebyshev)",
+        ),
     ] {
         let mut rows = Vec::new();
         for &order in &orders {
@@ -41,8 +53,10 @@ fn main() {
     eprintln!("[fig1] training MNIST CNN for the model-level probe...");
     let mut tm = train_model(ModelKind::Mnist, Budget::from_env(), 0xF161);
     let folded = fold_network(&tm.net);
-    println!("
-Model probe: exact-vs-polynomial-ReLU class agreement (MNIST CNN)");
+    println!(
+        "
+Model probe: exact-vs-polynomial-ReLU class agreement (MNIST CNN)"
+    );
     let mut rows = Vec::new();
     for &(order, delta) in &[(7usize, 25u32), (7, 40), (31, 25), (31, 40)] {
         let fp = FixedPoint::new(delta);

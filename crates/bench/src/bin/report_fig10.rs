@@ -16,7 +16,10 @@ fn main() {
             ModelSpec::resnet(9),
         ] {
             let r = sim.run_model(&spec, &cfg);
-            let mut row = vec![format!("{} {}", spec.name, label), format!("{:.2} J", r.energy_j)];
+            let mut row = vec![
+                format!("{} {}", spec.name, label),
+                format!("{:.2} J", r.energy_j),
+            ];
             for (unit, e) in &r.unit_energy_j {
                 row.push(format!("{}: {:.0}%", unit, 100.0 * e / r.energy_j));
             }

@@ -24,7 +24,10 @@ fn main() {
     }
     let sim = AthenaSim::athena();
     let area = total_area_mm2();
-    for (label, cfg) in [("Athena-w7a7", QuantConfig::w7a7()), ("Athena-w6a7", QuantConfig::w6a7())] {
+    for (label, cfg) in [
+        ("Athena-w7a7", QuantConfig::w7a7()),
+        ("Athena-w6a7", QuantConfig::w6a7()),
+    ] {
         let mut row = vec![label.to_string()];
         for spec in &specs {
             row.push(format!("{:.2}", sim.run_model(spec, &cfg).edap(area)));
@@ -34,9 +37,14 @@ fn main() {
     println!("Fig. 11: EDAP (J*s*mm^2), lower is better");
     println!(
         "{}",
-        render_table(&["Accelerator", "LeNet", "MNIST", "ResNet-20", "ResNet-56"], &rows)
+        render_table(
+            &["Accelerator", "LeNet", "MNIST", "ResNet-20", "ResNet-56"],
+            &rows
+        )
     );
-    let a = sim.run_model(&ModelSpec::resnet(3), &QuantConfig::w7a7()).edap(area);
+    let a = sim
+        .run_model(&ModelSpec::resnet(3), &QuantConfig::w7a7())
+        .edap(area);
     let sharp = baseline_edp(&baselines()[3], &ModelSpec::resnet(3)) * baselines()[3].area_mm2;
     println!(
         "EDAP improvement vs SHARP on ResNet-20: {:.1}x (paper claims 3.8x-9.9x EDAP gains)",

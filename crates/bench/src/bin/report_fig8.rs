@@ -24,7 +24,11 @@ fn main() {
             if b.name == "CraterLake" || b.name == "SHARP" {
                 let ms = athena_workload_on_baseline(&b, spec, &q);
                 let share = mma_share_on_baseline(&b, spec, &q);
-                row.push(format!("{ms:.0} ({:.1}x, MM/MA {:.0}%)", ms / ours, 100.0 * share));
+                row.push(format!(
+                    "{ms:.0} ({:.1}x, MM/MA {:.0}%)",
+                    ms / ours,
+                    100.0 * share
+                ));
             }
         }
         rows.push(row);

@@ -25,7 +25,17 @@ fn main() {
     println!("Fig. 9: execution-time breakdown (w7a7)");
     println!(
         "{}",
-        render_table(&["Model", "Linear", "Convert", "Activation", "Pooling", "Softmax"], &rows)
+        render_table(
+            &[
+                "Model",
+                "Linear",
+                "Convert",
+                "Activation",
+                "Pooling",
+                "Softmax"
+            ],
+            &rows
+        )
     );
     println!("Paper shape: non-linear (FBS) share is the largest, up to 72%; LeNet's max-pooling");
     println!("inflates its pooling share; MNIST/LeNet have relatively higher softmax share.");

@@ -1,0 +1,130 @@
+//! Serial-vs-parallel throughput of the `std`-only execution layer
+//! (`athena_math::par`) on the two hot paths it accelerates: per-limb RNS
+//! NTTs and the batched FBS of the five-step loop.
+//!
+//! Writes `reports/parallel_throughput.txt`. Worker counts are forced with
+//! `par::set_threads`, so the comparison is honest on any host; the printed
+//! hardware thread count says how much parallel speedup is *available*
+//! (on a single-core container both columns measure the same serial work
+//! plus scheduling overhead).
+
+use std::time::Duration;
+
+use athena_bench::microbench::{fmt_duration, run, BenchOpts};
+use athena_bench::render_table;
+use athena_fhe::bfv::{BfvContext, BfvEvaluator, RelinKey, SecretKey};
+use athena_fhe::fbs::{fbs_apply_batch, Lut};
+use athena_fhe::params::BfvParams;
+use athena_math::par;
+use athena_math::prime::ntt_primes;
+use athena_math::rns::RnsBasis;
+use athena_math::sampler::Sampler;
+
+struct Row {
+    name: String,
+    serial: Duration,
+    parallel: Duration,
+}
+
+fn bench_pair(opts: &BenchOpts, name: &str, threads: usize, mut f: impl FnMut()) -> Row {
+    par::set_threads(1);
+    let serial = run(opts, &mut f).median;
+    par::set_threads(threads);
+    let parallel = run(opts, &mut f).median;
+    par::set_threads(0);
+    Row {
+        name: name.to_string(),
+        serial,
+        parallel,
+    }
+}
+
+fn main() {
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // Use at least 4 workers so the threaded code path is exercised even on
+    // hosts with few cores (there it measures pure scheduling overhead).
+    let threads = par::num_threads().max(4);
+    let opts = BenchOpts {
+        warmup: Duration::from_millis(200),
+        measure: Duration::from_secs(1),
+        samples: 10,
+    };
+    let mut rows: Vec<Row> = Vec::new();
+
+    // RNS NTT: 8 limbs of degree 4096, forward + inverse per iteration.
+    {
+        let n = 4096;
+        let basis = RnsBasis::new(&ntt_primes(50, n, 8), n);
+        let p = basis.poly_from_i64(
+            &(0..n as i64)
+                .map(|i| i * 17 % 4001 - 2000)
+                .collect::<Vec<_>>(),
+        );
+        rows.push(bench_pair(&opts, "rns_ntt_8x4096_fwd_inv", threads, || {
+            let e = basis.poly_to_eval(&p);
+            std::hint::black_box(basis.poly_to_coeff(&e));
+        }));
+    }
+
+    // Batched FBS: 4 independent bootstrappings over one shared ReLU LUT
+    // (the per-LWE batch of framework Step ⑤).
+    {
+        let ctx = BfvContext::new(BfvParams::test_small());
+        let mut sampler = Sampler::from_seed(7);
+        let sk = SecretKey::generate(&ctx, &mut sampler);
+        let rlk = RelinKey::generate(&ctx, &sk, &mut sampler);
+        let ev = BfvEvaluator::new(&ctx);
+        let enc = ctx.encoder();
+        let lut = Lut::from_signed_fn(ctx.t(), |x| x.max(0));
+        let cts: Vec<_> = (0..4u64)
+            .map(|j| {
+                let vals: Vec<u64> = (0..ctx.n() as u64).map(|i| (i * 7 + j) % ctx.t()).collect();
+                ev.encrypt_sk(&enc.encode(&vals), &sk, &mut sampler)
+            })
+            .collect();
+        rows.push(bench_pair(&opts, "batched_fbs_t257_x4", threads, || {
+            std::hint::black_box(fbs_apply_batch(&ctx, &cts, &lut, &rlk));
+        }));
+    }
+
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let speedup = r.serial.as_secs_f64() / r.parallel.as_secs_f64().max(1e-12);
+            vec![
+                r.name.clone(),
+                fmt_duration(r.serial),
+                fmt_duration(r.parallel),
+                format!("{speedup:.2}x"),
+            ]
+        })
+        .collect();
+
+    let mut out = String::new();
+    out.push_str("Parallel execution layer: serial vs parallel throughput\n");
+    out.push_str(&format!(
+        "hardware threads: {hw}; parallel column forced to {threads} workers (ATHENA_THREADS honored)\n\n"
+    ));
+    out.push_str(&render_table(
+        &["workload", "serial (1 thread)", "parallel", "speedup"],
+        &table_rows,
+    ));
+    out.push_str("\nExpectation: >= 2x on batched FBS with >= 4 hardware threads.\n");
+    if hw < 4 {
+        out.push_str(&format!(
+            "This host exposes only {hw} hardware thread(s): the parallel column\n\
+             oversubscribes the core, so the speedup is <= 1x (scheduling and\n\
+             cache contention overhead). The multi-worker code path is still\n\
+             exercised, and the equivalence tests guarantee bit-identical output.\n"
+        ));
+    }
+    print!("{out}");
+
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../reports");
+    let path = dir.join("parallel_throughput.txt");
+    if let Err(e) = std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, &out)) {
+        eprintln!("could not write {}: {e}", path.display());
+    } else {
+        eprintln!("wrote {}", path.display());
+    }
+}

@@ -24,7 +24,17 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Method", "CNN", "Degree", "logQ", "B & NL", "Cipher", "Keys", "Dataset", "Acc c(p) %"],
+            &[
+                "Method",
+                "CNN",
+                "Degree",
+                "logQ",
+                "B & NL",
+                "Cipher",
+                "Keys",
+                "Dataset",
+                "Acc c(p) %"
+            ],
             &rows
         )
     );

@@ -29,7 +29,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["(HW,Cin,Cout,Wk,s,p)", "Cheetah (ours)", "Cheetah (paper)", "Athena (ours)", "Athena (paper)"],
+            &[
+                "(HW,Cin,Cout,Wk,s,p)",
+                "Cheetah (ours)",
+                "Cheetah (paper)",
+                "Athena (ours)",
+                "Athena (paper)"
+            ],
             &rows
         )
     );

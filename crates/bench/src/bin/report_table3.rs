@@ -17,9 +17,7 @@ fn main() {
             ]
         })
         .collect();
-    println!(
-        "Table 3: op-count complexity (N=2^15, f=3, C=32, p=27, r=31, t=65537)"
-    );
+    println!("Table 3: op-count complexity (N=2^15, f=3, C=32, p=27, r=31, t=65537)");
     println!(
         "{}",
         render_table(&["Solution", "Op", "# PMult", "# CMult", "# HRot"], &rows)

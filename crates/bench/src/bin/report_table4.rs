@@ -31,7 +31,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Step", "PMult d", "CMult d", "SMult d", "HAdd d", "Noise (bits)"],
+            &[
+                "Step",
+                "PMult d",
+                "CMult d",
+                "SMult d",
+                "HAdd d",
+                "Noise (bits)"
+            ],
             &rows
         )
     );

@@ -41,7 +41,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Model", "plain-G %", "w7a7 plain-Q", "w7a7 cipher (Δ)", "w6a7 plain-Q", "w6a7 cipher (Δ)"],
+            &[
+                "Model",
+                "plain-G %",
+                "w7a7 plain-Q",
+                "w7a7 cipher (Δ)",
+                "w6a7 plain-Q",
+                "w6a7 cipher (Δ)"
+            ],
             &rows
         )
     );

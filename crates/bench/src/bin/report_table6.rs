@@ -30,7 +30,10 @@ fn main() {
         rows.push(row);
     }
     let sim = AthenaSim::athena();
-    for (label, cfg) in [("Athena-w7a7", QuantConfig::w7a7()), ("Athena-w6a7", QuantConfig::w6a7())] {
+    for (label, cfg) in [
+        ("Athena-w7a7", QuantConfig::w7a7()),
+        ("Athena-w6a7", QuantConfig::w6a7()),
+    ] {
         let mut row = vec![label.to_string()];
         for spec in &specs {
             row.push(format!("{:.1}", sim.run_model(spec, &cfg).latency_ms));
@@ -40,7 +43,10 @@ fn main() {
     println!("Table 6: execution time (ms) — ours");
     println!(
         "{}",
-        render_table(&["Accelerator", "LeNet", "MNIST", "ResNet-20", "ResNet-56"], &rows)
+        render_table(
+            &["Accelerator", "LeNet", "MNIST", "ResNet-20", "ResNet-56"],
+            &rows
+        )
     );
     println!("Paper values:");
     let paper_rows: Vec<Vec<String>> = paper
@@ -53,10 +59,18 @@ fn main() {
         .collect();
     println!(
         "{}",
-        render_table(&["Accelerator", "LeNet", "MNIST", "ResNet-20", "ResNet-56"], &paper_rows)
+        render_table(
+            &["Accelerator", "LeNet", "MNIST", "ResNet-20", "ResNet-56"],
+            &paper_rows
+        )
     );
     // Shape summary
-    let a7 = sim.run_model(&ModelSpec::resnet(3), &QuantConfig::w7a7()).latency_ms;
+    let a7 = sim
+        .run_model(&ModelSpec::resnet(3), &QuantConfig::w7a7())
+        .latency_ms;
     let sharp = baseline_latency_ms(&baselines()[3], &ModelSpec::resnet(3));
-    println!("Speedup vs SHARP on ResNet-20: {:.2}x (paper: 1.51x)", sharp / a7);
+    println!(
+        "Speedup vs SHARP on ResNet-20: {:.2}x (paper: 1.51x)",
+        sharp / a7
+    );
 }

@@ -22,7 +22,10 @@ fn main() {
         rows.push(row);
     }
     let sim = AthenaSim::athena();
-    for (label, cfg) in [("Athena-w7a7", QuantConfig::w7a7()), ("Athena-w6a7", QuantConfig::w6a7())] {
+    for (label, cfg) in [
+        ("Athena-w7a7", QuantConfig::w7a7()),
+        ("Athena-w6a7", QuantConfig::w6a7()),
+    ] {
         let mut row = vec![label.to_string()];
         for spec in &specs {
             row.push(format!("{:.3}", sim.run_model(spec, &cfg).edp()));
@@ -32,9 +35,16 @@ fn main() {
     println!("Table 7: EDP (J*s), lower is better");
     println!(
         "{}",
-        render_table(&["Accelerator", "LeNet", "MNIST", "ResNet-20", "ResNet-56"], &rows)
+        render_table(
+            &["Accelerator", "LeNet", "MNIST", "ResNet-20", "ResNet-56"],
+            &rows
+        )
     );
-    println!("Paper: Athena-w7a7 = 0.056 / 0.008 / 0.35 / 3.32; SHARP = 0.31 / 0.012 / 0.96 / 8.36.");
-    let a = sim.run_model(&ModelSpec::resnet(3), &QuantConfig::w7a7()).edp();
+    println!(
+        "Paper: Athena-w7a7 = 0.056 / 0.008 / 0.35 / 3.32; SHARP = 0.31 / 0.012 / 0.96 / 8.36."
+    );
+    let a = sim
+        .run_model(&ModelSpec::resnet(3), &QuantConfig::w7a7())
+        .edp();
     println!("Athena vs SHARP EDP improvement on ResNet-20: {:.1}x (paper: 2.7x; >3.8x claimed across models)", 0.96 / a);
 }

@@ -19,7 +19,16 @@ fn main() {
     println!("Table 8: memory-related comparison");
     println!(
         "{}",
-        render_table(&["Accelerator", "HBM Cap.", "HBM BW", "Scratchpad", "Scratch BW"], &rows)
+        render_table(
+            &[
+                "Accelerator",
+                "HBM Cap.",
+                "HBM BW",
+                "Scratchpad",
+                "Scratch BW"
+            ],
+            &rows
+        )
     );
     println!(
         "Athena working set at production params: {:.1} MB (fits 45+15 MB scratchpad).",

@@ -20,7 +20,13 @@ fn main() {
         format!("{:.1}", total_power_w()),
     ]);
     println!("Table 9: area and power breakdown @1 GHz, 7nm (paper totals: 116.4 mm^2, 148.1 W)");
-    println!("{}", render_table(&["Component", "Area [mm^2]", "Peak Power [W]"], &rows));
+    println!(
+        "{}",
+        render_table(&["Component", "Area [mm^2]", "Peak Power [W]"], &rows)
+    );
     println!("Baselines: CraterLake 222.7 mm^2 (~207 W), ARK 418.3 (281.3), BTS 373.6 (133.8), SHARP 178.8.");
-    println!("Area reduction vs SHARP: {:.2}x (paper: 1.53x)", 178.8 / total_area_mm2());
+    println!(
+        "Area reduction vs SHARP: {:.2}x (paper: 1.53x)",
+        178.8 / total_area_mm2()
+    );
 }

@@ -2,8 +2,10 @@
 //!
 //! Experiment harness: one `report_*` binary per table/figure of the paper
 //! (`cargo run -p athena-bench --release --bin report_table6`), plus shared
-//! table-rendering and model-preparation helpers, plus Criterion
-//! micro-benchmarks of the kernels (`cargo bench`).
+//! table-rendering and model-preparation helpers, plus `std`-only
+//! micro-benchmarks of the kernels (`cargo bench`, see [`microbench`]).
+
+pub mod microbench;
 
 use athena_math::sampler::Sampler;
 use athena_nn::data::{Dataset, SyntheticConfig, SyntheticSource};

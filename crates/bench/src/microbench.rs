@@ -1,0 +1,145 @@
+//! A minimal `std`-only micro-benchmark harness (`std::time::Instant`
+//! timing, adaptive batch sizing, median-of-samples reporting) that
+//! replaces Criterion so the workspace builds hermetically offline.
+
+use std::time::{Duration, Instant};
+
+/// Harness configuration.
+#[derive(Debug, Clone)]
+pub struct BenchOpts {
+    /// Time spent warming up (and calibrating the batch size).
+    pub warmup: Duration,
+    /// Target measurement time per benchmark.
+    pub measure: Duration,
+    /// Number of timed samples the measurement window is divided into.
+    pub samples: usize,
+}
+
+impl Default for BenchOpts {
+    fn default() -> Self {
+        Self {
+            warmup: Duration::from_millis(200),
+            measure: Duration::from_secs(1),
+            samples: 10,
+        }
+    }
+}
+
+/// One benchmark's aggregate timing.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchResult {
+    /// Median time per iteration.
+    pub median: Duration,
+    /// Fastest sample's per-iteration time.
+    pub min: Duration,
+    /// Slowest sample's per-iteration time.
+    pub max: Duration,
+    /// Iterations per timed sample.
+    pub iters_per_sample: u64,
+}
+
+impl BenchResult {
+    /// Iterations per second implied by the median.
+    pub fn throughput(&self) -> f64 {
+        if self.median.as_secs_f64() > 0.0 {
+            1.0 / self.median.as_secs_f64()
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Formats a duration with an appropriate unit.
+pub fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Runs `f` repeatedly: warm up, pick a batch size that makes one sample
+/// last roughly `measure / samples`, then time `samples` batches and return
+/// the per-iteration statistics.
+pub fn run<F, R>(opts: &BenchOpts, mut f: F) -> BenchResult
+where
+    F: FnMut() -> R,
+{
+    // Warmup + calibration: count how many iterations fit in the window.
+    let warm_start = Instant::now();
+    let mut warm_iters: u64 = 0;
+    while warm_start.elapsed() < opts.warmup || warm_iters == 0 {
+        std::hint::black_box(f());
+        warm_iters += 1;
+    }
+    let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+    let sample_target = opts.measure.as_secs_f64() / opts.samples.max(1) as f64;
+    let iters_per_sample = ((sample_target / per_iter).ceil() as u64).max(1);
+
+    let mut samples: Vec<Duration> = Vec::with_capacity(opts.samples);
+    for _ in 0..opts.samples.max(1) {
+        let t0 = Instant::now();
+        for _ in 0..iters_per_sample {
+            std::hint::black_box(f());
+        }
+        samples.push(t0.elapsed() / iters_per_sample as u32);
+    }
+    samples.sort_unstable();
+    BenchResult {
+        median: samples[samples.len() / 2],
+        min: samples[0],
+        max: samples[samples.len() - 1],
+        iters_per_sample,
+    }
+}
+
+/// Runs a benchmark and prints a one-line result (the `cargo bench` UX).
+pub fn run_named<F, R>(opts: &BenchOpts, name: &str, f: F) -> BenchResult
+where
+    F: FnMut() -> R,
+{
+    let r = run(opts, f);
+    println!(
+        "{name:<44} median {:>12}   [{} .. {}]   ({} iters/sample)",
+        fmt_duration(r.median),
+        fmt_duration(r.min),
+        fmt_duration(r.max),
+        r.iters_per_sample,
+    );
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_reasonable() {
+        let opts = BenchOpts {
+            warmup: Duration::from_millis(5),
+            measure: Duration::from_millis(20),
+            samples: 4,
+        };
+        let mut acc = 0u64;
+        let r = run(&opts, || {
+            acc = acc.wrapping_add(1);
+            std::hint::black_box(acc)
+        });
+        assert!(r.median <= r.max && r.min <= r.median);
+        assert!(r.iters_per_sample >= 1);
+        assert!(r.throughput() > 0.0);
+    }
+
+    #[test]
+    fn duration_formatting_units() {
+        assert!(fmt_duration(Duration::from_nanos(500)).contains("ns"));
+        assert!(fmt_duration(Duration::from_micros(500)).contains("µs"));
+        assert!(fmt_duration(Duration::from_millis(500)).contains("ms"));
+        assert!(fmt_duration(Duration::from_secs(50)).contains(" s"));
+    }
+}

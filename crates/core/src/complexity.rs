@@ -41,8 +41,8 @@ impl Default for ComplexityParams {
             n: 1 << 15,
             f: 3,
             c: 32,
-            p: 27,   // typical minimax ReLU composite degree [27]
-            r: 31,   // sine-approximation degree
+            p: 27, // typical minimax ReLU composite degree [27]
+            r: 31, // sine-approximation degree
             t: 65537,
         }
     }

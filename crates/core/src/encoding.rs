@@ -236,8 +236,7 @@ impl ConvEncoder {
         for co in 0..self.shape.c_out {
             for y in 0..o {
                 for x in 0..o {
-                    out.data_mut()[(co * o + y) * o + x] =
-                        prod[self.output_index(co, y, x)] as i64;
+                    out.data_mut()[(co * o + y) * o + x] = prod[self.output_index(co, y, x)] as i64;
                 }
             }
         }
@@ -274,12 +273,54 @@ pub fn direct_conv_valid(m: &ITensor, k: &ITensor) -> ITensor {
 /// The six conv shapes of Table 2.
 pub fn table2_shapes() -> Vec<ConvShape> {
     vec![
-        ConvShape { hw: 32, c_in: 3, c_out: 16, k: 3, stride: 1, padding: 1 },
-        ConvShape { hw: 32, c_in: 16, c_out: 16, k: 3, stride: 1, padding: 1 },
-        ConvShape { hw: 32, c_in: 16, c_out: 32, k: 1, stride: 2, padding: 0 },
-        ConvShape { hw: 16, c_in: 32, c_out: 32, k: 3, stride: 1, padding: 1 },
-        ConvShape { hw: 16, c_in: 32, c_out: 64, k: 1, stride: 2, padding: 0 },
-        ConvShape { hw: 8, c_in: 64, c_out: 64, k: 3, stride: 1, padding: 1 },
+        ConvShape {
+            hw: 32,
+            c_in: 3,
+            c_out: 16,
+            k: 3,
+            stride: 1,
+            padding: 1,
+        },
+        ConvShape {
+            hw: 32,
+            c_in: 16,
+            c_out: 16,
+            k: 3,
+            stride: 1,
+            padding: 1,
+        },
+        ConvShape {
+            hw: 32,
+            c_in: 16,
+            c_out: 32,
+            k: 1,
+            stride: 2,
+            padding: 0,
+        },
+        ConvShape {
+            hw: 16,
+            c_in: 32,
+            c_out: 32,
+            k: 3,
+            stride: 1,
+            padding: 1,
+        },
+        ConvShape {
+            hw: 16,
+            c_in: 32,
+            c_out: 64,
+            k: 1,
+            stride: 2,
+            padding: 0,
+        },
+        ConvShape {
+            hw: 8,
+            c_in: 64,
+            c_out: 64,
+            k: 3,
+            stride: 1,
+            padding: 1,
+        },
     ]
 }
 
@@ -300,8 +341,20 @@ mod tests {
     #[test]
     fn encoding_computes_convolution() {
         let mut s = Sampler::from_seed(41);
-        for (c_in, c_out, hw, k) in [(1usize, 1usize, 6usize, 3usize), (2, 2, 5, 3), (3, 4, 4, 2), (2, 3, 4, 1)] {
-            let shape = ConvShape { hw, c_in, c_out, k, stride: 1, padding: 0 };
+        for (c_in, c_out, hw, k) in [
+            (1usize, 1usize, 6usize, 3usize),
+            (2, 2, 5, 3),
+            (3, 4, 4, 2),
+            (2, 3, 4, 1),
+        ] {
+            let shape = ConvShape {
+                hw,
+                c_in,
+                c_out,
+                k,
+                stride: 1,
+                padding: 0,
+            };
             let enc = ConvEncoder::new(shape, 1024);
             let m = random_itensor(&[c_in, hw, hw], 7, &mut s);
             let kk = random_itensor(&[c_out, c_in, k, k], 7, &mut s);
@@ -339,7 +392,9 @@ mod tests {
             let p = athena_packing(shape, n);
             let ratio = p.valid_ratio(shape, n);
             assert!(
-                (ratio - want).abs() < 1e-9 || (ratio - want / 2.0).abs() < 1e-9 || (ratio - want * 2.0).abs() < 1e-9,
+                (ratio - want).abs() < 1e-9
+                    || (ratio - want / 2.0).abs() < 1e-9
+                    || (ratio - want * 2.0).abs() < 1e-9,
                 "{shape:?}: ratio {ratio} vs paper {want}"
             );
         }
@@ -360,20 +415,25 @@ mod tests {
     #[test]
     fn strided_outputs_are_subsampled_valid_positions() {
         // stride-2 layers read every other valid position.
-        let shape = ConvShape { hw: 6, c_in: 1, c_out: 1, k: 2, stride: 2, padding: 0 };
+        let shape = ConvShape {
+            hw: 6,
+            c_in: 1,
+            c_out: 1,
+            k: 2,
+            stride: 2,
+            padding: 0,
+        };
         let enc = ConvEncoder::new(ConvShape { stride: 1, ..shape }, 256);
         let mut s = Sampler::from_seed(42);
         let m = random_itensor(&[1, 6, 6], 5, &mut s);
         let k = random_itensor(&[1, 1, 2, 2], 5, &mut s);
         let full = enc.conv_via_polynomial(&m, &k); // 5×5 stride-1 grid
-        // direct stride-2
+                                                    // direct stride-2
         for y in 0..3 {
             for x in 0..3 {
                 let direct: i64 = (0..2)
                     .flat_map(|i| (0..2).map(move |j| (i, j)))
-                    .map(|(i, j)| {
-                        m.data()[(2 * y + i) * 6 + 2 * x + j] * k.data()[i * 2 + j]
-                    })
+                    .map(|(i, j)| m.data()[(2 * y + i) * 6 + 2 * x + j] * k.data()[i * 2 + j])
                     .sum();
                 assert_eq!(full.data()[(5 * (2 * y)) + 2 * x], direct);
             }

@@ -146,17 +146,12 @@ pub fn run_encrypted(
             .clone();
         let (out_lwes, out_shape): (Vec<LweCiphertext>, Vec<usize>) = match &node.op {
             QOp::Linear(l) => {
-                let (acc_lwes, shape) =
-                    run_linear_accumulate(engine, keys, &sv, l, &mut stats);
+                let (acc_lwes, shape) = run_linear_accumulate(engine, keys, &sv, l, &mut stats);
                 let mut acc_lwes = acc_lwes;
                 if let Some((skip_idx, mult)) = node.skip {
                     let skip_sv = values[skip_idx].as_ref().expect("skip stored");
-                    let skip_lwes = engine.extract_lwes(
-                        &skip_sv.ct,
-                        &skip_sv.positions,
-                        keys,
-                        &mut stats,
-                    );
+                    let skip_lwes =
+                        engine.extract_lwes(&skip_sv.ct, &skip_sv.positions, keys, &mut stats);
                     assert_eq!(skip_lwes.len(), acc_lwes.len(), "skip shape mismatch");
                     for (a, s) in acc_lwes.iter_mut().zip(&skip_lwes) {
                         *a = engine.lwe_add_scaled(a, s, mult);
@@ -176,10 +171,7 @@ pub fn run_encrypted(
                         for ci in 0..c {
                             for oy in 0..oh {
                                 for ox in 0..ow {
-                                    s.push(
-                                        lwes[(ci * h + oy * k + ky) * w + ox * k + kx]
-                                            .clone(),
-                                    );
+                                    s.push(lwes[(ci * h + oy * k + ky) * w + ox * k + kx].clone());
                                 }
                             }
                         }
@@ -305,7 +297,10 @@ fn run_linear_accumulate(
         if t_idx + eff_cin * hw <= n {
             break;
         }
-        assert!(co_g > 1, "layer does not fit ring degree {n} even with one output channel");
+        assert!(
+            co_g > 1,
+            "layer does not fit ring degree {n} even with one output channel"
+        );
         co_g = co_g.div_ceil(2);
     }
     let groups = c_out.div_ceil(co_g);
@@ -413,10 +408,7 @@ mod tests {
         let mut sampler = Sampler::from_seed(777);
         let (secrets, keys) = engine.keygen(&mut sampler);
         let model = tiny_model();
-        let input = ITensor::from_vec(
-            &[1, 5, 5],
-            (0..25).map(|i| ((i % 5) as i64) - 2).collect(),
-        );
+        let input = ITensor::from_vec(&[1, 5, 5], (0..25).map(|i| ((i % 5) as i64) - 2).collect());
         let reference = model.forward(&input);
         let enc = run_encrypted(&engine, &secrets, &keys, &model, &input, &mut sampler);
         assert_eq!(enc.logits.len(), 3);
@@ -441,10 +433,7 @@ mod tests {
             nodes: vec![
                 QNode {
                     op: QOp::Linear(QLinear {
-                        weight: ITensor::from_vec(
-                            &[1, 1, 3, 3],
-                            vec![0, 1, 0, 1, 2, 1, 0, 1, 0],
-                        ),
+                        weight: ITensor::from_vec(&[1, 1, 3, 3], vec![0, 1, 0, 1, 2, 1, 0, 1, 0]),
                         bias: vec![0],
                         stride: 1,
                         padding: 1,
@@ -495,7 +484,11 @@ mod tests {
         }
         // MaxPool cost: k²−1 = 3 max rounds → 3 extra FBS calls + 1 conv
         // remap + 1 identity bridge after pooling.
-        assert!(enc.stats.fbs_calls >= 4, "fbs calls = {}", enc.stats.fbs_calls);
+        assert!(
+            enc.stats.fbs_calls >= 4,
+            "fbs calls = {}",
+            enc.stats.fbs_calls
+        );
     }
 
     #[test]

@@ -159,6 +159,9 @@ mod tests {
             .filter(|r| r.dataset == "CIFAR-10")
             .map(|r| r.accuracy.0)
             .fold(0.0f64, f64::max);
-        assert_eq!(best_cipher, 94.65, "Athena has the best CIFAR-10 cipher accuracy");
+        assert_eq!(
+            best_cipher, 94.65,
+            "Athena has the best CIFAR-10 cipher accuracy"
+        );
     }
 }

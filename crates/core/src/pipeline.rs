@@ -17,17 +17,16 @@
 //! [`athena_fhe::params::BfvParams`]; the production-scale numbers come from
 //! the op-trace + accelerator model, exactly as in the paper's evaluation.
 
-use athena_fhe::bfv::{
-    BfvCiphertext, BfvContext, BfvEvaluator, GaloisKeys, RelinKey, SecretKey,
-};
+use athena_fhe::bfv::{BfvCiphertext, BfvContext, BfvEvaluator, GaloisKeys, RelinKey, SecretKey};
 use athena_fhe::encoder::encode_coeff;
 use athena_fhe::extract::{mod_switch_rlwe, rlwe_secret_as_lwe_mod, sample_extract_one};
-use athena_fhe::fbs::{fbs_apply, FbsStats, Lut};
+use athena_fhe::fbs::{fbs_apply, fbs_apply_batch, FbsStats, Lut};
 use athena_fhe::linear::SlotToCoeff;
 use athena_fhe::lwe::{lwe_mod_switch, LweCiphertext, LweKeySwitchKey, LweSecret};
 use athena_fhe::pack::{BsgsPackingKey, ColumnPackingKey};
 use athena_fhe::params::BfvParams;
 use athena_math::modops::Modulus;
+use athena_math::par;
 use athena_math::poly::Poly;
 use athena_math::sampler::Sampler;
 
@@ -106,7 +105,12 @@ impl AthenaEngine {
         let ctx = BfvContext::new(params);
         let s2c = SlotToCoeff::new(&ctx);
         let q_mid = ctx.params().q_primes[0];
-        Self { ctx, s2c, q_mid, packing }
+        Self {
+            ctx,
+            s2c,
+            q_mid,
+            packing,
+        }
     }
 
     /// The FHE context.
@@ -120,30 +124,25 @@ impl AthenaEngine {
         let sk = SecretKey::generate(ctx, sampler);
         let lwe_sk = LweSecret::generate(ctx.params().lwe_n, ctx.t(), sampler);
         let rlk = RelinKey::generate(ctx, &sk, sampler);
-        let gk = GaloisKeys::generate(
-            ctx,
-            &sk,
-            &self.s2c.required_galois_elements(ctx),
-            sampler,
-        );
+        let gk = GaloisKeys::generate(ctx, &sk, &self.s2c.required_galois_elements(ctx), sampler);
         let big = rlwe_secret_as_lwe_mod(&sk, self.q_mid);
         let small_mid = LweSecret::from_coeffs(lwe_sk.coeffs().to_vec(), self.q_mid);
-        let lwe_ksk = LweKeySwitchKey::generate(
-            &big,
-            &small_mid,
-            ctx.params().lwe_ks_base_log,
-            sampler,
-        );
+        let lwe_ksk =
+            LweKeySwitchKey::generate(&big, &small_mid, ctx.params().lwe_ks_base_log, sampler);
         let pack = ColumnPackingKey::generate(ctx, &sk, &lwe_sk, sampler);
         let pack_bsgs = match self.packing {
-            PackingMethod::Bsgs => {
-                Some(BsgsPackingKey::generate(ctx, &sk, &lwe_sk, sampler))
-            }
+            PackingMethod::Bsgs => Some(BsgsPackingKey::generate(ctx, &sk, &lwe_sk, sampler)),
             PackingMethod::Column => None,
         };
         (
             AthenaSecrets { sk, lwe_sk },
-            AthenaEvalKeys { rlk, gk, lwe_ksk, pack, pack_bsgs },
+            AthenaEvalKeys {
+                rlk,
+                gk,
+                lwe_ksk,
+                pack,
+                pack_bsgs,
+            },
         )
     }
 
@@ -192,7 +191,12 @@ impl AthenaEngine {
     }
 
     /// Homomorphic addition of two coefficient-encoded ciphertexts.
-    pub fn add(&self, a: &BfvCiphertext, b: &BfvCiphertext, stats: &mut PipelineStats) -> BfvCiphertext {
+    pub fn add(
+        &self,
+        a: &BfvCiphertext,
+        b: &BfvCiphertext,
+        stats: &mut PipelineStats,
+    ) -> BfvCiphertext {
         stats.hadd += 1;
         BfvEvaluator::new(&self.ctx).add(a, b)
     }
@@ -208,24 +212,19 @@ impl AthenaEngine {
     ) -> Vec<LweCiphertext> {
         let small = mod_switch_rlwe(&self.ctx, ct, self.q_mid);
         stats.extracts += positions.len();
-        positions
-            .iter()
-            .map(|&p| {
-                let big = sample_extract_one(&small, p);
-                let switched = keys.lwe_ksk.switch(&big);
-                lwe_mod_switch(&switched, self.ctx.t())
-            })
-            .collect()
+        // Extraction + dimension switch is independent per position — the
+        // per-LWE loop the paper fans out across FRU lanes; run it on the
+        // parallel layer (results stay in position order).
+        par::parallel_map(positions, |&p| {
+            let big = sample_extract_one(&small, p);
+            let switched = keys.lwe_ksk.switch(&big);
+            lwe_mod_switch(&switched, self.ctx.t())
+        })
     }
 
     /// LWE-level linear combination: `a + mult·b` (used for residual skips
     /// and pooling sums — exact mod-t arithmetic, framework Step ③½).
-    pub fn lwe_add_scaled(
-        &self,
-        a: &LweCiphertext,
-        b: &LweCiphertext,
-        mult: i64,
-    ) -> LweCiphertext {
+    pub fn lwe_add_scaled(&self, a: &LweCiphertext, b: &LweCiphertext, mult: i64) -> LweCiphertext {
         let t = Modulus::new(self.ctx.t());
         let m = t.from_i64(mult);
         let av: Vec<u64> = a
@@ -253,6 +252,41 @@ impl AthenaEngine {
         let packed = self.pack(lwes, keys, stats);
         let bootstrapped = self.fbs(&packed, lut, lwes, keys, stats);
         self.s2c(&bootstrapped, keys, stats)
+    }
+
+    /// Steps ④ + ⑤ for several independent slot groups sharing one LUT:
+    /// the LUT is interpolated once and the per-group BSGS evaluations run
+    /// through the parallel batch path ([`fbs_apply_batch`]). Group `i` of
+    /// the output corresponds to `groups[i]`, and results are bit-identical
+    /// to calling [`AthenaEngine::pack_fbs_s2c`] per group.
+    pub fn pack_fbs_s2c_batch(
+        &self,
+        groups: &[Vec<Option<LweCiphertext>>],
+        lut: &Lut,
+        keys: &AthenaEvalKeys,
+        stats: &mut PipelineStats,
+    ) -> Vec<BfvCiphertext> {
+        let packed: Vec<BfvCiphertext> = groups.iter().map(|g| self.pack(g, keys, stats)).collect();
+        let boot = fbs_apply_batch(&self.ctx, &packed, lut, &keys.rlk);
+        let ev = BfvEvaluator::new(&self.ctx);
+        let mut outs = Vec::with_capacity(groups.len());
+        for ((mut out, fstats), g) in boot.into_iter().zip(groups) {
+            stats.fbs_calls += 1;
+            stats.fbs.cmult += fstats.cmult;
+            stats.fbs.smult += fstats.smult;
+            stats.fbs.hadd += fstats.hadd;
+            let needs_mask =
+                lut.get(0) != 0 && (g.len() < self.ctx.n() || g.iter().any(|o| o.is_none()));
+            if needs_mask {
+                let mask: Vec<u64> = (0..self.ctx.n())
+                    .map(|i| u64::from(matches!(g.get(i), Some(Some(_)))))
+                    .collect();
+                out = ev.mul_plain(&out, &self.ctx.encoder().encode(&mask));
+                stats.pmult += 1;
+            }
+            outs.push(self.s2c(&out, keys, stats));
+        }
+        outs
     }
 
     /// Step ④ alone.
@@ -296,8 +330,8 @@ impl AthenaEngine {
         stats.fbs.cmult += fstats.cmult;
         stats.fbs.smult += fstats.smult;
         stats.fbs.hadd += fstats.hadd;
-        let needs_mask = lut.get(0) != 0
-            && (lwes.len() < self.ctx.n() || lwes.iter().any(|o| o.is_none()));
+        let needs_mask =
+            lut.get(0) != 0 && (lwes.len() < self.ctx.n() || lwes.iter().any(|o| o.is_none()));
         if needs_mask {
             let mask: Vec<u64> = (0..self.ctx.n())
                 .map(|i| u64::from(matches!(lwes.get(i), Some(Some(_)))))
@@ -404,8 +438,7 @@ impl AthenaEngine {
         let exp_lut = Lut::from_signed_fn(t, move |x| {
             ((x as f64 / in_div).exp() * exp_scale).round() as i64
         });
-        let slots: Vec<Option<LweCiphertext>> =
-            logits.iter().cloned().map(Some).collect();
+        let slots: Vec<Option<LweCiphertext>> = logits.iter().cloned().map(Some).collect();
         let packed = self.pack(&slots, keys, stats);
         let exp_ct = self.fbs(&packed, &exp_lut, &slots, keys, stats);
         let exp_coeff = self.s2c(&exp_ct, keys, stats);
@@ -423,13 +456,16 @@ impl AthenaEngine {
                 (inv_num / v as f64).round() as i64
             }
         });
-        let denom_slots: Vec<Option<LweCiphertext>> =
-            (0..n).map(|_| Some(denom.clone())).collect();
+        let denom_slots: Vec<Option<LweCiphertext>> = (0..n).map(|_| Some(denom.clone())).collect();
         let packed_d = self.pack(&denom_slots, keys, stats);
         let inv_ct = self.fbs(&packed_d, &inv_lut, &denom_slots, keys, stats);
         // Step 3: CMult numerator × inverse (both slot-encoded).
         let num_ct = self.fbs(
-            &self.pack(&exp_lwes.iter().cloned().map(Some).collect::<Vec<_>>(), keys, stats),
+            &self.pack(
+                &exp_lwes.iter().cloned().map(Some).collect::<Vec<_>>(),
+                keys,
+                stats,
+            ),
             &Lut::from_signed_fn(t, |x| x),
             &slots,
             keys,
@@ -472,9 +508,16 @@ mod tests {
         // FBS(ReLU + remap/4) → S2C, checked against plain integer math.
         let mut f = setup();
         let eng = &f.engine;
-        use athena_nn::models::ConvShape;
         use crate::encoding::ConvEncoder;
-        let shape = ConvShape { hw: 4, c_in: 1, c_out: 1, k: 2, stride: 1, padding: 0 };
+        use athena_nn::models::ConvShape;
+        let shape = ConvShape {
+            hw: 4,
+            c_in: 1,
+            c_out: 1,
+            k: 2,
+            stride: 1,
+            padding: 0,
+        };
         let enc = ConvEncoder::new(shape, eng.context().n());
         let img: Vec<i64> = (0..16).map(|i| (i % 7) - 3).collect();
         let kernel: Vec<i64> = vec![2, -1, 3, 1];
@@ -510,7 +553,10 @@ mod tests {
         let got = eng.decrypt_coeffs(&result, &(0..9).collect::<Vec<_>>(), &f.secrets);
         for (i, (&g, &acc)) in got.iter().zip(expected_acc.data()).enumerate() {
             let want = if acc > 0 { (acc + 2) / 4 } else { 0 };
-            assert!((g - want).abs() <= 2, "slot {i}: got {g}, want {want} (acc {acc})");
+            assert!(
+                (g - want).abs() <= 2,
+                "slot {i}: got {g}, want {want} (acc {acc})"
+            );
         }
         assert_eq!(stats.fbs_calls, 1);
         assert_eq!(stats.packs, 1);
@@ -543,6 +589,62 @@ mod tests {
             .filter(|(&g, &v)| (g - v.max(0)).abs() <= 8)
             .count();
         assert!(close as f64 > 0.9 * n as f64, "{close}/{n} close");
+    }
+
+    #[test]
+    fn batched_loop_matches_per_group_calls() {
+        // pack_fbs_s2c_batch must agree with per-group pack_fbs_s2c, for any
+        // worker count (the shared-interpolation batch path is bit-exact).
+        let mut f = setup();
+        let t = f.engine.context().t();
+        let tm = Modulus::new(t);
+        let groups: Vec<Vec<Option<LweCiphertext>>> = (0..2i64)
+            .map(|g| {
+                (0..8i64)
+                    .map(|i| {
+                        Some(LweCiphertext::encrypt(
+                            tm.from_i64((g * 8 + i) % 20 - 10),
+                            &f.secrets.lwe_sk,
+                            &mut f.sampler,
+                        ))
+                    })
+                    .collect()
+            })
+            .collect();
+        let eng = &f.engine;
+        let lut = Lut::from_signed_fn(t, |x| x.max(0));
+        let mut s1 = PipelineStats::default();
+        let singles: Vec<_> = groups
+            .iter()
+            .map(|g| eng.pack_fbs_s2c(g, &lut, &f.keys, &mut s1))
+            .collect();
+        par::set_threads(1);
+        let mut s2 = PipelineStats::default();
+        let b1 = eng.pack_fbs_s2c_batch(&groups, &lut, &f.keys, &mut s2);
+        par::set_threads(4);
+        let mut s3 = PipelineStats::default();
+        let b4 = eng.pack_fbs_s2c_batch(&groups, &lut, &f.keys, &mut s3);
+        par::set_threads(0);
+        let pos: Vec<usize> = (0..8).collect();
+        for i in 0..groups.len() {
+            let want = eng.decrypt_coeffs(&singles[i], &pos, &f.secrets);
+            assert_eq!(
+                eng.decrypt_coeffs(&b1[i], &pos, &f.secrets),
+                want,
+                "group {i}"
+            );
+            assert_eq!(
+                eng.decrypt_coeffs(&b4[i], &pos, &f.secrets),
+                want,
+                "group {i}"
+            );
+        }
+        for s in [&s2, &s3] {
+            assert_eq!(s.fbs_calls, s1.fbs_calls);
+            assert_eq!(s.packs, s1.packs);
+            assert_eq!(s.s2c_calls, s1.s2c_calls);
+            assert_eq!(s.fbs, s1.fbs);
+        }
     }
 
     #[test]
@@ -586,7 +688,10 @@ mod tests {
         // Expected (up to LUT rounding and e_ms): the dominant logit's
         // softmax mass clearly exceeds the others (small entries carry
         // multiplied noise from the CMult, so only dominance is asserted).
-        assert!(dec[0] > dec[1] + 20 && dec[0] > dec[2] + 20, "softmax order {dec:?}");
+        assert!(
+            dec[0] > dec[1] + 20 && dec[0] > dec[2] + 20,
+            "softmax order {dec:?}"
+        );
         // Compare against the plain two-LUT pipeline.
         let plain: Vec<i64> = {
             let exps: Vec<i64> = logits_plain

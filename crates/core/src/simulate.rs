@@ -170,8 +170,8 @@ mod tests {
     use athena_math::sampler::Sampler;
     use athena_nn::data::{SyntheticConfig, SyntheticSource};
     use athena_nn::models::ModelKind;
-    use athena_nn::quant::quantize;
     use athena_nn::qmodel::QuantConfig;
+    use athena_nn::quant::quantize;
     use athena_nn::train::{train, TrainConfig};
 
     fn trained_qmodel() -> (QModel, Vec<Tensor>, Vec<usize>) {
@@ -217,12 +217,8 @@ mod tests {
     fn error_ratio_is_small_but_nonzero() {
         let (qm, images, _) = trained_qmodel();
         let mut s = Sampler::from_seed(45);
-        let ratios = per_layer_error_ratio(
-            &qm,
-            &images[..10],
-            &NoiseSpec::athena_production(),
-            &mut s,
-        );
+        let ratios =
+            per_layer_error_ratio(&qm, &images[..10], &NoiseSpec::athena_production(), &mut s);
         // Fig. 4: most layers < 6%, max < ~11% — allow a loose upper bound,
         // but require the effect to exist and be small. The final node is
         // excluded: it has no remap LUT, so its raw accumulators absorb the
@@ -231,7 +227,10 @@ mod tests {
         for (i, &r) in ratios.iter().enumerate().take(ratios.len() - 1) {
             assert!(r < 0.35, "layer {i} error ratio {r}");
         }
-        assert!(ratios.iter().any(|&r| r > 0.0), "noise should flip something");
+        assert!(
+            ratios.iter().any(|&r| r > 0.0),
+            "noise should flip something"
+        );
     }
 
     #[test]

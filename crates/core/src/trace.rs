@@ -136,8 +136,10 @@ pub struct ModelTrace {
 impl ModelTrace {
     /// Total ops per phase.
     pub fn phase_totals(&self) -> Vec<(Phase, OpCounts)> {
-        let mut totals: Vec<(Phase, OpCounts)> =
-            Phase::all().iter().map(|&p| (p, OpCounts::default())).collect();
+        let mut totals: Vec<(Phase, OpCounts)> = Phase::all()
+            .iter()
+            .map(|&p| (p, OpCounts::default()))
+            .collect();
         for l in &self.layers {
             for (p, c) in &l.phases {
                 let slot = totals
@@ -355,7 +357,10 @@ mod tests {
         let rn = trace_model(&ModelSpec::resnet(3), &params, &q);
         let rn_ratio = pool_smult(&rn) as f64 / act_smult(&rn) as f64;
         assert!(lenet_ratio > 0.2, "LeNet pool/act ratio {lenet_ratio}");
-        assert!(lenet_ratio > 10.0 * rn_ratio, "LeNet {lenet_ratio} vs ResNet {rn_ratio}");
+        assert!(
+            lenet_ratio > 10.0 * rn_ratio,
+            "LeNet {lenet_ratio} vs ResNet {rn_ratio}"
+        );
     }
 
     #[test]

@@ -448,7 +448,9 @@ impl<'a> BfvEvaluator<'a> {
         ctx.qb.add_assign_poly(&mut c0, &ctx.delta_times(m));
         let mut c1 = ctx.qb.poly_to_coeff(&ctx.qb.mul_poly(&pk.a, &u));
         ctx.qb.add_assign_poly(&mut c1, &e1);
-        BfvCiphertext { parts: vec![c0, c1] }
+        BfvCiphertext {
+            parts: vec![c0, c1],
+        }
     }
 
     /// Computes the raw phase `c0 + c1·s (+ c2·s²)` in coefficient domain.
@@ -552,7 +554,11 @@ impl<'a> BfvEvaluator<'a> {
         let ctx = self.ctx;
         let t = ctx.params.t;
         let c = c % t;
-        let signed = if c > t / 2 { c as i64 - t as i64 } else { c as i64 };
+        let signed = if c > t / 2 {
+            c as i64 - t as i64
+        } else {
+            c as i64
+        };
         let parts = a
             .parts
             .iter()
@@ -667,7 +673,9 @@ impl<'a> BfvEvaluator<'a> {
         let mut c1 = ct.parts[1].clone();
         ctx.qb.add_assign_poly(&mut c0, &p0);
         ctx.qb.add_assign_poly(&mut c1, &p1);
-        BfvCiphertext { parts: vec![c0, c1] }
+        BfvCiphertext {
+            parts: vec![c0, c1],
+        }
     }
 
     /// Full ciphertext multiplication (`CMult`): tensor + relinearize.
@@ -681,21 +689,20 @@ impl<'a> BfvEvaluator<'a> {
     /// # Panics
     ///
     /// Panics if no key for `g` is present.
-    pub fn apply_galois(
-        &self,
-        ct: &BfvCiphertext,
-        g: usize,
-        gk: &GaloisKeys,
-    ) -> BfvCiphertext {
+    pub fn apply_galois(&self, ct: &BfvCiphertext, g: usize, gk: &GaloisKeys) -> BfvCiphertext {
         assert_eq!(ct.size(), 2, "automorphism expects a size-2 ciphertext");
         let ctx = self.ctx;
-        let key = gk.key(g).unwrap_or_else(|| panic!("missing Galois key for element {g}"));
+        let key = gk
+            .key(g)
+            .unwrap_or_else(|| panic!("missing Galois key for element {g}"));
         let c0g = ctx.qb.automorphism_poly(&ct.parts[0], g);
         let c1g = ctx.qb.automorphism_poly(&ct.parts[1], g);
         let (p0, p1) = key.apply(ctx, &c1g);
         let mut c0 = c0g;
         ctx.qb.add_assign_poly(&mut c0, &p0);
-        BfvCiphertext { parts: vec![c0, p1] }
+        BfvCiphertext {
+            parts: vec![c0, p1],
+        }
     }
 
     /// Rotates every slot row left by `k` (`HRot`).
@@ -790,7 +797,10 @@ mod tests {
         let cb = ev.encrypt_sk(&enc.encode(&b), &sk, &mut sampler);
         let prod = ev.mul(&ca, &cb, &rlk);
         assert_eq!(prod.size(), 2);
-        assert!(ev.noise_budget(&prod, &sk) > 0, "budget exhausted after one mul");
+        assert!(
+            ev.noise_budget(&prod, &sk) > 0,
+            "budget exhausted after one mul"
+        );
         let got = enc.decode(&ev.decrypt(&prod, &sk));
         let want: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| x * y % 257).collect();
         assert_eq!(got, want);

@@ -234,7 +234,9 @@ mod tests {
         let a: Vec<u64> = (1..17u64).collect();
         let b: Vec<u64> = (3..19u64).collect();
         let prod_slots: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| (x * y) % 257).collect();
-        let p = enc.ring().to_coeff(&enc.ring().mul(&enc.encode(&a), &enc.encode(&b)));
+        let p = enc
+            .ring()
+            .to_coeff(&enc.ring().mul(&enc.encode(&a), &enc.encode(&b)));
         assert_eq!(enc.decode(&p), prod_slots);
     }
 

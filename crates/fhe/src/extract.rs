@@ -142,7 +142,10 @@ mod tests {
         for (i, (&d, &want)) in dec.iter().zip(&msgs).enumerate() {
             let err = (d as i64 - want).rem_euclid(257);
             let err = err.min(257 - err);
-            assert!(err <= 16, "coeff {i}: decrypted {d}, want {want} (err {err})");
+            assert!(
+                err <= 16,
+                "coeff {i}: decrypted {d}, want {want} (err {err})"
+            );
         }
     }
 

@@ -58,10 +58,7 @@ impl Lut {
     /// `(-t/2, t/2]`, producing centered outputs (re-encoded mod `t`).
     pub fn from_signed_fn(t: u64, f: impl Fn(i64) -> i64) -> Self {
         let m = Modulus::new(t);
-        Self::new(
-            t,
-            (0..t).map(|k| m.from_i64(f(m.center(k)))).collect(),
-        )
+        Self::new(t, (0..t).map(|k| m.from_i64(f(m.center(k)))).collect())
     }
 
     /// The plaintext modulus.
@@ -182,8 +179,38 @@ pub fn fbs_apply(
     rlk: &RelinKey,
 ) -> (BfvCiphertext, FbsStats) {
     assert_eq!(lut.t(), ctx.t(), "LUT modulus must match context t");
-    let ev = BfvEvaluator::new(ctx);
     let coeffs = lut.interpolate();
+    fbs_apply_interpolated(ctx, ct, &coeffs, rlk)
+}
+
+/// Evaluates a batch of independent FBS over the same LUT: the LUT is
+/// interpolated once, then the per-ciphertext BSGS evaluations run on the
+/// parallel layer (they are fully independent — this is the loop the paper's
+/// FRU array spreads across hardware units). Results are in input order and
+/// bit-identical for any thread count.
+///
+/// # Panics
+///
+/// Panics if the LUT modulus differs from the context's `t`.
+pub fn fbs_apply_batch(
+    ctx: &BfvContext,
+    cts: &[BfvCiphertext],
+    lut: &Lut,
+    rlk: &RelinKey,
+) -> Vec<(BfvCiphertext, FbsStats)> {
+    assert_eq!(lut.t(), ctx.t(), "LUT modulus must match context t");
+    let coeffs = lut.interpolate();
+    athena_math::par::parallel_map(cts, |ct| fbs_apply_interpolated(ctx, ct, &coeffs, rlk))
+}
+
+/// Alg. 2 on pre-interpolated LUT coefficients (shared across a batch).
+fn fbs_apply_interpolated(
+    ctx: &BfvContext,
+    ct: &BfvCiphertext,
+    coeffs: &[u64],
+    rlk: &RelinKey,
+) -> (BfvCiphertext, FbsStats) {
+    let ev = BfvEvaluator::new(ctx);
     let mut stats = FbsStats::default();
     let result = {
         let mut mul = |a: &BfvCiphertext, b: &BfvCiphertext| {
@@ -198,12 +225,10 @@ pub fn fbs_apply(
             stats.hadd += 1;
             ev.add(a, b)
         };
-        bsgs_polynomial_eval(&coeffs, ct, &mut mul, &mut smul, &mut add)
+        bsgs_polynomial_eval(coeffs, ct, &mut mul, &mut smul, &mut add)
     };
     // Add the constant term c_0 = LUT(0) in plaintext (all slots).
-    let constant = ctx
-        .encoder()
-        .encode(&vec![coeffs[0] % ctx.t(); ctx.n()]);
+    let constant = ctx.encoder().encode(&vec![coeffs[0] % ctx.t(); ctx.n()]);
     let out = match result {
         Some(r) => ev.add_plain(&r, &constant),
         None => BfvCiphertext::trivial(ctx, &constant),
@@ -285,13 +310,7 @@ mod tests {
         let enc = ctx.encoder();
         let t = ctx.t();
         // LUT(x) = round(ReLU(x) / 4)  (remap scale 4)
-        let lut = Lut::from_signed_fn(t, |x| {
-            if x > 0 {
-                (x + 2) / 4
-            } else {
-                0
-            }
-        });
+        let lut = Lut::from_signed_fn(t, |x| if x > 0 { (x + 2) / 4 } else { 0 });
         let inputs: Vec<u64> = (0..ctx.n() as u64).map(|i| i % t).collect();
         let ct = ev.encrypt_sk(&enc.encode(&inputs), &sk, &mut sampler);
         let (out, stats) = fbs_apply(&ctx, &ct, &lut, &rlk);
@@ -300,7 +319,11 @@ mod tests {
         assert_eq!(got, want);
         // Alg. 2 structure: CMult is O(sqrt t), SMult is O(t).
         let split = fbs_split(t);
-        assert!(stats.cmult <= 2 * (split.baby + split.giant), "cmult = {}", stats.cmult);
+        assert!(
+            stats.cmult <= 2 * (split.baby + split.giant),
+            "cmult = {}",
+            stats.cmult
+        );
         assert!(stats.smult <= t as usize, "smult = {}", stats.smult);
     }
 

@@ -43,6 +43,8 @@ pub mod params;
 pub mod security;
 pub mod seeded;
 
-pub use bfv::{BfvCiphertext, BfvContext, BfvEvaluator, GaloisKeys, PublicKey, RelinKey, SecretKey};
+pub use bfv::{
+    BfvCiphertext, BfvContext, BfvEvaluator, GaloisKeys, PublicKey, RelinKey, SecretKey,
+};
 pub use fbs::{fbs_apply, Lut};
 pub use params::BfvParams;

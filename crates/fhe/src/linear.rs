@@ -12,6 +12,7 @@
 
 use athena_math::bsgs::BsgsSplit;
 use athena_math::modops::Modulus;
+use athena_math::par;
 
 use crate::bfv::{BfvCiphertext, BfvContext, BfvEvaluator, GaloisKeys};
 
@@ -94,12 +95,7 @@ impl HomLinearTransform {
     /// # Panics
     ///
     /// Panics if a required Galois key is missing.
-    pub fn apply(
-        &self,
-        ctx: &BfvContext,
-        ct: &BfvCiphertext,
-        gk: &GaloisKeys,
-    ) -> BfvCiphertext {
+    pub fn apply(&self, ctx: &BfvContext, ct: &BfvCiphertext, gk: &GaloisKeys) -> BfvCiphertext {
         let ev = BfvEvaluator::new(ctx);
         let enc = ctx.encoder();
         let n = ctx.n();
@@ -107,22 +103,23 @@ impl HomLinearTransform {
         // Two "source" ciphertexts: identity and row-swapped.
         let swapped = ev.swap_rows(ct, gk);
         let sources = [ct, &swapped];
-        // Baby rotations of both sources.
-        let mut baby: Vec<Vec<BfvCiphertext>> = Vec::with_capacity(2);
-        for src in sources {
-            let mut rots = Vec::with_capacity(self.split.baby);
-            rots.push(src.clone());
-            for k in 1..self.split.baby {
-                rots.push(ev.rotate_rows(src, k, gk));
+        // Baby rotations of both sources — 2·baby independent HRots, run on
+        // the parallel layer (flat index = bi * baby + k).
+        let baby_flat: Vec<BfvCiphertext> = par::parallel_map_range(2 * self.split.baby, |idx| {
+            let (bi, k) = (idx / self.split.baby, idx % self.split.baby);
+            if k == 0 {
+                sources[bi].clone()
+            } else {
+                ev.rotate_rows(sources[bi], k, gk)
             }
-            baby.push(rots);
-        }
-        let mut acc: Option<BfvCiphertext> = None;
-        for g in 0..self.split.giant {
+        });
+        let baby: Vec<&[BfvCiphertext]> = baby_flat.chunks(self.split.baby).collect();
+        // The giant groups are independent; compute them in parallel and fold
+        // in order (exact modular arithmetic — bit-identical for any thread
+        // count).
+        let group_count = self.split.giant.min(row.div_ceil(self.split.baby.max(1)));
+        let groups: Vec<Option<BfvCiphertext>> = par::parallel_map_range(group_count, |g| {
             let shift = g * self.split.baby;
-            if shift >= row {
-                break;
-            }
             let mut inner: Option<BfvCiphertext> = None;
             for k2 in 0..self.split.baby {
                 let k = shift + k2;
@@ -152,20 +149,23 @@ impl HomLinearTransform {
                     });
                 }
             }
-            if let Some(inn) = inner {
-                let rotated = if shift == 0 {
+            inner.map(|inn| {
+                if shift == 0 {
                     inn
                 } else {
                     ev.rotate_rows(&inn, shift, gk)
-                };
-                acc = Some(match acc {
-                    None => rotated,
-                    Some(mut a) => {
-                        ev.add_assign(&mut a, &rotated);
-                        a
-                    }
-                });
-            }
+                }
+            })
+        });
+        let mut acc: Option<BfvCiphertext> = None;
+        for rotated in groups.into_iter().flatten() {
+            acc = Some(match acc {
+                None => rotated,
+                Some(mut a) => {
+                    ev.add_assign(&mut a, &rotated);
+                    a
+                }
+            });
         }
         acc.unwrap_or_else(|| BfvCiphertext::zero(ctx))
     }
@@ -315,6 +315,10 @@ mod tests {
         let f = setup();
         let s2c = SlotToCoeff::new(&f.ctx);
         // N = 128 -> row 64 -> baby 8, giant 8 -> ~15 rotations << 128
-        assert!(s2c.rotation_count() <= 16, "rotations = {}", s2c.rotation_count());
+        assert!(
+            s2c.rotation_count() <= 16,
+            "rotations = {}",
+            s2c.rotation_count()
+        );
     }
 }

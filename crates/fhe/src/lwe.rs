@@ -94,11 +94,7 @@ impl LweCiphertext {
         let e = q.from_i64(sampler.gaussian_one());
         // b = m - <a,s> + e
         let b = q.add(q.sub(q.reduce(m), dot), e);
-        Self {
-            a,
-            b,
-            q: s.q,
-        }
+        Self { a, b, q: s.q }
     }
 
     /// Decrypts (returns `m + e mod q`; the caller decides how much noise is
@@ -149,7 +145,12 @@ pub fn lwe_mod_switch(ct: &LweCiphertext, new_q: u64) -> LweCiphertext {
         // centered rounding: treat x as signed in (-q/2, q/2]
         let qm = Modulus::new(q);
         let c = qm.center(x);
-        let scaled = (c as i128 * new_q as i128 + if c >= 0 { q as i128 / 2 } else { -(q as i128) / 2 })
+        let scaled = (c as i128 * new_q as i128
+            + if c >= 0 {
+                q as i128 / 2
+            } else {
+                -(q as i128) / 2
+            })
             / q as i128;
         scaled.rem_euclid(new_q as i128) as u64
     };

@@ -15,6 +15,7 @@
 //!   Table 3 complexity (`O(C)` PMult, `O(C)` HRot via BSGS [7]).
 
 use athena_math::bsgs::BsgsSplit;
+use athena_math::par;
 use athena_math::sampler::Sampler;
 
 use crate::bfv::{BfvCiphertext, BfvContext, BfvEvaluator, GaloisKeys, SecretKey};
@@ -79,22 +80,23 @@ impl ColumnPackingKey {
         }
         let ev = BfvEvaluator::new(ctx);
         let enc = ctx.encoder();
-        // Accumulate sum_j col_j ⊙ Enc(s'_j)
-        let mut acc = BfvCiphertext::zero(ctx);
-        let mut col = vec![0u64; n_slots];
-        for j in 0..n_lwe {
+        // The per-coordinate terms col_j ⊙ Enc(s'_j) are independent, so they
+        // run on the parallel layer; the fold below is exact modular
+        // arithmetic, so the result is bit-identical for any thread count.
+        let terms = par::parallel_map_range(n_lwe, |j| {
+            let mut col = vec![0u64; n_slots];
             let mut all_zero = true;
             for (i, ct) in lwes.iter().enumerate() {
                 col[i] = ct.a()[j];
                 all_zero &= col[i] == 0;
             }
-            for v in col.iter_mut().skip(lwes.len()) {
-                *v = 0;
-            }
             if all_zero {
-                continue;
+                return None;
             }
-            let term = ev.mul_plain(&self.keys[j], &enc.encode(&col));
+            Some(ev.mul_plain(&self.keys[j], &enc.encode(&col)))
+        });
+        let mut acc = BfvCiphertext::zero(ctx);
+        for term in terms.into_iter().flatten() {
             ev.add_assign(&mut acc, &term);
         }
         // + plaintext bodies b_i
@@ -201,18 +203,22 @@ impl BsgsPackingKey {
                 })
                 .collect()
         };
-        // Baby rotations of the key: rot_b(key) for b in 0..baby.
-        let mut baby_keys: Vec<BfvCiphertext> = Vec::with_capacity(self.split.baby);
-        baby_keys.push(self.key.clone());
-        for b in 1..self.split.baby {
-            baby_keys.push(ev.rotate_rows(&self.key, b, &self.galois));
-        }
-        let mut acc: Option<BfvCiphertext> = None;
-        for g in 0..self.split.giant {
-            let shift = g * self.split.baby;
-            if shift >= n_lwe {
-                break;
+        // Baby rotations of the key are independent HRots: one worker each.
+        let key = &self.key;
+        let baby_keys: Vec<BfvCiphertext> = par::parallel_map_range(self.split.baby, |b| {
+            if b == 0 {
+                key.clone()
+            } else {
+                ev.rotate_rows(key, b, &self.galois)
             }
+        });
+        // Each giant group — the inner diagonal sum plus one output rotation
+        // — is independent of the others; run the groups on the parallel
+        // layer, then fold in order (exact arithmetic, so the grouping does
+        // not change the result).
+        let group_count = self.split.giant.min(n_lwe.div_ceil(self.split.baby.max(1)));
+        let groups: Vec<Option<BfvCiphertext>> = par::parallel_map_range(group_count, |g| {
+            let shift = g * self.split.baby;
             // inner = Σ_b rot_{-shift}(diag_{shift+b}) ⊙ rot_b(key)
             let mut inner: Option<BfvCiphertext> = None;
             for b in 0..self.split.baby {
@@ -243,20 +249,23 @@ impl BsgsPackingKey {
                     }
                 });
             }
-            if let Some(inn) = inner {
-                let rotated = if shift == 0 {
+            inner.map(|inn| {
+                if shift == 0 {
                     inn
                 } else {
                     ev.rotate_rows(&inn, shift, &self.galois)
-                };
-                acc = Some(match acc {
-                    None => rotated,
-                    Some(mut a) => {
-                        ev.add_assign(&mut a, &rotated);
-                        a
-                    }
-                });
-            }
+                }
+            })
+        });
+        let mut acc: Option<BfvCiphertext> = None;
+        for rotated in groups.into_iter().flatten() {
+            acc = Some(match acc {
+                None => rotated,
+                Some(mut a) => {
+                    ev.add_assign(&mut a, &rotated);
+                    a
+                }
+            });
         }
         let acc = acc.unwrap_or_else(|| BfvCiphertext::zero(ctx));
         let mut bodies = vec![0u64; n_slots];
@@ -270,9 +279,9 @@ impl BsgsPackingKey {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::encoder::encode_coeff;
     use crate::extract::{mod_switch_rlwe, rlwe_secret_as_lwe_mod, sample_extract_all};
     use crate::params::BfvParams;
-    use crate::encoder::encode_coeff;
 
     struct Fixture {
         ctx: BfvContext,
@@ -353,7 +362,11 @@ mod tests {
             BsgsPackingKey::generate(&f.ctx, &f.rlwe_sk, &f.lwe_sk, &mut f.sampler)
         };
         // n = 32 -> baby 6, giant 6 -> ~10 rotations, far below 32.
-        assert!(f.rotation_count() <= 12, "rotations = {}", f.rotation_count());
+        assert!(
+            f.rotation_count() <= 12,
+            "rotations = {}",
+            f.rotation_count()
+        );
     }
 
     #[test]

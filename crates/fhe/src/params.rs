@@ -206,7 +206,11 @@ mod tests {
         assert_eq!(p.t, 65537);
         assert_eq!(p.lwe_n, 2048);
         // log2 Q = 720 (12 x 60-bit primes).
-        assert!(p.q_bits() >= 708 && p.q_bits() <= 720, "q_bits = {}", p.q_bits());
+        assert!(
+            p.q_bits() >= 708 && p.q_bits() <= 720,
+            "q_bits = {}",
+            p.q_bits()
+        );
         // Ciphertext size ~ 5.6 MB > 5 MB, < 7 MB (Table 1 reports 5.6 MB,
         // counting 720 bits packed; our 8-byte-per-residue RNS form is 6 MB).
         let mb = p.ciphertext_bytes() as f64 / (1024.0 * 1024.0);

@@ -150,7 +150,7 @@ mod tests {
         let err = validate_params(&BfvParams {
             n: 4096,
             q_primes: athena_math::prime::ntt_primes(55, 4096, 4), // 220 bits > 109
-            t: 40961, // ≡ 1 mod 8192
+            t: 40961,                                              // ≡ 1 mod 8192
             lwe_n: 1024,
             sigma: 3.2,
             lwe_ks_base_log: 8,
@@ -168,14 +168,8 @@ mod tests {
         }
         // Higher levels admit less modulus.
         for n in [2048usize, 8192, 32768] {
-            assert!(
-                max_log_q(n, SecurityLevel::Bits256)
-                    < max_log_q(n, SecurityLevel::Bits192)
-            );
-            assert!(
-                max_log_q(n, SecurityLevel::Bits192)
-                    < max_log_q(n, SecurityLevel::Bits128)
-            );
+            assert!(max_log_q(n, SecurityLevel::Bits256) < max_log_q(n, SecurityLevel::Bits192));
+            assert!(max_log_q(n, SecurityLevel::Bits192) < max_log_q(n, SecurityLevel::Bits128));
         }
     }
 }

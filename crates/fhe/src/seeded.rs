@@ -28,12 +28,7 @@ pub fn expand_mask(ctx: &BfvContext, seed: u64) -> RnsPoly {
         .q_basis()
         .rings()
         .iter()
-        .map(|r| {
-            Poly::from_values(
-                s.uniform_vec(r.modulus().value(), ctx.n()),
-                Domain::Coeff,
-            )
-        })
+        .map(|r| Poly::from_values(s.uniform_vec(r.modulus().value(), ctx.n()), Domain::Coeff))
         .collect();
     RnsPoly::from_limbs(limbs)
 }
@@ -128,7 +123,12 @@ mod tests {
         let m = encode_coeff(&[1], 257, 128);
         let sct = SeededCiphertext::encrypt_sk(&ctx, &m, &sk, 7, &mut sampler);
         let full = full_ciphertext_bytes(&ctx);
-        assert!(sct.bytes(&ctx) * 2 <= full + 16, "{} vs {}", sct.bytes(&ctx), full);
+        assert!(
+            sct.bytes(&ctx) * 2 <= full + 16,
+            "{} vs {}",
+            sct.bytes(&ctx),
+            full
+        );
         // KSK halving, the Table 8 claim.
         assert!(seeded_ksk_bytes(&ctx) * 2 <= full_ksk_bytes(&ctx) + 1024);
     }

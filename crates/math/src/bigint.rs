@@ -210,9 +210,7 @@ impl UBig {
         } else {
             for i in 0..src.len() {
                 let lo = src[i] >> bit_shift;
-                let hi = src
-                    .get(i + 1)
-                    .map_or(0, |&l| l << (64 - bit_shift));
+                let hi = src.get(i + 1).map_or(0, |&l| l << (64 - bit_shift));
                 out.push(lo | hi);
             }
         }
@@ -267,9 +265,7 @@ impl UBig {
             let top = ((un[j + n] as u128) << 64) | un[j + n - 1] as u128;
             let mut qhat = top / vn[n - 1] as u128;
             let mut rhat = top % vn[n - 1] as u128;
-            while qhat >= b
-                || qhat * vn[n - 2] as u128 > ((rhat << 64) | un[j + n - 2] as u128)
-            {
+            while qhat >= b || qhat * vn[n - 2] as u128 > ((rhat << 64) | un[j + n - 2] as u128) {
                 qhat -= 1;
                 rhat += vn[n - 1] as u128;
                 if rhat >= b {
@@ -534,7 +530,12 @@ mod tests {
 
     #[test]
     fn decimal_roundtrip() {
-        for s in ["0", "1", "18446744073709551616", "340282366920938463463374607431768211456"] {
+        for s in [
+            "0",
+            "1",
+            "18446744073709551616",
+            "340282366920938463463374607431768211456",
+        ] {
             assert_eq!(UBig::from_decimal(s).to_decimal(), s);
         }
     }

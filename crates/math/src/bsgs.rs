@@ -177,7 +177,14 @@ mod tests {
     #[test]
     fn bsgs_eval_matches_horner_many() {
         let q = Modulus::new(65537);
-        for (deg, x, seed) in [(1usize, 5u64, 1u64), (4, 7, 2), (16, 123, 3), (17, 9999, 4), (63, 3, 5), (64, 65536, 6)] {
+        for (deg, x, seed) in [
+            (1usize, 5u64, 1u64),
+            (4, 7, 2),
+            (16, 123, 3),
+            (17, 9999, 4),
+            (63, 3, 5),
+            (64, 65536, 6),
+        ] {
             let coeffs: Vec<u64> = (0..=deg as u64)
                 .map(|i| (i * seed * 2654435761 + 17) % 65537)
                 .collect();
@@ -197,10 +204,17 @@ mod tests {
                 c[0] = 0;
                 eval_plain(&c, x, &q)
             };
-            assert_eq!(got.unwrap_or(0), want_nonconst, "deg={deg} (non-constant part)");
+            assert_eq!(
+                got.unwrap_or(0),
+                want_nonconst,
+                "deg={deg} (non-constant part)"
+            );
             // CMult count should be O(sqrt(deg)) rather than O(deg).
             if deg >= 16 {
-                assert!(muls <= 4 * (deg as f64).sqrt() as usize + 4, "deg={deg}, muls={muls}");
+                assert!(
+                    muls <= 4 * (deg as f64).sqrt() as usize + 4,
+                    "deg={deg}, muls={muls}"
+                );
             }
         }
     }

@@ -6,8 +6,10 @@
 //! and the baby-step/giant-step schedules used by functional bootstrapping.
 //!
 //! Everything above this crate (BFV, the Athena framework, the accelerator
-//! model) is built on these primitives; they are deliberately dependency-free
-//! apart from `rand`.
+//! model) is built on these primitives; they are deliberately
+//! dependency-free — randomness comes from the in-repo [`prng`] module and
+//! thread parallelism from the `std`-only [`par`] module, so the whole
+//! workspace builds with zero registry access.
 //!
 //! ## Example
 //!
@@ -26,8 +28,10 @@ pub mod bigint;
 pub mod bsgs;
 pub mod modops;
 pub mod ntt;
+pub mod par;
 pub mod poly;
 pub mod prime;
+pub mod prng;
 pub mod rns;
 pub mod sampler;
 

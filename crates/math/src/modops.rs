@@ -201,9 +201,7 @@ impl Modulus {
     #[inline(always)]
     pub fn mul_shoup(&self, a: u64, w: u64, w_shoup: u64) -> u64 {
         let q = ((a as u128 * w_shoup as u128) >> 64) as u64;
-        let r = a
-            .wrapping_mul(w)
-            .wrapping_sub(q.wrapping_mul(self.value));
+        let r = a.wrapping_mul(w).wrapping_sub(q.wrapping_mul(self.value));
         if r >= self.value {
             r - self.value
         } else {
@@ -225,7 +223,14 @@ mod tests {
     #[test]
     fn barrett_matches_naive() {
         let q = Modulus::new(0x3fff_ffff_0000_0001 % (1 << 61) | 1);
-        for &x in &[0u128, 1, 12345, u128::from(u64::MAX), u128::MAX / 7, u128::MAX] {
+        for &x in &[
+            0u128,
+            1,
+            12345,
+            u128::from(u64::MAX),
+            u128::MAX / 7,
+            u128::MAX,
+        ] {
             assert_eq!(q.reduce_u128(x), (x % q.value() as u128) as u64);
         }
     }
@@ -280,6 +285,9 @@ mod tests {
     #[test]
     fn mul_add_matches() {
         let q = Modulus::new(65537);
-        assert_eq!(q.mul_add(65536, 65536, 65536), q.add(q.mul(65536, 65536), 65536));
+        assert_eq!(
+            q.mul_add(65536, 65536, 65536),
+            q.add(q.mul(65536, 65536), 65536)
+        );
     }
 }

@@ -66,7 +66,10 @@ impl NttTables {
     ///
     /// Panics if the congruence does not hold or `n` is not a power of two.
     pub fn new(q: u64, n: usize) -> Self {
-        assert!(n.is_power_of_two() && n >= 2, "degree must be a power of two >= 2");
+        assert!(
+            n.is_power_of_two() && n >= 2,
+            "degree must be a power of two >= 2"
+        );
         assert_eq!((q - 1) % (2 * n as u64), 0, "q must be 1 mod 2n");
         let psi = root_of_unity(q, 2 * n as u64);
         Self::with_psi(q, n, psi)

@@ -174,6 +174,20 @@ impl Ring {
         }
     }
 
+    /// Converts a batch of polynomials to evaluation form in place, one
+    /// forward NTT per element, distributed over the parallel layer (the
+    /// transforms are independent; order and results are deterministic for
+    /// any thread count).
+    pub fn to_eval_batch(&self, polys: &mut [Poly]) {
+        crate::par::parallel_for_each_mut(polys, |p| self.to_eval_inplace(p));
+    }
+
+    /// Converts a batch of polynomials to coefficient form in place, one
+    /// inverse NTT per element, distributed over the parallel layer.
+    pub fn to_coeff_batch(&self, polys: &mut [Poly]) {
+        crate::par::parallel_for_each_mut(polys, |p| self.to_coeff_inplace(p));
+    }
+
     fn zip(&self, a: &Poly, b: &Poly, f: impl Fn(&Modulus, u64, u64) -> u64) -> Poly {
         assert_eq!(a.domain, b.domain, "domain mismatch");
         assert_eq!(a.len(), self.n);
@@ -271,7 +285,11 @@ impl Ring {
     ///
     /// Panics if `k` is even or the input is not in coefficient domain.
     pub fn automorphism_coeff(&self, a: &Poly, k: usize) -> Poly {
-        assert_eq!(a.domain, Domain::Coeff, "automorphism_coeff needs Coeff domain");
+        assert_eq!(
+            a.domain,
+            Domain::Coeff,
+            "automorphism_coeff needs Coeff domain"
+        );
         assert!(k % 2 == 1, "Galois element must be odd");
         let two_n = 2 * self.n;
         let mut out = vec![0u64; self.n];
@@ -293,7 +311,11 @@ impl Ring {
     ///
     /// Panics if `k` is even or the input is not in evaluation domain.
     pub fn automorphism_eval(&self, a: &Poly, k: usize) -> Poly {
-        assert_eq!(a.domain, Domain::Eval, "automorphism_eval needs Eval domain");
+        assert_eq!(
+            a.domain,
+            Domain::Eval,
+            "automorphism_eval needs Eval domain"
+        );
         assert!(k % 2 == 1, "Galois element must be odd");
         let perm = self.automorphism_permutation(k);
         let mut out = vec![0u64; self.n];
@@ -359,6 +381,20 @@ mod tests {
     }
 
     #[test]
+    fn batch_domain_conversion_matches_serial() {
+        let r = ring();
+        let mut batch: Vec<Poly> = (0..9i64)
+            .map(|s| r.from_i64(&(0..16).map(|i| i * s - 7).collect::<Vec<_>>()))
+            .collect();
+        let orig = batch.clone();
+        let serial: Vec<Poly> = batch.iter().map(|p| r.to_eval(p)).collect();
+        r.to_eval_batch(&mut batch);
+        assert_eq!(batch, serial);
+        r.to_coeff_batch(&mut batch);
+        assert_eq!(batch, orig);
+    }
+
+    #[test]
     fn mul_matches_schoolbook() {
         let r = ring();
         let a = r.from_i64(&(0..16).map(|i| i * 3 - 5).collect::<Vec<_>>());
@@ -398,10 +434,7 @@ mod tests {
         let b = r.from_i64(&(0..16).map(|i| i * i).collect::<Vec<_>>());
         let k = 5;
         let lhs = r.automorphism_coeff(&r.to_coeff(&r.mul(&a, &b)), k);
-        let rhs = r.to_coeff(&r.mul(
-            &r.automorphism_coeff(&a, k),
-            &r.automorphism_coeff(&b, k),
-        ));
+        let rhs = r.to_coeff(&r.mul(&r.automorphism_coeff(&a, k), &r.automorphism_coeff(&b, k)));
         assert_eq!(lhs, rhs);
     }
 

@@ -4,6 +4,7 @@
 
 use crate::bigint::{IBig, UBig};
 use crate::modops::Modulus;
+use crate::par;
 use crate::poly::{Domain, Poly, Ring};
 
 /// An RNS basis: a set of pairwise-coprime NTT-friendly primes sharing one
@@ -48,16 +49,14 @@ impl RnsBasis {
         for &q in primes {
             product = product.mul_u64(q);
         }
-        let hats: Vec<UBig> = primes
-            .iter()
-            .map(|&q| product.div_rem_u64(q).0)
-            .collect();
+        let hats: Vec<UBig> = primes.iter().map(|&q| product.div_rem_u64(q).0).collect();
         let hat_invs: Vec<u64> = primes
             .iter()
             .zip(&hats)
             .map(|(&q, hat)| {
                 let m = Modulus::new(q);
-                m.inv(hat.rem_u64(q)).expect("hat invertible: primes coprime")
+                m.inv(hat.rem_u64(q))
+                    .expect("hat invertible: primes coprime")
             })
             .collect();
         let bits = product.bits();
@@ -217,10 +216,7 @@ impl RnsBasis {
             .iter()
             .map(|r| {
                 let q = r.modulus().value();
-                Poly::from_values(
-                    coeffs.iter().map(|c| c.rem_u64(q)).collect(),
-                    Domain::Coeff,
-                )
+                Poly::from_values(coeffs.iter().map(|c| c.rem_u64(q)).collect(), Domain::Coeff)
             })
             .collect();
         RnsPoly::from_limbs(limbs)
@@ -232,7 +228,11 @@ impl RnsBasis {
     ///
     /// Panics if `p` is not in coefficient domain.
     pub fn poly_to_ubig(&self, p: &RnsPoly) -> Vec<UBig> {
-        assert_eq!(p.domain(), Domain::Coeff, "reconstruction needs Coeff domain");
+        assert_eq!(
+            p.domain(),
+            Domain::Coeff,
+            "reconstruction needs Coeff domain"
+        );
         let n = self.n();
         let mut out = Vec::with_capacity(n);
         let mut residues = vec![0u64; self.len()];
@@ -245,21 +245,26 @@ impl RnsBasis {
         out
     }
 
+    /// Maps a unary per-limb operation, one worker per limb (the limbs are
+    /// independent — this is exactly the parallelism the FRU array exploits).
+    fn map_limbs(&self, a: &RnsPoly, f: impl Fn(&Ring, &Poly) -> Poly + Sync) -> RnsPoly {
+        assert_eq!(a.limb_count(), self.len());
+        RnsPoly::from_limbs(par::parallel_map_range(self.len(), |i| {
+            f(&self.rings[i], &a.limbs[i])
+        }))
+    }
+
     fn zip_polys(
         &self,
         a: &RnsPoly,
         b: &RnsPoly,
-        f: impl Fn(&Ring, &Poly, &Poly) -> Poly,
+        f: impl Fn(&Ring, &Poly, &Poly) -> Poly + Sync,
     ) -> RnsPoly {
         assert_eq!(a.limb_count(), self.len());
         assert_eq!(b.limb_count(), self.len());
-        RnsPoly::from_limbs(
-            self.rings
-                .iter()
-                .zip(a.limbs.iter().zip(&b.limbs))
-                .map(|(r, (x, y))| f(r, x, y))
-                .collect(),
-        )
+        RnsPoly::from_limbs(par::parallel_map_range(self.len(), |i| {
+            f(&self.rings[i], &a.limbs[i], &b.limbs[i])
+        }))
     }
 
     /// Element-wise addition.
@@ -288,13 +293,7 @@ impl RnsBasis {
 
     /// Negation.
     pub fn neg_poly(&self, a: &RnsPoly) -> RnsPoly {
-        RnsPoly::from_limbs(
-            self.rings
-                .iter()
-                .zip(&a.limbs)
-                .map(|(r, x)| r.neg(x))
-                .collect(),
-        )
+        self.map_limbs(a, Ring::neg)
     }
 
     /// Polynomial multiplication (result in `Eval` domain).
@@ -304,60 +303,32 @@ impl RnsBasis {
 
     /// Multiplication by a small scalar (applied per limb).
     pub fn scalar_mul_poly(&self, a: &RnsPoly, c: u64) -> RnsPoly {
-        RnsPoly::from_limbs(
-            self.rings
-                .iter()
-                .zip(&a.limbs)
-                .map(|(r, x)| r.scalar_mul(x, c))
-                .collect(),
-        )
+        self.map_limbs(a, |r, x| r.scalar_mul(x, c))
     }
 
     /// Multiplication by a signed scalar.
     pub fn scalar_mul_poly_i64(&self, a: &RnsPoly, c: i64) -> RnsPoly {
-        RnsPoly::from_limbs(
-            self.rings
-                .iter()
-                .zip(&a.limbs)
-                .map(|(r, x)| r.scalar_mul(x, r.modulus().from_i64(c)))
-                .collect(),
-        )
+        self.map_limbs(a, |r, x| r.scalar_mul(x, r.modulus().from_i64(c)))
     }
 
-    /// Converts all limbs to evaluation domain.
+    /// Converts all limbs to evaluation domain (one NTT per limb, run on the
+    /// parallel layer — the per-limb transforms are independent).
     pub fn poly_to_eval(&self, a: &RnsPoly) -> RnsPoly {
-        RnsPoly::from_limbs(
-            self.rings
-                .iter()
-                .zip(&a.limbs)
-                .map(|(r, x)| r.to_eval(x))
-                .collect(),
-        )
+        self.map_limbs(a, Ring::to_eval)
     }
 
-    /// Converts all limbs to coefficient domain.
+    /// Converts all limbs to coefficient domain (one inverse NTT per limb,
+    /// run on the parallel layer).
     pub fn poly_to_coeff(&self, a: &RnsPoly) -> RnsPoly {
-        RnsPoly::from_limbs(
-            self.rings
-                .iter()
-                .zip(&a.limbs)
-                .map(|(r, x)| r.to_coeff(x))
-                .collect(),
-        )
+        self.map_limbs(a, Ring::to_coeff)
     }
 
     /// Applies the Galois automorphism `X → X^k` per limb (any domain).
     pub fn automorphism_poly(&self, a: &RnsPoly, k: usize) -> RnsPoly {
-        RnsPoly::from_limbs(
-            self.rings
-                .iter()
-                .zip(&a.limbs)
-                .map(|(r, x)| match x.domain() {
-                    Domain::Coeff => r.automorphism_coeff(x, k),
-                    Domain::Eval => r.automorphism_eval(x, k),
-                })
-                .collect(),
-        )
+        self.map_limbs(a, |r, x| match x.domain() {
+            Domain::Coeff => r.automorphism_coeff(x, k),
+            Domain::Eval => r.automorphism_eval(x, k),
+        })
     }
 
     /// **Exact** scaled rounding `round(num · x / Q) mod target` applied per
@@ -399,40 +370,37 @@ impl RnsBasis {
     ///
     /// This is the `BConv` workload executed by the FRU's RNS datapath.
     pub fn fast_base_convert(&self, p: &RnsPoly, other: &RnsBasis) -> RnsPoly {
-        assert_eq!(p.domain(), Domain::Coeff, "base conversion needs Coeff domain");
+        assert_eq!(
+            p.domain(),
+            Domain::Coeff,
+            "base conversion needs Coeff domain"
+        );
         let n = self.n();
-        // y_i = [x_i * hat_inv_i]_{q_i}
-        let ys: Vec<Vec<u64>> = p
-            .limbs
-            .iter()
-            .enumerate()
-            .map(|(i, limb)| {
-                let m = self.rings[i].modulus();
-                limb.values()
-                    .iter()
-                    .map(|&x| m.mul(x, self.hat_invs[i]))
-                    .collect()
-            })
-            .collect();
-        let limbs = other
-            .rings
-            .iter()
-            .map(|r| {
-                let pj = r.modulus();
-                // precompute Q_i mod p_j
-                let hats_mod: Vec<u64> = self.hats.iter().map(|h| h.rem_u64(pj.value())).collect();
-                let mut vals = vec![0u64; n];
-                for (i, y) in ys.iter().enumerate() {
-                    let h = hats_mod[i];
-                    let h_sh = pj.shoup(pj.reduce(h));
-                    let h = pj.reduce(h);
-                    for (v, &yy) in vals.iter_mut().zip(y) {
-                        *v = pj.add(*v, pj.mul_shoup(pj.reduce(yy), h, h_sh));
-                    }
+        // y_i = [x_i * hat_inv_i]_{q_i}, independent per source limb.
+        let ys: Vec<Vec<u64>> = par::parallel_map_range(self.len(), |i| {
+            let m = self.rings[i].modulus();
+            p.limbs[i]
+                .values()
+                .iter()
+                .map(|&x| m.mul(x, self.hat_invs[i]))
+                .collect()
+        });
+        // The target limbs are independent too: one worker per p_j.
+        let limbs = par::parallel_map_range(other.len(), |j| {
+            let pj = other.rings[j].modulus();
+            // precompute Q_i mod p_j
+            let hats_mod: Vec<u64> = self.hats.iter().map(|h| h.rem_u64(pj.value())).collect();
+            let mut vals = vec![0u64; n];
+            for (i, y) in ys.iter().enumerate() {
+                let h = hats_mod[i];
+                let h_sh = pj.shoup(pj.reduce(h));
+                let h = pj.reduce(h);
+                for (v, &yy) in vals.iter_mut().zip(y) {
+                    *v = pj.add(*v, pj.mul_shoup(pj.reduce(yy), h, h_sh));
                 }
-                Poly::from_values(vals, Domain::Coeff)
-            })
-            .collect();
+            }
+            Poly::from_values(vals, Domain::Coeff)
+        });
         RnsPoly::from_limbs(limbs)
     }
 

@@ -6,8 +6,7 @@
 //! regenerates the uniform `a`-halves of public/key-switching keys from
 //! seeds to halve key storage and bandwidth (as CraterLake and SHARP do).
 
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+use crate::prng::Prng;
 
 /// Default error standard deviation used across the stack (the classic 3.2
 /// from the homomorphic-encryption security standard).
@@ -25,7 +24,7 @@ pub const DEFAULT_SIGMA: f64 = 3.2;
 /// ```
 #[derive(Debug)]
 pub struct Sampler {
-    rng: StdRng,
+    rng: Prng,
     sigma: f64,
 }
 
@@ -33,15 +32,15 @@ impl Sampler {
     /// Creates a sampler from a 64-bit seed with the default σ.
     pub fn from_seed(seed: u64) -> Self {
         Self {
-            rng: StdRng::seed_from_u64(seed),
+            rng: Prng::seed_from_u64(seed),
             sigma: DEFAULT_SIGMA,
         }
     }
 
-    /// Creates a sampler from OS entropy.
+    /// Creates a sampler from ambient entropy.
     pub fn from_entropy() -> Self {
         Self {
-            rng: StdRng::from_entropy(),
+            rng: Prng::from_entropy(),
             sigma: DEFAULT_SIGMA,
         }
     }
@@ -60,7 +59,7 @@ impl Sampler {
 
     /// A uniform value in `[0, q)`.
     pub fn uniform_mod(&mut self, q: u64) -> u64 {
-        self.rng.gen_range(0..q)
+        self.rng.next_below(q)
     }
 
     /// A vector of uniform values in `[0, q)`.
@@ -70,7 +69,7 @@ impl Sampler {
 
     /// A ternary vector with entries in `{-1, 0, 1}` (uniform).
     pub fn ternary(&mut self, n: usize) -> Vec<i64> {
-        (0..n).map(|_| self.rng.gen_range(-1i64..=1)).collect()
+        (0..n).map(|_| self.rng.next_i64_in(-1, 1)).collect()
     }
 
     /// A rounded-Gaussian error vector with standard deviation σ, truncated
@@ -87,8 +86,8 @@ impl Sampler {
         let bound = (6.0 * self.sigma).ceil();
         loop {
             // Box–Muller
-            let u1: f64 = self.rng.gen_range(f64::EPSILON..1.0);
-            let u2: f64 = self.rng.gen::<f64>();
+            let u1: f64 = self.rng.next_f64().max(f64::EPSILON);
+            let u2: f64 = self.rng.next_f64();
             let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
             let v = (z * self.sigma).round();
             if v.abs() <= bound {
@@ -105,7 +104,7 @@ impl Sampler {
     /// Derives an independent sampler (for splitting deterministic streams).
     pub fn fork(&mut self) -> Sampler {
         Sampler {
-            rng: StdRng::seed_from_u64(self.rng.next_u64()),
+            rng: Prng::seed_from_u64(self.rng.next_u64()),
             sigma: self.sigma,
         }
     }
@@ -136,12 +135,13 @@ mod tests {
         let mut s = Sampler::from_seed(9);
         let xs = s.gaussian(20_000);
         let mean: f64 = xs.iter().map(|&x| x as f64).sum::<f64>() / xs.len() as f64;
-        let var: f64 =
-            xs.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        let var: f64 = xs.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / xs.len() as f64;
         assert!(mean.abs() < 0.2, "mean {mean}");
         let sigma2 = DEFAULT_SIGMA * DEFAULT_SIGMA;
         assert!((var - sigma2).abs() < sigma2 * 0.2, "var {var}");
-        assert!(xs.iter().all(|&x| x.abs() <= (6.0 * DEFAULT_SIGMA).ceil() as i64));
+        assert!(xs
+            .iter()
+            .all(|&x| x.abs() <= (6.0 * DEFAULT_SIGMA).ceil() as i64));
     }
 
     #[test]

@@ -1,6 +1,10 @@
-//! Property-based tests of the math substrate: ring axioms, NTT/CRT
+//! Property-style tests of the math substrate: ring axioms, NTT/CRT
 //! round-trips, big-integer arithmetic against u128 oracles, and the
 //! exact-vs-fast base-conversion relation.
+//!
+//! Originally written with `proptest`; ported to plain `#[test]`s driven by
+//! the in-repo PRNG (fixed seeds, N random cases each) so the suite runs
+//! with zero external dependencies. Determinism per seed is preserved.
 
 use athena_math::bigint::UBig;
 use athena_math::bsgs::bsgs_polynomial_eval;
@@ -8,116 +12,160 @@ use athena_math::modops::Modulus;
 use athena_math::ntt::NttTables;
 use athena_math::poly::{Domain, Ring};
 use athena_math::prime::ntt_primes;
+use athena_math::prng::Prng;
 use athena_math::rns::RnsBasis;
-use proptest::prelude::*;
 
 const Q: u64 = 12289;
 const N: usize = 64;
+const CASES: usize = 64;
 
 fn ring() -> Ring {
     Ring::new(Q, N)
 }
 
-fn coeffs() -> impl Strategy<Value = Vec<i64>> {
-    prop::collection::vec(-6000i64..6000, N)
+fn coeffs(rng: &mut Prng) -> Vec<i64> {
+    (0..N).map(|_| rng.next_i64_in(-6000, 6000)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn modulus_mul_matches_u128(a in 0u64..Q, b in 0u64..Q) {
-        let m = Modulus::new(Q);
-        prop_assert_eq!(m.mul(a, b), ((a as u128 * b as u128) % Q as u128) as u64);
+#[test]
+fn modulus_mul_matches_u128() {
+    let mut rng = Prng::seed_from_u64(0x11);
+    let m = Modulus::new(Q);
+    for _ in 0..CASES {
+        let a = rng.next_below(Q);
+        let b = rng.next_below(Q);
+        assert_eq!(m.mul(a, b), ((a as u128 * b as u128) % Q as u128) as u64);
     }
+}
 
-    #[test]
-    fn modulus_inverse_is_inverse(a in 1u64..Q) {
-        let m = Modulus::new(Q);
+#[test]
+fn modulus_inverse_is_inverse() {
+    let mut rng = Prng::seed_from_u64(0x12);
+    let m = Modulus::new(Q);
+    for _ in 0..CASES {
+        let a = 1 + rng.next_below(Q - 1);
         let inv = m.inv(a).expect("prime modulus");
-        prop_assert_eq!(m.mul(a, inv), 1);
+        assert_eq!(m.mul(a, inv), 1, "a={a}");
     }
+}
 
-    #[test]
-    fn shoup_mul_matches_barrett(a in 0u64..Q, w in 0u64..Q) {
-        let m = Modulus::new(Q);
-        prop_assert_eq!(m.mul_shoup(a, w, m.shoup(w)), m.mul(a, w));
+#[test]
+fn shoup_mul_matches_barrett() {
+    let mut rng = Prng::seed_from_u64(0x13);
+    let m = Modulus::new(Q);
+    for _ in 0..CASES {
+        let a = rng.next_below(Q);
+        let w = rng.next_below(Q);
+        assert_eq!(m.mul_shoup(a, w, m.shoup(w)), m.mul(a, w), "a={a} w={w}");
     }
+}
 
-    #[test]
-    fn ntt_roundtrip(v in coeffs()) {
-        let r = ring();
-        let p = r.from_i64(&v);
-        prop_assert_eq!(r.to_coeff(&r.to_eval(&p)), p);
+#[test]
+fn ntt_roundtrip() {
+    let mut rng = Prng::seed_from_u64(0x14);
+    let r = ring();
+    for _ in 0..CASES {
+        let p = r.from_i64(&coeffs(&mut rng));
+        assert_eq!(r.to_coeff(&r.to_eval(&p)), p);
     }
+}
 
-    #[test]
-    fn ntt_is_linear(a in coeffs(), b in coeffs()) {
-        let r = ring();
-        let pa = r.from_i64(&a);
-        let pb = r.from_i64(&b);
+#[test]
+fn ntt_is_linear() {
+    let mut rng = Prng::seed_from_u64(0x15);
+    let r = ring();
+    for _ in 0..CASES {
+        let pa = r.from_i64(&coeffs(&mut rng));
+        let pb = r.from_i64(&coeffs(&mut rng));
         let lhs = r.to_eval(&r.add(&pa, &pb));
         let rhs = r.add(&r.to_eval(&pa), &r.to_eval(&pb));
-        prop_assert_eq!(lhs, rhs);
+        assert_eq!(lhs, rhs);
     }
+}
 
-    #[test]
-    fn ring_mul_commutes_and_distributes(a in coeffs(), b in coeffs(), c in coeffs()) {
-        let r = ring();
-        let (pa, pb, pc) = (r.from_i64(&a), r.from_i64(&b), r.from_i64(&c));
-        prop_assert_eq!(r.mul(&pa, &pb), r.mul(&pb, &pa));
+#[test]
+fn ring_mul_commutes_and_distributes() {
+    let mut rng = Prng::seed_from_u64(0x16);
+    let r = ring();
+    for _ in 0..CASES / 2 {
+        let pa = r.from_i64(&coeffs(&mut rng));
+        let pb = r.from_i64(&coeffs(&mut rng));
+        let pc = r.from_i64(&coeffs(&mut rng));
+        assert_eq!(r.mul(&pa, &pb), r.mul(&pb, &pa));
         let lhs = r.to_coeff(&r.mul(&pa, &r.add(&pb, &pc)));
         let rhs = r.to_coeff(&r.add(&r.mul(&pa, &pb), &r.mul(&pa, &pc)));
-        prop_assert_eq!(lhs, rhs);
+        assert_eq!(lhs, rhs);
     }
+}
 
-    #[test]
-    fn automorphism_preserves_products(a in coeffs(), b in coeffs(), ki in 0usize..5) {
-        let r = ring();
-        let k = [3usize, 5, 9, 17, 2 * N - 1][ki];
-        let (pa, pb) = (r.from_i64(&a), r.from_i64(&b));
+#[test]
+fn automorphism_preserves_products() {
+    let mut rng = Prng::seed_from_u64(0x17);
+    let r = ring();
+    let galois = [3usize, 5, 9, 17, 2 * N - 1];
+    for _ in 0..CASES / 2 {
+        let k = galois[rng.next_below(galois.len() as u64) as usize];
+        let pa = r.from_i64(&coeffs(&mut rng));
+        let pb = r.from_i64(&coeffs(&mut rng));
         let lhs = r.automorphism_coeff(&r.to_coeff(&r.mul(&pa, &pb)), k);
         let rhs = r.to_coeff(&r.mul(&r.automorphism_coeff(&pa, k), &r.automorphism_coeff(&pb, k)));
-        prop_assert_eq!(lhs, rhs);
+        assert_eq!(lhs, rhs, "k={k}");
     }
+}
 
-    #[test]
-    fn ubig_add_mul_match_u128(a in 0u128..u128::MAX / 2, b in 0u128..(1u128 << 60)) {
+#[test]
+fn ubig_add_mul_match_u128() {
+    let mut rng = Prng::seed_from_u64(0x18);
+    for _ in 0..CASES {
+        let a = ((rng.next_u64() as u128) << 63) | rng.next_u64() as u128 >> 1;
+        let a = a % (u128::MAX / 2);
+        let b = (rng.next_u64() % (1 << 60)) as u128;
         let ua = UBig::from(a);
         let ub = UBig::from(b);
-        prop_assert_eq!(ua.add(&ub).to_u128_lossy(), a + b);
+        assert_eq!(ua.add(&ub).to_u128_lossy(), a + b);
         if a < (1 << 64) {
-            prop_assert_eq!(ua.mul(&ub).to_u128_lossy(), a.wrapping_mul(b));
+            assert_eq!(ua.mul(&ub).to_u128_lossy(), a.wrapping_mul(b));
         }
     }
+}
 
-    #[test]
-    fn ubig_divrem_reconstructs(a in prop::collection::vec(any::<u64>(), 1..6),
-                                d in prop::collection::vec(any::<u64>(), 1..4)) {
-        let n = UBig::from_limbs(a);
-        let dd = UBig::from_limbs(d);
-        prop_assume!(!dd.is_zero());
+#[test]
+fn ubig_divrem_reconstructs() {
+    let mut rng = Prng::seed_from_u64(0x19);
+    for _ in 0..CASES {
+        let na = 1 + rng.next_below(5) as usize;
+        let nd = 1 + rng.next_below(3) as usize;
+        let n = UBig::from_limbs((0..na).map(|_| rng.next_u64()).collect());
+        let dd = UBig::from_limbs((0..nd).map(|_| rng.next_u64()).collect());
+        if dd.is_zero() {
+            continue;
+        }
         let (q, r) = n.div_rem(&dd);
-        prop_assert!(r < dd);
-        prop_assert_eq!(q.mul(&dd).add(&r), n);
+        assert!(r < dd);
+        assert_eq!(q.mul(&dd).add(&r), n);
     }
+}
 
-    #[test]
-    fn crt_roundtrip(vals in prop::collection::vec(any::<u64>(), 3)) {
-        let basis = RnsBasis::new(&ntt_primes(40, 16, 3), 16);
-        let reduced: Vec<u64> = vals
-            .iter()
-            .zip(basis.moduli())
-            .map(|(&v, q)| v % q)
-            .collect();
+#[test]
+fn crt_roundtrip() {
+    let mut rng = Prng::seed_from_u64(0x1A);
+    let basis = RnsBasis::new(&ntt_primes(40, 16, 3), 16);
+    for _ in 0..CASES {
+        let reduced: Vec<u64> = basis.moduli().iter().map(|&q| rng.next_u64() % q).collect();
         let x = basis.crt_reconstruct(&reduced);
-        prop_assert_eq!(basis.crt_decompose(&x), reduced);
+        assert_eq!(basis.crt_decompose(&x), reduced);
     }
+}
 
-    #[test]
-    fn fast_bconv_within_alpha_q(v in prop::collection::vec(-100_000i64..100_000, 16)) {
-        let src = RnsBasis::new(&ntt_primes(40, 16, 3), 16);
-        let dst = RnsBasis::new(&ntt_primes(39, 16, 2), 16);
+#[test]
+fn fast_bconv_within_alpha_q() {
+    let mut rng = Prng::seed_from_u64(0x1B);
+    let src = RnsBasis::new(&ntt_primes(40, 16, 3), 16);
+    let dst = RnsBasis::new(&ntt_primes(39, 16, 2), 16);
+    for _ in 0..CASES / 4 {
+        let v: Vec<i64> = (0..16)
+            .map(|_| rng.next_i64_in(-100_000, 100_000))
+            .collect();
         let p = src.poly_from_i64(&v);
         let fast = src.fast_base_convert(&p, &dst);
         let exact = src.exact_base_convert(&p, &dst);
@@ -136,14 +184,20 @@ proptest! {
                     }
                     cand = pj.add(cand, qmod);
                 }
-                prop_assert!(ok, "limb {} coeff {}", j, c);
+                assert!(ok, "limb {j} coeff {c}: fast not within alpha*Q of exact");
             }
         }
     }
+}
 
-    #[test]
-    fn bsgs_matches_horner(deg in 1usize..40, x in 0u64..Q, seed in any::<u64>()) {
-        let m = Modulus::new(Q);
+#[test]
+fn bsgs_matches_horner() {
+    let mut rng = Prng::seed_from_u64(0x1C);
+    let m = Modulus::new(Q);
+    for _ in 0..CASES {
+        let deg = 1 + rng.next_below(39) as usize;
+        let x = rng.next_below(Q);
+        let seed = rng.next_u64();
         let coeffs: Vec<u64> = (0..=deg as u64)
             .map(|i| (i.wrapping_mul(seed | 1)) % Q)
             .collect();
@@ -161,23 +215,59 @@ proptest! {
             acc = m.mul_add(acc, x, c);
         }
         let nonconst = m.sub(acc, coeffs[0] % Q);
-        prop_assert_eq!(got.unwrap_or(0), nonconst);
+        assert_eq!(got.unwrap_or(0), nonconst, "deg={deg} x={x}");
     }
+}
 
-    #[test]
-    fn negacyclic_identity_xn_is_minus_one(c in 0u64..Q) {
+#[test]
+fn negacyclic_identity_xn_is_minus_one() {
+    let mut rng = Prng::seed_from_u64(0x1D);
+    let r = ring();
+    let m = Modulus::new(Q);
+    for _ in 0..CASES {
         // X^(N/2) * X^(N/2) = X^N = -1 in the ring.
-        let r = ring();
+        let c = rng.next_below(Q);
         let mut half = vec![0i64; N];
-        half[N / 2] = c as i64 % Q as i64;
+        half[N / 2] = c as i64;
         let p = r.from_i64(&half);
         let sq = r.to_coeff(&r.mul(&p, &p));
-        let m = Modulus::new(Q);
-        prop_assert_eq!(sq.values()[0], m.neg(m.mul(c, c)));
+        assert_eq!(sq.values()[0], m.neg(m.mul(c, c)));
         for i in 1..N {
-            prop_assert_eq!(sq.values()[i], 0);
+            assert_eq!(sq.values()[i], 0);
         }
     }
+}
+
+#[test]
+fn parallel_rns_ops_match_serial() {
+    // The RNS limb operations must be bit-identical for any worker count
+    // (the par layer reassembles chunks in order; modular arithmetic is
+    // exact, so there is no tolerance here).
+    use athena_math::par;
+    let mut rng = Prng::seed_from_u64(0x1E);
+    let basis = RnsBasis::new(&ntt_primes(40, 64, 4), 64);
+    let v1: Vec<i64> = (0..64).map(|_| rng.next_i64_in(-50_000, 50_000)).collect();
+    let v2: Vec<i64> = (0..64).map(|_| rng.next_i64_in(-50_000, 50_000)).collect();
+    let a = basis.poly_from_i64(&v1);
+    let b = basis.poly_from_i64(&v2);
+    let dst = RnsBasis::new(&ntt_primes(39, 64, 2), 64);
+
+    par::set_threads(1);
+    let mul_1 = basis.mul_poly(&a, &b);
+    let eval_1 = basis.poly_to_eval(&a);
+    let coeff_1 = basis.poly_to_coeff(&eval_1);
+    let conv_1 = basis.fast_base_convert(&a, &dst);
+    par::set_threads(4);
+    let mul_4 = basis.mul_poly(&a, &b);
+    let eval_4 = basis.poly_to_eval(&a);
+    let coeff_4 = basis.poly_to_coeff(&eval_4);
+    let conv_4 = basis.fast_base_convert(&a, &dst);
+    par::set_threads(0);
+
+    assert_eq!(mul_1, mul_4);
+    assert_eq!(eval_1, eval_4);
+    assert_eq!(coeff_1, coeff_4);
+    assert_eq!(conv_1, conv_4);
 }
 
 #[test]

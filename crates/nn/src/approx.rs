@@ -201,7 +201,11 @@ pub fn folded_forward_poly_relu(
                     crate::layers::conv2d_forward_f32(&flat, &l.weight, Some(&l.bias), 1, 0)
                 } else {
                     crate::layers::conv2d_forward_f32(
-                        input, &l.weight, Some(&l.bias), l.stride, l.padding,
+                        input,
+                        &l.weight,
+                        Some(&l.bias),
+                        l.stride,
+                        l.padding,
                     )
                 };
                 if let Some(skip_idx) = node.skip {
@@ -226,7 +230,10 @@ pub fn folded_forward_poly_relu(
                     }
                     act => Tensor::from_vec(
                         acc.shape(),
-                        acc.data().iter().map(|&v| act.apply(v as f64) as f32).collect(),
+                        acc.data()
+                            .iter()
+                            .map(|&v| act.apply(v as f64) as f32)
+                            .collect(),
                     ),
                 }
             }
@@ -265,7 +272,10 @@ mod tests {
     fn chebyshev_converges_on_sigmoid() {
         let lo = bit_accuracy(ApproxTarget::Sigmoid, ApproxKind::Chebyshev, 3, 40, 256);
         let hi = bit_accuracy(ApproxTarget::Sigmoid, ApproxKind::Chebyshev, 15, 40, 256);
-        assert!(hi > lo + 4.0, "degree 15 ({hi} bits) should beat degree 3 ({lo} bits)");
+        assert!(
+            hi > lo + 4.0,
+            "degree 15 ({hi} bits) should beat degree 3 ({lo} bits)"
+        );
         assert!(hi > 15.0, "degree-15 Chebyshev sigmoid reaches {hi} bits");
     }
 

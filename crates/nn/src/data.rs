@@ -142,8 +142,7 @@ impl SyntheticSource {
                         } else {
                             0.0
                         };
-                        let noise =
-                            (s.uniform_mod(2001) as f32 / 1000.0 - 1.0) * cfg.noise;
+                        let noise = (s.uniform_mod(2001) as f32 / 1000.0 - 1.0) * cfg.noise;
                         img.data_mut()[(ci * cfg.hw + y) * cfg.hw + x] = base + noise;
                     }
                 }

@@ -35,7 +35,11 @@ const GRAD_CLIP: f32 = 5.0;
 
 fn sgd_step(params: &mut [f32], grads: &mut [f32], lr: f32) {
     for (w, g) in params.iter_mut().zip(grads.iter_mut()) {
-        let gc = if g.is_finite() { g.clamp(-GRAD_CLIP, GRAD_CLIP) } else { 0.0 };
+        let gc = if g.is_finite() {
+            g.clamp(-GRAD_CLIP, GRAD_CLIP)
+        } else {
+            0.0
+        };
         *w -= lr * gc;
         *g = 0.0;
     }
@@ -141,8 +145,8 @@ pub fn conv2d_forward_f32(
                         if iy < 0 || iy >= h as isize {
                             continue;
                         }
-                        let xrow = &xd[(ci * h + iy as usize) * wd
-                            ..(ci * h + iy as usize + 1) * wd];
+                        let xrow =
+                            &xd[(ci * h + iy as usize) * wd..(ci * h + iy as usize + 1) * wd];
                         let orow = &mut od[(co * oh + oy) * ow..(co * oh + oy + 1) * ow];
                         if stride == 1 {
                             // valid ox range: 0 <= ox + kx - padding < wd
@@ -357,10 +361,7 @@ impl ReLU {
 impl Layer for ReLU {
     fn forward(&mut self, x: &Tensor) -> Tensor {
         self.mask = x.data().iter().map(|&v| v > 0.0).collect();
-        Tensor::from_vec(
-            x.shape(),
-            x.data().iter().map(|&v| v.max(0.0)).collect(),
-        )
+        Tensor::from_vec(x.shape(), x.data().iter().map(|&v| v.max(0.0)).collect())
     }
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {
@@ -430,8 +431,7 @@ impl Layer for AvgPool2d {
                     let g = grad.data()[(ci * oh + oy) * ow + ox] * inv;
                     for ky in 0..self.k {
                         for kx in 0..self.k {
-                            gx.data_mut()
-                                [(ci * h + oy * self.k + ky) * w + ox * self.k + kx] += g;
+                            gx.data_mut()[(ci * h + oy * self.k + ky) * w + ox * self.k + kx] += g;
                         }
                     }
                 }
@@ -582,12 +582,7 @@ impl Layer for ScaleBias {
 mod tests {
     use super::*;
 
-    fn finite_diff_check(
-        layer: &mut dyn Layer,
-        x: &Tensor,
-        eps: f32,
-        tol: f32,
-    ) {
+    fn finite_diff_check(layer: &mut dyn Layer, x: &Tensor, eps: f32, tol: f32) {
         // loss = sum(forward(x)); analytic dL/dx vs numeric.
         let y = layer.forward(x);
         let ones = Tensor::from_vec(y.shape(), vec![1.0; y.len()]);
@@ -682,18 +677,16 @@ mod tests {
         // Tiny regression: train conv+relu to match a target map.
         let mut s = Sampler::from_seed(8);
         let mut conv = Conv2d::new(1, 1, 3, 1, 1, &mut s);
-        let x = Tensor::from_vec(&[1, 4, 4], (0..16).map(|i| (i as f32 / 8.0) - 1.0).collect());
+        let x = Tensor::from_vec(
+            &[1, 4, 4],
+            (0..16).map(|i| (i as f32 / 8.0) - 1.0).collect(),
+        );
         let target: Vec<f32> = x.data().iter().map(|&v| 2.0 * v + 0.5).collect();
         let mut first_loss = 0.0;
         let mut last_loss = 0.0;
         for it in 0..200 {
             let y = conv.forward(&x);
-            let diff: Vec<f32> = y
-                .data()
-                .iter()
-                .zip(&target)
-                .map(|(&a, &b)| a - b)
-                .collect();
+            let diff: Vec<f32> = y.data().iter().zip(&target).map(|(&a, &b)| a - b).collect();
             let loss: f32 = diff.iter().map(|d| d * d).sum::<f32>() / 16.0;
             if it == 0 {
                 first_loss = loss;
@@ -703,6 +696,9 @@ mod tests {
             conv.backward(&grad);
             conv.update(0.05);
         }
-        assert!(last_loss < first_loss * 0.05, "loss {first_loss} -> {last_loss}");
+        assert!(
+            last_loss < first_loss * 0.05,
+            "loss {first_loss} -> {last_loss}"
+        );
     }
 }

@@ -199,15 +199,36 @@ impl ModelSpec {
             name: "MNIST",
             layers: vec![
                 SpecLayer {
-                    conv: ConvShape { hw: 28, c_in: 1, c_out: 5, k: 5, stride: 2, padding: 2 },
+                    conv: ConvShape {
+                        hw: 28,
+                        c_in: 1,
+                        c_out: 5,
+                        k: 5,
+                        stride: 2,
+                        padding: 2,
+                    },
                     act: NonLinear::Activation,
                 },
                 SpecLayer {
-                    conv: ConvShape { hw: 1, c_in: 980, c_out: 64, k: 1, stride: 1, padding: 0 },
+                    conv: ConvShape {
+                        hw: 1,
+                        c_in: 980,
+                        c_out: 64,
+                        k: 1,
+                        stride: 1,
+                        padding: 0,
+                    },
                     act: NonLinear::Activation,
                 },
                 SpecLayer {
-                    conv: ConvShape { hw: 1, c_in: 64, c_out: 10, k: 1, stride: 1, padding: 0 },
+                    conv: ConvShape {
+                        hw: 1,
+                        c_in: 64,
+                        c_out: 10,
+                        k: 1,
+                        stride: 1,
+                        padding: 0,
+                    },
                     act: NonLinear::Softmax,
                 },
             ],
@@ -220,27 +241,69 @@ impl ModelSpec {
             name: "LeNet",
             layers: vec![
                 SpecLayer {
-                    conv: ConvShape { hw: 28, c_in: 1, c_out: 6, k: 5, stride: 1, padding: 2 },
+                    conv: ConvShape {
+                        hw: 28,
+                        c_in: 1,
+                        c_out: 6,
+                        k: 5,
+                        stride: 1,
+                        padding: 2,
+                    },
                     act: NonLinear::Activation,
                 },
                 SpecLayer {
-                    conv: ConvShape { hw: 28, c_in: 6, c_out: 6, k: 1, stride: 1, padding: 0 },
+                    conv: ConvShape {
+                        hw: 28,
+                        c_in: 6,
+                        c_out: 6,
+                        k: 1,
+                        stride: 1,
+                        padding: 0,
+                    },
                     act: NonLinear::MaxPool { k: 2 },
                 },
                 SpecLayer {
-                    conv: ConvShape { hw: 14, c_in: 6, c_out: 16, k: 5, stride: 1, padding: 0 },
+                    conv: ConvShape {
+                        hw: 14,
+                        c_in: 6,
+                        c_out: 16,
+                        k: 5,
+                        stride: 1,
+                        padding: 0,
+                    },
                     act: NonLinear::Activation,
                 },
                 SpecLayer {
-                    conv: ConvShape { hw: 10, c_in: 16, c_out: 16, k: 1, stride: 1, padding: 0 },
+                    conv: ConvShape {
+                        hw: 10,
+                        c_in: 16,
+                        c_out: 16,
+                        k: 1,
+                        stride: 1,
+                        padding: 0,
+                    },
                     act: NonLinear::MaxPool { k: 2 },
                 },
                 SpecLayer {
-                    conv: ConvShape { hw: 1, c_in: 400, c_out: 120, k: 1, stride: 1, padding: 0 },
+                    conv: ConvShape {
+                        hw: 1,
+                        c_in: 400,
+                        c_out: 120,
+                        k: 1,
+                        stride: 1,
+                        padding: 0,
+                    },
                     act: NonLinear::Activation,
                 },
                 SpecLayer {
-                    conv: ConvShape { hw: 1, c_in: 120, c_out: 10, k: 1, stride: 1, padding: 0 },
+                    conv: ConvShape {
+                        hw: 1,
+                        c_in: 120,
+                        c_out: 10,
+                        k: 1,
+                        stride: 1,
+                        padding: 0,
+                    },
                     act: NonLinear::Softmax,
                 },
             ],
@@ -257,10 +320,21 @@ impl ModelSpec {
             "ResNet-n"
         };
         let mut layers = vec![SpecLayer {
-            conv: ConvShape { hw: 32, c_in: 3, c_out: 16, k: 3, stride: 1, padding: 1 },
+            conv: ConvShape {
+                hw: 32,
+                c_in: 3,
+                c_out: 16,
+                k: 3,
+                stride: 1,
+                padding: 1,
+            },
             act: NonLinear::Activation,
         }];
-        let stages = [(16usize, 16usize, 1usize, 32usize), (16, 32, 2, 32), (32, 64, 2, 16)];
+        let stages = [
+            (16usize, 16usize, 1usize, 32usize),
+            (16, 32, 2, 32),
+            (32, 64, 2, 16),
+        ];
         for &(c_in, c_out, stride, hw) in &stages {
             for b in 0..blocks_per_stage {
                 let (ci, st, h) = if b == 0 {
@@ -270,27 +344,62 @@ impl ModelSpec {
                 };
                 // two 3×3 convs per block (skip conv counted when present)
                 layers.push(SpecLayer {
-                    conv: ConvShape { hw: h, c_in: ci, c_out, k: 3, stride: st, padding: 1 },
+                    conv: ConvShape {
+                        hw: h,
+                        c_in: ci,
+                        c_out,
+                        k: 3,
+                        stride: st,
+                        padding: 1,
+                    },
                     act: NonLinear::Activation,
                 });
                 layers.push(SpecLayer {
-                    conv: ConvShape { hw: h / st, c_in: c_out, c_out, k: 3, stride: 1, padding: 1 },
+                    conv: ConvShape {
+                        hw: h / st,
+                        c_in: c_out,
+                        c_out,
+                        k: 3,
+                        stride: 1,
+                        padding: 1,
+                    },
                     act: NonLinear::Activation,
                 });
                 if b == 0 && (stride != 1 || c_in != c_out) {
                     layers.push(SpecLayer {
-                        conv: ConvShape { hw: h, c_in: ci, c_out, k: 1, stride: st, padding: 0 },
+                        conv: ConvShape {
+                            hw: h,
+                            c_in: ci,
+                            c_out,
+                            k: 1,
+                            stride: st,
+                            padding: 0,
+                        },
                         act: NonLinear::None,
                     });
                 }
             }
         }
         layers.push(SpecLayer {
-            conv: ConvShape { hw: 8, c_in: 64, c_out: 64, k: 1, stride: 1, padding: 0 },
+            conv: ConvShape {
+                hw: 8,
+                c_in: 64,
+                c_out: 64,
+                k: 1,
+                stride: 1,
+                padding: 0,
+            },
             act: NonLinear::AvgPool { k: 8 },
         });
         layers.push(SpecLayer {
-            conv: ConvShape { hw: 1, c_in: 64, c_out: 10, k: 1, stride: 1, padding: 0 },
+            conv: ConvShape {
+                hw: 1,
+                c_in: 64,
+                c_out: 10,
+                k: 1,
+                stride: 1,
+                padding: 0,
+            },
             act: NonLinear::Softmax,
         });
         Self { name, layers }
@@ -338,11 +447,7 @@ mod tests {
         // ResNet-20: 19 conv layers + 1 FC (paper) — we also count the 2
         // skip 1×1 convs and the pooling pseudo-layer separately.
         let spec = ModelSpec::resnet(3);
-        let convs_3x3 = spec
-            .layers
-            .iter()
-            .filter(|l| l.conv.k == 3)
-            .count();
+        let convs_3x3 = spec.layers.iter().filter(|l| l.conv.k == 3).count();
         assert_eq!(convs_3x3, 19, "19 3×3 convolutions in ResNet-20");
         let spec56 = ModelSpec::resnet(9);
         let convs_3x3 = spec56.layers.iter().filter(|l| l.conv.k == 3).count();
@@ -356,7 +461,10 @@ mod tests {
         assert!(m > 30_000_000 && m < 50_000_000, "ResNet-20 MACs = {m}");
         // ResNet-56 is ~126M.
         let m56 = ModelSpec::resnet(9).total_macs();
-        assert!(m56 > 100_000_000 && m56 < 150_000_000, "ResNet-56 MACs = {m56}");
+        assert!(
+            m56 > 100_000_000 && m56 < 150_000_000,
+            "ResNet-56 MACs = {m56}"
+        );
     }
 
     #[test]
@@ -376,7 +484,12 @@ mod tests {
             assert!(
                 spec.layers.iter().any(|l| {
                     let c = l.conv;
-                    c.hw == hw && c.c_in == ci && c.c_out == co && c.k == k && c.stride == s && c.padding == p
+                    c.hw == hw
+                        && c.c_in == ci
+                        && c.c_out == co
+                        && c.k == k
+                        && c.stride == s
+                        && c.padding == p
                 }),
                 "missing shape ({hw},{ci},{co},{k},{s},{p})"
             );

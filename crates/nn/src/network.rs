@@ -200,7 +200,10 @@ impl Network {
 
 /// Softmax cross-entropy: returns `(loss, dL/dlogits)`.
 pub fn softmax_cross_entropy(logits: &Tensor, label: usize) -> (f32, Tensor) {
-    let max = logits.data().iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+    let max = logits
+        .data()
+        .iter()
+        .fold(f32::NEG_INFINITY, |m, &v| m.max(v));
     let exps: Vec<f32> = logits.data().iter().map(|&v| (v - max).exp()).collect();
     let sum: f32 = exps.iter().sum();
     let probs: Vec<f32> = exps.iter().map(|&e| e / sum).collect();
@@ -251,7 +254,10 @@ mod tests {
     fn residual_identity_block_gradcheck() {
         let mut s = Sampler::from_seed(4);
         let mut blk = ResidualBlock::new(2, 2, 1, &mut s);
-        let x = Tensor::from_vec(&[2, 3, 3], (0..18).map(|i| (i as f32 * 0.4).sin() + 0.21).collect());
+        let x = Tensor::from_vec(
+            &[2, 3, 3],
+            (0..18).map(|i| (i as f32 * 0.4).sin() + 0.21).collect(),
+        );
         let y = blk.forward(&x);
         let ones = Tensor::from_vec(y.shape(), vec![1.0; y.len()]);
         let gx = blk.backward(&ones);
@@ -294,13 +300,7 @@ mod tests {
                 net.update(0.05);
             }
         }
-        let correct = inputs
-            .iter()
-            .filter(|(x, y)| {
-                let mut net = &mut net;
-                net.predict(x) == *y
-            })
-            .count();
+        let correct = inputs.iter().filter(|(x, y)| net.predict(x) == *y).count();
         assert!(correct >= 58, "accuracy {correct}/64");
     }
 }

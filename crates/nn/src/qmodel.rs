@@ -23,12 +23,18 @@ pub struct QuantConfig {
 impl QuantConfig {
     /// The paper's primary mode.
     pub fn w7a7() -> Self {
-        Self { w_bits: 7, a_bits: 7 }
+        Self {
+            w_bits: 7,
+            a_bits: 7,
+        }
     }
 
     /// The paper's secondary mode.
     pub fn w6a7() -> Self {
-        Self { w_bits: 6, a_bits: 7 }
+        Self {
+            w_bits: 6,
+            a_bits: 7,
+        }
     }
 
     /// Arbitrary symmetric mode.
@@ -77,8 +83,7 @@ impl Activation {
             Activation::Gelu => {
                 0.5 * x
                     * (1.0
-                        + ((2.0 / std::f64::consts::PI).sqrt() * (x + 0.044715 * x * x * x))
-                            .tanh())
+                        + ((2.0 / std::f64::consts::PI).sqrt() * (x + 0.044715 * x * x * x)).tanh())
             }
         }
     }
@@ -184,13 +189,7 @@ impl QStats {
     }
 }
 
-fn conv_i64(
-    x: &ITensor,
-    w: &ITensor,
-    bias: &[i64],
-    stride: usize,
-    padding: usize,
-) -> ITensor {
+fn conv_i64(x: &ITensor, w: &ITensor, bias: &[i64], stride: usize, padding: usize) -> ITensor {
     let (c_in, h, wd) = (x.shape()[0], x.shape()[1], x.shape()[2]);
     let (c_out, k) = (w.shape()[0], w.shape()[2]);
     assert_eq!(w.shape()[1], c_in, "channel mismatch");
@@ -216,8 +215,8 @@ fn conv_i64(
                         if iy < 0 || iy >= h as isize {
                             continue;
                         }
-                        let xrow = &xd[(ci * h + iy as usize) * wd
-                            ..(ci * h + iy as usize + 1) * wd];
+                        let xrow =
+                            &xd[(ci * h + iy as usize) * wd..(ci * h + iy as usize + 1) * wd];
                         let orow = &mut od[(co * oh + oy) * ow..(co * oh + oy + 1) * ow];
                         if stride == 1 {
                             let lo = padding.saturating_sub(kx);
@@ -250,9 +249,7 @@ impl QModel {
             x.shape(),
             x.data()
                 .iter()
-                .map(|&v| {
-                    ((v as f64 / self.input_scale).round() as i64).clamp(-a_max, a_max)
-                })
+                .map(|&v| ((v as f64 / self.input_scale).round() as i64).clamp(-a_max, a_max))
                 .collect(),
         )
     }
@@ -285,10 +282,7 @@ impl QModel {
             let out = match &node.op {
                 QOp::Linear(l) => {
                     let acc = if l.is_fc {
-                        let flat = ITensor::from_vec(
-                            &[input.len(), 1, 1],
-                            input.data().to_vec(),
-                        );
+                        let flat = ITensor::from_vec(&[input.len(), 1, 1], input.data().to_vec());
                         conv_i64(&flat, &l.weight, &l.bias, 1, 0)
                     } else {
                         conv_i64(input, &l.weight, &l.bias, l.stride, l.padding)
@@ -335,8 +329,7 @@ impl QModel {
                                 for ky in 0..*k {
                                     for kx in 0..*k {
                                         best = best.max(
-                                            input.data()
-                                                [(ci * h + oy * k + ky) * w + ox * k + kx],
+                                            input.data()[(ci * h + oy * k + ky) * w + ox * k + kx],
                                         );
                                     }
                                 }
@@ -357,8 +350,7 @@ impl QModel {
                                 let mut s = 0i64;
                                 for ky in 0..*k {
                                     for kx in 0..*k {
-                                        s += input.data()
-                                            [(ci * h + oy * k + ky) * w + ox * k + kx];
+                                        s += input.data()[(ci * h + oy * k + ky) * w + ox * k + kx];
                                     }
                                 }
                                 if let Some(f) = noise.as_mut() {
@@ -367,8 +359,7 @@ impl QModel {
                                 stats.observe(ni, s);
                                 // divide LUT: round(s / k²)
                                 let v = (s as f64 / kk as f64).round() as i64;
-                                out.data_mut()[(ci * oh + oy) * ow + ox] =
-                                    v.clamp(-a_max, a_max);
+                                out.data_mut()[(ci * oh + oy) * ow + ox] = v.clamp(-a_max, a_max);
                             }
                         }
                     }
@@ -399,10 +390,13 @@ impl QModel {
 
     /// The linear-layer nodes (for LUT/size accounting).
     pub fn linear_nodes(&self) -> impl Iterator<Item = (usize, &QLinear)> {
-        self.nodes.iter().enumerate().filter_map(|(i, n)| match &n.op {
-            QOp::Linear(l) => Some((i, l)),
-            _ => None,
-        })
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| match &n.op {
+                QOp::Linear(l) => Some((i, l)),
+                _ => None,
+            })
     }
 }
 
@@ -500,9 +494,11 @@ mod tests {
     #[test]
     fn pooling_ops() {
         let model = QModel {
-            nodes: vec![
-                QNode { op: QOp::MaxPool { k: 2 }, input: 0, skip: None },
-            ],
+            nodes: vec![QNode {
+                op: QOp::MaxPool { k: 2 },
+                input: 0,
+                skip: None,
+            }],
             input_scale: 1.0,
             cfg: QuantConfig::w7a7(),
         };
@@ -513,7 +509,11 @@ mod tests {
         // no panic; dedicated avg test below.
         let _ = model.forward_with_noise(&x, None, &mut stats);
         let avg_model = QModel {
-            nodes: vec![QNode { op: QOp::AvgPool { k: 2 }, input: 0, skip: None }],
+            nodes: vec![QNode {
+                op: QOp::AvgPool { k: 2 },
+                input: 0,
+                skip: None,
+            }],
             input_scale: 1.0,
             cfg: QuantConfig::w7a7(),
         };

@@ -61,7 +61,12 @@ pub struct FoldedModel {
     pub nodes: Vec<FNode>,
 }
 
-fn fold_scale_bias(weight: &Tensor, bias: &[f32], gamma: &[f32], beta: &[f32]) -> (Tensor, Vec<f32>) {
+fn fold_scale_bias(
+    weight: &Tensor,
+    bias: &[f32],
+    gamma: &[f32],
+    beta: &[f32],
+) -> (Tensor, Vec<f32>) {
     let c_out = weight.shape()[0];
     let per = weight.len() / c_out;
     let mut w = weight.clone();
@@ -245,7 +250,10 @@ pub fn fold_network(net: &Network) -> FoldedModel {
                 i += 1;
             }
             NetLayer::ReLU(_) | NetLayer::ScaleBias(_) => {
-                panic!("unconsumed {:?} at position {i}: unsupported layer pattern", layers[i]);
+                panic!(
+                    "unconsumed {:?} at position {i}: unsupported layer pattern",
+                    layers[i]
+                );
             }
         }
     }
@@ -517,7 +525,9 @@ mod tests {
         let folded = fold_network(&net);
         let x = Tensor::from_vec(
             &[3, 32, 32],
-            (0..3 * 32 * 32).map(|i| ((i as f32) * 0.013).sin()).collect(),
+            (0..3 * 32 * 32)
+                .map(|i| ((i as f32) * 0.013).sin())
+                .collect(),
         );
         let want = net.forward(&x);
         let got = folded.forward(&x);
@@ -585,7 +595,11 @@ mod tests {
             let _ = qm.forward_with_noise(&q, None, &mut st);
             stats.merge(&st);
         }
-        assert!(stats.max_acc.iter().all(|&m| m <= 16384 / 2), "{:?}", stats.max_acc);
+        assert!(
+            stats.max_acc.iter().all(|&m| m <= 16384 / 2),
+            "{:?}",
+            stats.max_acc
+        );
         // Predictions mostly survive the precision loss.
         let after: Vec<usize> = train_set.images[..40]
             .iter()
@@ -614,6 +628,9 @@ mod tests {
             accs.push(agree);
         }
         assert!(accs[1] >= accs[0], "w7a7 {} vs w4a4 {}", accs[1], accs[0]);
-        assert!(accs[2] >= accs[1].saturating_sub(2), "monotone-ish: {accs:?}");
+        assert!(
+            accs[2] >= accs[1].saturating_sub(2),
+            "monotone-ish: {accs:?}"
+        );
     }
 }

@@ -88,9 +88,7 @@ impl Tensor {
         self.data
             .iter()
             .enumerate()
-            .max_by(|a, b| {
-                a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Less)
-            })
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Less))
             .map(|(i, _)| i)
             .unwrap_or(0)
     }

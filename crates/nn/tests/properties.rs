@@ -1,9 +1,15 @@
-//! Property-based tests of the CNN substrate: quantizer round-trips,
+//! Property-style tests of the CNN substrate: quantizer round-trips,
 //! remap-LUT semantics, conv linearity, and pooling invariants.
+//!
+//! Originally written with `proptest`; ported to plain `#[test]`s driven by
+//! the in-repo PRNG (fixed seeds, N random cases each) so the suite runs
+//! with zero external dependencies.
 
+use athena_math::prng::Prng;
 use athena_nn::qmodel::{Activation, QLinear, QuantConfig};
 use athena_nn::tensor::{ITensor, Tensor};
-use proptest::prelude::*;
+
+const CASES: usize = 128;
 
 fn qlinear(act: Activation, in_scale: f64, w_scale: f64, out_scale: f64) -> QLinear {
     QLinear {
@@ -19,79 +25,107 @@ fn qlinear(act: Activation, in_scale: f64, w_scale: f64, out_scale: f64) -> QLin
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn quant_config_ranges(w in 2u32..16, a in 2u32..16) {
-        let c = QuantConfig::new(w, a);
-        prop_assert_eq!(c.w_max(), (1 << (w - 1)) - 1);
-        prop_assert_eq!(c.a_max(), (1 << (a - 1)) - 1);
-        let expect = format!("w{}a{}", w, a);
-        prop_assert!(c.to_string().contains(&expect));
+#[test]
+fn quant_config_ranges() {
+    for w in 2u32..16 {
+        for a in 2u32..16 {
+            let c = QuantConfig::new(w, a);
+            assert_eq!(c.w_max(), (1 << (w - 1)) - 1);
+            assert_eq!(c.a_max(), (1 << (a - 1)) - 1);
+            let expect = format!("w{}a{}", w, a);
+            assert!(c.to_string().contains(&expect));
+        }
     }
+}
 
-    #[test]
-    fn remap_identity_at_unit_scales(v in -1000i64..1000) {
-        // With in·w = out scale, Identity remap is the identity (clamped).
-        let l = qlinear(Activation::Identity, 0.5, 2.0, 1.0);
-        prop_assert_eq!(l.remap(v, 10_000), v);
+#[test]
+fn remap_identity_at_unit_scales() {
+    // With in·w = out scale, Identity remap is the identity (clamped).
+    let mut rng = Prng::seed_from_u64(0x31);
+    let l = qlinear(Activation::Identity, 0.5, 2.0, 1.0);
+    for _ in 0..CASES {
+        let v = rng.next_i64_in(-1000, 999);
+        assert_eq!(l.remap(v, 10_000), v);
     }
+}
 
-    #[test]
-    fn remap_relu_kills_negatives(v in -5000i64..0) {
-        let l = qlinear(Activation::ReLU, 0.1, 0.1, 0.01);
-        prop_assert_eq!(l.remap(v, 127), 0);
+#[test]
+fn remap_relu_kills_negatives() {
+    let mut rng = Prng::seed_from_u64(0x32);
+    let l = qlinear(Activation::ReLU, 0.1, 0.1, 0.01);
+    for _ in 0..CASES {
+        let v = rng.next_i64_in(-5000, -1);
+        assert_eq!(l.remap(v, 127), 0);
     }
+}
 
-    #[test]
-    fn remap_monotone_for_monotone_activations(a in -500i64..500, b in -500i64..500) {
+#[test]
+fn remap_monotone_for_monotone_activations() {
+    let mut rng = Prng::seed_from_u64(0x33);
+    for _ in 0..CASES {
+        let a = rng.next_i64_in(-500, 499);
+        let b = rng.next_i64_in(-500, 499);
         for act in [Activation::Identity, Activation::ReLU, Activation::Sigmoid] {
             let l = qlinear(act, 0.03, 0.05, 0.02);
             let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-            prop_assert!(l.remap(lo, 127) <= l.remap(hi, 127), "{:?}", act);
+            assert!(l.remap(lo, 127) <= l.remap(hi, 127), "{act:?}");
         }
     }
+}
 
-    #[test]
-    fn remap_clamps_to_activation_range(v in -100_000i64..100_000, amax in 1i64..127) {
-        let l = qlinear(Activation::Identity, 1.0, 1.0, 1.0);
+#[test]
+fn remap_clamps_to_activation_range() {
+    let mut rng = Prng::seed_from_u64(0x34);
+    let l = qlinear(Activation::Identity, 1.0, 1.0, 1.0);
+    for _ in 0..CASES {
+        let v = rng.next_i64_in(-100_000, 99_999);
+        let amax = rng.next_i64_in(1, 126);
         let r = l.remap(v, amax);
-        prop_assert!(r >= -amax && r <= amax);
+        assert!(r >= -amax && r <= amax);
     }
+}
 
-    #[test]
-    fn quantize_input_roundtrips_within_half_scale(vals in prop::collection::vec(-0.9f32..0.9, 8)) {
-        use athena_nn::qmodel::{QModel, QNode, QOp};
-        let model = QModel {
-            nodes: vec![QNode {
-                op: QOp::Linear(qlinear(Activation::Identity, 1.0, 1.0, 1.0)),
-                input: 0,
-                skip: None,
-            }],
-            input_scale: 1.0 / 63.0,
-            cfg: QuantConfig::new(7, 7),
-        };
+#[test]
+fn quantize_input_roundtrips_within_half_scale() {
+    use athena_nn::qmodel::{QModel, QNode, QOp};
+    let mut rng = Prng::seed_from_u64(0x35);
+    let model = QModel {
+        nodes: vec![QNode {
+            op: QOp::Linear(qlinear(Activation::Identity, 1.0, 1.0, 1.0)),
+            input: 0,
+            skip: None,
+        }],
+        input_scale: 1.0 / 63.0,
+        cfg: QuantConfig::new(7, 7),
+    };
+    for _ in 0..CASES {
+        let vals: Vec<f32> = (0..8)
+            .map(|_| (rng.next_f64() * 1.8 - 0.9) as f32)
+            .collect();
         let t = Tensor::from_vec(&[8, 1, 1], vals.clone());
         let q = model.quantize_input(&t);
         for (&orig, &quant) in vals.iter().zip(q.data()) {
             let back = quant as f64 * model.input_scale;
-            prop_assert!((back - orig as f64).abs() <= model.input_scale / 2.0 + 1e-9);
+            assert!((back - orig as f64).abs() <= model.input_scale / 2.0 + 1e-9);
         }
     }
+}
 
-    #[test]
-    fn activation_functions_are_sane(x in -8.0f64..8.0) {
+#[test]
+fn activation_functions_are_sane() {
+    let mut rng = Prng::seed_from_u64(0x36);
+    for _ in 0..CASES {
+        let x = rng.next_f64() * 16.0 - 8.0;
         let s = Activation::Sigmoid.apply(x);
-        prop_assert!(s > 0.0 && s < 1.0);
-        prop_assert_eq!(Activation::ReLU.apply(x), x.max(0.0));
-        prop_assert_eq!(Activation::Identity.apply(x), x);
+        assert!(s > 0.0 && s < 1.0);
+        assert_eq!(Activation::ReLU.apply(x), x.max(0.0));
+        assert_eq!(Activation::Identity.apply(x), x);
         // GELU is between 0 and x for positive x, between x and 0 for negative
         let g = Activation::Gelu.apply(x);
         if x > 0.0 {
-            prop_assert!(g <= x + 1e-9 && g >= 0.0 - 0.2);
+            assert!(g <= x + 1e-9 && g >= 0.0 - 0.2);
         } else {
-            prop_assert!(g >= x - 1e-9 && g <= 0.2);
+            assert!(g >= x - 1e-9 && g <= 0.2);
         }
     }
 }
@@ -104,28 +138,36 @@ mod conv_props {
         Tensor::from_vec(shape, vals.to_vec())
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
+    fn f32_vec(rng: &mut Prng, n: usize, lim: f32) -> Vec<f32> {
+        (0..n)
+            .map(|_| (rng.next_f64() as f32) * 2.0 * lim - lim)
+            .collect()
+    }
 
-        #[test]
-        fn conv_is_linear_in_input(
-            a in prop::collection::vec(-2.0f32..2.0, 16),
-            b in prop::collection::vec(-2.0f32..2.0, 16),
-            w in prop::collection::vec(-1.0f32..1.0, 4),
-        ) {
+    #[test]
+    fn conv_is_linear_in_input() {
+        let mut rng = Prng::seed_from_u64(0x37);
+        for _ in 0..CASES / 2 {
+            let a = f32_vec(&mut rng, 16, 2.0);
+            let b = f32_vec(&mut rng, 16, 2.0);
+            let w = f32_vec(&mut rng, 4, 1.0);
             let wt = tensor(&[1, 1, 2, 2], &w);
             let ya = conv2d_forward_f32(&tensor(&[1, 4, 4], &a), &wt, None, 1, 0);
             let yb = conv2d_forward_f32(&tensor(&[1, 4, 4], &b), &wt, None, 1, 0);
             let sum: Vec<f32> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
             let ysum = conv2d_forward_f32(&tensor(&[1, 4, 4], &sum), &wt, None, 1, 0);
             for i in 0..ysum.len() {
-                prop_assert!((ysum.data()[i] - ya.data()[i] - yb.data()[i]).abs() < 1e-4);
+                assert!((ysum.data()[i] - ya.data()[i] - yb.data()[i]).abs() < 1e-4);
             }
         }
+    }
 
-        #[test]
-        fn conv_with_delta_kernel_shifts(vals in prop::collection::vec(-3.0f32..3.0, 16)) {
+    #[test]
+    fn conv_with_delta_kernel_shifts() {
+        let mut rng = Prng::seed_from_u64(0x38);
+        for _ in 0..CASES / 2 {
             // Kernel = delta at (0,0) reproduces the top-left window values.
+            let vals = f32_vec(&mut rng, 16, 3.0);
             let mut w = vec![0.0f32; 4];
             w[0] = 1.0;
             let y = conv2d_forward_f32(
@@ -137,7 +179,7 @@ mod conv_props {
             );
             for oy in 0..3 {
                 for ox in 0..3 {
-                    prop_assert_eq!(y.data()[oy * 3 + ox], vals[oy * 4 + ox]);
+                    assert_eq!(y.data()[oy * 3 + ox], vals[oy * 4 + ox]);
                 }
             }
         }

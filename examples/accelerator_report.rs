@@ -29,8 +29,13 @@ fn main() {
     let sim = AthenaSim::athena();
     let r = sim.run(&trace);
     println!("\nAthena accelerator @1 GHz:");
-    println!("  latency {:.1} ms, energy {:.2} J, EDP {:.3} J*s, EDAP {:.1} J*s*mm^2",
-        r.latency_ms, r.energy_j, r.edp(), r.edap(total_area_mm2()));
+    println!(
+        "  latency {:.1} ms, energy {:.2} J, EDP {:.3} J*s, EDAP {:.1} J*s*mm^2",
+        r.latency_ms,
+        r.energy_j,
+        r.edp(),
+        r.edap(total_area_mm2())
+    );
     println!("  phase breakdown:");
     let total: f64 = r.phase_costs.iter().map(|(_, c)| c.cycles).sum();
     for (p, c) in &r.phase_costs {
@@ -40,6 +45,11 @@ fn main() {
     println!("\nBaselines on the CKKS-based ResNet-20 (published, scaled):");
     for b in baselines() {
         let ms = baseline_latency_ms(&b, &spec);
-        println!("  {:11} {:7.1} ms  ({:.2}x slower than Athena)", b.name, ms, ms / r.latency_ms);
+        println!(
+            "  {:11} {:7.1} ms  ({:.2}x slower than Athena)",
+            b.name,
+            ms,
+            ms / r.latency_ms
+        );
     }
 }

@@ -32,7 +32,11 @@ fn block(pool: QOp) -> QModel {
                 input: 0,
                 skip: None,
             },
-            QNode { op: pool, input: 1, skip: None },
+            QNode {
+                op: pool,
+                input: 1,
+                skip: None,
+            },
             QNode {
                 op: QOp::Linear(QLinear {
                     weight: ITensor::from_vec(&[2, 4, 1, 1], vec![1, -1, 1, -1, 2, 0, -2, 0]),
@@ -63,14 +67,19 @@ fn main() {
         &[1, 4, 4],
         vec![1, -2, 3, 0, 2, 1, -1, 2, 0, 3, 1, -2, 1, 0, 2, 1],
     );
-    for (name, pool) in [("max-pool 2x2", QOp::MaxPool { k: 2 }), ("avg-pool 2x2", QOp::AvgPool { k: 2 })] {
+    for (name, pool) in [
+        ("max-pool 2x2", QOp::MaxPool { k: 2 }),
+        ("avg-pool 2x2", QOp::AvgPool { k: 2 }),
+    ] {
         let model = block(pool);
         let reference = model.forward(&input);
         let start = std::time::Instant::now();
         let enc = run_encrypted(&engine, &secrets, &keys, &model, &input, &mut sampler);
         println!(
             "\n{name}: plaintext logits {reference:?}\n{:13} encrypted logits {:?} ({:.2?})",
-            "", enc.logits, start.elapsed()
+            "",
+            enc.logits,
+            start.elapsed()
         );
         println!(
             "{:13} FBS calls: {} (max-tree costs k^2-1 = 3 extra rounds vs avg's divide LUT)",

@@ -27,7 +27,10 @@ fn main() {
     // remapped activation (scale 8 keeps outputs within the byte range).
     let scale = 8.0;
     let luts: Vec<(&str, Lut)> = vec![
-        ("ReLU+remap", Lut::from_signed_fn(t, |x| ((x.max(0) as f64) / scale).round() as i64)),
+        (
+            "ReLU+remap",
+            Lut::from_signed_fn(t, |x| ((x.max(0) as f64) / scale).round() as i64),
+        ),
         (
             "Sigmoid+remap",
             Lut::from_signed_fn(t, |x| {
@@ -41,7 +44,10 @@ fn main() {
             }),
         ),
         ("abs", Lut::from_signed_fn(t, |x| x.abs())),
-        ("divide-by-9 (avgpool)", Lut::from_signed_fn(t, |x| ((x as f64) / 9.0).round() as i64)),
+        (
+            "divide-by-9 (avgpool)",
+            Lut::from_signed_fn(t, |x| ((x as f64) / 9.0).round() as i64),
+        ),
     ];
 
     // One ciphertext of test inputs spanning the centered range.
@@ -50,7 +56,11 @@ fn main() {
     let slots: Vec<u64> = inputs.iter().map(|&v| tm.from_i64(v)).collect();
     let ct = ev.encrypt_sk(&enc.encode(&slots), &sk, &mut sampler);
 
-    println!("evaluating {} LUTs homomorphically on {} slots each (t = {t})\n", luts.len(), ctx.n());
+    println!(
+        "evaluating {} LUTs homomorphically on {} slots each (t = {t})\n",
+        luts.len(),
+        ctx.n()
+    );
     for (name, lut) in &luts {
         let start = std::time::Instant::now();
         let (out, stats) = fbs_apply(&ctx, &ct, lut, &rlk);
@@ -69,7 +79,11 @@ fn main() {
             stats.smult,
             elapsed
         );
-        assert_eq!(exact, inputs.len(), "{name} must be exact — FBS is not an approximation");
+        assert_eq!(
+            exact,
+            inputs.len(),
+            "{name} must be exact — FBS is not an approximation"
+        );
     }
     println!("\nAll LUTs evaluated exactly: FBS supports arbitrary non-linear functions.");
 }

@@ -13,7 +13,7 @@ use athena::nn::network::{NetLayer, Network};
 use athena::nn::qmodel::QuantConfig;
 use athena::nn::quant::quantize;
 use athena::nn::tensor::Tensor;
-use athena::nn::train::{train, evaluate, TrainConfig};
+use athena::nn::train::{evaluate, train, TrainConfig};
 
 /// A micro-CNN sized to fit the reduced FHE parameters
 /// (N = 128, t = 257): 8×8 inputs, 3 channels, 27-unit FC.

@@ -23,7 +23,9 @@ fn e_ms_distribution_matches_noise_model() {
     let mut errors: Vec<f64> = Vec::new();
     let mut stats = PipelineStats::default();
     for round in 0..4 {
-        let values: Vec<i64> = (0..n as i64).map(|i| ((i * 13 + round) % 101) - 50).collect();
+        let values: Vec<i64> = (0..n as i64)
+            .map(|i| ((i * 13 + round) % 101) - 50)
+            .collect();
         let positions: Vec<usize> = (0..n).collect();
         let ct = engine.encrypt_at(&values, &positions, &secrets, &mut sampler);
         let lwes = engine.extract_lwes(&ct, &positions, &keys, &mut stats);
@@ -40,8 +42,8 @@ fn e_ms_distribution_matches_noise_model() {
         }
     }
     let mean: f64 = errors.iter().sum::<f64>() / errors.len() as f64;
-    let var: f64 = errors.iter().map(|e| (e - mean) * (e - mean)).sum::<f64>()
-        / errors.len() as f64;
+    let var: f64 =
+        errors.iter().map(|e| (e - mean) * (e - mean)).sum::<f64>() / errors.len() as f64;
     let measured_sigma = var.sqrt();
     let model = NoiseSpec::from_params(engine.context().params().lwe_n, 3.2);
     assert!(mean.abs() < 1.0, "e_ms mean {mean}");

@@ -52,9 +52,15 @@ fn speedup_factors_in_paper_range() {
             .expect("baseline exists")
     };
     let sharp = baseline_latency_ms(&get("SHARP"), &spec) / athena;
-    assert!(sharp > 1.2 && sharp < 2.5, "SHARP speedup {sharp:.2} (paper 1.51)");
+    assert!(
+        sharp > 1.2 && sharp < 2.5,
+        "SHARP speedup {sharp:.2} (paper 1.51)"
+    );
     let cl = baseline_latency_ms(&get("CraterLake"), &spec) / athena;
-    assert!(cl > 3.0 && cl < 8.0, "CraterLake speedup {cl:.2} (paper ~4.9)");
+    assert!(
+        cl > 3.0 && cl < 8.0,
+        "CraterLake speedup {cl:.2} (paper ~4.9)"
+    );
     let bts = baseline_latency_ms(&get("BTS"), &spec) / athena;
     assert!(bts > 20.0 && bts < 50.0, "BTS speedup {bts:.2} (paper ~29)");
 }
@@ -101,7 +107,10 @@ fn athena_area_is_smallest() {
     }
     let sharp = baselines().into_iter().find(|b| b.name == "SHARP").unwrap();
     let ratio = sharp.area_mm2 / a;
-    assert!((ratio - 1.53).abs() < 0.05, "area ratio vs SHARP {ratio:.2}");
+    assert!(
+        (ratio - 1.53).abs() < 0.05,
+        "area ratio vs SHARP {ratio:.2}"
+    );
 }
 
 #[test]

@@ -56,11 +56,25 @@ fn tiny_model_and_spec() -> (QModel, ModelSpec) {
         name: "tiny",
         layers: vec![
             SpecLayer {
-                conv: ConvShape { hw: 5, c_in: 1, c_out: 1, k: 3, stride: 1, padding: 0 },
+                conv: ConvShape {
+                    hw: 5,
+                    c_in: 1,
+                    c_out: 1,
+                    k: 3,
+                    stride: 1,
+                    padding: 0,
+                },
                 act: NonLinear::Activation,
             },
             SpecLayer {
-                conv: ConvShape { hw: 1, c_in: 9, c_out: 2, k: 1, stride: 1, padding: 0 },
+                conv: ConvShape {
+                    hw: 1,
+                    c_in: 9,
+                    c_out: 2,
+                    k: 1,
+                    stride: 1,
+                    padding: 0,
+                },
                 act: NonLinear::None,
             },
         ],
@@ -113,9 +127,8 @@ fn engine_op_mix_matches_trace_structure() {
 
 #[test]
 fn trace_fbs_op_counts_match_engine_fbs_counts() {
-    // The BSGS structure of Alg. 2 must produce the same CMult count in the
-    // engine (measured) and in the trace formula (2·⌈√t_eff⌉) — at the
-    // engine's t where t_eff = t.
+    // The BSGS structure of Alg. 2 must produce a CMult count in the engine
+    // (measured) that matches the baby/giant decomposition at the engine's t.
     let (model, _) = tiny_model_and_spec();
     let engine = AthenaEngine::new(BfvParams::test_small());
     let mut sampler = Sampler::from_seed(809);
@@ -124,12 +137,18 @@ fn trace_fbs_op_counts_match_engine_fbs_counts() {
     let enc = run_encrypted(&engine, &secrets, &keys, &model, &input, &mut sampler);
     let t = engine.context().t();
     let bs = (t as f64).sqrt().ceil() as usize;
-    // One FBS pass: baby powers (bs − 1) + giant powers + block mults ≈ 2bs.
+    let gs = (t as usize).div_ceil(bs);
+    // One FBS pass per Alg. 2: baby powers (bs − 1), the log-depth giant
+    // power tree (gs − 1), and one giant multiply per non-initial block
+    // (gs − 1) — about 3·√t in total, not the 2·√t a depth-gs serial
+    // schedule would suggest (the tree trades extra CMults for log depth;
+    // see DESIGN.md §7 "FBS depth").
+    let expected = (bs - 1) + 2 * (gs - 1);
     assert!(
-        enc.stats.fbs.cmult <= 2 * bs + 2 && enc.stats.fbs.cmult >= bs / 2,
-        "engine cmult {} vs 2·bs = {}",
+        enc.stats.fbs.cmult <= expected + 2 && enc.stats.fbs.cmult >= expected / 2,
+        "engine cmult {} vs expected ≈ {}",
         enc.stats.fbs.cmult,
-        2 * bs
+        expected
     );
     assert!(
         enc.stats.fbs.smult <= t as usize,
