@@ -66,7 +66,7 @@ impl Schedule {
 
     /// Renders a coarse text Gantt chart (for reports/debugging).
     pub fn gantt(&self, columns: usize) -> String {
-        let mut lines = vec![vec![b' '; columns], vec![b' '; columns]];
+        let mut lines = [vec![b' '; columns], vec![b' '; columns]];
         for e in &self.events {
             let row = match e.region {
                 Region::R1 => 0,

@@ -50,7 +50,10 @@ fn margin(shape: &ConvShape) -> usize {
 
 /// Largest divisor of `x` that is `<= cap` (at least 1).
 fn divisor_at_most(x: usize, cap: usize) -> usize {
-    (1..=cap.min(x)).rev().find(|d| x % d == 0).unwrap_or(1)
+    (1..=cap.min(x))
+        .rev()
+        .find(|d| x.is_multiple_of(*d))
+        .unwrap_or(1)
 }
 
 /// Athena's output-channel-first packing: maximize output channels per
@@ -88,7 +91,7 @@ pub fn athena_packing(shape: &ConvShape, n: usize) -> Packing {
         input_cts: ci_groups,
         result_cts: co_groups,
         pmults: co_groups * ci_groups,
-        hadds: co_groups * (ci_groups - 1).max(0),
+        hadds: co_groups * (ci_groups - 1),
     }
 }
 
@@ -116,7 +119,7 @@ pub fn cheetah_packing(shape: &ConvShape, n: usize) -> Packing {
         input_cts: ci_groups,
         result_cts: co_groups,
         pmults: co_groups * ci_groups,
-        hadds: co_groups * (ci_groups - 1).max(0),
+        hadds: co_groups * (ci_groups - 1),
     }
 }
 

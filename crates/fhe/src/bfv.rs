@@ -12,8 +12,27 @@
 //! scaling is performed coefficient-wise with big-integer rounding. This is
 //! the reference semantics that the accelerator's fast-base-conversion
 //! datapath (FRU) reproduces approximately in hardware.
+//!
+//! ## Representation invariants
+//!
+//! Every ciphertext is **domain-uniform**: all component polynomials share
+//! one [`Domain`], queryable with [`BfvCiphertext::domain`]. Key material
+//! (secret key, public key, key-switching keys) lives permanently in Eval
+//! (NTT) form — keys only ever participate in multiplications, so storing
+//! them evaluated makes every keyed inner product pointwise. Key switching
+//! therefore emits Eval-form ciphertexts, and [`apply_galois`]/
+//! [`rotate_rows`] keep rotation chains NTT-resident end-to-end; conversion
+//! back to coefficient form happens lazily, only where BFV semantics force
+//! it: the digit decomposition inside [`KeySwitchKey::apply`], the centered
+//! CRT lift of the tensor step in [`mul_no_relin`], modulus switching /
+//! decryption scaling, and sample extraction.
+//!
+//! [`apply_galois`]: BfvEvaluator::apply_galois
+//! [`rotate_rows`]: BfvEvaluator::rotate_rows
+//! [`mul_no_relin`]: BfvEvaluator::mul_no_relin
 
 use athena_math::bigint::{IBig, UBig};
+use athena_math::par;
 use athena_math::poly::{Domain, Poly};
 use athena_math::rns::{RnsBasis, RnsPoly};
 use athena_math::sampler::Sampler;
@@ -164,6 +183,14 @@ impl BfvContext {
         RnsPoly::from_limbs(limbs)
     }
 
+    /// The recurring key-material inner product `a·b` brought back to
+    /// coefficient form in one step. This is the only sanctioned way to
+    /// leave Eval form on an encryption path: everything that *stays* on
+    /// the hot path keeps the `mul_poly` output NTT-resident instead.
+    pub fn mul_into_coeff(&self, a: &RnsPoly, b: &RnsPoly) -> RnsPoly {
+        self.qb.poly_to_coeff(&self.qb.mul_poly(a, b))
+    }
+
     fn sample_error(&self, sampler: &mut Sampler) -> RnsPoly {
         let e = sampler.gaussian(self.params.n);
         self.qb.poly_from_i64(&e)
@@ -186,7 +213,8 @@ impl BfvContext {
 }
 
 /// The RLWE secret key: ternary coefficients, kept both as signed integers
-/// (for extraction/noise probes) and in RNS form.
+/// (for extraction/noise probes) and in **Eval-form** RNS — the secret only
+/// ever enters multiplications, so it is stored pre-transformed.
 #[derive(Debug, Clone)]
 pub struct SecretKey {
     coeffs: Vec<i64>,
@@ -197,7 +225,7 @@ impl SecretKey {
     /// Samples a fresh ternary secret.
     pub fn generate(ctx: &BfvContext, sampler: &mut Sampler) -> Self {
         let coeffs = sampler.ternary(ctx.params.n);
-        let rns = ctx.qb.poly_from_i64(&coeffs);
+        let rns = ctx.qb.poly_to_eval(&ctx.qb.poly_from_i64(&coeffs));
         Self { coeffs, rns }
     }
 
@@ -206,8 +234,8 @@ impl SecretKey {
         &self.coeffs
     }
 
-    /// The RNS representation of the secret (for key material built
-    /// outside this module, e.g. seed-compressed keys).
+    /// The Eval-form RNS representation of the secret (for key material
+    /// built outside this module, e.g. seed-compressed keys).
     pub fn rns_form(&self) -> &RnsPoly {
         &self.rns
     }
@@ -218,7 +246,8 @@ impl SecretKey {
     }
 }
 
-/// A public encryption key `(b, a)` with `b = −a·s + e`.
+/// A public encryption key `(b, a)` with `b = −a·s + e`, stored in Eval
+/// form: encryption only ever multiplies both halves by the ephemeral `u`.
 #[derive(Debug, Clone)]
 pub struct PublicKey {
     b: RnsPoly,
@@ -228,17 +257,18 @@ pub struct PublicKey {
 impl PublicKey {
     /// Derives a public key from a secret key.
     pub fn generate(ctx: &BfvContext, sk: &SecretKey, sampler: &mut Sampler) -> Self {
-        let a = ctx.sample_uniform(sampler);
-        let e = ctx.sample_error(sampler);
-        let a_s = ctx.qb.poly_to_coeff(&ctx.qb.mul_poly(&a, &sk.rns));
-        let mut b = ctx.qb.neg_poly(&a_s);
+        let a = ctx.qb.poly_to_eval(&ctx.sample_uniform(sampler));
+        let e = ctx.qb.poly_to_eval(&ctx.sample_error(sampler));
+        let mut b = ctx.qb.neg_poly(&ctx.qb.mul_poly(&a, &sk.rns));
         ctx.qb.add_assign_poly(&mut b, &e);
         Self { b, a }
     }
 }
 
 /// A BFV ciphertext: two (or, mid-multiplication, three) ring elements in
-/// coefficient-domain RNS form.
+/// RNS form. All parts share one domain — fresh encryptions are Coeff,
+/// anything that went through key switching is Eval, and the two never mix
+/// within a ciphertext (see the module-level representation invariants).
 #[derive(Debug, Clone)]
 pub struct BfvCiphertext {
     parts: Vec<RnsPoly>,
@@ -255,23 +285,57 @@ impl BfvCiphertext {
         self.parts.len()
     }
 
+    /// The common domain of every component polynomial.
+    pub fn domain(&self) -> Domain {
+        let d = self.parts[0].domain();
+        debug_assert!(
+            self.parts.iter().all(|p| p.domain() == d),
+            "ciphertext parts must share a domain"
+        );
+        d
+    }
+
     /// Assembles a ciphertext from raw component polynomials.
     ///
     /// # Panics
     ///
-    /// Panics unless there are 2 or 3 components.
+    /// Panics unless there are 2 or 3 components; debug builds also reject
+    /// components in different domains.
     pub fn from_parts(parts: Vec<RnsPoly>) -> Self {
         assert!(parts.len() == 2 || parts.len() == 3, "2 or 3 components");
+        debug_assert!(
+            parts.iter().all(|p| p.domain() == parts[0].domain()),
+            "ciphertext parts must share a domain"
+        );
         Self { parts }
     }
 
-    /// The trivial encryption of zero.
-    pub fn zero(ctx: &BfvContext) -> Self {
+    /// The trivial encryption of zero, in the requested domain (the zero
+    /// polynomial is a fixed point of the NTT, so no transform is needed).
+    pub fn zero_in(ctx: &BfvContext, domain: Domain) -> Self {
         Self {
-            parts: vec![
-                ctx.qb.zero_poly(Domain::Coeff),
-                ctx.qb.zero_poly(Domain::Coeff),
-            ],
+            parts: vec![ctx.qb.zero_poly(domain), ctx.qb.zero_poly(domain)],
+        }
+    }
+
+    /// The trivial encryption of zero (coefficient form).
+    pub fn zero(ctx: &BfvContext) -> Self {
+        Self::zero_in(ctx, Domain::Coeff)
+    }
+
+    /// This ciphertext with every part in Eval form (no-op copies for parts
+    /// already there).
+    pub fn to_eval(&self, ctx: &BfvContext) -> Self {
+        Self {
+            parts: self.parts.iter().map(|p| ctx.qb.poly_to_eval(p)).collect(),
+        }
+    }
+
+    /// This ciphertext with every part in coefficient form (no-op copies
+    /// for parts already there).
+    pub fn to_coeff(&self, ctx: &BfvContext) -> Self {
+        Self {
+            parts: self.parts.iter().map(|p| ctx.qb.poly_to_coeff(p)).collect(),
         }
     }
 
@@ -285,10 +349,12 @@ impl BfvCiphertext {
 
 /// A key-switching key translating decryptions under some source secret
 /// `s_src` into decryptions under `s` — used for relinearization (`s² → s`)
-/// and rotations (`s(X^g) → s`).
+/// and rotations (`s(X^g) → s`). The pairs are stored in Eval form: every
+/// application multiplies them by decomposed digits, so the forward NTTs
+/// are paid once at keygen instead of on every homomorphic rotation.
 #[derive(Debug, Clone)]
 pub struct KeySwitchKey {
-    /// Per limb i: (b_i, a_i) with b_i = −a_i·s + e_i + g_i·s_src.
+    /// Per limb i: (b_i, a_i) with b_i = −a_i·s + e_i + g_i·s_src, Eval form.
     pairs: Vec<(RnsPoly, RnsPoly)>,
 }
 
@@ -299,15 +365,19 @@ impl KeySwitchKey {
         src_rns: &RnsPoly,
         sampler: &mut Sampler,
     ) -> Self {
+        assert_eq!(
+            src_rns.domain(),
+            Domain::Eval,
+            "source secrets are derived from the Eval-form secret key"
+        );
         let k = ctx.qb.len();
         let mut pairs = Vec::with_capacity(k);
         for i in 0..k {
-            let a = ctx.sample_uniform(sampler);
-            let e = ctx.sample_error(sampler);
-            let a_s = ctx.qb.poly_to_coeff(&ctx.qb.mul_poly(&a, &sk.rns));
-            let mut b = ctx.qb.neg_poly(&a_s);
+            let a = ctx.qb.poly_to_eval(&ctx.sample_uniform(sampler));
+            let e = ctx.qb.poly_to_eval(&ctx.sample_error(sampler));
+            let mut b = ctx.qb.neg_poly(&ctx.qb.mul_poly(&a, &sk.rns));
             ctx.qb.add_assign_poly(&mut b, &e);
-            // + g_i * s_src
+            // + g_i · s_src (per-limb scalar residues preserve Eval form)
             let g_src = {
                 let limbs = ctx
                     .qb
@@ -318,21 +388,30 @@ impl KeySwitchKey {
                     .collect();
                 RnsPoly::from_limbs(limbs)
             };
-            let g_src = ctx.qb.poly_to_coeff(&g_src);
             ctx.qb.add_assign_poly(&mut b, &g_src);
             pairs.push((b, a));
         }
         Self { pairs }
     }
 
-    /// Applies the key to a coefficient-domain polynomial `d` (interpreted
-    /// mod `Q`): returns `(p0, p1)` with `p0 + p1·s ≈ d·s_src`.
+    /// Applies the key to a coefficient-form polynomial `d` (interpreted
+    /// mod `Q`): returns `(p0, p1)` in **Eval form** with
+    /// `p0 + p1·s ≈ d·s_src`.
+    ///
+    /// The digit decomposition must read raw residues, so `d` is required
+    /// in coefficient form — this is one of the scheme's forced-Coeff
+    /// boundaries. Each lifted digit is transformed once (`k` forward NTTs,
+    /// `k²` in total) and every inner product against the Eval-resident
+    /// pairs is pointwise; no inverse transforms happen here at all.
     pub fn apply(&self, ctx: &BfvContext, d: &RnsPoly) -> (RnsPoly, RnsPoly) {
-        assert_eq!(d.domain(), Domain::Coeff);
+        assert_eq!(
+            d.domain(),
+            Domain::Coeff,
+            "digit decomposition needs coefficient form"
+        );
         let k = ctx.qb.len();
-        let mut p0 = ctx.qb.zero_poly(Domain::Coeff);
-        let mut p1 = ctx.qb.zero_poly(Domain::Coeff);
-        for i in 0..k {
+        // The per-digit products are independent — fan out like the limbs.
+        let terms: Vec<(RnsPoly, RnsPoly)> = par::parallel_map_range(k, |i| {
             // Lift limb i of d (small integers < q_i) to the full basis.
             let vals = d.limbs()[i].values();
             let lifted_limbs: Vec<Poly> = ctx
@@ -346,15 +425,17 @@ impl KeySwitchKey {
                     )
                 })
                 .collect();
-            let lifted = RnsPoly::from_limbs(lifted_limbs);
-            let t0 = ctx
-                .qb
-                .poly_to_coeff(&ctx.qb.mul_poly(&lifted, &self.pairs[i].0));
-            let t1 = ctx
-                .qb
-                .poly_to_coeff(&ctx.qb.mul_poly(&lifted, &self.pairs[i].1));
-            ctx.qb.add_assign_poly(&mut p0, &t0);
-            ctx.qb.add_assign_poly(&mut p1, &t1);
+            let lifted = ctx.qb.poly_to_eval(&RnsPoly::from_limbs(lifted_limbs));
+            (
+                ctx.qb.mul_poly(&lifted, &self.pairs[i].0),
+                ctx.qb.mul_poly(&lifted, &self.pairs[i].1),
+            )
+        });
+        let mut p0 = ctx.qb.zero_poly(Domain::Eval);
+        let mut p1 = ctx.qb.zero_poly(Domain::Eval);
+        for (t0, t1) in &terms {
+            ctx.qb.add_assign_poly(&mut p0, t0);
+            ctx.qb.add_assign_poly(&mut p1, t1);
         }
         (p0, p1)
     }
@@ -367,7 +448,7 @@ pub struct RelinKey(KeySwitchKey);
 impl RelinKey {
     /// Generates a relinearization key.
     pub fn generate(ctx: &BfvContext, sk: &SecretKey, sampler: &mut Sampler) -> Self {
-        let s2 = ctx.qb.poly_to_coeff(&ctx.qb.mul_poly(&sk.rns, &sk.rns));
+        let s2 = ctx.qb.mul_poly(&sk.rns, &sk.rns);
         Self(KeySwitchKey::generate(ctx, sk, &s2, sampler))
     }
 }
@@ -425,43 +506,49 @@ impl<'a> BfvEvaluator<'a> {
         self.ctx
     }
 
-    /// Secret-key encryption of a plaintext polynomial (mod `t`).
+    /// Secret-key encryption of a plaintext polynomial (mod `t`). Fresh
+    /// ciphertexts are in coefficient form.
     pub fn encrypt_sk(&self, m: &Poly, sk: &SecretKey, sampler: &mut Sampler) -> BfvCiphertext {
         let ctx = self.ctx;
         let a = ctx.sample_uniform(sampler);
         let e = ctx.sample_error(sampler);
-        let a_s = ctx.qb.poly_to_coeff(&ctx.qb.mul_poly(&a, &sk.rns));
-        let mut c0 = ctx.qb.neg_poly(&a_s);
+        let mut c0 = ctx.qb.neg_poly(&ctx.mul_into_coeff(&a, &sk.rns));
         ctx.qb.add_assign_poly(&mut c0, &e);
         ctx.qb.add_assign_poly(&mut c0, &ctx.delta_times(m));
         BfvCiphertext { parts: vec![c0, a] }
     }
 
-    /// Public-key encryption of a plaintext polynomial (mod `t`).
+    /// Public-key encryption of a plaintext polynomial (mod `t`). Fresh
+    /// ciphertexts are in coefficient form.
     pub fn encrypt_pk(&self, m: &Poly, pk: &PublicKey, sampler: &mut Sampler) -> BfvCiphertext {
         let ctx = self.ctx;
-        let u = ctx.qb.poly_from_i64(&sampler.ternary(ctx.params.n));
+        let u = ctx
+            .qb
+            .poly_to_eval(&ctx.qb.poly_from_i64(&sampler.ternary(ctx.params.n)));
         let e0 = ctx.sample_error(sampler);
         let e1 = ctx.sample_error(sampler);
-        let mut c0 = ctx.qb.poly_to_coeff(&ctx.qb.mul_poly(&pk.b, &u));
+        let mut c0 = ctx.mul_into_coeff(&pk.b, &u);
         ctx.qb.add_assign_poly(&mut c0, &e0);
         ctx.qb.add_assign_poly(&mut c0, &ctx.delta_times(m));
-        let mut c1 = ctx.qb.poly_to_coeff(&ctx.qb.mul_poly(&pk.a, &u));
+        let mut c1 = ctx.mul_into_coeff(&pk.a, &u);
         ctx.qb.add_assign_poly(&mut c1, &e1);
         BfvCiphertext {
             parts: vec![c0, c1],
         }
     }
 
-    /// Computes the raw phase `c0 + c1·s (+ c2·s²)` in coefficient domain.
+    /// Computes the raw phase `c0 + c1·s (+ c2·s²)` in coefficient domain
+    /// (accepting ciphertexts in either form — decryption is a forced-Coeff
+    /// boundary).
     fn phase(&self, ct: &BfvCiphertext, sk: &SecretKey) -> RnsPoly {
         let ctx = self.ctx;
-        let mut acc = ct.parts[0].clone();
+        let mut acc = ctx.qb.poly_to_coeff(&ct.parts[0]);
         let mut s_pow = sk.rns.clone();
         for part in &ct.parts[1..] {
-            let term = ctx.qb.poly_to_coeff(&ctx.qb.mul_poly(part, &s_pow));
+            let term = ctx.mul_into_coeff(part, &s_pow);
             ctx.qb.add_assign_poly(&mut acc, &term);
-            s_pow = ctx.qb.poly_to_coeff(&ctx.qb.mul_poly(&s_pow, &sk.rns));
+            // Secret powers stay pointwise in Eval form.
+            s_pow = ctx.qb.mul_poly(&s_pow, &sk.rns);
         }
         acc
     }
@@ -491,7 +578,9 @@ impl<'a> BfvEvaluator<'a> {
         ctx.q.bits() as i64 - 1 - worst as i64
     }
 
-    /// Homomorphic addition.
+    /// Homomorphic addition. Operands must share a domain (debug builds
+    /// panic on a mismatch — convert one with [`BfvCiphertext::to_eval`] /
+    /// [`BfvCiphertext::to_coeff`] first).
     pub fn add(&self, a: &BfvCiphertext, b: &BfvCiphertext) -> BfvCiphertext {
         assert_eq!(a.size(), b.size(), "ciphertext sizes must match");
         let parts = a
@@ -523,33 +612,57 @@ impl<'a> BfvEvaluator<'a> {
         }
     }
 
-    /// Adds a plaintext polynomial (mod `t`).
+    /// Adds a plaintext polynomial (mod `t`), following the ciphertext's
+    /// domain (`Δ·m` is transformed when the ciphertext is Eval-resident).
     pub fn add_plain(&self, a: &BfvCiphertext, m: &Poly) -> BfvCiphertext {
+        let ctx = self.ctx;
         let mut out = a.clone();
-        self.ctx
-            .qb
-            .add_assign_poly(&mut out.parts[0], &self.ctx.delta_times(m));
+        let mut d = ctx.delta_times(m);
+        if out.parts[0].domain() == Domain::Eval {
+            d = ctx.qb.poly_to_eval(&d);
+        }
+        ctx.qb.add_assign_poly(&mut out.parts[0], &d);
         out
     }
 
     /// Plaintext multiplication (`PMult`): multiplies the encrypted
-    /// plaintext by `m` (mod `t`).
+    /// plaintext by `m` (mod `t`). Domain-preserving: an Eval-resident
+    /// ciphertext multiplies pointwise and stays Eval.
     pub fn mul_plain(&self, a: &BfvCiphertext, m: &Poly) -> BfvCiphertext {
+        let lifted = self.ctx.qb.poly_to_eval(&self.ctx.lift_plaintext(m));
+        self.mul_plain_lifted(a, &lifted)
+    }
+
+    /// `PMult` against an already lifted, Eval-form plaintext — the cached
+    /// operand shape used by the BSGS linear-transform loops. Domain-
+    /// preserving, like [`mul_plain`](Self::mul_plain); on an Eval-form
+    /// ciphertext this is NTT-free.
+    pub fn mul_plain_lifted(&self, a: &BfvCiphertext, lifted: &RnsPoly) -> BfvCiphertext {
         let ctx = self.ctx;
-        let lifted = ctx.qb.poly_to_eval(&ctx.lift_plaintext(m));
+        assert_eq!(
+            lifted.domain(),
+            Domain::Eval,
+            "lifted plaintext operands are cached in Eval form"
+        );
+        let keep_coeff = a.domain() == Domain::Coeff;
         let parts = a
             .parts
             .iter()
             .map(|p| {
-                let e = ctx.qb.poly_to_eval(p);
-                ctx.qb.poly_to_coeff(&ctx.qb.mul_poly(&e, &lifted))
+                let prod = ctx.qb.mul_poly(p, lifted);
+                if keep_coeff {
+                    ctx.qb.poly_to_coeff(&prod)
+                } else {
+                    prod
+                }
             })
             .collect();
         BfvCiphertext { parts }
     }
 
     /// Scalar multiplication (`SMult`): multiplies the encrypted plaintext
-    /// by the constant `c ∈ Z_t` (lifted centered).
+    /// by the constant `c ∈ Z_t` (lifted centered). Domain-preserving and
+    /// NTT-free in either form.
     pub fn mul_scalar(&self, a: &BfvCiphertext, c: u64) -> BfvCiphertext {
         let ctx = self.ctx;
         let t = ctx.params.t;
@@ -570,6 +683,7 @@ impl<'a> BfvEvaluator<'a> {
     /// Lifts a ciphertext part into the extended basis, centered.
     fn lift_centered(&self, p: &RnsPoly) -> RnsPoly {
         let ctx = self.ctx;
+        debug_assert_eq!(p.domain(), Domain::Coeff, "CRT lift reads coefficients");
         let coeffs = ctx.qb.poly_to_ubig(p);
         let n = ctx.params.n;
         let limbs = ctx
@@ -642,15 +756,26 @@ impl<'a> BfvEvaluator<'a> {
         RnsPoly::from_limbs(limbs)
     }
 
-    /// Ciphertext multiplication without relinearization (result size 3).
+    /// Ciphertext multiplication without relinearization (result size 3,
+    /// coefficient form). The centered CRT lift into the extended basis is
+    /// the second forced-Coeff boundary: Eval-resident operands are
+    /// converted down here, lazily, rather than eagerly at production.
     pub fn mul_no_relin(&self, a: &BfvCiphertext, b: &BfvCiphertext) -> BfvCiphertext {
         assert_eq!(a.size(), 2, "operands must be size-2 ciphertexts");
         assert_eq!(b.size(), 2, "operands must be size-2 ciphertexts");
         let ctx = self.ctx;
-        let a0 = ctx.mb.poly_to_eval(&self.lift_centered(&a.parts[0]));
-        let a1 = ctx.mb.poly_to_eval(&self.lift_centered(&a.parts[1]));
-        let b0 = ctx.mb.poly_to_eval(&self.lift_centered(&b.parts[0]));
-        let b1 = ctx.mb.poly_to_eval(&self.lift_centered(&b.parts[1]));
+        let a0 = ctx
+            .mb
+            .poly_to_eval(&self.lift_centered(&ctx.qb.poly_to_coeff(&a.parts[0])));
+        let a1 = ctx
+            .mb
+            .poly_to_eval(&self.lift_centered(&ctx.qb.poly_to_coeff(&a.parts[1])));
+        let b0 = ctx
+            .mb
+            .poly_to_eval(&self.lift_centered(&ctx.qb.poly_to_coeff(&b.parts[0])));
+        let b1 = ctx
+            .mb
+            .poly_to_eval(&self.lift_centered(&ctx.qb.poly_to_coeff(&b.parts[1])));
         let e0 = ctx.mb.mul_poly(&a0, &b0);
         let mut e1 = ctx.mb.mul_poly(&a0, &b1);
         ctx.mb.add_assign_poly(&mut e1, &ctx.mb.mul_poly(&a1, &b0));
@@ -664,11 +789,18 @@ impl<'a> BfvEvaluator<'a> {
         }
     }
 
-    /// Relinearizes a size-3 ciphertext back to size 2.
+    /// Relinearizes a size-3 ciphertext back to size 2, preserving the
+    /// input's domain (the key-switched correction is produced in Eval form
+    /// and folded into whatever form `c0`/`c1` are already in).
     pub fn relinearize(&self, ct: &BfvCiphertext, rlk: &RelinKey) -> BfvCiphertext {
         assert_eq!(ct.size(), 3, "relinearization expects a size-3 ciphertext");
         let ctx = self.ctx;
-        let (p0, p1) = rlk.0.apply(ctx, &ct.parts[2]);
+        let d = ctx.qb.poly_to_coeff(&ct.parts[2]);
+        let (mut p0, mut p1) = rlk.0.apply(ctx, &d);
+        if ct.parts[0].domain() == Domain::Coeff {
+            p0 = ctx.qb.poly_to_coeff(&p0);
+            p1 = ctx.qb.poly_to_coeff(&p1);
+        }
         let mut c0 = ct.parts[0].clone();
         let mut c1 = ct.parts[1].clone();
         ctx.qb.add_assign_poly(&mut c0, &p0);
@@ -684,7 +816,12 @@ impl<'a> BfvEvaluator<'a> {
     }
 
     /// Applies the Galois automorphism `X → X^g` homomorphically
-    /// (`HRot` building block).
+    /// (`HRot` building block). Accepts either domain and always produces
+    /// an **Eval-form** ciphertext: on an Eval-resident input the
+    /// automorphism is a pure permutation and the only transforms are the
+    /// `k` inverse NTTs bringing `c1∘g` down for digit decomposition plus
+    /// the `k²` digit lifts inside the key switch — zero forward NTTs touch
+    /// the ciphertext body, which is what keeps rotation chains cheap.
     ///
     /// # Panics
     ///
@@ -695,26 +832,31 @@ impl<'a> BfvEvaluator<'a> {
         let key = gk
             .key(g)
             .unwrap_or_else(|| panic!("missing Galois key for element {g}"));
-        let c0g = ctx.qb.automorphism_poly(&ct.parts[0], g);
-        let c1g = ctx.qb.automorphism_poly(&ct.parts[1], g);
-        let (p0, p1) = key.apply(ctx, &c1g);
-        let mut c0 = c0g;
-        ctx.qb.add_assign_poly(&mut c0, &p0);
+        let c0g = ctx
+            .qb
+            .poly_to_eval(&ctx.qb.automorphism_poly(&ct.parts[0], g));
+        let c1g = ctx
+            .qb
+            .poly_to_coeff(&ctx.qb.automorphism_poly(&ct.parts[1], g));
+        let (mut p0, p1) = key.apply(ctx, &c1g);
+        ctx.qb.add_assign_poly(&mut p0, &c0g);
         BfvCiphertext {
-            parts: vec![c0, p1],
+            parts: vec![p0, p1],
         }
     }
 
-    /// Rotates every slot row left by `k` (`HRot`).
+    /// Rotates every slot row left by `k` (`HRot`). Output is Eval-form,
+    /// except for the trivial `k ≡ 0` rotation, which is a domain-
+    /// preserving copy.
     pub fn rotate_rows(&self, ct: &BfvCiphertext, k: usize, gk: &GaloisKeys) -> BfvCiphertext {
-        if k % self.ctx.encoder.row_size() == 0 {
+        if k.is_multiple_of(self.ctx.encoder.row_size()) {
             return ct.clone();
         }
         let g = self.ctx.encoder.galois_for_rotation(k);
         self.apply_galois(ct, g, gk)
     }
 
-    /// Swaps the two slot rows (`HRot` column rotation).
+    /// Swaps the two slot rows (`HRot` column rotation, Eval-form output).
     pub fn swap_rows(&self, ct: &BfvCiphertext, gk: &GaloisKeys) -> BfvCiphertext {
         self.apply_galois(ct, self.ctx.encoder.galois_for_row_swap(), gk)
     }

@@ -211,6 +211,11 @@ fn fbs_apply_interpolated(
     rlk: &RelinKey,
 ) -> (BfvCiphertext, FbsStats) {
     let ev = BfvEvaluator::new(ctx);
+    // Polynomial evaluation is CMult-dominated, and every CMult tensors
+    // through the centered CRT lift — a forced-Coeff boundary — so an
+    // Eval-resident input (e.g. fresh out of packing) is normalized to
+    // coefficient form once here instead of inside every product.
+    let ct = &ct.to_coeff(ctx);
     let mut stats = FbsStats::default();
     let result = {
         let mut mul = |a: &BfvCiphertext, b: &BfvCiphertext| {

@@ -13,19 +13,34 @@
 use athena_math::bsgs::BsgsSplit;
 use athena_math::modops::Modulus;
 use athena_math::par;
+use athena_math::poly::Domain;
+use athena_math::rns::RnsPoly;
 
 use crate::bfv::{BfvCiphertext, BfvContext, BfvEvaluator, GaloisKeys};
 
 /// A plaintext matrix to be applied homomorphically to the slot vector.
+///
+/// The generalized diagonals the BSGS schedule multiplies against are
+/// fixed by the matrix, so they are lifted into the `Q` basis and
+/// NTT-transformed **once, at construction**: the cache holds Eval-form
+/// operands and [`apply`](Self::apply) runs the whole schedule NTT-resident.
 #[derive(Debug, Clone)]
 pub struct HomLinearTransform {
     /// Row-major `N×N` matrix over `Z_t`.
     matrix: Vec<Vec<u64>>,
     split: BsgsSplit,
+    /// Giant-group count of the BSGS schedule.
+    groups: usize,
+    /// Lifted Eval-form plaintext operands, flat index
+    /// `(g·baby + k2)·2 + bi`: the generalized diagonal `(g·baby + k2, bi)`
+    /// pre-rotated right by the group shift. `None` marks an all-zero (or
+    /// out-of-range) diagonal, skipped by the schedule.
+    diag_cache: Vec<Option<RnsPoly>>,
 }
 
 impl HomLinearTransform {
-    /// Wraps a matrix (must be `N×N` with entries reduced mod `t`).
+    /// Wraps a matrix (must be `N×N` with entries reduced mod `t`) and
+    /// precomputes the Eval-form diagonal cache.
     ///
     /// # Panics
     ///
@@ -34,8 +49,44 @@ impl HomLinearTransform {
         let n = ctx.n();
         assert_eq!(matrix.len(), n, "matrix must have N rows");
         assert!(matrix.iter().all(|r| r.len() == n), "matrix must be N×N");
-        let split = BsgsSplit::balanced(ctx.encoder().row_size());
-        Self { matrix, split }
+        let row = ctx.encoder().row_size();
+        let split = BsgsSplit::balanced(row);
+        let groups = split.giant.min(row.div_ceil(split.baby.max(1)));
+        let tmp = Self {
+            matrix,
+            split,
+            groups,
+            diag_cache: Vec::new(),
+        };
+        let enc = ctx.encoder();
+        let diag_cache = par::parallel_map_range(groups * split.baby * 2, |idx| {
+            let bi = idx % 2;
+            let k2 = (idx / 2) % split.baby;
+            let g = idx / 2 / split.baby;
+            let shift = g * split.baby;
+            let k = shift + k2;
+            if k >= row {
+                return None;
+            }
+            let dv = tmp.diagonal(ctx, k, bi == 1);
+            if dv.iter().all(|&x| x == 0) {
+                return None;
+            }
+            // Pre-rotate the diagonal right by `shift` per row so the one
+            // giant rotation at the end restores alignment.
+            let pre: Vec<u64> = (0..n)
+                .map(|i| {
+                    let r = i / row;
+                    let c = i % row;
+                    dv[r * row + (c + row - (shift % row)) % row]
+                })
+                .collect();
+            Some(
+                ctx.q_basis()
+                    .poly_to_eval(&ctx.lift_plaintext(&enc.encode(&pre))),
+            )
+        });
+        Self { diag_cache, ..tmp }
     }
 
     /// The Galois elements the BSGS schedule needs (generate keys for these).
@@ -67,7 +118,7 @@ impl HomLinearTransform {
             .map(|row| {
                 let mut acc = 0u64;
                 for (m, &x) in row.iter().zip(v) {
-                    acc = t.mul_add(*m as u64 % t.value(), x, acc);
+                    acc = t.mul_add(*m % t.value(), x, acc);
                 }
                 acc
             })
@@ -90,19 +141,20 @@ impl HomLinearTransform {
             .collect()
     }
 
-    /// Applies the transform homomorphically.
+    /// Applies the transform homomorphically. The whole schedule runs in
+    /// Eval form — one up-conversion of the input here, then every HRot,
+    /// the PMults against the cached Eval diagonals, and the HAdd folds are
+    /// NTT-resident — and the result is handed on in Eval form.
     ///
     /// # Panics
     ///
     /// Panics if a required Galois key is missing.
     pub fn apply(&self, ctx: &BfvContext, ct: &BfvCiphertext, gk: &GaloisKeys) -> BfvCiphertext {
         let ev = BfvEvaluator::new(ctx);
-        let enc = ctx.encoder();
-        let n = ctx.n();
-        let row = enc.row_size();
         // Two "source" ciphertexts: identity and row-swapped.
-        let swapped = ev.swap_rows(ct, gk);
-        let sources = [ct, &swapped];
+        let ct = ct.to_eval(ctx);
+        let swapped = ev.swap_rows(&ct, gk);
+        let sources = [&ct, &swapped];
         // Baby rotations of both sources — 2·baby independent HRots, run on
         // the parallel layer (flat index = bi * baby + k).
         let baby_flat: Vec<BfvCiphertext> = par::parallel_map_range(2 * self.split.baby, |idx| {
@@ -117,29 +169,15 @@ impl HomLinearTransform {
         // The giant groups are independent; compute them in parallel and fold
         // in order (exact modular arithmetic — bit-identical for any thread
         // count).
-        let group_count = self.split.giant.min(row.div_ceil(self.split.baby.max(1)));
-        let groups: Vec<Option<BfvCiphertext>> = par::parallel_map_range(group_count, |g| {
+        let groups: Vec<Option<BfvCiphertext>> = par::parallel_map_range(self.groups, |g| {
             let shift = g * self.split.baby;
             let mut inner: Option<BfvCiphertext> = None;
-            for k2 in 0..self.split.baby {
-                let k = shift + k2;
-                if k >= row {
-                    break;
-                }
-                for (bi, _) in sources.iter().enumerate() {
-                    let dv = self.diagonal(ctx, k, bi == 1);
-                    if dv.iter().all(|&x| x == 0) {
+            for (bi, chunk) in baby.iter().enumerate() {
+                for (k2, src) in chunk.iter().enumerate() {
+                    let Some(lifted) = &self.diag_cache[(shift + k2) * 2 + bi] else {
                         continue;
-                    }
-                    // pre-rotate the diagonal right by `shift` per row
-                    let pre: Vec<u64> = (0..n)
-                        .map(|i| {
-                            let r = i / row;
-                            let c = i % row;
-                            dv[r * row + (c + row - (shift % row)) % row]
-                        })
-                        .collect();
-                    let term = ev.mul_plain(&baby[bi][k2], &enc.encode(&pre));
+                    };
+                    let term = ev.mul_plain_lifted(src, lifted);
                     inner = Some(match inner {
                         None => term,
                         Some(mut a) => {
@@ -167,7 +205,7 @@ impl HomLinearTransform {
                 }
             });
         }
-        acc.unwrap_or_else(|| BfvCiphertext::zero(ctx))
+        acc.unwrap_or_else(|| BfvCiphertext::zero_in(ctx, Domain::Eval))
     }
 }
 
@@ -187,7 +225,7 @@ pub fn s2c_matrix(ctx: &BfvContext) -> Vec<Vec<u64>> {
     // v. The plaintext map is v |-> poly with coeffs v; its slot vector is
     // slots' = E · v. So the matrix to apply in slot space is exactly E.
     let mut e = vec![vec![0u64; n]; n];
-    for i in 0..n {
+    for (i, row) in e.iter_mut().enumerate() {
         // evaluation exponent of slot i
         let slot_ntt = {
             // reconstruct: encoder stores slot->ntt; exponent via ntt tables
@@ -195,8 +233,8 @@ pub fn s2c_matrix(ctx: &BfvContext) -> Vec<Vec<u64>> {
         };
         let base = t.pow(psi, slot_ntt);
         let mut p = 1u64;
-        for j in 0..n {
-            e[i][j] = p;
+        for ej in row.iter_mut() {
+            *ej = p;
             p = t.mul(p, base);
         }
     }

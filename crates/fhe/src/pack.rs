@@ -16,13 +16,15 @@
 
 use athena_math::bsgs::BsgsSplit;
 use athena_math::par;
+use athena_math::poly::Domain;
 use athena_math::sampler::Sampler;
 
 use crate::bfv::{BfvCiphertext, BfvContext, BfvEvaluator, GaloisKeys, SecretKey};
 use crate::lwe::{LweCiphertext, LweSecret};
 
 /// Packing key for the naive column method: `pk[j]` encrypts the constant
-/// `s'_j` in every slot.
+/// `s'_j` in every slot. The component ciphertexts are key material — they
+/// only ever feed PMult — so they are stored in Eval form.
 #[derive(Debug, Clone)]
 pub struct ColumnPackingKey {
     keys: Vec<BfvCiphertext>,
@@ -44,6 +46,7 @@ impl ColumnPackingKey {
             .map(|&sj| {
                 let slots = vec![enc.ring().modulus().from_i64(sj); ctx.n()];
                 ev.encrypt_sk(&enc.encode(&slots), rlwe_sk, sampler)
+                    .to_eval(ctx)
             })
             .collect();
         Self { keys }
@@ -95,7 +98,9 @@ impl ColumnPackingKey {
             }
             Some(ev.mul_plain(&self.keys[j], &enc.encode(&col)))
         });
-        let mut acc = BfvCiphertext::zero(ctx);
+        // The Eval-resident keys make every term Eval; the whole fold stays
+        // NTT-free and the packed ciphertext is handed on in Eval form.
+        let mut acc = BfvCiphertext::zero_in(ctx, Domain::Eval);
         for term in terms.into_iter().flatten() {
             ev.add_assign(&mut acc, &term);
         }
@@ -109,7 +114,8 @@ impl ColumnPackingKey {
 }
 
 /// Packing key for the BSGS diagonal method: the LWE secret replicated
-/// across slots, plus the Galois keys for the rotation schedule.
+/// across slots (held in Eval form, like all key material), plus the
+/// Galois keys for the rotation schedule.
 #[derive(Debug, Clone)]
 pub struct BsgsPackingKey {
     key: BfvCiphertext,
@@ -142,7 +148,9 @@ impl BsgsPackingKey {
                 enc.ring().modulus().from_i64(lwe_sk.coeffs()[c % n_lwe])
             })
             .collect();
-        let key = ev.encrypt_sk(&enc.encode(&slots), rlwe_sk, sampler);
+        let key = ev
+            .encrypt_sk(&enc.encode(&slots), rlwe_sk, sampler)
+            .to_eval(ctx);
         let split = BsgsSplit::balanced(n_lwe);
         // Need rotations 1..baby (baby steps) and baby, 2*baby, ... (giant).
         let mut elements = Vec::new();
@@ -221,7 +229,7 @@ impl BsgsPackingKey {
             let shift = g * self.split.baby;
             // inner = Σ_b rot_{-shift}(diag_{shift+b}) ⊙ rot_b(key)
             let mut inner: Option<BfvCiphertext> = None;
-            for b in 0..self.split.baby {
+            for (b, baby_key) in baby_keys.iter().enumerate() {
                 let d = shift + b;
                 if d >= n_lwe {
                     break;
@@ -240,7 +248,7 @@ impl BsgsPackingKey {
                         dv[r * row + (c + row - (shift % row)) % row]
                     })
                     .collect();
-                let term = ev.mul_plain(&baby_keys[b], &enc.encode(&inv_rot));
+                let term = ev.mul_plain(baby_key, &enc.encode(&inv_rot));
                 inner = Some(match inner {
                     None => term,
                     Some(mut a) => {
@@ -267,7 +275,9 @@ impl BsgsPackingKey {
                 }
             });
         }
-        let acc = acc.unwrap_or_else(|| BfvCiphertext::zero(ctx));
+        // The key, its baby rotations, and every group output are Eval, so
+        // the schedule never leaves NTT form; the result stays Eval too.
+        let acc = acc.unwrap_or_else(|| BfvCiphertext::zero_in(ctx, Domain::Eval));
         let mut bodies = vec![0u64; n_slots];
         for (i, ct) in lwes.iter().enumerate() {
             bodies[i] = ct.b();

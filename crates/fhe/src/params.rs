@@ -115,7 +115,7 @@ impl BfvParams {
         // N * (Q/2)^2, and we carry them modulo Q*P).
         let q_bits: u32 = self.q_primes.iter().map(|&p| 64 - p.leading_zeros()).sum();
         let need_bits = q_bits + (self.n as u64).ilog2() + (64 - self.t.leading_zeros()) + 8;
-        let prime_bits = 55u32.min(60);
+        let prime_bits = 55u32;
         let count = need_bits.div_ceil(prime_bits - 1) as usize;
         // Pick primes disjoint from q_primes by going one bit smaller.
         let mut cands = ntt_primes(prime_bits, self.n, count + self.q_primes.len());

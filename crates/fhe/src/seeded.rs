@@ -45,8 +45,7 @@ impl SeededCiphertext {
         let a = expand_mask(ctx, seed);
         let qb = ctx.q_basis();
         let e = qb.poly_from_i64(&sampler.gaussian(ctx.n()));
-        let a_s = qb.poly_to_coeff(&qb.mul_poly(&a, sk.rns_form()));
-        let mut b = qb.neg_poly(&a_s);
+        let mut b = qb.neg_poly(&ctx.mul_into_coeff(&a, sk.rns_form()));
         qb.add_assign_poly(&mut b, &e);
         qb.add_assign_poly(&mut b, &ctx.delta_times_plain(m));
         Self { b, seed }

@@ -77,10 +77,7 @@ pub fn bsgs_polynomial_eval<T: Clone>(
     add: &mut impl FnMut(&T, &T) -> T,
 ) -> Option<T> {
     // Highest non-constant coefficient actually present.
-    let max_idx = match (1..coeffs.len()).rev().find(|&i| coeffs[i] != 0) {
-        Some(i) => i,
-        None => return None,
-    };
+    let max_idx = (1..coeffs.len()).rev().find(|&i| coeffs[i] != 0)?;
     let split = BsgsSplit::balanced((max_idx + 1).max(2));
     let bs = split.baby;
     // Baby powers x^1 .. x^bs, built by the half-split tree so that the

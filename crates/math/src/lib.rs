@@ -34,6 +34,7 @@ pub mod prime;
 pub mod prng;
 pub mod rns;
 pub mod sampler;
+pub mod stats;
 
 pub use bigint::{IBig, UBig};
 pub use modops::Modulus;

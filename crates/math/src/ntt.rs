@@ -137,6 +137,7 @@ impl NttTables {
     /// Panics if `a.len() != n`.
     pub fn forward(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n);
+        crate::stats::ntt_stats::record_forward();
         let q = &self.modulus;
         let mut t = self.n;
         let mut m = 1;
@@ -165,6 +166,7 @@ impl NttTables {
     /// Panics if `a.len() != n`.
     pub fn inverse(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n);
+        crate::stats::ntt_stats::record_inverse();
         let q = &self.modulus;
         let mut t = 1;
         let mut m = self.n;

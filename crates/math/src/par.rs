@@ -170,6 +170,54 @@ where
     parallel_for_each_mut_with(num_threads(), items, f)
 }
 
+/// Zips a mutable slice against a read-only slice of the same length and
+/// applies `f(index, &mut a[i], &b[i])` in place, with an explicit worker
+/// count. Workers own disjoint chunks of both slices, so this is as
+/// deterministic as the serial loop.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn parallel_zip_mut_with<T, U, F>(threads: usize, a: &mut [T], b: &[U], f: F)
+where
+    T: Send,
+    U: Sync,
+    F: Fn(usize, &mut T, &U) + Sync,
+{
+    assert_eq!(a.len(), b.len(), "zip requires equal lengths");
+    let len = a.len();
+    let threads = threads.min(len).max(1);
+    if threads == 1 {
+        for (i, (x, y)) in a.iter_mut().zip(b).enumerate() {
+            f(i, x, y);
+        }
+        return;
+    }
+    let fref = &f;
+    let chunk = len.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (ci, (pa, pb)) in a.chunks_mut(chunk).zip(b.chunks(chunk)).enumerate() {
+            scope.spawn(move || {
+                let base = ci * chunk;
+                for (i, (x, y)) in pa.iter_mut().zip(pb).enumerate() {
+                    fref(base + i, x, y);
+                }
+            });
+        }
+    });
+}
+
+/// Zips a mutable slice against a read-only slice with the default worker
+/// count. See [`parallel_zip_mut_with`].
+pub fn parallel_zip_mut<T, U, F>(a: &mut [T], b: &[U], f: F)
+where
+    T: Send,
+    U: Sync,
+    F: Fn(usize, &mut T, &U) + Sync,
+{
+    parallel_zip_mut_with(num_threads(), a, b, f)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -213,6 +261,22 @@ mod tests {
         parallel_for_each_mut_with(1, &mut a, |x| *x = x.wrapping_mul(7) + 3);
         parallel_for_each_mut_with(4, &mut b, |x| *x = x.wrapping_mul(7) + 3);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zip_mut_matches_serial() {
+        let b: Vec<u64> = (0..101).map(|i| i * 5 + 1).collect();
+        let mut serial: Vec<u64> = (0..101).collect();
+        for (i, (x, y)) in serial.iter_mut().zip(&b).enumerate() {
+            *x = x.wrapping_add(*y) ^ i as u64;
+        }
+        for threads in [1usize, 2, 3, 8, 300] {
+            let mut par: Vec<u64> = (0..101).collect();
+            parallel_zip_mut_with(threads, &mut par, &b, |i, x, y| {
+                *x = x.wrapping_add(*y) ^ i as u64;
+            });
+            assert_eq!(par, serial, "threads={threads}");
+        }
     }
 
     #[test]

@@ -17,7 +17,7 @@ pub fn is_prime(n: u64) -> bool {
         if n == p {
             return true;
         }
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             return false;
         }
     }
@@ -50,7 +50,7 @@ pub fn is_prime(n: u64) -> bool {
 /// primes exist below `2^bits` (practically impossible for the sizes used
 /// here).
 pub fn ntt_primes(bits: u32, n: usize, count: usize) -> Vec<u64> {
-    assert!(bits >= 4 && bits <= 62, "prime size out of range");
+    assert!((4..=62).contains(&bits), "prime size out of range");
     assert!(n.is_power_of_two(), "ring degree must be a power of two");
     let step = 2 * n as u64;
     let mut candidate = ((1u64 << bits) - 1) / step * step + 1;
@@ -77,9 +77,9 @@ fn factorize(mut n: u64) -> Vec<u64> {
     let mut fs = Vec::new();
     let mut d = 2u64;
     while d * d <= n && d < (1 << 21) {
-        if n % d == 0 {
+        if n.is_multiple_of(d) {
             fs.push(d);
-            while n % d == 0 {
+            while n.is_multiple_of(d) {
                 n /= d;
             }
         }
@@ -91,9 +91,9 @@ fn factorize(mut n: u64) -> Vec<u64> {
         } else {
             // Rare for our prime-1 orders; finish with slow trial division.
             while d * d <= n {
-                if n % d == 0 {
+                if n.is_multiple_of(d) {
                     fs.push(d);
-                    while n % d == 0 {
+                    while n.is_multiple_of(d) {
                         n /= d;
                     }
                 }

@@ -118,9 +118,9 @@ impl RnsBasis {
     pub fn crt_reconstruct(&self, residues: &[u64]) -> UBig {
         assert_eq!(residues.len(), self.len());
         let mut acc = UBig::zero();
-        for i in 0..self.len() {
+        for (i, &res) in residues.iter().enumerate() {
             let m = self.rings[i].modulus();
-            let term = self.hats[i].mul_u64(m.mul(residues[i], self.hat_invs[i]));
+            let term = self.hats[i].mul_u64(m.mul(res, self.hat_invs[i]));
             acc = acc.add(&term);
         }
         acc.rem(&self.product)
@@ -254,6 +254,28 @@ impl RnsBasis {
         }))
     }
 
+    /// Debug-checked domain agreement for element-wise (additive) zip ops.
+    ///
+    /// Adding a Coeff-form polynomial to an Eval-form one is *always* a
+    /// logic error — the sum would mix incompatible representations and
+    /// silently decrypt to garbage — so every additive zip op funnels
+    /// through this check. Multiplicative ops ([`RnsBasis::mul_poly`]) are
+    /// exempt: [`Ring::mul`] is deliberately domain-polymorphic and
+    /// converts operands to Eval itself.
+    #[inline]
+    fn debug_check_zip_domains(&self, a: &RnsPoly, b: &RnsPoly, op: &str) {
+        assert_eq!(a.limb_count(), self.len());
+        assert_eq!(b.limb_count(), self.len());
+        debug_assert_eq!(
+            a.domain(),
+            b.domain(),
+            "RnsBasis::{op}: domain mismatch (lhs is {:?}, rhs is {:?}); \
+             convert one operand with poly_to_eval/poly_to_coeff first",
+            a.domain(),
+            b.domain()
+        );
+    }
+
     fn zip_polys(
         &self,
         a: &RnsPoly,
@@ -268,27 +290,54 @@ impl RnsBasis {
     }
 
     /// Element-wise addition.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic if the operands are in different domains.
     pub fn add_poly(&self, a: &RnsPoly, b: &RnsPoly) -> RnsPoly {
+        self.debug_check_zip_domains(a, b, "add_poly");
         self.zip_polys(a, b, Ring::add)
     }
 
     /// Element-wise subtraction.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic if the operands are in different domains.
     pub fn sub_poly(&self, a: &RnsPoly, b: &RnsPoly) -> RnsPoly {
+        self.debug_check_zip_domains(a, b, "sub_poly");
         self.zip_polys(a, b, Ring::sub)
     }
 
+    /// In-place element-wise combination over the parallel layer, limbs
+    /// being independent (shared impl of the `*_assign` zip ops).
+    fn zip_assign_polys(
+        &self,
+        a: &mut RnsPoly,
+        b: &RnsPoly,
+        f: impl Fn(&Ring, &mut Poly, &Poly) + Sync,
+    ) {
+        par::parallel_zip_mut(&mut a.limbs, &b.limbs, |i, x, y| f(&self.rings[i], x, y));
+    }
+
     /// In-place addition.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic if the operands are in different domains.
     pub fn add_assign_poly(&self, a: &mut RnsPoly, b: &RnsPoly) {
-        for (r, (x, y)) in self.rings.iter().zip(a.limbs.iter_mut().zip(&b.limbs)) {
-            r.add_assign(x, y);
-        }
+        self.debug_check_zip_domains(a, b, "add_assign_poly");
+        self.zip_assign_polys(a, b, Ring::add_assign);
     }
 
     /// In-place subtraction.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic if the operands are in different domains.
     pub fn sub_assign_poly(&self, a: &mut RnsPoly, b: &RnsPoly) {
-        for (r, (x, y)) in self.rings.iter().zip(a.limbs.iter_mut().zip(&b.limbs)) {
-            r.sub_assign(x, y);
-        }
+        self.debug_check_zip_domains(a, b, "sub_assign_poly");
+        self.zip_assign_polys(a, b, Ring::sub_assign);
     }
 
     /// Negation.
@@ -511,6 +560,73 @@ mod tests {
                 assert!(ok, "limb {j} coeff {c}: fast not within alpha*Q of exact");
             }
         }
+    }
+
+    #[test]
+    fn add_assign_matches_add_for_all_thread_counts() {
+        let b = basis(16, 3);
+        let x = b.poly_from_i64(&(0..16).map(|i| 3 * i as i64 - 20).collect::<Vec<_>>());
+        let y = b.poly_from_i64(&(0..16).map(|i| 7 - i as i64).collect::<Vec<_>>());
+        let want_add = b.add_poly(&x, &y);
+        let want_sub = b.sub_poly(&x, &y);
+        for threads in [1usize, 2, 4, 8] {
+            par::set_threads(threads);
+            let mut a = x.clone();
+            b.add_assign_poly(&mut a, &y);
+            assert_eq!(a, want_add, "add threads={threads}");
+            let mut s = x.clone();
+            b.sub_assign_poly(&mut s, &y);
+            assert_eq!(s, want_sub, "sub threads={threads}");
+        }
+        par::set_threads(0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "domain mismatch")]
+    fn add_assign_rejects_mixed_domains() {
+        let b = basis(16, 2);
+        let x = b.poly_from_i64(&(0..16).map(|i| i as i64).collect::<Vec<_>>());
+        let mut e = b.poly_to_eval(&x);
+        b.add_assign_poly(&mut e, &x);
+    }
+
+    #[test]
+    fn automorphism_poly_coeff_matches_eval() {
+        let b = basis(16, 3);
+        let a = b.poly_from_i64(&(0..16).map(|i| 5 * i as i64 - 11).collect::<Vec<_>>());
+        let ae = b.poly_to_eval(&a);
+        for k in [3usize, 5, 9, 31] {
+            let via_coeff = b.poly_to_eval(&b.automorphism_poly(&a, k));
+            let via_eval = b.automorphism_poly(&ae, k);
+            assert_eq!(via_coeff, via_eval, "k={k}");
+            // and back down to Coeff for good measure
+            assert_eq!(
+                b.poly_to_coeff(&via_eval),
+                b.automorphism_poly(&a, k),
+                "k={k} roundtrip"
+            );
+        }
+    }
+
+    #[test]
+    fn automorphism_poly_serial_matches_parallel() {
+        let b = basis(16, 3);
+        let a = b.poly_from_i64(
+            &(0..16)
+                .map(|i| i as i64 * i as i64 - 50)
+                .collect::<Vec<_>>(),
+        );
+        let ae = b.poly_to_eval(&a);
+        par::set_threads(1);
+        let serial_c = b.automorphism_poly(&a, 9);
+        let serial_e = b.automorphism_poly(&ae, 9);
+        par::set_threads(4);
+        let par_c = b.automorphism_poly(&a, 9);
+        let par_e = b.automorphism_poly(&ae, 9);
+        par::set_threads(0);
+        assert_eq!(serial_c, par_c, "Coeff domain");
+        assert_eq!(serial_e, par_e, "Eval domain");
     }
 
     #[test]

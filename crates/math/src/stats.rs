@@ -1,0 +1,117 @@
+//! Lightweight operation counters for the NTT hot path.
+//!
+//! The domain-aware refactor keeps ciphertexts and key material in Eval
+//! (NTT) form end-to-end; these counters let tests and benches *prove* the
+//! round-trips are gone rather than merely moved. Counting is compiled in
+//! under the default-on `op-stats` feature and costs one relaxed atomic
+//! increment per transform; with the feature disabled the API still exists
+//! but every call is a no-op and every read returns zero.
+//!
+//! Counters are process-global. Tests that assert exact counts must not run
+//! concurrently with other NTT work — keep them in a dedicated integration
+//! test binary and serialize them behind a lock (see
+//! `crates/fhe/tests/domain_invariants.rs`).
+
+/// Forward/inverse negacyclic NTT counters.
+pub mod ntt_stats {
+    #[cfg(feature = "op-stats")]
+    mod imp {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        static FORWARD: AtomicU64 = AtomicU64::new(0);
+        static INVERSE: AtomicU64 = AtomicU64::new(0);
+
+        #[inline]
+        pub fn record_forward() {
+            FORWARD.fetch_add(1, Ordering::Relaxed);
+        }
+
+        #[inline]
+        pub fn record_inverse() {
+            INVERSE.fetch_add(1, Ordering::Relaxed);
+        }
+
+        pub fn reset() {
+            FORWARD.store(0, Ordering::Relaxed);
+            INVERSE.store(0, Ordering::Relaxed);
+        }
+
+        pub fn forward_count() -> u64 {
+            FORWARD.load(Ordering::Relaxed)
+        }
+
+        pub fn inverse_count() -> u64 {
+            INVERSE.load(Ordering::Relaxed)
+        }
+    }
+
+    #[cfg(not(feature = "op-stats"))]
+    mod imp {
+        #[inline]
+        pub fn record_forward() {}
+        #[inline]
+        pub fn record_inverse() {}
+        pub fn reset() {}
+        pub fn forward_count() -> u64 {
+            0
+        }
+        pub fn inverse_count() -> u64 {
+            0
+        }
+    }
+
+    pub use imp::{forward_count, inverse_count, record_forward, record_inverse, reset};
+
+    /// Snapshot of both counters, for before/after deltas.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct NttCounts {
+        /// Forward (Coeff→Eval) transforms since the last reset.
+        pub forward: u64,
+        /// Inverse (Eval→Coeff) transforms since the last reset.
+        pub inverse: u64,
+    }
+
+    /// Reads both counters at once.
+    pub fn snapshot() -> NttCounts {
+        NttCounts {
+            forward: forward_count(),
+            inverse: inverse_count(),
+        }
+    }
+
+    /// Runs `f` and returns its result together with the NTT counts it
+    /// incurred. Only meaningful when no other thread is transforming.
+    pub fn measure<T>(f: impl FnOnce() -> T) -> (T, NttCounts) {
+        let before = snapshot();
+        let out = f();
+        let after = snapshot();
+        (
+            out,
+            NttCounts {
+                forward: after.forward - before.forward,
+                inverse: after.inverse - before.inverse,
+            },
+        )
+    }
+}
+
+#[cfg(all(test, feature = "op-stats"))]
+mod tests {
+    use super::ntt_stats;
+    use crate::poly::Ring;
+
+    #[test]
+    fn counts_forward_and_inverse_transforms() {
+        // Serialized implicitly: this is the only count-sensitive test in
+        // the athena-math binary that uses the ring below; use measure()
+        // deltas rather than absolute values to stay robust anyway.
+        let ring = Ring::new(12289, 64);
+        let a = ring.from_i64(&vec![1i64; 64]);
+        let (_, counts) = ntt_stats::measure(|| {
+            let e = ring.to_eval(&a);
+            ring.to_coeff(&e)
+        });
+        assert_eq!(counts.forward, 1);
+        assert_eq!(counts.inverse, 1);
+    }
+}

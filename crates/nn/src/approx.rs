@@ -17,7 +17,7 @@ pub struct FixedPoint {
 impl FixedPoint {
     /// New simulator.
     pub fn new(delta_bits: u32) -> Self {
-        assert!(delta_bits >= 1 && delta_bits <= 60);
+        assert!((1..=60).contains(&delta_bits));
         Self { delta_bits }
     }
 

@@ -6,6 +6,11 @@ use crate::layers::{AvgPool2d, Conv2d, Layer, Linear, MaxPool2d, ReLU, ScaleBias
 use crate::tensor::Tensor;
 
 /// One network node.
+///
+/// Networks hold at most a few dozen nodes, so the size spread between
+/// e.g. `ReLU` and `Residual` is irrelevant — no need to box the big
+/// variants.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 pub enum NetLayer {
     /// Convolution.

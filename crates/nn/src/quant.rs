@@ -70,9 +70,9 @@ fn fold_scale_bias(
     let c_out = weight.shape()[0];
     let per = weight.len() / c_out;
     let mut w = weight.clone();
-    for co in 0..c_out {
+    for (co, &g) in gamma.iter().enumerate().take(c_out) {
         for v in &mut w.data_mut()[co * per..(co + 1) * per] {
-            *v *= gamma[co];
+            *v *= g;
         }
     }
     let b: Vec<f32> = bias
