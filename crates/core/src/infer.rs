@@ -146,12 +146,16 @@ pub fn run_encrypted(
             .clone();
         let (out_lwes, out_shape): (Vec<LweCiphertext>, Vec<usize>) = match &node.op {
             QOp::Linear(l) => {
-                let (acc_lwes, shape) = run_linear_accumulate(engine, keys, &sv, l, &mut stats);
+                let (acc_lwes, shape) =
+                    run_linear_accumulate(engine, keys, &sv, l, is_last, &mut stats);
                 let mut acc_lwes = acc_lwes;
                 if let Some((skip_idx, mult)) = node.skip {
                     let skip_sv = values[skip_idx].as_ref().expect("skip stored");
-                    let skip_lwes =
-                        engine.extract_lwes(&skip_sv.ct, &skip_sv.positions, keys, &mut stats);
+                    let skip_lwes = if is_last {
+                        engine.extract_lwes_mid(&skip_sv.ct, &skip_sv.positions, keys, &mut stats)
+                    } else {
+                        engine.extract_lwes(&skip_sv.ct, &skip_sv.positions, keys, &mut stats)
+                    };
                     assert_eq!(skip_lwes.len(), acc_lwes.len(), "skip shape mismatch");
                     for (a, s) in acc_lwes.iter_mut().zip(&skip_lwes) {
                         *a = engine.lwe_add_scaled(a, s, mult);
@@ -264,11 +268,17 @@ pub fn run_encrypted(
 /// Runs the linear part of a node: coefficient-encoded conv/FC over the
 /// stored ciphertext, output-channel groups as needed, then extraction of
 /// the (stride-subsampled) valid accumulators.
+///
+/// `client_bound` keeps the extracted LWEs at the extraction prime
+/// (see [`AthenaEngine::extract_lwes_mid`]): the last layer's accumulators
+/// go straight to the client, so they must not pay the per-coordinate
+/// mod-`t` rounding noise that only exists to feed the FBS LUT.
 fn run_linear_accumulate(
     engine: &AthenaEngine,
     keys: &AthenaEvalKeys,
     sv: &StoredValue,
     l: &QLinear,
+    client_bound: bool,
     stats: &mut PipelineStats,
 ) -> (Vec<LweCiphertext>, Vec<usize>) {
     let n = engine.context().n();
@@ -348,7 +358,11 @@ fn run_linear_accumulate(
             }
         }
         let conv_ct = engine.linear(&sv.ct, &enc.encode_kernel(&kw), &bias_at, stats);
-        all_lwes.extend(engine.extract_lwes(&conv_ct, &positions, keys, stats));
+        all_lwes.extend(if client_bound {
+            engine.extract_lwes_mid(&conv_ct, &positions, keys, stats)
+        } else {
+            engine.extract_lwes(&conv_ct, &positions, keys, stats)
+        });
     }
     (all_lwes, vec![c_out, out_hw, out_hw])
 }

@@ -203,7 +203,33 @@ impl AthenaEngine {
 
     /// Steps ② + ③ — modulus switch to the intermediate prime, extract the
     /// requested coefficients, switch dimension `N → n`, and drop to `t`.
+    ///
+    /// The final drop to `t` rounds all `n + 1` coordinates independently,
+    /// which is exactly where the paper's `e_ms` term enters — use this for
+    /// values that continue through the pipeline (the FBS LUT absorbs that
+    /// noise). Client-bound outputs should use [`Self::extract_lwes_mid`]
+    /// instead, so the rounding happens once, after decryption.
     pub fn extract_lwes(
+        &self,
+        ct: &BfvCiphertext,
+        positions: &[usize],
+        keys: &AthenaEvalKeys,
+        stats: &mut PipelineStats,
+    ) -> Vec<LweCiphertext> {
+        self.extract_lwes_mid(ct, positions, keys, stats)
+            .iter()
+            .map(|c| lwe_mod_switch(c, self.ctx.t()))
+            .collect()
+    }
+
+    /// Steps ② + ③ *without* the final drop to `t`: the LWEs stay at the
+    /// extraction prime `q_mid`, carrying the message at scale `q_mid / t`.
+    ///
+    /// [`Self::decrypt_lwes`] recovers these exactly — the phase is
+    /// computed in exact mod-`q_mid` arithmetic and rounded *once*, so the
+    /// per-coordinate `e_ms` rounding noise (std ≈ `√((‖s‖²+1)/12)` plaintext
+    /// units, enough to flip small logits) never lands on the result.
+    pub fn extract_lwes_mid(
         &self,
         ct: &BfvCiphertext,
         positions: &[usize],
@@ -217,23 +243,24 @@ impl AthenaEngine {
         // parallel layer (results stay in position order).
         par::parallel_map(positions, |&p| {
             let big = sample_extract_one(&small, p);
-            let switched = keys.lwe_ksk.switch(&big);
-            lwe_mod_switch(&switched, self.ctx.t())
+            keys.lwe_ksk.switch(&big)
         })
     }
 
     /// LWE-level linear combination: `a + mult·b` (used for residual skips
-    /// and pooling sums — exact mod-t arithmetic, framework Step ③½).
+    /// and pooling sums — exact arithmetic at the operands' shared modulus,
+    /// framework Step ③½).
     pub fn lwe_add_scaled(&self, a: &LweCiphertext, b: &LweCiphertext, mult: i64) -> LweCiphertext {
-        let t = Modulus::new(self.ctx.t());
-        let m = t.from_i64(mult);
+        assert_eq!(a.q(), b.q(), "lwe_add_scaled: modulus mismatch");
+        let qm = Modulus::new(a.q());
+        let m = qm.from_i64(mult);
         let av: Vec<u64> = a
             .a()
             .iter()
             .zip(b.a())
-            .map(|(&x, &y)| t.add(x, t.mul(y, m)))
+            .map(|(&x, &y)| qm.add(x, qm.mul(y, m)))
             .collect();
-        LweCiphertext::from_parts(av, t.add(a.b(), t.mul(b.b(), m)), self.ctx.t())
+        LweCiphertext::from_parts(av, qm.add(a.b(), qm.mul(b.b(), m)), a.q())
     }
 
     /// Steps ④ + ⑤ — pack LWEs into slots (trivial zeros where `None`),
@@ -370,10 +397,34 @@ impl AthenaEngine {
     }
 
     /// Client-side decryption of a batch of LWE ciphertexts (centered).
+    ///
+    /// Handles both pipeline encodings: mod-`t` LWEs carry the message
+    /// directly in their phase, while LWEs still at the extraction prime
+    /// (from [`Self::extract_lwes_mid`]) carry it at scale `q_mid / t`.
+    /// For the latter the phase is computed in exact mod-`q_mid`
+    /// arithmetic and rounded once — the residual error is `e·t/q_mid ≪ ½`,
+    /// so these decrypt exactly whenever the ciphertext noise is below
+    /// half a plaintext step.
     pub fn decrypt_lwes(&self, lwes: &[LweCiphertext], secrets: &AthenaSecrets) -> Vec<i64> {
-        let t = Modulus::new(self.ctx.t());
+        let t = self.ctx.t();
+        let tm = Modulus::new(t);
         lwes.iter()
-            .map(|c| t.center(c.decrypt(&secrets.lwe_sk)))
+            .map(|c| {
+                if c.q() == t {
+                    return tm.center(c.decrypt(&secrets.lwe_sk));
+                }
+                let sk = LweSecret::from_coeffs(secrets.lwe_sk.coeffs().to_vec(), c.q());
+                let qm = Modulus::new(c.q());
+                let phase = qm.center(c.decrypt(&sk)) as i128;
+                let q = c.q() as i128;
+                let num = phase * t as i128;
+                let m = if num >= 0 {
+                    (num + q / 2) / q
+                } else {
+                    (num - q / 2) / q
+                };
+                m as i64
+            })
             .collect()
     }
 
@@ -665,6 +716,28 @@ mod tests {
         let dec = f.engine.decrypt_lwes(&[c], &f.secrets)[0];
         // the multiplier scales b's noise by 5 as well (σ ≈ 16 here)
         assert!((dec - 5).abs() <= 60, "20 + 5·(−3) = 5, got {dec}");
+    }
+
+    #[test]
+    fn client_bound_extraction_decrypts_exactly() {
+        // Mod-`t` extraction rounds every LWE coordinate independently —
+        // the e_ms noise the FBS LUT absorbs, but which would land raw on
+        // client-bound logits (±1–2 plaintext units on test_small). The
+        // q_mid-resident path must decrypt *exactly*: the phase is computed
+        // in exact modular arithmetic and rounded once.
+        let mut f = setup();
+        let positions: Vec<usize> = (0..64).collect();
+        let values: Vec<i64> = (0..64).map(|i| (i * 7 % 201) - 100).collect();
+        let ct = f
+            .engine
+            .encrypt_at(&values, &positions, &f.secrets, &mut f.sampler);
+        let mut stats = PipelineStats::default();
+        let mid = f
+            .engine
+            .extract_lwes_mid(&ct, &positions, &f.keys, &mut stats);
+        assert_ne!(mid[0].q(), f.engine.context().t(), "LWEs stay at q_mid");
+        let dec = f.engine.decrypt_lwes(&mid, &f.secrets);
+        assert_eq!(dec, values, "client-bound extraction must be exact");
     }
 
     #[test]

@@ -36,6 +36,7 @@ use athena_math::par;
 use athena_math::poly::{Domain, Poly};
 use athena_math::rns::{RnsBasis, RnsPoly};
 use athena_math::sampler::Sampler;
+use athena_math::stats::{lift_stats, rot_stats};
 use std::collections::HashMap;
 
 use crate::encoder::SlotEncoder;
@@ -189,6 +190,62 @@ impl BfvContext {
     /// the hot path keeps the `mul_poly` output NTT-resident instead.
     pub fn mul_into_coeff(&self, a: &RnsPoly, b: &RnsPoly) -> RnsPoly {
         self.qb.poly_to_coeff(&self.qb.mul_poly(a, b))
+    }
+
+    /// Digit-decomposes a coefficient-form polynomial `d` (interpreted mod
+    /// `Q`) and lifts every digit into the full basis in **Eval form** —
+    /// the `k²` forward NTTs that dominate a key switch. The digits depend
+    /// only on `d`, never on the key, so hoisted rotation paths
+    /// ([`BfvEvaluator::hoist`]) compute them once and reuse them across
+    /// arbitrarily many Galois elements.
+    ///
+    /// Digits are lifted **balanced**: residue `v ∈ [0, q_i)` is lifted as
+    /// the centered integer `v` or `v − q_i ∈ (−q_i/2, q_i/2]`. This is
+    /// still the same digit mod `q_i` (so the gadget identity
+    /// `Σ D_i·g_i ≡ d (mod Q)` is untouched — the other limbs only ever
+    /// see `g_i ≡ 0`), but it halves the expected digit magnitude and with
+    /// it the `Σ D_i·e_i` key-switch noise of every rotation and
+    /// relinearization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is not in coefficient form (digit decomposition must
+    /// read raw residues — one of the scheme's forced-Coeff boundaries).
+    pub fn decompose_lift(&self, d: &RnsPoly) -> Vec<RnsPoly> {
+        assert_eq!(
+            d.domain(),
+            Domain::Coeff,
+            "digit decomposition needs coefficient form"
+        );
+        rot_stats::record_decompose();
+        // The per-digit lifts are independent — fan out like the limbs.
+        par::parallel_map_range(self.qb.len(), |i| {
+            // Lift limb i of d to the full basis, centered: |value| ≤ q_i/2.
+            let qi = self.qb.rings()[i].modulus().value();
+            let half = qi / 2;
+            let vals = d.limbs()[i].values();
+            let lifted_limbs: Vec<Poly> = self
+                .qb
+                .rings()
+                .iter()
+                .map(|r| {
+                    let m = r.modulus();
+                    Poly::from_values(
+                        vals.iter()
+                            .map(|&v| {
+                                if v <= half {
+                                    m.reduce(v)
+                                } else {
+                                    m.neg(m.reduce(qi - v))
+                                }
+                            })
+                            .collect(),
+                        Domain::Coeff,
+                    )
+                })
+                .collect();
+            self.qb.poly_to_eval(&RnsPoly::from_limbs(lifted_limbs))
+        })
     }
 
     fn sample_error(&self, sampler: &mut Sampler) -> RnsPoly {
@@ -404,31 +461,24 @@ impl KeySwitchKey {
     /// `k²` in total) and every inner product against the Eval-resident
     /// pairs is pointwise; no inverse transforms happen here at all.
     pub fn apply(&self, ctx: &BfvContext, d: &RnsPoly) -> (RnsPoly, RnsPoly) {
-        assert_eq!(
-            d.domain(),
-            Domain::Coeff,
-            "digit decomposition needs coefficient form"
-        );
-        let k = ctx.qb.len();
+        self.apply_digits(ctx, &ctx.decompose_lift(d))
+    }
+
+    /// The per-key half of a key switch: inner products of already lifted,
+    /// Eval-form digits against the key pairs. Hoisted rotation paths call
+    /// [`BfvContext::decompose_lift`] once and then only pay this part per
+    /// Galois element — it performs **zero** NTTs.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless there is exactly one digit per key pair.
+    pub fn apply_digits(&self, ctx: &BfvContext, digits: &[RnsPoly]) -> (RnsPoly, RnsPoly) {
+        assert_eq!(digits.len(), self.pairs.len(), "one digit per key pair");
         // The per-digit products are independent — fan out like the limbs.
-        let terms: Vec<(RnsPoly, RnsPoly)> = par::parallel_map_range(k, |i| {
-            // Lift limb i of d (small integers < q_i) to the full basis.
-            let vals = d.limbs()[i].values();
-            let lifted_limbs: Vec<Poly> = ctx
-                .qb
-                .rings()
-                .iter()
-                .map(|r| {
-                    Poly::from_values(
-                        vals.iter().map(|&v| r.modulus().reduce(v)).collect(),
-                        Domain::Coeff,
-                    )
-                })
-                .collect();
-            let lifted = ctx.qb.poly_to_eval(&RnsPoly::from_limbs(lifted_limbs));
+        let terms: Vec<(RnsPoly, RnsPoly)> = par::parallel_map_range(digits.len(), |i| {
             (
-                ctx.qb.mul_poly(&lifted, &self.pairs[i].0),
-                ctx.qb.mul_poly(&lifted, &self.pairs[i].1),
+                ctx.qb.mul_poly(&digits[i], &self.pairs[i].0),
+                ctx.qb.mul_poly(&digits[i], &self.pairs[i].1),
             )
         });
         let mut p0 = ctx.qb.zero_poly(Domain::Eval);
@@ -479,6 +529,39 @@ impl GaloisKeys {
     /// The key for element `g`, if generated.
     pub fn key(&self, g: usize) -> Option<&KeySwitchKey> {
         self.keys.get(&g)
+    }
+
+    /// The key for element `g`, panicking with a coverage diagnostic
+    /// (required vs available elements) when it is absent.
+    fn key_or_panic(&self, g: usize) -> &KeySwitchKey {
+        self.keys.get(&g).unwrap_or_else(|| {
+            panic!(
+                "missing Galois key for element {g}: available elements are {:?} — \
+                 generate keys for every element of `required_galois_elements` up front",
+                self.elements()
+            )
+        })
+    }
+
+    /// Validates that every element of `required` has a key — call this
+    /// before starting a rotation schedule so a coverage gap fails up
+    /// front, with the full listing, instead of mid-schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the required-vs-available listing if any key is missing.
+    pub fn ensure_covers(&self, required: &[usize]) {
+        let missing: Vec<usize> = required
+            .iter()
+            .copied()
+            .filter(|g| !self.keys.contains_key(g))
+            .collect();
+        assert!(
+            missing.is_empty(),
+            "Galois key coverage gap: missing elements {missing:?} \
+             (required {required:?}, available {:?})",
+            self.elements()
+        );
     }
 
     /// Galois elements covered.
@@ -761,25 +844,45 @@ impl<'a> BfvEvaluator<'a> {
     /// the second forced-Coeff boundary: Eval-resident operands are
     /// converted down here, lazily, rather than eagerly at production.
     pub fn mul_no_relin(&self, a: &BfvCiphertext, b: &BfvCiphertext) -> BfvCiphertext {
-        assert_eq!(a.size(), 2, "operands must be size-2 ciphertexts");
-        assert_eq!(b.size(), 2, "operands must be size-2 ciphertexts");
+        self.mul_no_relin_lifted(&self.lift_for_mul(a), &self.lift_for_mul(b))
+    }
+
+    /// Lifts a size-2 ciphertext into the extended multiplication basis
+    /// (centered CRT lift + forward NTTs there) — the reusable operand half
+    /// of a CMult tensor step. BSGS polynomial evaluation multiplies the
+    /// same powers many times; lifting each one **once** hoists the
+    /// forced-Coeff boundary out of the inner loop, exactly as
+    /// [`hoist`](Self::hoist) does for rotations.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `ct` has exactly two components.
+    pub fn lift_for_mul(&self, ct: &BfvCiphertext) -> TensorOperand {
+        assert_eq!(ct.size(), 2, "operands must be size-2 ciphertexts");
         let ctx = self.ctx;
-        let a0 = ctx
-            .mb
-            .poly_to_eval(&self.lift_centered(&ctx.qb.poly_to_coeff(&a.parts[0])));
-        let a1 = ctx
-            .mb
-            .poly_to_eval(&self.lift_centered(&ctx.qb.poly_to_coeff(&a.parts[1])));
-        let b0 = ctx
-            .mb
-            .poly_to_eval(&self.lift_centered(&ctx.qb.poly_to_coeff(&b.parts[0])));
-        let b1 = ctx
-            .mb
-            .poly_to_eval(&self.lift_centered(&ctx.qb.poly_to_coeff(&b.parts[1])));
-        let e0 = ctx.mb.mul_poly(&a0, &b0);
-        let mut e1 = ctx.mb.mul_poly(&a0, &b1);
-        ctx.mb.add_assign_poly(&mut e1, &ctx.mb.mul_poly(&a1, &b0));
-        let e2 = ctx.mb.mul_poly(&a1, &b1);
+        lift_stats::record_computed();
+        let parts = ct
+            .parts
+            .iter()
+            .map(|p| {
+                ctx.mb
+                    .poly_to_eval(&self.lift_centered(&ctx.qb.poly_to_coeff(p)))
+            })
+            .collect();
+        TensorOperand { parts }
+    }
+
+    /// The tensor step on pre-lifted operands (result size 3, coefficient
+    /// form): pointwise products in the extended basis plus the exact `t/Q`
+    /// scale-down. No lifts, so repeated products against a cached
+    /// [`TensorOperand`] pay zero forward NTTs on that operand.
+    pub fn mul_no_relin_lifted(&self, a: &TensorOperand, b: &TensorOperand) -> BfvCiphertext {
+        let ctx = self.ctx;
+        let e0 = ctx.mb.mul_poly(&a.parts[0], &b.parts[0]);
+        let mut e1 = ctx.mb.mul_poly(&a.parts[0], &b.parts[1]);
+        ctx.mb
+            .add_assign_poly(&mut e1, &ctx.mb.mul_poly(&a.parts[1], &b.parts[0]));
+        let e2 = ctx.mb.mul_poly(&a.parts[1], &b.parts[1]);
         BfvCiphertext {
             parts: vec![
                 self.scale_to_q(&e0),
@@ -819,9 +922,17 @@ impl<'a> BfvEvaluator<'a> {
     /// (`HRot` building block). Accepts either domain and always produces
     /// an **Eval-form** ciphertext: on an Eval-resident input the
     /// automorphism is a pure permutation and the only transforms are the
-    /// `k` inverse NTTs bringing `c1∘g` down for digit decomposition plus
+    /// `k` inverse NTTs bringing `c1` down for digit decomposition plus
     /// the `k²` digit lifts inside the key switch — zero forward NTTs touch
     /// the ciphertext body, which is what keeps rotation chains cheap.
+    ///
+    /// The schedule is decompose-*then*-permute: `c1` is decomposed first
+    /// and the automorphism is applied to the lifted digits in Eval form
+    /// (a pure index permutation). Because the gadget constants are fixed
+    /// by every automorphism, `Σ φ_g(D_i)·g_i = φ_g(c1) (mod Q)` exactly,
+    /// so this is the same key switch — and it makes one eager rotation
+    /// **bit-identical** to [`BfvEvaluator::hoist`] + one hoisted rotation,
+    /// which share this code path.
     ///
     /// # Panics
     ///
@@ -829,19 +940,52 @@ impl<'a> BfvEvaluator<'a> {
     pub fn apply_galois(&self, ct: &BfvCiphertext, g: usize, gk: &GaloisKeys) -> BfvCiphertext {
         assert_eq!(ct.size(), 2, "automorphism expects a size-2 ciphertext");
         let ctx = self.ctx;
-        let key = gk
-            .key(g)
-            .unwrap_or_else(|| panic!("missing Galois key for element {g}"));
-        let c0g = ctx
-            .qb
-            .poly_to_eval(&ctx.qb.automorphism_poly(&ct.parts[0], g));
-        let c1g = ctx
-            .qb
-            .poly_to_coeff(&ctx.qb.automorphism_poly(&ct.parts[1], g));
-        let (mut p0, p1) = key.apply(ctx, &c1g);
-        ctx.qb.add_assign_poly(&mut p0, &c0g);
+        let key = gk.key_or_panic(g);
+        let c0 = ctx.qb.poly_to_eval(&ct.parts[0]);
+        let digits = ctx.decompose_lift(&ctx.qb.poly_to_coeff(&ct.parts[1]));
+        rot_stats::record_eager();
+        self.galois_from_digits(&c0, &digits, g, key)
+    }
+
+    /// One Galois application from pre-lifted digits: permutes the cached
+    /// Eval-form digits (index permutation, zero NTTs), runs the per-key
+    /// inner products, and folds in the permuted `c0`. Shared by the eager
+    /// path above and [`HoistedCiphertext::apply_galois`].
+    fn galois_from_digits(
+        &self,
+        c0_eval: &RnsPoly,
+        digits: &[RnsPoly],
+        g: usize,
+        key: &KeySwitchKey,
+    ) -> BfvCiphertext {
+        let ctx = self.ctx;
+        let permuted: Vec<RnsPoly> =
+            par::parallel_map_range(digits.len(), |i| ctx.qb.automorphism_poly(&digits[i], g));
+        let (mut p0, p1) = key.apply_digits(ctx, &permuted);
+        ctx.qb
+            .add_assign_poly(&mut p0, &ctx.qb.automorphism_poly(c0_eval, g));
         BfvCiphertext {
             parts: vec![p0, p1],
+        }
+    }
+
+    /// Prepares a ciphertext for **hoisted** rotations (Halevi–Shoup):
+    /// decomposes and lifts the `c1` digits once — `k` inverse + `k²`
+    /// forward NTTs, the same bill as a single rotation — after which every
+    /// [`HoistedCiphertext::apply_galois`] is an NTT-free digit permutation
+    /// plus inner products. Rotating one source `R` times costs one
+    /// decomposition instead of `R`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `ct` has exactly two components.
+    pub fn hoist(&self, ct: &BfvCiphertext) -> HoistedCiphertext {
+        assert_eq!(ct.size(), 2, "hoisting expects a size-2 ciphertext");
+        let ctx = self.ctx;
+        let digits = ctx.decompose_lift(&ctx.qb.poly_to_coeff(&ct.parts[1]));
+        HoistedCiphertext {
+            ct: ct.to_eval(ctx),
+            digits,
         }
     }
 
@@ -859,6 +1003,82 @@ impl<'a> BfvEvaluator<'a> {
     /// Swaps the two slot rows (`HRot` column rotation, Eval-form output).
     pub fn swap_rows(&self, ct: &BfvCiphertext, gk: &GaloisKeys) -> BfvCiphertext {
         self.apply_galois(ct, self.ctx.encoder.galois_for_row_swap(), gk)
+    }
+}
+
+/// A size-2 ciphertext lifted (centered) into the extended multiplication
+/// basis and NTT-transformed there — the reusable operand half of a CMult
+/// tensor step, produced by [`BfvEvaluator::lift_for_mul`] and consumed by
+/// [`BfvEvaluator::mul_no_relin_lifted`]. The CMult analogue of
+/// [`HoistedCiphertext`]: the forced-Coeff lift is paid once per operand
+/// instead of once per product.
+#[derive(Debug, Clone)]
+pub struct TensorOperand {
+    /// Both components in the extended basis, Eval form.
+    parts: Vec<RnsPoly>,
+}
+
+/// A size-2 ciphertext whose `c1` digit decomposition has been **hoisted**:
+/// [`BfvEvaluator::hoist`] decomposed and lifted the digits once, so every
+/// rotation of this source is an Eval-domain index permutation of the
+/// cached digits plus per-key inner products — zero NTTs per Galois
+/// element. This is the decompose-once/rotate-many shape of every BSGS
+/// schedule (all baby rotations act on the same source).
+///
+/// Outputs are bit-identical to the eager [`BfvEvaluator::apply_galois`]
+/// path — both run the same decompose-then-permute key switch.
+#[derive(Debug, Clone)]
+pub struct HoistedCiphertext {
+    /// The source ciphertext, Eval-resident.
+    ct: BfvCiphertext,
+    /// Eval-form lifted digits of `c1`, shared by every rotation.
+    digits: Vec<RnsPoly>,
+}
+
+impl HoistedCiphertext {
+    /// The underlying (Eval-form) ciphertext.
+    pub fn ciphertext(&self) -> &BfvCiphertext {
+        &self.ct
+    }
+
+    /// Heap size of the cached digits in bytes (`k²` limb polynomials) —
+    /// for key-material accounting when digits are stored long-term.
+    pub fn digit_bytes(&self) -> usize {
+        self.digits
+            .iter()
+            .map(|d| {
+                d.limbs()
+                    .iter()
+                    .map(|l| l.values().len() * 8)
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+
+    /// Applies the Galois automorphism `X → X^g` from the cached digits
+    /// (always Eval-form output, zero NTTs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no key for `g` is present.
+    pub fn apply_galois(&self, ctx: &BfvContext, g: usize, gk: &GaloisKeys) -> BfvCiphertext {
+        let key = gk.key_or_panic(g);
+        rot_stats::record_hoisted();
+        BfvEvaluator::new(ctx).galois_from_digits(&self.ct.parts[0], &self.digits, g, key)
+    }
+
+    /// Rotates every slot row left by `k` from the cached digits; the
+    /// trivial `k ≡ 0` rotation is a copy of the source.
+    pub fn rotate_rows(&self, ctx: &BfvContext, k: usize, gk: &GaloisKeys) -> BfvCiphertext {
+        if k.is_multiple_of(ctx.encoder().row_size()) {
+            return self.ct.clone();
+        }
+        self.apply_galois(ctx, ctx.encoder().galois_for_rotation(k), gk)
+    }
+
+    /// Swaps the two slot rows from the cached digits.
+    pub fn swap_rows(&self, ctx: &BfvContext, gk: &GaloisKeys) -> BfvCiphertext {
+        self.apply_galois(ctx, ctx.encoder().galois_for_row_swap(), gk)
     }
 }
 
@@ -983,6 +1203,84 @@ mod tests {
         let sw = ev.swap_rows(&ct, &gk);
         let got = enc.decode(&ev.decrypt(&sw, &sk));
         assert_eq!(got, enc.swap_rows(&vals));
+    }
+
+    #[test]
+    fn hoisted_rotations_match_eager_bitwise() {
+        let (ctx, sk, mut sampler) = setup();
+        let ev = BfvEvaluator::new(&ctx);
+        let enc = ctx.encoder();
+        let vals: Vec<u64> = (0..128u64).map(|i| (i * 13 + 5) % 257).collect();
+        let els: Vec<usize> = (1..4usize)
+            .map(|k| enc.galois_for_rotation(k))
+            .chain([enc.galois_for_row_swap()])
+            .collect();
+        let gk = GaloisKeys::generate(&ctx, &sk, &els, &mut sampler);
+        let ct = ev.encrypt_sk(&enc.encode(&vals), &sk, &mut sampler);
+        let hoisted = ev.hoist(&ct);
+        for k in 1..4usize {
+            let eager = ev.rotate_rows(&ct, k, &gk);
+            let fast = hoisted.rotate_rows(&ctx, k, &gk);
+            assert_eq!(eager.parts(), fast.parts(), "k={k}");
+        }
+        assert_eq!(
+            ev.swap_rows(&ct, &gk).parts(),
+            hoisted.swap_rows(&ctx, &gk).parts()
+        );
+    }
+
+    #[test]
+    fn lifted_tensor_mul_matches_direct() {
+        let (ctx, sk, mut sampler) = setup();
+        let ev = BfvEvaluator::new(&ctx);
+        let enc = ctx.encoder();
+        let a: Vec<u64> = (0..128u64).map(|i| (i * 7) % 257).collect();
+        let b: Vec<u64> = (0..128u64).map(|i| (i + 11) % 257).collect();
+        let ca = ev.encrypt_sk(&enc.encode(&a), &sk, &mut sampler);
+        let cb = ev.encrypt_sk(&enc.encode(&b), &sk, &mut sampler);
+        let direct = ev.mul_no_relin(&ca, &cb);
+        let (la, lb) = (ev.lift_for_mul(&ca), ev.lift_for_mul(&cb));
+        let lifted = ev.mul_no_relin_lifted(&la, &lb);
+        assert_eq!(direct.parts(), lifted.parts());
+        // Reusing a cached operand (squaring) also matches the direct route.
+        assert_eq!(
+            ev.mul_no_relin(&ca, &ca).parts(),
+            ev.mul_no_relin_lifted(&la, &la).parts()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "missing Galois key for element")]
+    fn missing_galois_key_panics_with_diagnostic() {
+        let (ctx, sk, mut sampler) = setup();
+        let ev = BfvEvaluator::new(&ctx);
+        let enc = ctx.encoder();
+        let g1 = enc.galois_for_rotation(1);
+        let gk = GaloisKeys::generate(&ctx, &sk, &[g1], &mut sampler);
+        let ct = ev.encrypt_sk(&encode_coeff(&[1], 257, 128), &sk, &mut sampler);
+        // Key for rotation 2 was never generated.
+        let _ = ev.rotate_rows(&ct, 2, &gk);
+    }
+
+    #[test]
+    #[should_panic(expected = "Galois key coverage gap")]
+    fn ensure_covers_reports_missing_elements() {
+        let (ctx, sk, mut sampler) = setup();
+        let enc = ctx.encoder();
+        let g1 = enc.galois_for_rotation(1);
+        let g2 = enc.galois_for_rotation(2);
+        let gk = GaloisKeys::generate(&ctx, &sk, &[g1], &mut sampler);
+        gk.ensure_covers(&[g1, g2]);
+    }
+
+    #[test]
+    fn ensure_covers_accepts_full_coverage() {
+        let (ctx, sk, mut sampler) = setup();
+        let enc = ctx.encoder();
+        let els = [enc.galois_for_rotation(1), enc.galois_for_row_swap()];
+        let gk = GaloisKeys::generate(&ctx, &sk, &els, &mut sampler);
+        gk.ensure_covers(&els);
+        gk.ensure_covers(&[]);
     }
 
     #[test]

@@ -12,12 +12,16 @@
 //! size-(t−1) Fermat-style NTT over `Z_t` — this covers the production
 //! `t = 65537`), with an `O(t²)` Lagrange fallback for other primes.
 
+use std::cell::OnceCell;
+use std::rc::Rc;
+
 use athena_math::bsgs::{bsgs_polynomial_eval, BsgsSplit};
 use athena_math::modops::Modulus;
 use athena_math::ntt::CyclicNtt;
 use athena_math::prime::{is_prime, primitive_root};
+use athena_math::stats::lift_stats;
 
-use crate::bfv::{BfvCiphertext, BfvContext, BfvEvaluator, RelinKey};
+use crate::bfv::{BfvCiphertext, BfvContext, BfvEvaluator, RelinKey, TensorOperand};
 
 /// A lookup table over `Z_t`: entry `k` is the image of input `k`.
 ///
@@ -203,6 +207,37 @@ pub fn fbs_apply_batch(
     athena_math::par::parallel_map(cts, |ct| fbs_apply_interpolated(ctx, ct, &coeffs, rlk))
 }
 
+/// A BSGS operand carrying a shared, lazily computed tensor-basis lift.
+///
+/// The schedule reuses the same baby/giant powers across many CMults, so
+/// each power pays its forced-Coeff lift into the extended basis **once**
+/// (the CMult analogue of rotation hoisting; `lift_stats` counts computed
+/// vs reused lifts). The `Rc` never crosses a thread: each
+/// [`fbs_apply_interpolated`] call builds and drops its own operand graph,
+/// and the batch parallelism is at the whole-call level.
+#[derive(Clone)]
+struct FbsOperand {
+    ct: BfvCiphertext,
+    lift: Rc<OnceCell<TensorOperand>>,
+}
+
+impl FbsOperand {
+    fn new(ct: BfvCiphertext) -> Self {
+        Self {
+            ct,
+            lift: Rc::new(OnceCell::new()),
+        }
+    }
+
+    /// The cached tensor lift, computed on first use.
+    fn tensor(&self, ev: &BfvEvaluator) -> &TensorOperand {
+        if self.lift.get().is_some() {
+            lift_stats::record_reused();
+        }
+        self.lift.get_or_init(|| ev.lift_for_mul(&self.ct))
+    }
+}
+
 /// Alg. 2 on pre-interpolated LUT coefficients (shared across a batch).
 fn fbs_apply_interpolated(
     ctx: &BfvContext,
@@ -215,27 +250,28 @@ fn fbs_apply_interpolated(
     // through the centered CRT lift — a forced-Coeff boundary — so an
     // Eval-resident input (e.g. fresh out of packing) is normalized to
     // coefficient form once here instead of inside every product.
-    let ct = &ct.to_coeff(ctx);
+    let ct = FbsOperand::new(ct.to_coeff(ctx));
     let mut stats = FbsStats::default();
     let result = {
-        let mut mul = |a: &BfvCiphertext, b: &BfvCiphertext| {
+        let mut mul = |a: &FbsOperand, b: &FbsOperand| {
             stats.cmult += 1;
-            ev.mul(a, b, rlk)
+            let tensored = ev.mul_no_relin_lifted(a.tensor(&ev), b.tensor(&ev));
+            FbsOperand::new(ev.relinearize(&tensored, rlk))
         };
-        let mut smul = |a: &BfvCiphertext, c: u64| {
+        let mut smul = |a: &FbsOperand, c: u64| {
             stats.smult += 1;
-            ev.mul_scalar(a, c)
+            FbsOperand::new(ev.mul_scalar(&a.ct, c))
         };
-        let mut add = |a: &BfvCiphertext, b: &BfvCiphertext| {
+        let mut add = |a: &FbsOperand, b: &FbsOperand| {
             stats.hadd += 1;
-            ev.add(a, b)
+            FbsOperand::new(ev.add(&a.ct, &b.ct))
         };
-        bsgs_polynomial_eval(coeffs, ct, &mut mul, &mut smul, &mut add)
+        bsgs_polynomial_eval(coeffs, &ct, &mut mul, &mut smul, &mut add)
     };
     // Add the constant term c_0 = LUT(0) in plaintext (all slots).
     let constant = ctx.encoder().encode(&vec![coeffs[0] % ctx.t(); ctx.n()]);
     let out = match result {
-        Some(r) => ev.add_plain(&r, &constant),
+        Some(r) => ev.add_plain(&r.ct, &constant),
         None => BfvCiphertext::trivial(ctx, &constant),
     };
     (out, stats)

@@ -89,14 +89,16 @@ impl HomLinearTransform {
         Self { diag_cache, ..tmp }
     }
 
-    /// The Galois elements the BSGS schedule needs (generate keys for these).
+    /// The Galois elements the BSGS schedule needs (generate keys for
+    /// these). Giant steps use the clamped group count — the shifts
+    /// [`apply`](Self::apply) actually performs.
     pub fn required_galois_elements(&self, ctx: &BfvContext) -> Vec<usize> {
         let enc = ctx.encoder();
         let mut els = vec![enc.galois_for_row_swap()];
         for b in 1..self.split.baby {
             els.push(enc.galois_for_rotation(b));
         }
-        for g in 1..self.split.giant {
+        for g in 1..self.groups {
             els.push(enc.galois_for_rotation(g * self.split.baby));
         }
         els.sort_unstable();
@@ -104,10 +106,11 @@ impl HomLinearTransform {
         els
     }
 
-    /// Number of HRot operations one application performs
-    /// (baby + giant + one row swap).
+    /// Number of HRot operations one dense application performs: `baby − 1`
+    /// baby rotations of **each** of the two sources (identity and
+    /// row-swapped), `groups − 1` giant output rotations, and one row swap.
     pub fn rotation_count(&self) -> usize {
-        (self.split.baby - 1) + (self.split.giant - 1) + 1
+        2 * (self.split.baby - 1) + (self.groups - 1) + 1
     }
 
     /// Reference (plaintext) application for tests: `out = M · v`.
@@ -146,23 +149,35 @@ impl HomLinearTransform {
     /// the PMults against the cached Eval diagonals, and the HAdd folds are
     /// NTT-resident — and the result is handed on in Eval form.
     ///
+    /// Both BSGS sources are **hoisted**: the identity source and the
+    /// row-swapped source each pay one digit decomposition, and all their
+    /// baby rotations permute the cached digits NTT-free. The giant output
+    /// rotations stay eager — each acts on a distinct group sum, so there
+    /// is nothing to share (hoisting one ciphertext for one rotation costs
+    /// exactly one rotation).
+    ///
     /// # Panics
     ///
-    /// Panics if a required Galois key is missing.
+    /// Panics up front, with the full required-vs-available listing, if any
+    /// Galois key of the schedule is missing.
     pub fn apply(&self, ctx: &BfvContext, ct: &BfvCiphertext, gk: &GaloisKeys) -> BfvCiphertext {
+        gk.ensure_covers(&self.required_galois_elements(ctx));
         let ev = BfvEvaluator::new(ctx);
-        // Two "source" ciphertexts: identity and row-swapped.
-        let ct = ct.to_eval(ctx);
-        let swapped = ev.swap_rows(&ct, gk);
-        let sources = [&ct, &swapped];
-        // Baby rotations of both sources — 2·baby independent HRots, run on
-        // the parallel layer (flat index = bi * baby + k).
+        // Two "source" ciphertexts: identity and row-swapped, each with its
+        // c1 digits decomposed once (the swap itself rotates the hoisted
+        // identity source).
+        let hoisted = ev.hoist(ct);
+        let swapped = ev.hoist(&hoisted.swap_rows(ctx, gk));
+        let sources = [&hoisted, &swapped];
+        // Baby rotations of both sources — 2·baby independent digit
+        // permutations, run on the parallel layer (flat index
+        // = bi * baby + k).
         let baby_flat: Vec<BfvCiphertext> = par::parallel_map_range(2 * self.split.baby, |idx| {
             let (bi, k) = (idx / self.split.baby, idx % self.split.baby);
             if k == 0 {
-                sources[bi].clone()
+                sources[bi].ciphertext().clone()
             } else {
-                ev.rotate_rows(sources[bi], k, gk)
+                sources[bi].rotate_rows(ctx, k, gk)
             }
         });
         let baby: Vec<&[BfvCiphertext]> = baby_flat.chunks(self.split.baby).collect();
@@ -352,9 +367,11 @@ mod tests {
     fn s2c_uses_sqrt_rotations() {
         let f = setup();
         let s2c = SlotToCoeff::new(&f.ctx);
-        // N = 128 -> row 64 -> baby 8, giant 8 -> ~15 rotations << 128
+        // N = 128 -> row 64 -> baby 8, groups 8 -> 2·7 baby + 7 giant +
+        // 1 swap = 22 rotations, far below the 2·64 = 128 diagonals a
+        // rotation-per-diagonal schedule would need.
         assert!(
-            s2c.rotation_count() <= 16,
+            s2c.rotation_count() <= 24,
             "rotations = {}",
             s2c.rotation_count()
         );

@@ -19,7 +19,9 @@ use athena_math::par;
 use athena_math::poly::Domain;
 use athena_math::sampler::Sampler;
 
-use crate::bfv::{BfvCiphertext, BfvContext, BfvEvaluator, GaloisKeys, SecretKey};
+use crate::bfv::{
+    BfvCiphertext, BfvContext, BfvEvaluator, GaloisKeys, HoistedCiphertext, SecretKey,
+};
 use crate::lwe::{LweCiphertext, LweSecret};
 
 /// Packing key for the naive column method: `pk[j]` encrypts the constant
@@ -114,14 +116,22 @@ impl ColumnPackingKey {
 }
 
 /// Packing key for the BSGS diagonal method: the LWE secret replicated
-/// across slots (held in Eval form, like all key material), plus the
-/// Galois keys for the rotation schedule.
+/// across slots, plus the Galois keys for the rotation schedule.
+///
+/// The key ciphertext never changes between pack calls, so it is stored
+/// **hoisted** ([`HoistedCiphertext`]): its `c1` digit decomposition is
+/// computed once at [`generate`](Self::generate) time and every baby
+/// rotation in every subsequent [`pack`](Self::pack) call is an NTT-free
+/// digit permutation.
 #[derive(Debug, Clone)]
 pub struct BsgsPackingKey {
-    key: BfvCiphertext,
+    key: HoistedCiphertext,
     galois: GaloisKeys,
     lwe_dim: usize,
     split: BsgsSplit,
+    /// Giant-group count (`giant` clamped to the groups the schedule
+    /// actually visits).
+    groups: usize,
 }
 
 impl BsgsPackingKey {
@@ -148,38 +158,54 @@ impl BsgsPackingKey {
                 enc.ring().modulus().from_i64(lwe_sk.coeffs()[c % n_lwe])
             })
             .collect();
-        let key = ev
-            .encrypt_sk(&enc.encode(&slots), rlwe_sk, sampler)
-            .to_eval(ctx);
+        // Hoist the key once: the digit decomposition is part of the key
+        // material, paid at generation instead of on every pack call.
+        let key = ev.hoist(&ev.encrypt_sk(&enc.encode(&slots), rlwe_sk, sampler));
         let split = BsgsSplit::balanced(n_lwe);
-        // Need rotations 1..baby (baby steps) and baby, 2*baby, ... (giant).
+        let groups = split.giant.min(n_lwe.div_ceil(split.baby.max(1)));
+        let tmp = Self {
+            key,
+            galois: GaloisKeys::default(),
+            lwe_dim: n_lwe,
+            split,
+            groups,
+        };
+        let elements = tmp.required_galois_elements(ctx);
+        let galois = GaloisKeys::generate(ctx, rlwe_sk, &elements, sampler);
+        // Coverage is validated here, up front, so a schedule change that
+        // forgets a key fails at generation rather than mid-pack.
+        galois.ensure_covers(&elements);
+        Self { galois, ..tmp }
+    }
+
+    /// The Galois elements the BSGS schedule needs: rotations `1..baby`
+    /// (baby steps) and `baby, 2·baby, …` for the clamped giant groups.
+    pub fn required_galois_elements(&self, ctx: &BfvContext) -> Vec<usize> {
+        let enc = ctx.encoder();
         let mut elements = Vec::new();
-        for b in 1..split.baby {
+        for b in 1..self.split.baby {
             elements.push(enc.galois_for_rotation(b));
         }
-        for g in 1..split.giant {
-            elements.push(enc.galois_for_rotation(g * split.baby));
+        for g in 1..self.groups {
+            elements.push(enc.galois_for_rotation(g * self.split.baby));
         }
         elements.sort_unstable();
         elements.dedup();
-        let galois = GaloisKeys::generate(ctx, rlwe_sk, &elements, sampler);
-        Self {
-            key,
-            galois,
-            lwe_dim: n_lwe,
-            split,
-        }
+        elements
     }
 
-    /// Key size in bytes (1 ciphertext + Galois keys).
+    /// Key size in bytes (1 ciphertext + hoisted digit cache + Galois
+    /// keys).
     pub fn bytes(&self, ctx: &BfvContext) -> usize {
         ctx.params().ciphertext_bytes()
+            + self.key.digit_bytes()
             + self.galois.elements().len() * ctx.params().keyswitch_key_bytes()
     }
 
-    /// Number of HRot operations the schedule performs.
+    /// Number of HRot operations one pack call performs: `baby − 1` baby
+    /// rotations of the key plus `groups − 1` giant output rotations.
     pub fn rotation_count(&self) -> usize {
-        (self.split.baby - 1) + (self.split.giant - 1)
+        (self.split.baby - 1) + (self.groups - 1)
     }
 
     /// Packs up to `N` LWE ciphertexts with the BSGS diagonal method.
@@ -211,21 +237,21 @@ impl BsgsPackingKey {
                 })
                 .collect()
         };
-        // Baby rotations of the key are independent HRots: one worker each.
+        // Baby rotations of the key are hoisted: each permutes the digit
+        // cache computed once at `generate` — no NTTs, one worker each.
         let key = &self.key;
         let baby_keys: Vec<BfvCiphertext> = par::parallel_map_range(self.split.baby, |b| {
             if b == 0 {
-                key.clone()
+                key.ciphertext().clone()
             } else {
-                ev.rotate_rows(key, b, &self.galois)
+                key.rotate_rows(ctx, b, &self.galois)
             }
         });
         // Each giant group — the inner diagonal sum plus one output rotation
         // — is independent of the others; run the groups on the parallel
         // layer, then fold in order (exact arithmetic, so the grouping does
         // not change the result).
-        let group_count = self.split.giant.min(n_lwe.div_ceil(self.split.baby.max(1)));
-        let groups: Vec<Option<BfvCiphertext>> = par::parallel_map_range(group_count, |g| {
+        let groups: Vec<Option<BfvCiphertext>> = par::parallel_map_range(self.groups, |g| {
             let shift = g * self.split.baby;
             // inner = Σ_b rot_{-shift}(diag_{shift+b}) ⊙ rot_b(key)
             let mut inner: Option<BfvCiphertext> = None;

@@ -21,6 +21,23 @@ pub struct BsgsSplit {
     pub giant: usize,
 }
 
+/// Exact ceiling square root: the smallest `r` with `r·r >= total`.
+///
+/// `f64::sqrt` only carries 53 mantissa bits, so for large `total` the
+/// rounded seed can land one off the true root; the fix-up loops below move
+/// it onto the exact answer using full-width `u128` products.
+pub fn ceil_sqrt(total: usize) -> usize {
+    let t = total as u128;
+    let mut r = (total as f64).sqrt().ceil() as u128;
+    while r > 0 && (r - 1) * (r - 1) >= t {
+        r -= 1;
+    }
+    while r * r < t {
+        r += 1;
+    }
+    r as usize
+}
+
 impl BsgsSplit {
     /// Balanced split: `baby = ceil(sqrt(total))`, `giant = ceil(total/baby)`.
     ///
@@ -29,7 +46,7 @@ impl BsgsSplit {
     /// Panics if `total == 0`.
     pub fn balanced(total: usize) -> Self {
         assert!(total > 0, "cannot split zero work");
-        let baby = (total as f64).sqrt().ceil() as usize;
+        let baby = ceil_sqrt(total);
         let giant = total.div_ceil(baby);
         Self { baby, giant }
     }
@@ -168,6 +185,48 @@ mod tests {
         for total in [1usize, 2, 3, 5, 17, 100, 65537] {
             let s = BsgsSplit::balanced(total);
             assert!(s.capacity() >= total, "total={total}");
+        }
+    }
+
+    #[test]
+    fn ceil_sqrt_exact_on_perfect_squares() {
+        for r in [1usize, 2, 3, 16, 257, 65536, 1 << 26, (1 << 31) + 12345] {
+            assert_eq!(ceil_sqrt(r * r), r, "r={r}");
+            assert_eq!(ceil_sqrt(r * r + 1), r + 1, "r²+1, r={r}");
+            if r > 1 {
+                assert_eq!(ceil_sqrt(r * r - 1), r, "r²-1, r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn ceil_sqrt_edge_cases() {
+        assert_eq!(ceil_sqrt(0), 0);
+        assert_eq!(ceil_sqrt(1), 1);
+        assert_eq!(ceil_sqrt(2), 2);
+        assert_eq!(ceil_sqrt(3), 2);
+        assert_eq!(ceil_sqrt(4), 2);
+    }
+
+    #[test]
+    fn ceil_sqrt_usize_large_totals() {
+        // Near the top of the usize range, an f64 round-trip is lossy:
+        // (2⁶⁴−1) as f64 rounds *up* to 2⁶⁴ and sqrt().ceil() would still
+        // seed at 2³², which happens to be correct here — but values like
+        // (2³²−1)² + 2³² sit exactly where the 53-bit mantissa mis-rounds.
+        assert_eq!(ceil_sqrt(usize::MAX), 1 << 32);
+        let r = (1u64 << 32) - 1;
+        let r2 = (r * r) as usize;
+        assert_eq!(ceil_sqrt(r2), r as usize);
+        assert_eq!(ceil_sqrt(r2 + 1), r as usize + 1);
+        // Balanced splits at large totals keep the covering invariant
+        // (checked in u128 — capacity() itself would overflow usize).
+        for total in [r2, r2 + 1, usize::MAX] {
+            let s = BsgsSplit::balanced(total);
+            assert!(
+                (s.baby as u128) * (s.giant as u128) >= total as u128,
+                "total={total}"
+            );
         }
     }
 

@@ -95,9 +95,215 @@ pub mod ntt_stats {
     }
 }
 
+/// Rotation / key-switch counters: eager vs hoisted HRots and the digit
+/// decompositions feeding them.
+///
+/// One **eager** rotation pays its own digit decomposition; a **hoisted**
+/// rotation permutes digits that were decomposed once up front. `decompose`
+/// counts every digit decomposition performed (rotation key switches and
+/// relinearizations alike), so `decompose ≪ eager + hoisted` is the proof
+/// that a schedule actually shares its source decompositions.
+pub mod rot_stats {
+    #[cfg(feature = "op-stats")]
+    mod imp {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        static EAGER: AtomicU64 = AtomicU64::new(0);
+        static HOISTED: AtomicU64 = AtomicU64::new(0);
+        static DECOMPOSE: AtomicU64 = AtomicU64::new(0);
+
+        #[inline]
+        pub fn record_eager() {
+            EAGER.fetch_add(1, Ordering::Relaxed);
+        }
+
+        #[inline]
+        pub fn record_hoisted() {
+            HOISTED.fetch_add(1, Ordering::Relaxed);
+        }
+
+        #[inline]
+        pub fn record_decompose() {
+            DECOMPOSE.fetch_add(1, Ordering::Relaxed);
+        }
+
+        pub fn reset() {
+            EAGER.store(0, Ordering::Relaxed);
+            HOISTED.store(0, Ordering::Relaxed);
+            DECOMPOSE.store(0, Ordering::Relaxed);
+        }
+
+        pub fn eager_count() -> u64 {
+            EAGER.load(Ordering::Relaxed)
+        }
+
+        pub fn hoisted_count() -> u64 {
+            HOISTED.load(Ordering::Relaxed)
+        }
+
+        pub fn decompose_count() -> u64 {
+            DECOMPOSE.load(Ordering::Relaxed)
+        }
+    }
+
+    #[cfg(not(feature = "op-stats"))]
+    mod imp {
+        #[inline]
+        pub fn record_eager() {}
+        #[inline]
+        pub fn record_hoisted() {}
+        #[inline]
+        pub fn record_decompose() {}
+        pub fn reset() {}
+        pub fn eager_count() -> u64 {
+            0
+        }
+        pub fn hoisted_count() -> u64 {
+            0
+        }
+        pub fn decompose_count() -> u64 {
+            0
+        }
+    }
+
+    pub use imp::{
+        decompose_count, eager_count, hoisted_count, record_decompose, record_eager,
+        record_hoisted, reset,
+    };
+
+    /// Snapshot of the rotation counters, for before/after deltas.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RotCounts {
+        /// Rotations that paid their own digit decomposition.
+        pub eager: u64,
+        /// Rotations served from hoisted (cached) digits.
+        pub hoisted: u64,
+        /// Digit decompositions performed (rotations *and* relins).
+        pub decompose: u64,
+    }
+
+    impl RotCounts {
+        /// Total HRot operations, however they were keyed.
+        pub fn rotations(&self) -> u64 {
+            self.eager + self.hoisted
+        }
+    }
+
+    /// Reads all three counters at once.
+    pub fn snapshot() -> RotCounts {
+        RotCounts {
+            eager: eager_count(),
+            hoisted: hoisted_count(),
+            decompose: decompose_count(),
+        }
+    }
+
+    /// Runs `f` and returns its result together with the rotation counts it
+    /// incurred. Only meaningful when no other thread is rotating.
+    pub fn measure<T>(f: impl FnOnce() -> T) -> (T, RotCounts) {
+        let before = snapshot();
+        let out = f();
+        let after = snapshot();
+        (
+            out,
+            RotCounts {
+                eager: after.eager - before.eager,
+                hoisted: after.hoisted - before.hoisted,
+                decompose: after.decompose - before.decompose,
+            },
+        )
+    }
+}
+
+/// Tensor-lift counters for the CMult hot path: how many operand lifts into
+/// the extended multiplication basis were computed from scratch vs served
+/// from a cache (the CMult analogue of rotation hoisting — BSGS polynomial
+/// evaluation reuses the same powers across many products).
+pub mod lift_stats {
+    #[cfg(feature = "op-stats")]
+    mod imp {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        static COMPUTED: AtomicU64 = AtomicU64::new(0);
+        static REUSED: AtomicU64 = AtomicU64::new(0);
+
+        #[inline]
+        pub fn record_computed() {
+            COMPUTED.fetch_add(1, Ordering::Relaxed);
+        }
+
+        #[inline]
+        pub fn record_reused() {
+            REUSED.fetch_add(1, Ordering::Relaxed);
+        }
+
+        pub fn reset() {
+            COMPUTED.store(0, Ordering::Relaxed);
+            REUSED.store(0, Ordering::Relaxed);
+        }
+
+        pub fn computed_count() -> u64 {
+            COMPUTED.load(Ordering::Relaxed)
+        }
+
+        pub fn reused_count() -> u64 {
+            REUSED.load(Ordering::Relaxed)
+        }
+    }
+
+    #[cfg(not(feature = "op-stats"))]
+    mod imp {
+        #[inline]
+        pub fn record_computed() {}
+        #[inline]
+        pub fn record_reused() {}
+        pub fn reset() {}
+        pub fn computed_count() -> u64 {
+            0
+        }
+        pub fn reused_count() -> u64 {
+            0
+        }
+    }
+
+    pub use imp::{computed_count, record_computed, record_reused, reset, reused_count};
+
+    /// Snapshot of both lift counters.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct LiftCounts {
+        /// Tensor lifts computed from scratch.
+        pub computed: u64,
+        /// Tensor lifts served from an operand cache.
+        pub reused: u64,
+    }
+
+    /// Reads both counters at once.
+    pub fn snapshot() -> LiftCounts {
+        LiftCounts {
+            computed: computed_count(),
+            reused: reused_count(),
+        }
+    }
+
+    /// Runs `f` and returns its result together with the lift counts it
+    /// incurred. Only meaningful when no other thread is lifting.
+    pub fn measure<T>(f: impl FnOnce() -> T) -> (T, LiftCounts) {
+        let before = snapshot();
+        let out = f();
+        let after = snapshot();
+        (
+            out,
+            LiftCounts {
+                computed: after.computed - before.computed,
+                reused: after.reused - before.reused,
+            },
+        )
+    }
+}
+
 #[cfg(all(test, feature = "op-stats"))]
 mod tests {
-    use super::ntt_stats;
+    use super::{lift_stats, ntt_stats, rot_stats};
     use crate::poly::Ring;
 
     #[test]
@@ -113,5 +319,30 @@ mod tests {
         });
         assert_eq!(counts.forward, 1);
         assert_eq!(counts.inverse, 1);
+    }
+
+    #[test]
+    fn rot_counters_record_and_measure() {
+        let ((), counts) = rot_stats::measure(|| {
+            rot_stats::record_eager();
+            rot_stats::record_hoisted();
+            rot_stats::record_hoisted();
+            rot_stats::record_decompose();
+        });
+        assert_eq!(counts.eager, 1);
+        assert_eq!(counts.hoisted, 2);
+        assert_eq!(counts.decompose, 1);
+        assert_eq!(counts.rotations(), 3);
+    }
+
+    #[test]
+    fn lift_counters_record_and_measure() {
+        let ((), counts) = lift_stats::measure(|| {
+            lift_stats::record_computed();
+            lift_stats::record_reused();
+            lift_stats::record_reused();
+        });
+        assert_eq!(counts.computed, 1);
+        assert_eq!(counts.reused, 2);
     }
 }

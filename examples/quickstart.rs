@@ -81,6 +81,14 @@ fn main() {
         .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
         .map(|(i, _)| i);
     println!("predicted class  : plaintext {plain_arg:?}, encrypted {enc_arg:?}");
+    let max_delta = reference
+        .iter()
+        .zip(&enc.logits)
+        .map(|(p, e)| (p - e).abs())
+        .fold(0.0f64, f64::max);
+    println!(
+        "max logit delta  : {max_delta} (≤ one activation step expected: e_ms noise on LUT inputs)"
+    );
     println!(
         "\npipeline ops: {} PMult, {} extractions, {} pack, {} FBS ({} CMult, {} SMult), {} S2C",
         enc.stats.pmult,
