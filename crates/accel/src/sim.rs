@@ -16,6 +16,7 @@
 //! *maximum* of the two regions' work (the sum when the ablation flag
 //! disables pipelining). Other phases are bandwidth-checked sums.
 
+use athena_core::plan::ExecutionPlan;
 use athena_core::trace::{ModelTrace, OpCounts, Phase, TraceParams};
 use athena_nn::models::ModelSpec;
 use athena_nn::qmodel::QuantConfig;
@@ -230,12 +231,83 @@ impl AthenaSim {
         let trace = athena_core::trace::trace_model(spec, &self.params, quant);
         self.run(&trace)
     }
+
+    /// Runs a compiled execution plan through the cycle model: the trace is
+    /// derived from the plan's own per-step analytic op counts
+    /// ([`ExecutionPlan::to_trace`]), so the accelerator sees exactly the
+    /// schedules the executor runs — not a separately-maintained analytic
+    /// model.
+    pub fn run_plan(
+        &self,
+        plan: &ExecutionPlan,
+        name: &'static str,
+        quant: &QuantConfig,
+    ) -> SimResult {
+        self.run(&plan.to_trace(name, quant))
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use athena_nn::models::ModelSpec;
+
+    #[test]
+    fn run_plan_matches_to_trace_run() {
+        use athena_core::pipeline::AthenaEngine;
+        use athena_core::plan;
+        use athena_fhe::params::BfvParams;
+        use athena_nn::qmodel::{Activation, QLinear, QModel, QNode, QOp};
+        use athena_nn::tensor::ITensor;
+
+        let engine = AthenaEngine::new(BfvParams::test_small());
+        let model = QModel {
+            nodes: vec![
+                QNode {
+                    op: QOp::Linear(QLinear {
+                        weight: ITensor::from_vec(&[2, 1, 3, 3], vec![1; 18]),
+                        bias: vec![0, 0],
+                        stride: 1,
+                        padding: 0,
+                        is_fc: false,
+                        act: Activation::ReLU,
+                        in_scale: 1.0,
+                        w_scale: 1.0,
+                        out_scale: 1.0,
+                    }),
+                    input: 0,
+                    skip: None,
+                },
+                QNode {
+                    op: QOp::Linear(QLinear {
+                        weight: ITensor::from_vec(&[3, 18, 1, 1], vec![0; 54]),
+                        bias: vec![0; 3],
+                        stride: 1,
+                        padding: 0,
+                        is_fc: true,
+                        act: Activation::Identity,
+                        in_scale: 1.0,
+                        w_scale: 1.0,
+                        out_scale: 1.0,
+                    }),
+                    input: 1,
+                    skip: None,
+                },
+            ],
+            input_scale: 1.0,
+            cfg: QuantConfig::new(3, 3),
+        };
+        let plan = plan::compile(&engine, &model, &[1, 5, 5]);
+        let sim = AthenaSim::athena();
+        let r = sim.run_plan(&plan, "tiny", &model.cfg);
+        assert_eq!(r.model, "tiny");
+        assert!(r.latency_ms > 0.0 && r.latency_ms.is_finite());
+        assert!(r.energy_j > 0.0);
+        // Same numbers as lowering the derived trace directly.
+        let direct = sim.run(&plan.to_trace("tiny", &model.cfg));
+        assert_eq!(r.latency_ms, direct.latency_ms);
+        assert_eq!(r.energy_j, direct.energy_j);
+    }
 
     #[test]
     fn resnet20_latency_in_paper_ballpark() {

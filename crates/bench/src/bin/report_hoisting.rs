@@ -113,11 +113,11 @@ fn main() {
         .collect();
     let pack_key = keys.pack_bsgs.as_ref().expect("bsgs engine");
     rows.push(profile(&opts, "op:pack_bsgs_32", || {
-        std::hint::black_box(pack_key.pack(ctx, &lwes));
+        std::hint::black_box(pack_key.pack(ctx, &lwes, &keys.gk));
     }));
 
     // One FBS (ReLU LUT) on a packed ciphertext (cached tensor lifts).
-    let packed = pack_key.pack(ctx, &lwes);
+    let packed = pack_key.pack(ctx, &lwes, &keys.gk);
     let lut = Lut::from_signed_fn(t, |x| x.max(0));
     rows.push(profile(&opts, "op:fbs_relu", || {
         std::hint::black_box(fbs_apply(ctx, &packed, &lut, &keys.rlk));

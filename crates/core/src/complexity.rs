@@ -1,5 +1,5 @@
 //! Table 3: symbolic computational-complexity comparison between the
-//! CKKS-based pipeline [27] and Athena.
+//! CKKS-based pipeline \[27\] and Athena.
 
 /// One operation row: counts as closed-form strings plus evaluated values
 /// for concrete parameters.

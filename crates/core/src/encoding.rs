@@ -10,7 +10,7 @@
 //! (Table 3's `Conv` row).
 //!
 //! When `C_out·C_in·HW > N` the layer is split into channel groups.
-//! *Cheetah* [16] packs input channels first, so each result ciphertext
+//! *Cheetah* \[16\] packs input channels first, so each result ciphertext
 //! carries few valid outputs; *Athena* packs output channels first, so the
 //! results land compactly (Table 2).
 

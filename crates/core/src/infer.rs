@@ -1,6 +1,14 @@
 //! End-to-end encrypted inference: runs a quantized [`QModel`] through the
 //! Athena loop, layer by layer, entirely under FHE.
 //!
+//! This is a thin compile-then-execute wrapper over [`crate::plan`]: the
+//! model is first compiled into a typed [`crate::plan::ExecutionPlan`]
+//! (layouts, group splits, LUTs, key requirements, analytic op counts all
+//! resolved up front), then interpreted step by step by
+//! [`crate::plan::execute`]. The plan path is bit-identical to the
+//! pre-plan monolithic loop — every step is exact modular arithmetic and
+//! the only sampler draws are the input encryption's.
+//!
 //! Layouts: every intermediate value is held as a coefficient-encoded BFV
 //! ciphertext whose layout was chosen for its *consumer* — conv consumers
 //! get the padded `M̂` layout of Eq. 1, pooling and FC consumers get flat
@@ -13,84 +21,12 @@
 //! models are measured through the noise-faithful simulator and the
 //! accelerator cost model, as in the paper.
 
-use athena_fhe::bfv::BfvCiphertext;
-use athena_fhe::fbs::Lut;
-use athena_fhe::lwe::LweCiphertext;
 use athena_math::sampler::Sampler;
-use athena_nn::models::ConvShape;
-use athena_nn::qmodel::{QLinear, QModel, QOp};
+use athena_nn::qmodel::QModel;
 use athena_nn::tensor::ITensor;
 
-use crate::encoding::ConvEncoder;
 use crate::pipeline::{AthenaEngine, AthenaEvalKeys, AthenaSecrets, PipelineStats};
-
-/// A stored intermediate value: ciphertext + where each flat activation
-/// index lives among its coefficients.
-#[derive(Debug, Clone)]
-struct StoredValue {
-    ct: BfvCiphertext,
-    /// `positions[i]` = coefficient index of flat activation `i`.
-    positions: Vec<usize>,
-    shape: Vec<usize>,
-}
-
-/// The layout a consumer wants its input packed into.
-#[derive(Debug, Clone)]
-struct ConsumerLayout {
-    /// For each slot `s`, which flat activation index goes there (None =
-    /// trivial zero / padding).
-    slot_of: Vec<Option<usize>>,
-    /// `positions[i]` for the produced StoredValue (slot index of flat
-    /// activation `i` — identical to coefficient index after S2C).
-    positions: Vec<usize>,
-}
-
-fn flat_layout(len: usize, n: usize) -> ConsumerLayout {
-    assert!(len <= n, "value of {len} activations exceeds {n} slots");
-    let mut slot_of = vec![None; n];
-    for (i, s) in slot_of.iter_mut().take(len).enumerate() {
-        *s = Some(i);
-    }
-    ConsumerLayout {
-        slot_of,
-        positions: (0..len).collect(),
-    }
-}
-
-/// Padded `M̂` layout for a conv consumer: activation `(c,h,w)` of the
-/// unpadded tensor goes to slot `c·H'W' + (h+p)·W' + (w+p)`.
-fn conv_layout(shape: &[usize], padding: usize, n: usize) -> ConsumerLayout {
-    let (c, h, w) = (shape[0], shape[1], shape[2]);
-    let (hp, wp) = (h + 2 * padding, w + 2 * padding);
-    assert!(c * hp * wp <= n, "padded input does not fit the ring");
-    let mut slot_of = vec![None; n];
-    let mut positions = vec![0usize; c * h * w];
-    for ci in 0..c {
-        for y in 0..h {
-            for x in 0..w {
-                let flat = (ci * h + y) * w + x;
-                let slot = ci * hp * wp + (y + padding) * wp + (x + padding);
-                slot_of[slot] = Some(flat);
-                positions[flat] = slot;
-            }
-        }
-    }
-    ConsumerLayout { slot_of, positions }
-}
-
-/// What the consumer of a value is, for layout selection.
-fn consumer_layout(model: &QModel, value_idx: usize, shape: &[usize], n: usize) -> ConsumerLayout {
-    // main consumer = first node whose `input` is this value
-    for node in &model.nodes {
-        if node.input == value_idx {
-            return match &node.op {
-                QOp::Linear(l) if !l.is_fc => conv_layout(shape, l.padding, n),
-                _ => flat_layout(shape.iter().product(), n),
-            };
-        }
-    }
-    flat_layout(shape.iter().product(), n)
-}
+use crate::plan;
 
 /// Result of an encrypted inference.
 #[derive(Debug)]
@@ -115,263 +51,19 @@ pub fn run_encrypted(
     input: &ITensor,
     sampler: &mut Sampler,
 ) -> EncryptedInference {
-    let n = engine.context().n();
-    let t = engine.context().t();
-    let a_max = model.cfg.a_max();
-    let mut stats = PipelineStats::default();
-
-    // Encrypt the input in its consumer's layout.
-    let in_layout = consumer_layout(model, 0, input.shape(), n);
-    let input_sv = {
-        let mut coeffs = vec![0i64; n];
-        for (flat, &pos) in in_layout.positions.iter().enumerate() {
-            coeffs[pos] = input.data()[flat];
-        }
-        let positions_all: Vec<usize> = (0..n).collect();
-        StoredValue {
-            ct: engine.encrypt_at(&coeffs, &positions_all, secrets, sampler),
-            positions: in_layout.positions.clone(),
-            shape: input.shape().to_vec(),
-        }
-    };
-
-    let mut values: Vec<Option<StoredValue>> = vec![Some(input_sv)];
-    let mut logits: Vec<f64> = Vec::new();
-
-    for (ni, node) in model.nodes.iter().enumerate() {
-        let is_last = ni == model.nodes.len() - 1;
-        let sv = values[node.input]
-            .as_ref()
-            .expect("producer stored")
-            .clone();
-        let (out_lwes, out_shape): (Vec<LweCiphertext>, Vec<usize>) = match &node.op {
-            QOp::Linear(l) => {
-                let (acc_lwes, shape) =
-                    run_linear_accumulate(engine, keys, &sv, l, is_last, &mut stats);
-                let mut acc_lwes = acc_lwes;
-                if let Some((skip_idx, mult)) = node.skip {
-                    let skip_sv = values[skip_idx].as_ref().expect("skip stored");
-                    let skip_lwes = if is_last {
-                        engine.extract_lwes_mid(&skip_sv.ct, &skip_sv.positions, keys, &mut stats)
-                    } else {
-                        engine.extract_lwes(&skip_sv.ct, &skip_sv.positions, keys, &mut stats)
-                    };
-                    assert_eq!(skip_lwes.len(), acc_lwes.len(), "skip shape mismatch");
-                    for (a, s) in acc_lwes.iter_mut().zip(&skip_lwes) {
-                        *a = engine.lwe_add_scaled(a, s, mult);
-                    }
-                }
-                (acc_lwes, shape)
-            }
-            QOp::MaxPool { k } => {
-                let lwes = engine.extract_lwes(&sv.ct, &sv.positions, keys, &mut stats);
-                let (c, h, w) = (sv.shape[0], sv.shape[1], sv.shape[2]);
-                let (oh, ow) = (h / k, w / k);
-                // Window-position streams, then a max tree over them.
-                let mut streams: Vec<Vec<LweCiphertext>> = Vec::with_capacity(k * k);
-                for ky in 0..*k {
-                    for kx in 0..*k {
-                        let mut s = Vec::with_capacity(c * oh * ow);
-                        for ci in 0..c {
-                            for oy in 0..oh {
-                                for ox in 0..ow {
-                                    s.push(lwes[(ci * h + oy * k + ky) * w + ox * k + kx].clone());
-                                }
-                            }
-                        }
-                        streams.push(s);
-                    }
-                }
-                while streams.len() > 1 {
-                    let b = streams.pop().expect("len > 1");
-                    let a = streams.pop().expect("len > 1");
-                    streams.push(engine.lwe_max(&a, &b, keys, &mut stats));
-                }
-                (streams.pop().expect("one stream left"), vec![c, oh, ow])
-            }
-            QOp::AvgPool { k } => {
-                let lwes = engine.extract_lwes(&sv.ct, &sv.positions, keys, &mut stats);
-                let (c, h, w) = (sv.shape[0], sv.shape[1], sv.shape[2]);
-                let (oh, ow) = (h / k, w / k);
-                let mut sums = Vec::with_capacity(c * oh * ow);
-                for ci in 0..c {
-                    for oy in 0..oh {
-                        for ox in 0..ow {
-                            let mut acc: Option<LweCiphertext> = None;
-                            for ky in 0..*k {
-                                for kx in 0..*k {
-                                    let e = &lwes[(ci * h + oy * k + ky) * w + ox * k + kx];
-                                    acc = Some(match acc {
-                                        None => e.clone(),
-                                        Some(a) => engine.lwe_add_scaled(&a, e, 1),
-                                    });
-                                }
-                            }
-                            sums.push(acc.expect("k >= 1"));
-                        }
-                    }
-                }
-                (sums, vec![c, oh, ow])
-            }
-        };
-
-        if is_last {
-            // Client decrypts the raw accumulators and dequantizes.
-            let ints = engine.decrypt_lwes(&out_lwes, secrets);
-            if let QOp::Linear(l) = &node.op {
-                logits = ints
-                    .iter()
-                    .map(|&v| v as f64 * l.in_scale * l.w_scale)
-                    .collect();
-            } else {
-                logits = ints.iter().map(|&v| v as f64).collect();
-            }
-            values.push(None);
-            continue;
-        }
-
-        // Remap LUT for this node (Linear fuses act+remap; AvgPool divides;
-        // MaxPool output is already in the activation domain).
-        let out_len: usize = out_shape.iter().product();
-        let layout = consumer_layout(model, ni + 1, &out_shape, n);
-        let mut slots: Vec<Option<LweCiphertext>> = vec![None; n];
-        for (slot, flat) in layout.slot_of.iter().enumerate() {
-            if let Some(f) = flat {
-                slots[slot] = Some(out_lwes[*f].clone());
-            }
-        }
-        let lut = match &node.op {
-            QOp::Linear(l) => {
-                let lc = l.clone();
-                Lut::from_signed_fn(t, move |v| lc.remap(v, a_max))
-            }
-            QOp::AvgPool { k } => {
-                let kk = (k * k) as f64;
-                Lut::from_signed_fn(t, move |v| {
-                    ((v as f64 / kk).round() as i64).clamp(-a_max, a_max)
-                })
-            }
-            QOp::MaxPool { .. } => Lut::from_signed_fn(t, |v| v),
-        };
-        let ct = engine.pack_fbs_s2c(&slots, &lut, keys, &mut stats);
-        assert_eq!(layout.positions.len(), out_len);
-        values.push(Some(StoredValue {
-            ct,
-            positions: layout.positions,
-            shape: out_shape,
-        }));
+    let compiled = plan::compile(engine, model, input.shape());
+    let run = plan::execute(engine, secrets, keys, &compiled, input, sampler);
+    EncryptedInference {
+        logits: run.logits,
+        stats: run.stats,
     }
-
-    EncryptedInference { logits, stats }
-}
-
-/// Runs the linear part of a node: coefficient-encoded conv/FC over the
-/// stored ciphertext, output-channel groups as needed, then extraction of
-/// the (stride-subsampled) valid accumulators.
-///
-/// `client_bound` keeps the extracted LWEs at the extraction prime
-/// (see [`AthenaEngine::extract_lwes_mid`]): the last layer's accumulators
-/// go straight to the client, so they must not pay the per-coordinate
-/// mod-`t` rounding noise that only exists to feed the FBS LUT.
-fn run_linear_accumulate(
-    engine: &AthenaEngine,
-    keys: &AthenaEvalKeys,
-    sv: &StoredValue,
-    l: &QLinear,
-    client_bound: bool,
-    stats: &mut PipelineStats,
-) -> (Vec<LweCiphertext>, Vec<usize>) {
-    let n = engine.context().n();
-    let (c_out, c_in, k) = (
-        l.weight.shape()[0],
-        l.weight.shape()[1],
-        l.weight.shape()[2],
-    );
-    // Effective input spatial dims (padded for conv; 1×1 for FC).
-    let (hp, wp) = if l.is_fc {
-        (1usize, 1usize)
-    } else {
-        (sv.shape[1] + 2 * l.padding, sv.shape[2] + 2 * l.padding)
-    };
-    let eff_cin = if l.is_fc { sv.positions.len() } else { c_in };
-    assert_eq!(
-        if l.is_fc { eff_cin } else { c_in },
-        if l.is_fc { c_in } else { sv.shape[0] },
-        "input channel mismatch"
-    );
-    // Choose output-channel group size that fits.
-    let hw = hp * wp;
-    let mut co_g = c_out;
-    loop {
-        let t_idx = hw * (co_g * eff_cin - 1) + wp * (k - 1) + k - 1;
-        if t_idx + eff_cin * hw <= n {
-            break;
-        }
-        assert!(
-            co_g > 1,
-            "layer does not fit ring degree {n} even with one output channel"
-        );
-        co_g = co_g.div_ceil(2);
-    }
-    let groups = c_out.div_ceil(co_g);
-    let valid = hp - k + 1;
-    let out_hw = if l.is_fc {
-        1
-    } else {
-        (sv.shape[1] + 2 * l.padding - k) / l.stride + 1
-    };
-    let mut all_lwes: Vec<LweCiphertext> = Vec::new();
-    for g in 0..groups {
-        let co_lo = g * co_g;
-        let co_hi = ((g + 1) * co_g).min(c_out);
-        let g_cout = co_hi - co_lo;
-        let shape = ConvShape {
-            hw: hp,
-            c_in: eff_cin,
-            c_out: g_cout,
-            k,
-            stride: 1,
-            padding: 0,
-        };
-        let enc = ConvEncoder::new(shape, n);
-        // kernel slice for this group
-        let per = eff_cin * k * k;
-        let kw = ITensor::from_vec(
-            &[g_cout, eff_cin, k, k],
-            l.weight.data()[co_lo * per..co_hi * per].to_vec(),
-        );
-        // bias at output positions (stride-subsampled)
-        let mut bias_at = Vec::new();
-        let mut positions = Vec::new();
-        for co in 0..g_cout {
-            for oy in 0..out_hw {
-                for ox in 0..out_hw {
-                    let (y, x) = (oy * l.stride, ox * l.stride);
-                    debug_assert!(y < valid && x < valid);
-                    let pos = enc.output_index(co, y, x);
-                    positions.push(pos);
-                    let b = l.bias[co_lo + co];
-                    if b != 0 {
-                        bias_at.push((pos, b));
-                    }
-                }
-            }
-        }
-        let conv_ct = engine.linear(&sv.ct, &enc.encode_kernel(&kw), &bias_at, stats);
-        all_lwes.extend(if client_bound {
-            engine.extract_lwes_mid(&conv_ct, &positions, keys, stats)
-        } else {
-            engine.extract_lwes(&conv_ct, &positions, keys, stats)
-        });
-    }
-    (all_lwes, vec![c_out, out_hw, out_hw])
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use athena_fhe::params::BfvParams;
-    use athena_nn::qmodel::{Activation, QNode, QuantConfig};
+    use athena_nn::qmodel::{Activation, QLinear, QNode, QOp, QuantConfig};
 
     fn tiny_model() -> QModel {
         // conv 1->2 ch, 3x3 on 5x5 input (valid 3x3), then FC 18 -> 3.

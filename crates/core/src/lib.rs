@@ -8,7 +8,12 @@
 //! * [`pipeline`] — the five-step loop over real cryptography: linear →
 //!   mod-switch → sample-extract/dimension-switch → pack → FBS(+remap) →
 //!   S2C, plus the homomorphic max-tree and softmax of §3.2.3.
-//! * [`infer`] — end-to-end encrypted inference of a quantized model.
+//! * [`plan`] — the execution-plan IR: a typed per-layer step program
+//!   compiled from a quantized model, with layouts, LUTs, Galois elements,
+//!   key requirements, and analytic op counts resolved up front. One plan
+//!   drives the executor, the accelerator trace, and key generation.
+//! * [`infer`] — end-to-end encrypted inference of a quantized model (a
+//!   thin compile-then-execute wrapper over [`plan`]).
 //! * [`simulate`] — the validated `e_ms` noise model driving full-scale
 //!   accuracy experiments (Table 5, Fig. 4, Fig. 12).
 //! * [`trace`] — per-layer FHE-op counts at production parameters, consumed
@@ -43,5 +48,6 @@ pub mod encoding;
 pub mod infer;
 pub mod paramsets;
 pub mod pipeline;
+pub mod plan;
 pub mod simulate;
 pub mod trace;

@@ -55,15 +55,35 @@ pub enum PackingMethod {
 pub struct AthenaEvalKeys {
     /// Relinearization key (FBS CMults).
     pub rlk: RelinKey,
-    /// Galois keys for S2C.
+    /// The single deduplicated Galois key set: S2C elements merged with the
+    /// BSGS packing schedule's (when the engine packs via BSGS). Every
+    /// rotation in the pipeline — S2C, linear transforms, BSGS packing —
+    /// resolves against this one map, so shared elements are keyed once.
     pub gk: GaloisKeys,
     /// LWE dimension-switching key at the intermediate modulus.
     pub lwe_ksk: LweKeySwitchKey,
     /// LWE→RLWE packing key (column method).
     pub pack: ColumnPackingKey,
     /// Optional BSGS packing key (generated when the engine is configured
-    /// with [`PackingMethod::Bsgs`]).
+    /// with [`PackingMethod::Bsgs`]). Holds no Galois material of its own;
+    /// its rotations use [`AthenaEvalKeys::gk`].
     pub pack_bsgs: Option<BsgsPackingKey>,
+}
+
+impl AthenaEvalKeys {
+    /// Total evaluation-key bytes (Table 1 accounting): relinearization +
+    /// Galois + LWE dimension switch + packing key material.
+    pub fn bytes(&self, ctx: &BfvContext) -> usize {
+        let ks = ctx.params().keyswitch_key_bytes();
+        let mut total = ks; // rlk is one key-switch key
+        total += self.gk.elements().len() * ks;
+        total += self.lwe_ksk.bytes();
+        total += self.pack.bytes(ctx);
+        if let Some(b) = &self.pack_bsgs {
+            total += b.bytes(ctx);
+        }
+        total
+    }
 }
 
 /// The evaluation engine.
@@ -118,13 +138,32 @@ impl AthenaEngine {
         &self.ctx
     }
 
+    /// The Galois elements the engine's configuration needs: the S2C
+    /// schedule's, merged (sorted, deduplicated) with the BSGS packing
+    /// schedule's when the engine packs via BSGS. This is the exact set
+    /// [`Self::keygen`] generates — one shared key per element, no
+    /// duplicates across consumers.
+    pub fn required_galois_elements(&self) -> Vec<usize> {
+        let ctx = &self.ctx;
+        let mut elements = self.s2c.required_galois_elements(ctx);
+        if self.packing == PackingMethod::Bsgs {
+            elements.extend(BsgsPackingKey::required_galois_elements_for(
+                ctx,
+                ctx.params().lwe_n,
+            ));
+        }
+        elements.sort_unstable();
+        elements.dedup();
+        elements
+    }
+
     /// Generates client secrets and server evaluation keys.
     pub fn keygen(&self, sampler: &mut Sampler) -> (AthenaSecrets, AthenaEvalKeys) {
         let ctx = &self.ctx;
         let sk = SecretKey::generate(ctx, sampler);
         let lwe_sk = LweSecret::generate(ctx.params().lwe_n, ctx.t(), sampler);
         let rlk = RelinKey::generate(ctx, &sk, sampler);
-        let gk = GaloisKeys::generate(ctx, &sk, &self.s2c.required_galois_elements(ctx), sampler);
+        let gk = GaloisKeys::generate(ctx, &sk, &self.required_galois_elements(), sampler);
         let big = rlwe_secret_as_lwe_mod(&sk, self.q_mid);
         let small_mid = LweSecret::from_coeffs(lwe_sk.coeffs().to_vec(), self.q_mid);
         let lwe_ksk =
@@ -247,6 +286,87 @@ impl AthenaEngine {
         })
     }
 
+    /// The intermediate extraction prime (`q_primes[0]`).
+    pub fn q_mid(&self) -> u64 {
+        self.q_mid
+    }
+
+    /// The S2C transform the engine applies in Step ⑤ (the plan compiler
+    /// reads its schedule: op counts and Galois requirements).
+    pub fn slot_to_coeff(&self) -> &SlotToCoeff {
+        &self.s2c
+    }
+
+    /// Expected homomorphic op counts of one [`Self::pack`] call with
+    /// `nontrivial` non-trivial input LWEs, under the configured packing
+    /// method. Exact for uniformly random LWE masks (an all-zero mask
+    /// column/diagonal is skipped at run time with probability ≈ `t^-slots`
+    /// — negligible).
+    pub fn pack_expected_op_counts(
+        &self,
+        nontrivial: usize,
+    ) -> athena_math::stats::op_stats::HomOpCounts {
+        use athena_math::stats::op_stats::HomOpCounts;
+        let lwe_n = self.ctx.params().lwe_n;
+        match self.packing {
+            PackingMethod::Column => {
+                if nontrivial == 0 {
+                    HomOpCounts {
+                        hadd: 1,
+                        ..HomOpCounts::default()
+                    }
+                } else {
+                    HomOpCounts {
+                        pmult: lwe_n as u64,
+                        hadd: lwe_n as u64 + 1,
+                        ..HomOpCounts::default()
+                    }
+                }
+            }
+            PackingMethod::Bsgs => BsgsPackingKey::expected_op_counts_for(lwe_n),
+        }
+    }
+
+    /// The configured packing method.
+    pub fn packing_method(&self) -> PackingMethod {
+        self.packing
+    }
+
+    /// Step ② alone — modulus switch to the intermediate prime. The plan
+    /// executor runs this as its own step so per-step op counts attribute
+    /// the ModSwitch to the Conversion phase, not to whatever follows.
+    pub fn mod_switch_mid(&self, ct: &BfvCiphertext) -> athena_fhe::extract::SmallRlwe {
+        mod_switch_rlwe(&self.ctx, ct, self.q_mid)
+    }
+
+    /// Step ③a alone — sample extraction of the requested coefficients
+    /// from a mod-switched ciphertext (still at RLWE dimension `N`).
+    /// Exact arithmetic, so splitting this off the fused
+    /// [`Self::extract_lwes_mid`] loop is bit-identical.
+    pub fn sample_extract(
+        &self,
+        small: &athena_fhe::extract::SmallRlwe,
+        positions: &[usize],
+        stats: &mut PipelineStats,
+    ) -> Vec<LweCiphertext> {
+        stats.extracts += positions.len();
+        par::parallel_map(positions, |&p| sample_extract_one(small, p))
+    }
+
+    /// Step ③b alone — LWE dimension switch `N → n` at `q_mid`.
+    pub fn dim_switch(&self, big: &[LweCiphertext], keys: &AthenaEvalKeys) -> Vec<LweCiphertext> {
+        par::parallel_map(big, |c| keys.lwe_ksk.switch(c))
+    }
+
+    /// Step ③c alone — the final LWE modulus drop to `t` (this rounding is
+    /// exactly where the paper's `e_ms` enters; skip it for client-bound
+    /// values).
+    pub fn lwes_to_t(&self, lwes: &[LweCiphertext]) -> Vec<LweCiphertext> {
+        lwes.iter()
+            .map(|c| lwe_mod_switch(c, self.ctx.t()))
+            .collect()
+    }
+
     /// LWE-level linear combination: `a + mult·b` (used for residual skips
     /// and pooling sums — exact arithmetic at the operands' shared modulus,
     /// framework Step ③½).
@@ -336,7 +456,7 @@ impl AthenaEngine {
             .collect();
         stats.packs += 1;
         match (self.packing, &keys.pack_bsgs) {
-            (PackingMethod::Bsgs, Some(k)) => k.pack(&self.ctx, &filled),
+            (PackingMethod::Bsgs, Some(k)) => k.pack(&self.ctx, &filled, &keys.gk),
             _ => keys.pack.pack(&self.ctx, &filled),
         }
     }
@@ -429,7 +549,7 @@ impl AthenaEngine {
     }
 
     /// Homomorphic max of two aligned LWE vectors — one round of the
-    /// max-tree of [30]. We use the noise-robust form
+    /// max-tree of \[30\]. We use the noise-robust form
     /// `max(a,b) = b + ReLU(a − b)`: a single ReLU LUT per round, and the
     /// LWE noise only perturbs the LUT input (never gets amplified by a
     /// modular halving).

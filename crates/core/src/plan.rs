@@ -1,0 +1,1073 @@
+//! The execution-plan IR: a typed, per-layer step program compiled from a
+//! [`QModel`] ahead of any ciphertext work.
+//!
+//! The planner ([`compile`]) resolves everything that is static for a
+//! (model, engine) pair up front — consumer layouts, output-channel group
+//! splits, encoded kernels and bias positions, materialized remap LUTs,
+//! Galois-element and key requirements, and per-step *analytic* operation
+//! counts. The executor ([`execute`]) is then a thin interpreter: it walks
+//! the steps calling the corresponding [`AthenaEngine`] primitive for each
+//! and records the *measured* operation counts around every step via the
+//! `op-stats` counters. Three consumers hang off the same plan:
+//!
+//! * the executor (encrypted inference, bit-identical to the pre-plan
+//!   `infer::run_encrypted` path — every step is exact modular arithmetic,
+//!   so re-grouping the loop cannot change a single coefficient);
+//! * [`ExecutionPlan::to_trace`], which derives the [`ModelTrace`] the
+//!   accelerator model lowers to cycles/energy from the steps' analytic
+//!   counts;
+//! * [`AthenaEngine::keygen_for_plan`], which generates exactly the
+//!   deduplicated key material [`ExecutionPlan::required_keys`] demands and
+//!   validates Galois coverage with `ensure_covers`.
+//!
+//! Step vocabulary: `Linear` (coefficient-encoded conv/FC group),
+//! `ModSwitch` (Q → q_mid), `ExtractLwes` (Alg. 1 sample extraction),
+//! `DimSwitch` (LWE N → n, optionally dropping to `t`), `ResidualAdd`
+//! (skip-path extraction + LWE-level scaled add), `Pack` (LWE → RLWE
+//! homomorphic decryption), `Fbs` (the fused remap LUT of Alg. 2), `S2C`
+//! (slots back to coefficients), the pooling composites
+//! `MaxReduce`/`AvgReduce` (LWE-level trees over the accumulator), and
+//! `Output` (client-side decrypt + dequantize).
+
+use athena_fhe::bfv::{BfvCiphertext, GaloisKeys, RelinKey, SecretKey};
+use athena_fhe::extract::{rlwe_secret_as_lwe_mod, SmallRlwe};
+use athena_fhe::fbs::{expected_stats, FbsStats, Lut};
+use athena_fhe::lwe::{LweCiphertext, LweKeySwitchKey, LweSecret};
+use athena_fhe::pack::{BsgsPackingKey, ColumnPackingKey};
+use athena_math::sampler::Sampler;
+use athena_math::stats::op_stats::{self, HomOpCounts};
+use athena_nn::qmodel::{QLinear, QModel, QOp, QuantConfig};
+use athena_nn::tensor::ITensor;
+
+use crate::encoding::ConvEncoder;
+use crate::pipeline::{AthenaEngine, AthenaEvalKeys, AthenaSecrets, PackingMethod, PipelineStats};
+use crate::trace::{LayerTrace, ModelTrace, OpCounts, Phase, TraceParams};
+use athena_nn::models::ConvShape;
+
+/// The layout a consumer wants its input packed into.
+#[derive(Debug, Clone)]
+pub(crate) struct ConsumerLayout {
+    /// For each slot `s`, which flat activation index goes there (None =
+    /// trivial zero / padding).
+    pub slot_of: Vec<Option<usize>>,
+    /// `positions[i]` = slot (= coefficient after S2C) of flat activation
+    /// `i`.
+    pub positions: Vec<usize>,
+}
+
+pub(crate) fn flat_layout(len: usize, n: usize) -> ConsumerLayout {
+    assert!(len <= n, "value of {len} activations exceeds {n} slots");
+    let mut slot_of = vec![None; n];
+    for (i, s) in slot_of.iter_mut().take(len).enumerate() {
+        *s = Some(i);
+    }
+    ConsumerLayout {
+        slot_of,
+        positions: (0..len).collect(),
+    }
+}
+
+/// Padded `M̂` layout for a conv consumer: activation `(c,h,w)` of the
+/// unpadded tensor goes to slot `c·H'W' + (h+p)·W' + (w+p)`.
+pub(crate) fn conv_layout(shape: &[usize], padding: usize, n: usize) -> ConsumerLayout {
+    let (c, h, w) = (shape[0], shape[1], shape[2]);
+    let (hp, wp) = (h + 2 * padding, w + 2 * padding);
+    assert!(c * hp * wp <= n, "padded input does not fit the ring");
+    let mut slot_of = vec![None; n];
+    let mut positions = vec![0usize; c * h * w];
+    for ci in 0..c {
+        for y in 0..h {
+            for x in 0..w {
+                let flat = (ci * h + y) * w + x;
+                let slot = ci * hp * wp + (y + padding) * wp + (x + padding);
+                slot_of[slot] = Some(flat);
+                positions[flat] = slot;
+            }
+        }
+    }
+    ConsumerLayout { slot_of, positions }
+}
+
+/// Layout for the consumer of value `value_idx` (first node reading it):
+/// conv consumers get the padded `M̂` layout of Eq. 1, everything else flat.
+pub(crate) fn consumer_layout(
+    model: &QModel,
+    value_idx: usize,
+    shape: &[usize],
+    n: usize,
+) -> ConsumerLayout {
+    for node in &model.nodes {
+        if node.input == value_idx {
+            return match &node.op {
+                QOp::Linear(l) if !l.is_fc => conv_layout(shape, l.padding, n),
+                _ => flat_layout(shape.iter().product(), n),
+            };
+        }
+    }
+    flat_layout(shape.iter().product(), n)
+}
+
+/// One typed step of the plan.
+#[derive(Debug, Clone)]
+pub enum StepOp {
+    /// Coefficient-encoded conv/FC over stored value `value`: one PMult by
+    /// the pre-encoded `kernel` polynomial plus a bias add when `bias` is
+    /// non-empty. Large layers appear as several `Linear` steps (one per
+    /// output-channel group that fits the ring).
+    Linear {
+        /// Input value index.
+        value: usize,
+        /// Encoded kernel polynomial coefficients.
+        kernel: Vec<i64>,
+        /// Bias terms at output coefficient positions.
+        bias: Vec<(usize, i64)>,
+    },
+    /// Modulus switch `Q → q_mid` of the pending linear output (`None`) or
+    /// of a stored value (`Some(idx)` — pooling reads its producer).
+    ModSwitch {
+        /// Source value, or `None` for the preceding `Linear` output.
+        value: Option<usize>,
+    },
+    /// Sample extraction (Alg. 1) of the listed coefficients.
+    ExtractLwes {
+        /// Coefficient positions, in flat-activation order.
+        positions: Vec<usize>,
+    },
+    /// LWE dimension switch `N → n`; with `drop_to_t` the LWEs also pay the
+    /// final modulus drop (the `e_ms` rounding) — skipped for client-bound
+    /// accumulators. Appends to the layer's LWE accumulator.
+    DimSwitch {
+        /// Whether to drop the switched LWEs from `q_mid` to `t`.
+        drop_to_t: bool,
+    },
+    /// Residual skip: re-extract the skip value's LWEs (mod switch + sample
+    /// extraction + dimension switch) and add them into the accumulator at
+    /// the LWE level, scaled by `mult`.
+    ResidualAdd {
+        /// Skip value index.
+        skip: usize,
+        /// Coefficient positions of the skip value.
+        positions: Vec<usize>,
+        /// Integer alignment multiplier.
+        mult: i64,
+        /// Whether the skip LWEs drop to `t` (must match the accumulator's
+        /// level).
+        drop_to_t: bool,
+    },
+    /// Max-pooling composite: `k²` window streams over the accumulator and
+    /// a max tree of `k²−1` rounds, each a full
+    /// diff → pack → FBS(ReLU) → S2C → extract cycle.
+    MaxReduce {
+        /// Pool kernel (= stride).
+        k: usize,
+        /// Input shape `[c, h, w]` of the accumulator.
+        shape: [usize; 3],
+    },
+    /// Average-pooling composite: exact LWE-level window sums (the divide
+    /// rides the next FBS LUT).
+    AvgReduce {
+        /// Pool kernel (= stride).
+        k: usize,
+        /// Input shape `[c, h, w]` of the accumulator.
+        shape: [usize; 3],
+    },
+    /// Packing: place accumulator LWEs into slots per `slot_of` (trivial
+    /// zeros elsewhere) and run the LWE → RLWE homomorphic decryption.
+    Pack {
+        /// `slot_of[s]` = flat accumulator index for slot `s`.
+        slot_of: Vec<Option<usize>>,
+    },
+    /// Functional bootstrapping with the materialized fused remap LUT
+    /// (plus the non-valid-slot mask when the LUT moves 0).
+    Fbs {
+        /// The LUT, resolved at compile time.
+        lut: Lut,
+    },
+    /// Slot-to-coefficient bridge; stores the result as value `value`.
+    S2C {
+        /// Output value index.
+        value: usize,
+        /// Coefficient positions of the stored value (for its consumers).
+        positions: Vec<usize>,
+        /// Logical shape of the stored value.
+        shape: Vec<usize>,
+    },
+    /// Client-side decryption of the accumulator and dequantization by
+    /// `scale`.
+    Output {
+        /// Dequantization factor (`in_scale·w_scale` for a final linear
+        /// layer, 1 otherwise).
+        scale: f64,
+    },
+}
+
+impl StepOp {
+    /// Short display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StepOp::Linear { .. } => "linear",
+            StepOp::ModSwitch { .. } => "mod_switch",
+            StepOp::ExtractLwes { .. } => "extract",
+            StepOp::DimSwitch { .. } => "dim_switch",
+            StepOp::ResidualAdd { .. } => "residual_add",
+            StepOp::MaxReduce { .. } => "max_reduce",
+            StepOp::AvgReduce { .. } => "avg_reduce",
+            StepOp::Pack { .. } => "pack",
+            StepOp::Fbs { .. } => "fbs",
+            StepOp::S2C { .. } => "s2c",
+            StepOp::Output { .. } => "output",
+        }
+    }
+}
+
+/// One plan step plus its static metadata.
+#[derive(Debug, Clone)]
+pub struct PlanStep {
+    /// The operation.
+    pub op: StepOp,
+    /// Phase attribution (Fig. 9 breakdown).
+    pub phase: Phase,
+    /// Analytic operation counts the step should perform, resolved at
+    /// compile time from the schedules themselves (BSGS splits, diagonal
+    /// occupancy, LUT interpolation). The executor's measured counts must
+    /// match these exactly up to documented data-dependent skips.
+    pub analytic: OpCounts,
+}
+
+/// All steps of one model node.
+#[derive(Debug, Clone)]
+pub struct PlanLayer {
+    /// Node index in the source model.
+    pub node: usize,
+    /// Steps in execution order.
+    pub steps: Vec<PlanStep>,
+}
+
+/// Key material a plan demands (all deduplicated).
+#[derive(Debug, Clone, Default)]
+pub struct KeyRequirements {
+    /// Galois elements for every rotation in the plan (S2C ∪ BSGS packing),
+    /// sorted and deduplicated.
+    pub galois: Vec<usize>,
+    /// Whether any step relinearizes (FBS CMults).
+    pub relin: bool,
+    /// Whether any step switches LWE dimension.
+    pub lwe_ksk: bool,
+    /// Whether the column packing key is used.
+    pub pack_column: bool,
+    /// Whether the BSGS packing key is used.
+    pub pack_bsgs: bool,
+}
+
+/// A compiled execution plan: the typed IR the executor interprets, the
+/// trace derives from, and keygen sizes key material against.
+#[derive(Debug, Clone)]
+pub struct ExecutionPlan {
+    /// Ring degree.
+    pub n: usize,
+    /// Plaintext modulus.
+    pub t: u64,
+    /// Intermediate extraction prime.
+    pub q_mid: u64,
+    /// Small LWE dimension.
+    pub lwe_n: usize,
+    /// RNS limb count of `Q`.
+    pub limbs: usize,
+    /// Packing method the plan was compiled for.
+    pub packing: PackingMethod,
+    /// Coefficient position of each flat input activation.
+    pub input_positions: Vec<usize>,
+    /// Input tensor shape.
+    pub input_shape: Vec<usize>,
+    /// Per-node step lists.
+    pub layers: Vec<PlanLayer>,
+    keys: KeyRequirements,
+}
+
+impl ExecutionPlan {
+    /// The key material this plan demands.
+    pub fn required_keys(&self) -> &KeyRequirements {
+        &self.keys
+    }
+
+    /// Total step count.
+    pub fn step_count(&self) -> usize {
+        self.layers.iter().map(|l| l.steps.len()).sum()
+    }
+
+    /// Sum of all steps' analytic counts.
+    pub fn analytic_total(&self) -> OpCounts {
+        let mut t = OpCounts::default();
+        for l in &self.layers {
+            for s in &l.steps {
+                t.add(&s.analytic);
+            }
+        }
+        t
+    }
+
+    /// Derives the [`ModelTrace`] the accelerator model consumes from the
+    /// plan's analytic per-step counts: same steps, same schedules — the
+    /// trace *is* the plan, re-grouped by (layer, phase).
+    pub fn to_trace(&self, name: &'static str, quant: &QuantConfig) -> ModelTrace {
+        let params = TraceParams {
+            n: self.n,
+            limbs: self.limbs,
+            t: self.t,
+            lwe_n: self.lwe_n,
+        };
+        let layers = self
+            .layers
+            .iter()
+            .map(|pl| {
+                let mut per: Vec<(Phase, OpCounts)> = Phase::all()
+                    .iter()
+                    .map(|&p| (p, OpCounts::default()))
+                    .collect();
+                for s in &pl.steps {
+                    let slot = per
+                        .iter_mut()
+                        .find(|(p, _)| *p == s.phase)
+                        .expect("phase present");
+                    slot.1.add(&s.analytic);
+                }
+                LayerTrace {
+                    layer: pl.node,
+                    phases: per
+                        .into_iter()
+                        .filter(|(_, c)| *c != OpCounts::default())
+                        .collect(),
+                }
+            })
+            .collect();
+        ModelTrace {
+            name,
+            params,
+            quant: *quant,
+            layers,
+        }
+    }
+}
+
+/// Converts the measured counter snapshot into trace units.
+pub fn counts_from_hom(h: &HomOpCounts) -> OpCounts {
+    OpCounts {
+        pmult: h.pmult,
+        cmult: h.cmult,
+        smult: h.smult,
+        hadd: h.hadd,
+        hrot: h.hrot,
+        sample_extract: h.sample_extract,
+        mod_switch: h.mod_switch,
+    }
+}
+
+/// Analytic counts of one FBS step: the dry-run BSGS schedule of the
+/// interpolated LUT, the final constant add (paid whenever the evaluation
+/// is non-trivial), and the non-valid-slot mask PMult when needed.
+fn fbs_analytic(lut: &Lut, mask: bool) -> OpCounts {
+    let es = expected_stats(lut);
+    let mut c = OpCounts {
+        cmult: es.cmult as u64,
+        smult: es.smult as u64,
+        hadd: es.hadd as u64,
+        ..OpCounts::default()
+    };
+    if es != FbsStats::default() {
+        c.hadd += 1; // the constant-coefficient add_plain
+    }
+    if mask {
+        c.pmult += 1;
+    }
+    c
+}
+
+/// Analytic counts of the `k²−1`-round max tree over `len` LWEs: each
+/// round is one pack + FBS(ReLU) + S2C + extract cycle (the LWE-level
+/// diffs and adds are below the op-count abstraction).
+fn max_reduce_analytic(engine: &AthenaEngine, k: usize, len: usize) -> OpCounts {
+    let relu = Lut::from_signed_fn(engine.context().t(), |x| x.max(0));
+    let mut per_round = counts_from_hom(&engine.pack_expected_op_counts(len));
+    per_round.add(&fbs_analytic(&relu, false));
+    per_round.add(&counts_from_hom(&engine.slot_to_coeff().op_counts()));
+    per_round.add(&OpCounts {
+        mod_switch: 1,
+        sample_extract: len as u64,
+        ..OpCounts::default()
+    });
+    let mut total = OpCounts::default();
+    for _ in 0..(k * k - 1) {
+        total.add(&per_round);
+    }
+    total
+}
+
+/// One output-channel group of a linear layer, fully resolved.
+struct LinearGroupPlan {
+    kernel: Vec<i64>,
+    bias: Vec<(usize, i64)>,
+    positions: Vec<usize>,
+}
+
+/// Splits a linear layer into output-channel groups that fit the ring and
+/// resolves each group's encoded kernel, bias placement, and output
+/// positions (the planner half of the old `run_linear_accumulate`).
+fn plan_linear_groups(
+    n: usize,
+    in_shape: &[usize],
+    in_len: usize,
+    l: &QLinear,
+) -> (Vec<LinearGroupPlan>, Vec<usize>) {
+    let (c_out, c_in, k) = (
+        l.weight.shape()[0],
+        l.weight.shape()[1],
+        l.weight.shape()[2],
+    );
+    // Effective input spatial dims (padded for conv; 1×1 for FC).
+    let (hp, wp) = if l.is_fc {
+        (1usize, 1usize)
+    } else {
+        (in_shape[1] + 2 * l.padding, in_shape[2] + 2 * l.padding)
+    };
+    let eff_cin = if l.is_fc { in_len } else { c_in };
+    assert_eq!(
+        if l.is_fc { eff_cin } else { c_in },
+        if l.is_fc { c_in } else { in_shape[0] },
+        "input channel mismatch"
+    );
+    // Choose output-channel group size that fits.
+    let hw = hp * wp;
+    let mut co_g = c_out;
+    loop {
+        let t_idx = hw * (co_g * eff_cin - 1) + wp * (k - 1) + k - 1;
+        if t_idx + eff_cin * hw <= n {
+            break;
+        }
+        assert!(
+            co_g > 1,
+            "layer does not fit ring degree {n} even with one output channel"
+        );
+        co_g = co_g.div_ceil(2);
+    }
+    let groups = c_out.div_ceil(co_g);
+    let valid = hp - k + 1;
+    let out_hw = if l.is_fc {
+        1
+    } else {
+        (in_shape[1] + 2 * l.padding - k) / l.stride + 1
+    };
+    let mut out = Vec::with_capacity(groups);
+    for g in 0..groups {
+        let co_lo = g * co_g;
+        let co_hi = ((g + 1) * co_g).min(c_out);
+        let g_cout = co_hi - co_lo;
+        let shape = ConvShape {
+            hw: hp,
+            c_in: eff_cin,
+            c_out: g_cout,
+            k,
+            stride: 1,
+            padding: 0,
+        };
+        let enc = ConvEncoder::new(shape, n);
+        let per = eff_cin * k * k;
+        let kw = ITensor::from_vec(
+            &[g_cout, eff_cin, k, k],
+            l.weight.data()[co_lo * per..co_hi * per].to_vec(),
+        );
+        let mut bias = Vec::new();
+        let mut positions = Vec::new();
+        for co in 0..g_cout {
+            for oy in 0..out_hw {
+                for ox in 0..out_hw {
+                    let (y, x) = (oy * l.stride, ox * l.stride);
+                    debug_assert!(y < valid && x < valid);
+                    let pos = enc.output_index(co, y, x);
+                    positions.push(pos);
+                    let b = l.bias[co_lo + co];
+                    if b != 0 {
+                        bias.push((pos, b));
+                    }
+                }
+            }
+        }
+        out.push(LinearGroupPlan {
+            kernel: enc.encode_kernel(&kw),
+            bias,
+            positions,
+        });
+    }
+    (out, vec![c_out, out_hw, out_hw])
+}
+
+/// Compiles a quantized model into an [`ExecutionPlan`] for an engine.
+///
+/// # Panics
+///
+/// Panics if a layer does not fit the engine's ring degree in a single
+/// input-channel group (use larger parameters or a smaller model).
+pub fn compile(engine: &AthenaEngine, model: &QModel, input_shape: &[usize]) -> ExecutionPlan {
+    let ctx = engine.context();
+    let n = ctx.n();
+    let t = ctx.t();
+    let a_max = model.cfg.a_max();
+
+    struct PlannedValue {
+        positions: Vec<usize>,
+        shape: Vec<usize>,
+    }
+    let in_layout = consumer_layout(model, 0, input_shape, n);
+    let mut values: Vec<Option<PlannedValue>> = vec![Some(PlannedValue {
+        positions: in_layout.positions.clone(),
+        shape: input_shape.to_vec(),
+    })];
+
+    let mut layers = Vec::with_capacity(model.nodes.len());
+    let mut keys = KeyRequirements::default();
+    let note_pack = |keys: &mut KeyRequirements| match engine.packing_method() {
+        PackingMethod::Column => keys.pack_column = true,
+        PackingMethod::Bsgs => keys.pack_bsgs = true,
+    };
+
+    for (ni, node) in model.nodes.iter().enumerate() {
+        let is_last = ni == model.nodes.len() - 1;
+        let sv = values[node.input].as_ref().expect("producer planned");
+        let (sv_positions, sv_shape) = (sv.positions.clone(), sv.shape.clone());
+        let mut steps: Vec<PlanStep> = Vec::new();
+        let out_shape: Vec<usize> = match &node.op {
+            QOp::Linear(l) => {
+                let (groups, out_shape) = plan_linear_groups(n, &sv_shape, sv_positions.len(), l);
+                for g in groups {
+                    let extracted = g.positions.len() as u64;
+                    steps.push(PlanStep {
+                        phase: Phase::Linear,
+                        analytic: OpCounts {
+                            pmult: 1,
+                            hadd: u64::from(!g.bias.is_empty()),
+                            ..OpCounts::default()
+                        },
+                        op: StepOp::Linear {
+                            value: node.input,
+                            kernel: g.kernel,
+                            bias: g.bias,
+                        },
+                    });
+                    steps.push(PlanStep {
+                        phase: Phase::Conversion,
+                        analytic: OpCounts {
+                            mod_switch: 1,
+                            ..OpCounts::default()
+                        },
+                        op: StepOp::ModSwitch { value: None },
+                    });
+                    steps.push(PlanStep {
+                        phase: Phase::Conversion,
+                        analytic: OpCounts {
+                            sample_extract: extracted,
+                            ..OpCounts::default()
+                        },
+                        op: StepOp::ExtractLwes {
+                            positions: g.positions,
+                        },
+                    });
+                    keys.lwe_ksk = true;
+                    steps.push(PlanStep {
+                        phase: Phase::Conversion,
+                        analytic: OpCounts::default(),
+                        op: StepOp::DimSwitch {
+                            drop_to_t: !is_last,
+                        },
+                    });
+                }
+                if let Some((skip_idx, mult)) = node.skip {
+                    let skip = values[skip_idx].as_ref().expect("skip planned");
+                    steps.push(PlanStep {
+                        phase: Phase::Conversion,
+                        analytic: OpCounts {
+                            mod_switch: 1,
+                            sample_extract: skip.positions.len() as u64,
+                            ..OpCounts::default()
+                        },
+                        op: StepOp::ResidualAdd {
+                            skip: skip_idx,
+                            positions: skip.positions.clone(),
+                            mult,
+                            drop_to_t: !is_last,
+                        },
+                    });
+                }
+                out_shape
+            }
+            QOp::MaxPool { k } => {
+                let (c, h, w) = (sv_shape[0], sv_shape[1], sv_shape[2]);
+                let (oh, ow) = (h / k, w / k);
+                steps.push(PlanStep {
+                    phase: Phase::Conversion,
+                    analytic: OpCounts {
+                        mod_switch: 1,
+                        ..OpCounts::default()
+                    },
+                    op: StepOp::ModSwitch {
+                        value: Some(node.input),
+                    },
+                });
+                steps.push(PlanStep {
+                    phase: Phase::Conversion,
+                    analytic: OpCounts {
+                        sample_extract: sv_positions.len() as u64,
+                        ..OpCounts::default()
+                    },
+                    op: StepOp::ExtractLwes {
+                        positions: sv_positions.clone(),
+                    },
+                });
+                keys.lwe_ksk = true;
+                steps.push(PlanStep {
+                    phase: Phase::Conversion,
+                    analytic: OpCounts::default(),
+                    op: StepOp::DimSwitch { drop_to_t: true },
+                });
+                // Each max round packs, bootstraps, and re-extracts.
+                keys.relin = true;
+                note_pack(&mut keys);
+                steps.push(PlanStep {
+                    phase: Phase::Pooling,
+                    analytic: max_reduce_analytic(engine, *k, c * oh * ow),
+                    op: StepOp::MaxReduce {
+                        k: *k,
+                        shape: [c, h, w],
+                    },
+                });
+                vec![c, oh, ow]
+            }
+            QOp::AvgPool { k } => {
+                let (c, h, w) = (sv_shape[0], sv_shape[1], sv_shape[2]);
+                steps.push(PlanStep {
+                    phase: Phase::Conversion,
+                    analytic: OpCounts {
+                        mod_switch: 1,
+                        ..OpCounts::default()
+                    },
+                    op: StepOp::ModSwitch {
+                        value: Some(node.input),
+                    },
+                });
+                steps.push(PlanStep {
+                    phase: Phase::Conversion,
+                    analytic: OpCounts {
+                        sample_extract: sv_positions.len() as u64,
+                        ..OpCounts::default()
+                    },
+                    op: StepOp::ExtractLwes {
+                        positions: sv_positions.clone(),
+                    },
+                });
+                keys.lwe_ksk = true;
+                steps.push(PlanStep {
+                    phase: Phase::Conversion,
+                    analytic: OpCounts::default(),
+                    op: StepOp::DimSwitch { drop_to_t: true },
+                });
+                steps.push(PlanStep {
+                    phase: Phase::Pooling,
+                    analytic: OpCounts::default(),
+                    op: StepOp::AvgReduce {
+                        k: *k,
+                        shape: [c, h, w],
+                    },
+                });
+                vec![c, h / k, w / k]
+            }
+        };
+
+        if is_last {
+            let scale = match &node.op {
+                QOp::Linear(l) => l.in_scale * l.w_scale,
+                _ => 1.0,
+            };
+            steps.push(PlanStep {
+                phase: Phase::Linear,
+                analytic: OpCounts::default(),
+                op: StepOp::Output { scale },
+            });
+            values.push(None);
+            layers.push(PlanLayer { node: ni, steps });
+            continue;
+        }
+
+        // The five-step tail: pack into the consumer's layout, bootstrap
+        // through the fused remap LUT, and bridge back to coefficients.
+        let out_len: usize = out_shape.iter().product();
+        let layout = consumer_layout(model, ni + 1, &out_shape, n);
+        let lut = match &node.op {
+            QOp::Linear(l) => {
+                let lc = l.clone();
+                Lut::from_signed_fn(t, move |v| lc.remap(v, a_max))
+            }
+            QOp::AvgPool { k } => {
+                let kk = (k * k) as f64;
+                Lut::from_signed_fn(t, move |v| {
+                    ((v as f64 / kk).round() as i64).clamp(-a_max, a_max)
+                })
+            }
+            QOp::MaxPool { .. } => Lut::from_signed_fn(t, |v| v),
+        };
+        note_pack(&mut keys);
+        keys.relin = true;
+        steps.push(PlanStep {
+            phase: Phase::Conversion,
+            analytic: counts_from_hom(&engine.pack_expected_op_counts(out_len)),
+            op: StepOp::Pack {
+                slot_of: layout.slot_of.clone(),
+            },
+        });
+        let needs_mask = lut.get(0) != 0 && layout.slot_of.iter().any(|s| s.is_none());
+        let fbs_phase = match &node.op {
+            QOp::Linear(_) => Phase::Activation,
+            _ => Phase::Pooling,
+        };
+        steps.push(PlanStep {
+            phase: fbs_phase,
+            analytic: fbs_analytic(&lut, needs_mask),
+            op: StepOp::Fbs { lut },
+        });
+        steps.push(PlanStep {
+            phase: Phase::Conversion,
+            analytic: counts_from_hom(&engine.slot_to_coeff().op_counts()),
+            op: StepOp::S2C {
+                value: ni + 1,
+                positions: layout.positions.clone(),
+                shape: out_shape.clone(),
+            },
+        });
+        values.push(Some(PlannedValue {
+            positions: layout.positions,
+            shape: out_shape,
+        }));
+        layers.push(PlanLayer { node: ni, steps });
+    }
+
+    // Galois requirements: the S2C schedule whenever an S2C happens (every
+    // non-final layer and every max round), and the BSGS packing schedule
+    // when packing runs via BSGS — merged into one deduplicated set.
+    let uses_s2c = layers.iter().any(|l| {
+        l.steps
+            .iter()
+            .any(|s| matches!(s.op, StepOp::S2C { .. } | StepOp::MaxReduce { .. }))
+    });
+    let mut galois = Vec::new();
+    if uses_s2c {
+        galois.extend(engine.slot_to_coeff().required_galois_elements(ctx));
+    }
+    if keys.pack_bsgs {
+        galois.extend(BsgsPackingKey::required_galois_elements_for(
+            ctx,
+            ctx.params().lwe_n,
+        ));
+    }
+    galois.sort_unstable();
+    galois.dedup();
+    keys.galois = galois;
+
+    ExecutionPlan {
+        n,
+        t,
+        q_mid: engine.q_mid(),
+        lwe_n: ctx.params().lwe_n,
+        limbs: ctx.params().q_primes.len(),
+        packing: engine.packing_method(),
+        input_positions: in_layout.positions,
+        input_shape: input_shape.to_vec(),
+        layers,
+        keys,
+    }
+}
+
+impl AthenaEngine {
+    /// Plan-driven key generation: generates exactly the deduplicated
+    /// Galois and packing key material [`ExecutionPlan::required_keys`]
+    /// demands, and validates Galois coverage with `ensure_covers` before
+    /// returning. For a plan that exercises the engine's full loop this
+    /// produces the same key set as [`AthenaEngine::keygen`] (identical
+    /// sampler draw order); for narrower plans it generates less.
+    pub fn keygen_for_plan(
+        &self,
+        plan: &ExecutionPlan,
+        sampler: &mut Sampler,
+    ) -> (AthenaSecrets, AthenaEvalKeys) {
+        let req = plan.required_keys();
+        let ctx = self.context();
+        let sk = SecretKey::generate(ctx, sampler);
+        let lwe_sk = LweSecret::generate(ctx.params().lwe_n, ctx.t(), sampler);
+        let rlk = RelinKey::generate(ctx, &sk, sampler);
+        let gk = GaloisKeys::generate(ctx, &sk, &req.galois, sampler);
+        // A schedule change that forgets an element fails at keygen, not
+        // mid-inference.
+        gk.ensure_covers(&req.galois);
+        let big = rlwe_secret_as_lwe_mod(&sk, plan.q_mid);
+        let small_mid = LweSecret::from_coeffs(lwe_sk.coeffs().to_vec(), plan.q_mid);
+        let lwe_ksk =
+            LweKeySwitchKey::generate(&big, &small_mid, ctx.params().lwe_ks_base_log, sampler);
+        let pack = ColumnPackingKey::generate(ctx, &sk, &lwe_sk, sampler);
+        let pack_bsgs = if req.pack_bsgs {
+            let k = BsgsPackingKey::generate(ctx, &sk, &lwe_sk, sampler);
+            gk.ensure_covers(&k.required_galois_elements(ctx));
+            Some(k)
+        } else {
+            None
+        };
+        (
+            AthenaSecrets { sk, lwe_sk },
+            AthenaEvalKeys {
+                rlk,
+                gk,
+                lwe_ksk,
+                pack,
+                pack_bsgs,
+            },
+        )
+    }
+}
+
+/// The measured record of one executed step.
+#[derive(Debug, Clone)]
+pub struct StepReport {
+    /// Source node index.
+    pub node: usize,
+    /// Step index within the node.
+    pub step: usize,
+    /// Step label ([`StepOp::label`]).
+    pub label: &'static str,
+    /// Phase attribution.
+    pub phase: Phase,
+    /// Compile-time analytic counts.
+    pub analytic: OpCounts,
+    /// Counter-measured counts (zero when the `op-stats` feature is off,
+    /// and attributable only when no other thread drives the engine
+    /// concurrently — the counters are process-global).
+    pub measured: OpCounts,
+}
+
+/// Result of executing a plan.
+#[derive(Debug)]
+pub struct PlanRun {
+    /// Decrypted float logits.
+    pub logits: Vec<f64>,
+    /// Aggregate pipeline statistics.
+    pub stats: PipelineStats,
+    /// Per-step analytic vs measured counts, in execution order.
+    pub steps: Vec<StepReport>,
+}
+
+/// Executor state: the registers the step vocabulary reads and writes.
+struct ExecState {
+    /// Stored values (S2C outputs + the encrypted input), by value index.
+    values: Vec<Option<BfvCiphertext>>,
+    /// Pending linear output (between `Linear` and `ModSwitch`).
+    cur: Option<BfvCiphertext>,
+    /// Mod-switched RLWE (between `ModSwitch` and `ExtractLwes`).
+    small: Option<SmallRlwe>,
+    /// Extracted dimension-`N` LWEs (between `ExtractLwes` and
+    /// `DimSwitch`).
+    big: Vec<LweCiphertext>,
+    /// The layer's LWE accumulator (grows across groups, consumed by
+    /// `Pack`/reduce/`Output`).
+    acc: Vec<LweCiphertext>,
+    /// Slot assignment of the last `Pack` (the FBS mask needs it).
+    slots: Vec<Option<LweCiphertext>>,
+    /// Packed ciphertext (between `Pack` and `Fbs`).
+    packed: Option<BfvCiphertext>,
+    /// Bootstrapped ciphertext (between `Fbs` and `S2C`).
+    boot: Option<BfvCiphertext>,
+    logits: Vec<f64>,
+}
+
+/// Executes a compiled plan on one encrypted input.
+///
+/// Bit-identical to the pre-plan monolithic loop: the steps perform the
+/// same exact modular arithmetic in the same order, and the only sampler
+/// draws are the input encryption's.
+pub fn execute(
+    engine: &AthenaEngine,
+    secrets: &AthenaSecrets,
+    keys: &AthenaEvalKeys,
+    plan: &ExecutionPlan,
+    input: &ITensor,
+    sampler: &mut Sampler,
+) -> PlanRun {
+    assert_eq!(input.shape(), &plan.input_shape[..], "input shape mismatch");
+    let n = plan.n;
+    let mut stats = PipelineStats::default();
+    let mut st = ExecState {
+        values: vec![None; plan.layers.len() + 1],
+        cur: None,
+        small: None,
+        big: Vec::new(),
+        acc: Vec::new(),
+        slots: Vec::new(),
+        packed: None,
+        boot: None,
+        logits: Vec::new(),
+    };
+    // Encrypt the input in its consumer's layout.
+    let mut coeffs = vec![0i64; n];
+    for (flat, &pos) in plan.input_positions.iter().enumerate() {
+        coeffs[pos] = input.data()[flat];
+    }
+    let positions_all: Vec<usize> = (0..n).collect();
+    st.values[0] = Some(engine.encrypt_at(&coeffs, &positions_all, secrets, sampler));
+
+    let mut reports = Vec::with_capacity(plan.step_count());
+    for layer in &plan.layers {
+        for (si, step) in layer.steps.iter().enumerate() {
+            let ((), hom) = op_stats::measure(|| {
+                run_step(engine, secrets, keys, n, &step.op, &mut st, &mut stats)
+            });
+            reports.push(StepReport {
+                node: layer.node,
+                step: si,
+                label: step.op.label(),
+                phase: step.phase,
+                analytic: step.analytic,
+                measured: counts_from_hom(&hom),
+            });
+        }
+    }
+    PlanRun {
+        logits: st.logits,
+        stats,
+        steps: reports,
+    }
+}
+
+fn run_step(
+    engine: &AthenaEngine,
+    secrets: &AthenaSecrets,
+    keys: &AthenaEvalKeys,
+    n: usize,
+    op: &StepOp,
+    st: &mut ExecState,
+    stats: &mut PipelineStats,
+) {
+    match op {
+        StepOp::Linear {
+            value,
+            kernel,
+            bias,
+        } => {
+            let ct = st.values[*value].as_ref().expect("producer stored");
+            st.cur = Some(engine.linear(ct, kernel, bias, stats));
+        }
+        StepOp::ModSwitch { value } => {
+            let src = match value {
+                Some(i) => st.values[*i].as_ref().expect("value stored"),
+                None => st.cur.as_ref().expect("pending linear output"),
+            };
+            st.small = Some(engine.mod_switch_mid(src));
+        }
+        StepOp::ExtractLwes { positions } => {
+            let small = st.small.as_ref().expect("mod-switched ciphertext");
+            st.big = engine.sample_extract(small, positions, stats);
+        }
+        StepOp::DimSwitch { drop_to_t } => {
+            let big = std::mem::take(&mut st.big);
+            let mut sw = engine.dim_switch(&big, keys);
+            if *drop_to_t {
+                sw = engine.lwes_to_t(&sw);
+            }
+            st.acc.extend(sw);
+        }
+        StepOp::ResidualAdd {
+            skip,
+            positions,
+            mult,
+            drop_to_t,
+        } => {
+            let ct = st.values[*skip].as_ref().expect("skip stored");
+            let small = engine.mod_switch_mid(ct);
+            let big = engine.sample_extract(&small, positions, stats);
+            let mut sw = engine.dim_switch(&big, keys);
+            if *drop_to_t {
+                sw = engine.lwes_to_t(&sw);
+            }
+            assert_eq!(sw.len(), st.acc.len(), "skip shape mismatch");
+            for (a, s) in st.acc.iter_mut().zip(&sw) {
+                *a = engine.lwe_add_scaled(a, s, *mult);
+            }
+        }
+        StepOp::MaxReduce { k, shape } => {
+            let lwes = std::mem::take(&mut st.acc);
+            let (c, h, w) = (shape[0], shape[1], shape[2]);
+            let (oh, ow) = (h / k, w / k);
+            // Window-position streams, then a max tree over them.
+            let mut streams: Vec<Vec<LweCiphertext>> = Vec::with_capacity(k * k);
+            for ky in 0..*k {
+                for kx in 0..*k {
+                    let mut s = Vec::with_capacity(c * oh * ow);
+                    for ci in 0..c {
+                        for oy in 0..oh {
+                            for ox in 0..ow {
+                                s.push(lwes[(ci * h + oy * k + ky) * w + ox * k + kx].clone());
+                            }
+                        }
+                    }
+                    streams.push(s);
+                }
+            }
+            while streams.len() > 1 {
+                let b = streams.pop().expect("len > 1");
+                let a = streams.pop().expect("len > 1");
+                streams.push(engine.lwe_max(&a, &b, keys, stats));
+            }
+            st.acc = streams.pop().expect("one stream left");
+        }
+        StepOp::AvgReduce { k, shape } => {
+            let lwes = std::mem::take(&mut st.acc);
+            let (c, h, w) = (shape[0], shape[1], shape[2]);
+            let (oh, ow) = (h / k, w / k);
+            let mut sums = Vec::with_capacity(c * oh * ow);
+            for ci in 0..c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc: Option<LweCiphertext> = None;
+                        for ky in 0..*k {
+                            for kx in 0..*k {
+                                let e = &lwes[(ci * h + oy * k + ky) * w + ox * k + kx];
+                                acc = Some(match acc {
+                                    None => e.clone(),
+                                    Some(a) => engine.lwe_add_scaled(&a, e, 1),
+                                });
+                            }
+                        }
+                        sums.push(acc.expect("k >= 1"));
+                    }
+                }
+            }
+            st.acc = sums;
+        }
+        StepOp::Pack { slot_of } => {
+            let acc = std::mem::take(&mut st.acc);
+            let mut slots: Vec<Option<LweCiphertext>> = vec![None; n];
+            for (slot, flat) in slot_of.iter().enumerate() {
+                if let Some(f) = flat {
+                    slots[slot] = Some(acc[*f].clone());
+                }
+            }
+            st.packed = Some(engine.pack(&slots, keys, stats));
+            st.slots = slots;
+        }
+        StepOp::Fbs { lut } => {
+            let packed = st.packed.take().expect("packed ciphertext");
+            st.boot = Some(engine.fbs(&packed, lut, &st.slots, keys, stats));
+        }
+        StepOp::S2C { value, .. } => {
+            let boot = st.boot.take().expect("bootstrapped ciphertext");
+            st.values[*value] = Some(engine.s2c(&boot, keys, stats));
+            st.slots.clear();
+        }
+        StepOp::Output { scale } => {
+            let ints = engine.decrypt_lwes(&st.acc, secrets);
+            st.logits = ints.iter().map(|&v| v as f64 * scale).collect();
+        }
+    }
+}

@@ -5,7 +5,7 @@
 //!
 //! Counts follow Table 3's complexities with explicit constants:
 //! conv is `packing.pmults` PMult + HAdds; packing is `O(C)` PMult/HRot
-//! (amortized packing after [29]); FBS is Alg. 2 (`t_eff` SMult/HAdd,
+//! (amortized packing after \[29\]); FBS is Alg. 2 (`t_eff` SMult/HAdd,
 //! `2√t_eff` CMult); S2C is the `O(∛N)`-factored transform. The effective
 //! LUT size `t_eff` shrinks with quantization precision — the mechanism
 //! behind Fig. 12's w6a7 speedup.

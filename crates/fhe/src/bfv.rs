@@ -36,7 +36,7 @@ use athena_math::par;
 use athena_math::poly::{Domain, Poly};
 use athena_math::rns::{RnsBasis, RnsPoly};
 use athena_math::sampler::Sampler;
-use athena_math::stats::{lift_stats, rot_stats};
+use athena_math::stats::{lift_stats, op_stats, rot_stats};
 use std::collections::HashMap;
 
 use crate::encoder::SlotEncoder;
@@ -666,6 +666,7 @@ impl<'a> BfvEvaluator<'a> {
     /// [`BfvCiphertext::to_coeff`] first).
     pub fn add(&self, a: &BfvCiphertext, b: &BfvCiphertext) -> BfvCiphertext {
         assert_eq!(a.size(), b.size(), "ciphertext sizes must match");
+        op_stats::record_hadd();
         let parts = a
             .parts
             .iter()
@@ -678,6 +679,7 @@ impl<'a> BfvEvaluator<'a> {
     /// Homomorphic subtraction.
     pub fn sub(&self, a: &BfvCiphertext, b: &BfvCiphertext) -> BfvCiphertext {
         assert_eq!(a.size(), b.size(), "ciphertext sizes must match");
+        op_stats::record_hadd();
         let parts = a
             .parts
             .iter()
@@ -690,6 +692,7 @@ impl<'a> BfvEvaluator<'a> {
     /// In-place addition.
     pub fn add_assign(&self, a: &mut BfvCiphertext, b: &BfvCiphertext) {
         assert_eq!(a.size(), b.size());
+        op_stats::record_hadd();
         for (x, y) in a.parts.iter_mut().zip(&b.parts) {
             self.ctx.qb.add_assign_poly(x, y);
         }
@@ -698,6 +701,7 @@ impl<'a> BfvEvaluator<'a> {
     /// Adds a plaintext polynomial (mod `t`), following the ciphertext's
     /// domain (`Δ·m` is transformed when the ciphertext is Eval-resident).
     pub fn add_plain(&self, a: &BfvCiphertext, m: &Poly) -> BfvCiphertext {
+        op_stats::record_hadd();
         let ctx = self.ctx;
         let mut out = a.clone();
         let mut d = ctx.delta_times(m);
@@ -727,6 +731,7 @@ impl<'a> BfvEvaluator<'a> {
             Domain::Eval,
             "lifted plaintext operands are cached in Eval form"
         );
+        op_stats::record_pmult();
         let keep_coeff = a.domain() == Domain::Coeff;
         let parts = a
             .parts
@@ -747,6 +752,7 @@ impl<'a> BfvEvaluator<'a> {
     /// by the constant `c ∈ Z_t` (lifted centered). Domain-preserving and
     /// NTT-free in either form.
     pub fn mul_scalar(&self, a: &BfvCiphertext, c: u64) -> BfvCiphertext {
+        op_stats::record_smult();
         let ctx = self.ctx;
         let t = ctx.params.t;
         let c = c % t;
@@ -877,6 +883,7 @@ impl<'a> BfvEvaluator<'a> {
     /// scale-down. No lifts, so repeated products against a cached
     /// [`TensorOperand`] pay zero forward NTTs on that operand.
     pub fn mul_no_relin_lifted(&self, a: &TensorOperand, b: &TensorOperand) -> BfvCiphertext {
+        op_stats::record_cmult();
         let ctx = self.ctx;
         let e0 = ctx.mb.mul_poly(&a.parts[0], &b.parts[0]);
         let mut e1 = ctx.mb.mul_poly(&a.parts[0], &b.parts[1]);
@@ -959,6 +966,7 @@ impl<'a> BfvEvaluator<'a> {
         key: &KeySwitchKey,
     ) -> BfvCiphertext {
         let ctx = self.ctx;
+        op_stats::record_hrot();
         let permuted: Vec<RnsPoly> =
             par::parallel_map_range(digits.len(), |i| ctx.qb.automorphism_poly(&digits[i], g));
         let (mut p0, p1) = key.apply_digits(ctx, &permuted);

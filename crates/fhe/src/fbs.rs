@@ -282,6 +282,37 @@ pub fn fbs_split(t: u64) -> BsgsSplit {
     BsgsSplit::balanced(t as usize)
 }
 
+/// Exact operation counts one [`fbs_apply`] of this LUT will incur,
+/// computed by dry-running Alg. 2's schedule over a unit algebra (the same
+/// [`bsgs_polynomial_eval`] drives both, so zero-coefficient skipping — the
+/// data-dependent part of the count — is reproduced exactly).
+///
+/// The returned stats mirror the [`FbsStats`] of the real call; the final
+/// plaintext constant add (`c_0`) is *not* included, matching the real
+/// path's accounting (it shows up as one extra measured HAdd).
+pub fn expected_stats(lut: &Lut) -> FbsStats {
+    let coeffs = lut.interpolate();
+    #[derive(Clone)]
+    struct Unit;
+    let mut stats = FbsStats::default();
+    {
+        let mut mul = |_: &Unit, _: &Unit| {
+            stats.cmult += 1;
+            Unit
+        };
+        let mut smul = |_: &Unit, _: u64| {
+            stats.smult += 1;
+            Unit
+        };
+        let mut add = |_: &Unit, _: &Unit| {
+            stats.hadd += 1;
+            Unit
+        };
+        let _ = bsgs_polynomial_eval(&coeffs, &Unit, &mut mul, &mut smul, &mut add);
+    }
+    stats
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

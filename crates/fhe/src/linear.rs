@@ -15,6 +15,7 @@ use athena_math::modops::Modulus;
 use athena_math::par;
 use athena_math::poly::Domain;
 use athena_math::rns::RnsPoly;
+use athena_math::stats::op_stats::HomOpCounts;
 
 use crate::bfv::{BfvCiphertext, BfvContext, BfvEvaluator, GaloisKeys};
 
@@ -111,6 +112,44 @@ impl HomLinearTransform {
     /// row-swapped), `groups − 1` giant output rotations, and one row swap.
     pub fn rotation_count(&self) -> usize {
         2 * (self.split.baby - 1) + (self.groups - 1) + 1
+    }
+
+    /// Exact operation counts of one [`apply`](Self::apply) call, derived
+    /// from the cached diagonal sparsity — these match the op-stats-measured
+    /// counts bit for bit (the schedule is deterministic):
+    ///
+    /// * `pmult` — one per cached (non-zero) generalized diagonal;
+    /// * `hrot` — the swap, all `2·(baby−1)` baby rotations (performed
+    ///   unconditionally), and one giant rotation per *non-empty* group
+    ///   beyond group 0;
+    /// * `hadd` — the in-group folds plus the final cross-group fold.
+    pub fn op_counts(&self) -> HomOpCounts {
+        let baby = self.split.baby;
+        let mut pmult = 0u64;
+        let mut hadd = 0u64;
+        let mut nonempty = 0u64;
+        let mut giant_rots = 0u64;
+        for g in 0..self.groups {
+            let terms = (0..2 * baby)
+                .filter(|i| self.diag_cache[g * 2 * baby + i].is_some())
+                .count() as u64;
+            if terms == 0 {
+                continue;
+            }
+            pmult += terms;
+            hadd += terms - 1;
+            nonempty += 1;
+            if g > 0 {
+                giant_rots += 1;
+            }
+        }
+        hadd += nonempty.saturating_sub(1);
+        HomOpCounts {
+            pmult,
+            hadd,
+            hrot: 1 + 2 * (baby as u64 - 1) + giant_rots,
+            ..HomOpCounts::default()
+        }
     }
 
     /// Reference (plaintext) application for tests: `out = M · v`.
@@ -278,6 +317,12 @@ impl SlotToCoeff {
     /// Rotation count per application.
     pub fn rotation_count(&self) -> usize {
         self.transform.rotation_count()
+    }
+
+    /// Exact operation counts of one application (see
+    /// [`HomLinearTransform::op_counts`]).
+    pub fn op_counts(&self) -> HomOpCounts {
+        self.transform.op_counts()
     }
 
     /// Moves slot values into coefficient positions: after this, decrypting

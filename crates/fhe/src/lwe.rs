@@ -1,6 +1,6 @@
 //! The LWE layer: ciphertexts modulo the plaintext modulus `t`, produced by
 //! modulus switching + sample extraction (framework Steps ② and ③), plus
-//! the dimension-switching key switch `N → n` of [12] (Gentry et al. field
+//! the dimension-switching key switch `N → n` of \[12\] (Gentry et al. field
 //! switching, realized here as an LWE key switch).
 //!
 //! Decryption convention: `ct = (a⃗, b)` decrypts as `b + ⟨a⃗, s⃗⟩ mod t`.

@@ -12,12 +12,13 @@
 //! * [`BsgsPackingKey`] — one BFV ciphertext holding `s'` replicated across
 //!   slots; the Halevi–Shoup diagonal method with a baby-step/giant-step
 //!   rotation schedule (`O(√n)` HRot, `n` PMult). This matches the paper's
-//!   Table 3 complexity (`O(C)` PMult, `O(C)` HRot via BSGS [7]).
+//!   Table 3 complexity (`O(C)` PMult, `O(C)` HRot via BSGS \[7\]).
 
 use athena_math::bsgs::BsgsSplit;
 use athena_math::par;
 use athena_math::poly::Domain;
 use athena_math::sampler::Sampler;
+use athena_math::stats::op_stats::HomOpCounts;
 
 use crate::bfv::{
     BfvCiphertext, BfvContext, BfvEvaluator, GaloisKeys, HoistedCiphertext, SecretKey,
@@ -67,6 +68,26 @@ impl ColumnPackingKey {
     /// Key size in bytes (Table 1 accounting).
     pub fn bytes(&self, ctx: &BfvContext) -> usize {
         self.len() * ctx.params().ciphertext_bytes()
+    }
+
+    /// Expected operation counts of one [`pack`](Self::pack) call with at
+    /// least one non-trivial LWE among the inputs: one PMult + HAdd per
+    /// LWE coordinate, plus the plaintext-bodies add. A mask *column* that
+    /// happens to be all-zero across every slot is skipped at run time, so
+    /// the measured count can only fall below this (for uniform LWE masks
+    /// the probability is ≈ `t^-slots` per column — negligible).
+    pub fn expected_op_counts(&self, nontrivial: usize) -> HomOpCounts {
+        if nontrivial == 0 {
+            return HomOpCounts {
+                hadd: 1,
+                ..HomOpCounts::default()
+            };
+        }
+        HomOpCounts {
+            pmult: self.len() as u64,
+            hadd: self.len() as u64 + 1,
+            ..HomOpCounts::default()
+        }
     }
 
     /// Packs up to `N` LWE ciphertexts; missing entries become zero slots.
@@ -126,7 +147,6 @@ impl ColumnPackingKey {
 #[derive(Debug, Clone)]
 pub struct BsgsPackingKey {
     key: HoistedCiphertext,
-    galois: GaloisKeys,
     lwe_dim: usize,
     split: BsgsSplit,
     /// Giant-group count (`giant` clamped to the groups the schedule
@@ -135,7 +155,38 @@ pub struct BsgsPackingKey {
 }
 
 impl BsgsPackingKey {
-    /// Generates the key.
+    /// The BSGS schedule for an LWE dimension: the balanced split and the
+    /// clamped giant-group count. Static — the plan compiler sizes key
+    /// material from this before any key exists.
+    pub fn schedule(lwe_dim: usize) -> (BsgsSplit, usize) {
+        let split = BsgsSplit::balanced(lwe_dim);
+        let groups = split.giant.min(lwe_dim.div_ceil(split.baby.max(1)));
+        (split, groups)
+    }
+
+    /// The Galois elements the schedule for `lwe_dim` needs: rotations
+    /// `1..baby` (baby steps) and `baby, 2·baby, …` for the clamped giant
+    /// groups. The key no longer owns these — they are merged into the
+    /// engine's single deduplicated [`GaloisKeys`] set alongside the S2C
+    /// elements and passed to [`pack`](Self::pack).
+    pub fn required_galois_elements_for(ctx: &BfvContext, lwe_dim: usize) -> Vec<usize> {
+        let (split, groups) = Self::schedule(lwe_dim);
+        let enc = ctx.encoder();
+        let mut elements = Vec::new();
+        for b in 1..split.baby {
+            elements.push(enc.galois_for_rotation(b));
+        }
+        for g in 1..groups {
+            elements.push(enc.galois_for_rotation(g * split.baby));
+        }
+        elements.sort_unstable();
+        elements.dedup();
+        elements
+    }
+
+    /// Generates the key (the replicated-secret ciphertext and its hoisted
+    /// digit cache; no Galois material — see
+    /// [`required_galois_elements_for`](Self::required_galois_elements_for)).
     ///
     /// # Panics
     ///
@@ -161,45 +212,25 @@ impl BsgsPackingKey {
         // Hoist the key once: the digit decomposition is part of the key
         // material, paid at generation instead of on every pack call.
         let key = ev.hoist(&ev.encrypt_sk(&enc.encode(&slots), rlwe_sk, sampler));
-        let split = BsgsSplit::balanced(n_lwe);
-        let groups = split.giant.min(n_lwe.div_ceil(split.baby.max(1)));
-        let tmp = Self {
+        let (split, groups) = Self::schedule(n_lwe);
+        Self {
             key,
-            galois: GaloisKeys::default(),
             lwe_dim: n_lwe,
             split,
             groups,
-        };
-        let elements = tmp.required_galois_elements(ctx);
-        let galois = GaloisKeys::generate(ctx, rlwe_sk, &elements, sampler);
-        // Coverage is validated here, up front, so a schedule change that
-        // forgets a key fails at generation rather than mid-pack.
-        galois.ensure_covers(&elements);
-        Self { galois, ..tmp }
+        }
     }
 
-    /// The Galois elements the BSGS schedule needs: rotations `1..baby`
-    /// (baby steps) and `baby, 2·baby, …` for the clamped giant groups.
+    /// The Galois elements this key's schedule needs.
     pub fn required_galois_elements(&self, ctx: &BfvContext) -> Vec<usize> {
-        let enc = ctx.encoder();
-        let mut elements = Vec::new();
-        for b in 1..self.split.baby {
-            elements.push(enc.galois_for_rotation(b));
-        }
-        for g in 1..self.groups {
-            elements.push(enc.galois_for_rotation(g * self.split.baby));
-        }
-        elements.sort_unstable();
-        elements.dedup();
-        elements
+        Self::required_galois_elements_for(ctx, self.lwe_dim)
     }
 
-    /// Key size in bytes (1 ciphertext + hoisted digit cache + Galois
-    /// keys).
+    /// Key size in bytes: 1 ciphertext + hoisted digit cache. The Galois
+    /// keys the schedule rotates with live in the engine's shared,
+    /// deduplicated set and are accounted there, once.
     pub fn bytes(&self, ctx: &BfvContext) -> usize {
-        ctx.params().ciphertext_bytes()
-            + self.key.digit_bytes()
-            + self.galois.elements().len() * ctx.params().keyswitch_key_bytes()
+        ctx.params().ciphertext_bytes() + self.key.digit_bytes()
     }
 
     /// Number of HRot operations one pack call performs: `baby − 1` baby
@@ -208,12 +239,50 @@ impl BsgsPackingKey {
         (self.split.baby - 1) + (self.groups - 1)
     }
 
-    /// Packs up to `N` LWE ciphertexts with the BSGS diagonal method.
+    /// Expected operation counts of one [`pack`](Self::pack) call: one
+    /// PMult per mask diagonal (there are `lwe_dim` of them across the
+    /// giant groups), the in-group and cross-group HAdd folds, the bodies
+    /// add, and [`rotation_count`](Self::rotation_count) HRots. All-zero
+    /// diagonals are skipped at run time, so measured counts can only fall
+    /// below this (negligibly likely for real LWE masks).
+    pub fn expected_op_counts(&self) -> HomOpCounts {
+        Self::expected_op_counts_for(self.lwe_dim)
+    }
+
+    /// [`expected_op_counts`](Self::expected_op_counts) computed from the
+    /// dimension alone — the plan compiler's entry point, usable before any
+    /// key exists.
+    pub fn expected_op_counts_for(lwe_dim: usize) -> HomOpCounts {
+        let (split, groups_n) = Self::schedule(lwe_dim);
+        let mut pmult = 0u64;
+        let mut hadd = 0u64;
+        for g in 0..groups_n {
+            let shift = g * split.baby;
+            let terms = split.baby.min(lwe_dim.saturating_sub(shift)) as u64;
+            if terms == 0 {
+                continue;
+            }
+            pmult += terms;
+            hadd += terms - 1;
+        }
+        hadd += groups_n as u64 - 1; // cross-group fold
+        hadd += 1; // plaintext bodies
+        HomOpCounts {
+            pmult,
+            hadd,
+            hrot: ((split.baby - 1) + (groups_n - 1)) as u64,
+            ..HomOpCounts::default()
+        }
+    }
+
+    /// Packs up to `N` LWE ciphertexts with the BSGS diagonal method,
+    /// rotating with the caller's (shared, deduplicated) Galois key set.
     ///
     /// # Panics
     ///
-    /// Panics on dimension/modulus mismatches.
-    pub fn pack(&self, ctx: &BfvContext, lwes: &[LweCiphertext]) -> BfvCiphertext {
+    /// Panics on dimension/modulus mismatches or if `gk` is missing an
+    /// element the schedule needs.
+    pub fn pack(&self, ctx: &BfvContext, lwes: &[LweCiphertext], gk: &GaloisKeys) -> BfvCiphertext {
         let n_slots = ctx.n();
         let row = ctx.encoder().row_size();
         let n_lwe = self.lwe_dim;
@@ -222,6 +291,8 @@ impl BsgsPackingKey {
             assert_eq!(ct.dim(), n_lwe, "LWE dimension mismatch");
             assert_eq!(ct.q(), ctx.t(), "LWE modulus must equal t");
         }
+        // Fail up front on a missing key, not mid-schedule.
+        gk.ensure_covers(&self.required_galois_elements(ctx));
         let ev = BfvEvaluator::new(ctx);
         let enc = ctx.encoder();
         // diag_d[i] = A[i][(c_i + d) mod n], c_i = (i mod row) mod n
@@ -244,7 +315,7 @@ impl BsgsPackingKey {
             if b == 0 {
                 key.ciphertext().clone()
             } else {
-                key.rotate_rows(ctx, b, &self.galois)
+                key.rotate_rows(ctx, b, gk)
             }
         });
         // Each giant group — the inner diagonal sum plus one output rotation
@@ -287,7 +358,7 @@ impl BsgsPackingKey {
                 if shift == 0 {
                     inn
                 } else {
-                    ev.rotate_rows(&inn, shift, &self.galois)
+                    ev.rotate_rows(&inn, shift, gk)
                 }
             })
         });
@@ -375,6 +446,12 @@ mod tests {
         let mut f = setup();
         let col = ColumnPackingKey::generate(&f.ctx, &f.rlwe_sk, &f.lwe_sk, &mut f.sampler);
         let bsgs = BsgsPackingKey::generate(&f.ctx, &f.rlwe_sk, &f.lwe_sk, &mut f.sampler);
+        let gk = GaloisKeys::generate(
+            &f.ctx,
+            &f.rlwe_sk,
+            &bsgs.required_galois_elements(&f.ctx),
+            &mut f.sampler,
+        );
         let msgs: Vec<u64> = (0..32u64).map(|i| i * 8 % 257).collect();
         let lwes = fresh_lwes(&mut f, &msgs);
         let ev = BfvEvaluator::new(&f.ctx);
@@ -385,7 +462,7 @@ mod tests {
         let b = f
             .ctx
             .encoder()
-            .decode(&ev.decrypt(&bsgs.pack(&f.ctx, &lwes), &f.rlwe_sk));
+            .decode(&ev.decrypt(&bsgs.pack(&f.ctx, &lwes, &gk), &f.rlwe_sk));
         // Both compute exactly the same plaintext function of (A, b, s'), so
         // the decrypted slots must agree exactly (same LWE noise embedded).
         assert_eq!(a, b);

@@ -237,11 +237,17 @@ fn pack_rotation_count_matches_measured() {
     let mut f = setup();
     let lwe_sk = LweSecret::generate(f.ctx.params().lwe_n, f.ctx.t(), &mut f.sampler);
     let pk = BsgsPackingKey::generate(&f.ctx, &f.sk, &lwe_sk, &mut f.sampler);
+    let gk = GaloisKeys::generate(
+        &f.ctx,
+        &f.sk,
+        &pk.required_galois_elements(&f.ctx),
+        &mut f.sampler,
+    );
     let lwes: Vec<LweCiphertext> = (0..32u64)
         .map(|i| LweCiphertext::encrypt((i * 8) % 257, &lwe_sk, &mut f.sampler))
         .collect();
 
-    let (_, rot) = rot_stats::measure(|| pk.pack(&f.ctx, &lwes));
+    let (_, rot) = rot_stats::measure(|| pk.pack(&f.ctx, &lwes, &gk));
     assert_eq!(
         rot.rotations() as usize,
         pk.rotation_count(),

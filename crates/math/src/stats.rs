@@ -301,9 +301,191 @@ pub mod lift_stats {
     }
 }
 
+/// High-level homomorphic-operation counters: the measured counterpart of
+/// the analytic `OpCounts` the execution-plan IR carries per step.
+///
+/// Each counter is incremented exactly once per logical operation at the
+/// single choke point every code path funnels through (e.g. `hrot` in the
+/// shared decompose-then-permute key switch, so eager and hoisted rotations
+/// count alike). `sample_extract` counts extracted coefficients and
+/// `mod_switch` whole-ciphertext RLWE rescales; LWE-level arithmetic
+/// (additions, per-LWE modulus drops, dimension-switch MACs) is below this
+/// abstraction and deliberately uncounted, matching the analytic model.
+pub mod op_stats {
+    #[cfg(feature = "op-stats")]
+    mod imp {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        static PMULT: AtomicU64 = AtomicU64::new(0);
+        static CMULT: AtomicU64 = AtomicU64::new(0);
+        static SMULT: AtomicU64 = AtomicU64::new(0);
+        static HADD: AtomicU64 = AtomicU64::new(0);
+        static HROT: AtomicU64 = AtomicU64::new(0);
+        static SAMPLE_EXTRACT: AtomicU64 = AtomicU64::new(0);
+        static MOD_SWITCH: AtomicU64 = AtomicU64::new(0);
+
+        #[inline]
+        pub fn record_pmult() {
+            PMULT.fetch_add(1, Ordering::Relaxed);
+        }
+
+        #[inline]
+        pub fn record_cmult() {
+            CMULT.fetch_add(1, Ordering::Relaxed);
+        }
+
+        #[inline]
+        pub fn record_smult() {
+            SMULT.fetch_add(1, Ordering::Relaxed);
+        }
+
+        #[inline]
+        pub fn record_hadd() {
+            HADD.fetch_add(1, Ordering::Relaxed);
+        }
+
+        #[inline]
+        pub fn record_hrot() {
+            HROT.fetch_add(1, Ordering::Relaxed);
+        }
+
+        #[inline]
+        pub fn record_sample_extract() {
+            SAMPLE_EXTRACT.fetch_add(1, Ordering::Relaxed);
+        }
+
+        #[inline]
+        pub fn record_mod_switch() {
+            MOD_SWITCH.fetch_add(1, Ordering::Relaxed);
+        }
+
+        pub fn reset() {
+            for c in [
+                &PMULT,
+                &CMULT,
+                &SMULT,
+                &HADD,
+                &HROT,
+                &SAMPLE_EXTRACT,
+                &MOD_SWITCH,
+            ] {
+                c.store(0, Ordering::Relaxed);
+            }
+        }
+
+        pub fn raw() -> [u64; 7] {
+            [
+                PMULT.load(Ordering::Relaxed),
+                CMULT.load(Ordering::Relaxed),
+                SMULT.load(Ordering::Relaxed),
+                HADD.load(Ordering::Relaxed),
+                HROT.load(Ordering::Relaxed),
+                SAMPLE_EXTRACT.load(Ordering::Relaxed),
+                MOD_SWITCH.load(Ordering::Relaxed),
+            ]
+        }
+    }
+
+    #[cfg(not(feature = "op-stats"))]
+    mod imp {
+        #[inline]
+        pub fn record_pmult() {}
+        #[inline]
+        pub fn record_cmult() {}
+        #[inline]
+        pub fn record_smult() {}
+        #[inline]
+        pub fn record_hadd() {}
+        #[inline]
+        pub fn record_hrot() {}
+        #[inline]
+        pub fn record_sample_extract() {}
+        #[inline]
+        pub fn record_mod_switch() {}
+        pub fn reset() {}
+        pub fn raw() -> [u64; 7] {
+            [0; 7]
+        }
+    }
+
+    pub use imp::{
+        record_cmult, record_hadd, record_hrot, record_mod_switch, record_pmult,
+        record_sample_extract, record_smult, reset,
+    };
+
+    /// Snapshot of every homomorphic-operation counter.
+    #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+    pub struct HomOpCounts {
+        /// Plaintext-ciphertext multiplications.
+        pub pmult: u64,
+        /// Ciphertext-ciphertext multiplications (tensor products).
+        pub cmult: u64,
+        /// Scalar multiplications.
+        pub smult: u64,
+        /// Homomorphic additions (ciphertext-ciphertext and plaintext).
+        pub hadd: u64,
+        /// Rotations / automorphisms with a key switch.
+        pub hrot: u64,
+        /// Coefficients run through sample extraction.
+        pub sample_extract: u64,
+        /// Whole-ciphertext RLWE modulus switches.
+        pub mod_switch: u64,
+    }
+
+    impl HomOpCounts {
+        /// Component-wise sum.
+        pub fn add(&mut self, o: &HomOpCounts) {
+            self.pmult += o.pmult;
+            self.cmult += o.cmult;
+            self.smult += o.smult;
+            self.hadd += o.hadd;
+            self.hrot += o.hrot;
+            self.sample_extract += o.sample_extract;
+            self.mod_switch += o.mod_switch;
+        }
+
+        /// Component-wise difference (saturating).
+        pub fn sub(&self, o: &HomOpCounts) -> HomOpCounts {
+            HomOpCounts {
+                pmult: self.pmult.saturating_sub(o.pmult),
+                cmult: self.cmult.saturating_sub(o.cmult),
+                smult: self.smult.saturating_sub(o.smult),
+                hadd: self.hadd.saturating_sub(o.hadd),
+                hrot: self.hrot.saturating_sub(o.hrot),
+                sample_extract: self.sample_extract.saturating_sub(o.sample_extract),
+                mod_switch: self.mod_switch.saturating_sub(o.mod_switch),
+            }
+        }
+    }
+
+    /// Reads every counter at once.
+    pub fn snapshot() -> HomOpCounts {
+        let [pmult, cmult, smult, hadd, hrot, sample_extract, mod_switch] = imp::raw();
+        HomOpCounts {
+            pmult,
+            cmult,
+            smult,
+            hadd,
+            hrot,
+            sample_extract,
+            mod_switch,
+        }
+    }
+
+    /// Runs `f` and returns its result together with the operation counts
+    /// it incurred. Only meaningful when no other thread is evaluating
+    /// (worker threads spawned *by* `f` are counted — the counters are
+    /// process-global).
+    pub fn measure<T>(f: impl FnOnce() -> T) -> (T, HomOpCounts) {
+        let before = snapshot();
+        let out = f();
+        (out, snapshot().sub(&before))
+    }
+}
+
 #[cfg(all(test, feature = "op-stats"))]
 mod tests {
-    use super::{lift_stats, ntt_stats, rot_stats};
+    use super::{lift_stats, ntt_stats, op_stats, rot_stats};
     use crate::poly::Ring;
 
     #[test]
@@ -333,6 +515,31 @@ mod tests {
         assert_eq!(counts.hoisted, 2);
         assert_eq!(counts.decompose, 1);
         assert_eq!(counts.rotations(), 3);
+    }
+
+    #[test]
+    fn op_counters_record_and_measure() {
+        let ((), counts) = op_stats::measure(|| {
+            op_stats::record_pmult();
+            op_stats::record_pmult();
+            op_stats::record_cmult();
+            op_stats::record_smult();
+            op_stats::record_hadd();
+            op_stats::record_hrot();
+            op_stats::record_sample_extract();
+            op_stats::record_mod_switch();
+        });
+        assert_eq!(counts.pmult, 2);
+        assert_eq!(counts.cmult, 1);
+        assert_eq!(counts.smult, 1);
+        assert_eq!(counts.hadd, 1);
+        assert_eq!(counts.hrot, 1);
+        assert_eq!(counts.sample_extract, 1);
+        assert_eq!(counts.mod_switch, 1);
+        let mut sum = counts;
+        sum.add(&counts);
+        assert_eq!(sum.pmult, 4);
+        assert_eq!(sum.sub(&counts), counts);
     }
 
     #[test]

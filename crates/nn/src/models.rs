@@ -1,5 +1,5 @@
-//! The paper's four benchmark architectures (§5.1): the MNIST toy CNN [4],
-//! LeNet-5 with ReLU [26], ResNet-20 and ResNet-56 [27, 28] — plus a
+//! The paper's four benchmark architectures (§5.1): the MNIST toy CNN \[4\],
+//! LeNet-5 with ReLU \[26\], ResNet-20 and ResNet-56 \[27, 28\] — plus a
 //! shape-level [`ModelSpec`] used by the op-count and cost models without
 //! instantiating weights.
 
@@ -70,7 +70,7 @@ impl ModelKind {
     }
 }
 
-/// The MNIST toy CNN [4]: one convolution and two FC layers.
+/// The MNIST toy CNN \[4\]: one convolution and two FC layers.
 pub fn mnist_cnn(s: &mut Sampler) -> Network {
     let mut net = Network::new();
     net.push(NetLayer::Conv(Conv2d::new(1, 5, 5, 2, 2, s))); // 5×14×14

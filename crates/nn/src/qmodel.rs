@@ -9,6 +9,7 @@
 //! same LUT FBS evaluates homomorphically. Pooling is either integer max
 //! (max-tree of LUTs under FHE) or a sum followed by a divide LUT.
 
+use crate::models::{ConvShape, ModelSpec, NonLinear, SpecLayer};
 use crate::tensor::{ITensor, Tensor};
 
 /// Quantization precision (the paper's `wXaY` notation).
@@ -388,6 +389,84 @@ impl QModel {
             .unwrap_or(0)
     }
 
+    /// Derives the shape-level [`ModelSpec`] of this model, so a concrete
+    /// quantized model can drive the same op-count and accelerator cost
+    /// models as the built-in benchmark specs.
+    ///
+    /// Each linear node becomes one [`SpecLayer`]; a pooling node is folded
+    /// into its producer layer's [`NonLinear`] (the spec convention — pools
+    /// ride the preceding layer's FBS accounting) and emits no layer of its
+    /// own. The final node gets [`NonLinear::None`] (raw logits).
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-square conv inputs, or if a pooling node does not
+    /// directly consume a linear node's output.
+    pub fn to_spec(&self, input_shape: &[usize; 3]) -> ModelSpec {
+        // Value shapes, indexed like the node inputs (0 = network input).
+        let mut shapes: Vec<[usize; 3]> = vec![*input_shape];
+        // (producing node, layer index) of each emitted SpecLayer.
+        let mut layers: Vec<SpecLayer> = Vec::new();
+        let mut layer_of_node: Vec<Option<usize>> = Vec::new();
+        for (ni, node) in self.nodes.iter().enumerate() {
+            let is_last = ni == self.nodes.len() - 1;
+            let in_shape = shapes[node.input];
+            match &node.op {
+                QOp::Linear(l) => {
+                    let (c_out, k) = (l.weight.shape()[0], l.weight.shape()[2]);
+                    let conv = if l.is_fc {
+                        ConvShape {
+                            hw: 1,
+                            c_in: in_shape.iter().product(),
+                            c_out,
+                            k: 1,
+                            stride: 1,
+                            padding: 0,
+                        }
+                    } else {
+                        assert_eq!(in_shape[1], in_shape[2], "non-square conv input");
+                        ConvShape {
+                            hw: in_shape[1],
+                            c_in: in_shape[0],
+                            c_out,
+                            k,
+                            stride: l.stride,
+                            padding: l.padding,
+                        }
+                    };
+                    let out_hw = conv.out_hw();
+                    shapes.push([c_out, out_hw, out_hw]);
+                    layer_of_node.push(Some(layers.len()));
+                    layers.push(SpecLayer {
+                        conv,
+                        act: if is_last {
+                            NonLinear::None
+                        } else {
+                            NonLinear::Activation
+                        },
+                    });
+                }
+                QOp::MaxPool { k } | QOp::AvgPool { k } => {
+                    let producer = node
+                        .input
+                        .checked_sub(1)
+                        .and_then(|p| layer_of_node.get(p).copied().flatten())
+                        .expect("pooling must consume a linear node's output");
+                    layers[producer].act = match &node.op {
+                        QOp::MaxPool { .. } => NonLinear::MaxPool { k: *k },
+                        _ => NonLinear::AvgPool { k: *k },
+                    };
+                    shapes.push([in_shape[0], in_shape[1] / k, in_shape[2] / k]);
+                    layer_of_node.push(None);
+                }
+            }
+        }
+        ModelSpec {
+            name: "qmodel",
+            layers,
+        }
+    }
+
     /// The linear-layer nodes (for LUT/size accounting).
     pub fn linear_nodes(&self) -> impl Iterator<Item = (usize, &QLinear)> {
         self.nodes
@@ -489,6 +568,68 @@ mod tests {
         // acc = 20 + 3 = 23 -> logits 23*0.125
         assert_eq!(logits, vec![23.0 * 0.125]);
         assert_eq!(stats.max_acc[0], 23);
+    }
+
+    #[test]
+    fn to_spec_folds_pooling_and_marks_last_layer() {
+        // conv 1→6 5×5 pad 2 → maxpool 2 → FC 6·14·14 → 10.
+        let model = QModel {
+            nodes: vec![
+                QNode {
+                    op: QOp::Linear(QLinear {
+                        weight: ITensor::from_vec(&[6, 1, 5, 5], vec![1; 6 * 25]),
+                        bias: vec![0; 6],
+                        stride: 1,
+                        padding: 2,
+                        is_fc: false,
+                        act: Activation::ReLU,
+                        in_scale: 1.0,
+                        w_scale: 1.0,
+                        out_scale: 1.0,
+                    }),
+                    input: 0,
+                    skip: None,
+                },
+                QNode {
+                    op: QOp::MaxPool { k: 2 },
+                    input: 1,
+                    skip: None,
+                },
+                QNode {
+                    op: QOp::Linear(QLinear {
+                        weight: ITensor::from_vec(&[10, 6 * 14 * 14, 1, 1], vec![0; 10 * 6 * 196]),
+                        bias: vec![0; 10],
+                        stride: 1,
+                        padding: 0,
+                        is_fc: true,
+                        act: Activation::Identity,
+                        in_scale: 1.0,
+                        w_scale: 1.0,
+                        out_scale: 1.0,
+                    }),
+                    input: 2,
+                    skip: None,
+                },
+            ],
+            input_scale: 1.0,
+            cfg: QuantConfig::w7a7(),
+        };
+        let spec = model.to_spec(&[1, 28, 28]);
+        assert_eq!(spec.layers.len(), 2); // pool folded, no layer of its own
+        let l0 = &spec.layers[0];
+        assert_eq!(
+            (l0.conv.hw, l0.conv.c_in, l0.conv.c_out, l0.conv.k),
+            (28, 1, 6, 5)
+        );
+        assert_eq!(l0.conv.out_hw(), 28);
+        assert!(matches!(l0.act, NonLinear::MaxPool { k: 2 }));
+        let l1 = &spec.layers[1];
+        // FC input is the pooled 6×14×14 tensor, flattened.
+        assert_eq!(
+            (l1.conv.hw, l1.conv.c_in, l1.conv.c_out, l1.conv.k),
+            (1, 6 * 14 * 14, 10, 1)
+        );
+        assert!(matches!(l1.act, NonLinear::None));
     }
 
     #[test]
