@@ -1,11 +1,31 @@
 //! Table 4: per-step noise budget of the Athena loop.
+//!
+//! Since the plan-derived noise accounting landed, the rows come from
+//! [`derive_steps`] at the production [`StepProfile`] — the same
+//! constructors the plan compiler charges compiled steps with — and the
+//! paper's hand-written table survives as the frozen [`athena_steps`]
+//! fixture the derivation is checked against (here and in
+//! `report_noise` / the `athena-fhe` unit tests).
 
 use athena_bench::render_table;
-use athena_fhe::noise::{athena_steps, total_noise_bits, NoiseModel};
+use athena_fhe::noise::{athena_steps, derive_steps, total_noise_bits, NoiseModel, StepProfile};
 
 fn main() {
     let m = NoiseModel::athena_production();
-    let steps = athena_steps();
+    let steps = derive_steps(&StepProfile::athena_production());
+    let fixture = athena_steps();
+    assert_eq!(
+        steps.len(),
+        fixture.len(),
+        "derived Table 4 drifted from the frozen fixture"
+    );
+    for (d, f) in steps.iter().zip(&fixture) {
+        assert_eq!(
+            (d.name, d.pmult, d.cmult, d.smult, d.hadd),
+            (f.name, f.pmult, f.cmult, f.smult, f.hadd),
+            "derived Table 4 drifted from the frozen fixture"
+        );
+    }
     let mut rows: Vec<Vec<String>> = steps
         .iter()
         .map(|s| {
@@ -28,6 +48,7 @@ fn main() {
         total_noise_bits(&steps, &m).to_string(),
     ]);
     println!("Table 4: maximum noise (bits) per Athena step (paper: 37/43/558/68, total 706)");
+    println!("(rows derived from StepProfile::athena_production; frozen fixture matched)");
     println!(
         "{}",
         render_table(

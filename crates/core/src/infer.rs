@@ -59,6 +59,37 @@ pub fn run_encrypted(
     }
 }
 
+/// Runs a quantized model under FHE with the noise probe on: the returned
+/// [`plan::PlanRun`] carries per-step analytic noise charges, measured
+/// budgets, and consumption, and the inference fails with a typed
+/// [`plan::NoiseExhausted`] — instead of returning garbage logits — the
+/// moment any step's measured budget reaches zero. Test/debug only (the
+/// probe reads the secret key); the logits are bit-identical to
+/// [`run_encrypted`].
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`run_encrypted`].
+pub fn run_encrypted_probed(
+    engine: &AthenaEngine,
+    secrets: &AthenaSecrets,
+    keys: &AthenaEvalKeys,
+    model: &QModel,
+    input: &ITensor,
+    sampler: &mut Sampler,
+) -> Result<plan::PlanRun, plan::NoiseExhausted> {
+    let compiled = plan::compile(engine, model, input.shape());
+    plan::execute_probed(
+        engine,
+        secrets,
+        keys,
+        &compiled,
+        input,
+        sampler,
+        plan::NoiseProbe::On,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

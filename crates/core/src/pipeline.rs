@@ -138,6 +138,13 @@ impl AthenaEngine {
         &self.ctx
     }
 
+    /// The Table-4 noise model at this engine's parameters (exact `log₂Q`
+    /// from the limb product) — the model the plan compiler charges every
+    /// step's analytic `noise_bits` with.
+    pub fn noise_model(&self) -> athena_fhe::noise::NoiseModel {
+        athena_fhe::noise::NoiseModel::for_params(self.ctx.params())
+    }
+
     /// The Galois elements the engine's configuration needs: the S2C
     /// schedule's, merged (sorted, deduplicated) with the BSGS packing
     /// schedule's when the engine packs via BSGS. This is the exact set

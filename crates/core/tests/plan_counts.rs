@@ -253,3 +253,42 @@ fn s2c_factorization_drift_is_documented() {
     let s2c_counts = engine.slot_to_coeff().op_counts();
     assert_eq!(s2c_counts.hrot, single_stage_hrot);
 }
+
+/// Per-step measured counts are thread-count invariant: the `op-stats`
+/// counters are process-global relaxed atomics bumped from worker threads,
+/// so a mis-scoped measurement window (or counter bumps escaping a step's
+/// `measure()` bracket from still-running workers) would show up as counts
+/// drifting between serial and parallel runs. Pins the serial run and a
+/// 4-worker run of the same seeded plan to identical per-step counts —
+/// the CI `ATHENA_THREADS={1,4}` matrix relies on this invariance.
+#[cfg(feature = "op-stats")]
+#[test]
+fn per_step_counts_are_thread_count_invariant() {
+    let _lock = COUNTER_GUARD.lock().unwrap();
+    let model = conv_model();
+    let input = ITensor::from_vec(&[1, 5, 5], (0..25).map(|i| ((i % 5) as i64) - 2).collect());
+    let run_with = |threads: usize| {
+        athena_math::par::set_threads(threads);
+        let engine = AthenaEngine::with_packing(BfvParams::test_small(), PackingMethod::Bsgs);
+        let compiled = plan::compile(&engine, &model, input.shape());
+        let mut sampler = Sampler::from_seed(4_242);
+        let (secrets, keys) = engine.keygen_for_plan(&compiled, &mut sampler);
+        plan::execute(&engine, &secrets, &keys, &compiled, &input, &mut sampler)
+    };
+    let serial = run_with(1);
+    let parallel = run_with(4);
+    athena_math::par::set_threads(0);
+    assert_eq!(serial.steps.len(), parallel.steps.len());
+    for (s1, s4) in serial.steps.iter().zip(&parallel.steps) {
+        assert_eq!(
+            s1.measured, s4.measured,
+            "node {} step {} ({}): counts drift between 1 and 4 threads",
+            s1.node, s1.step, s1.label
+        );
+        assert_eq!(s1.analytic, s4.analytic);
+    }
+    assert_eq!(
+        serial.logits, parallel.logits,
+        "threading changed arithmetic"
+    );
+}

@@ -645,19 +645,36 @@ impl<'a> BfvEvaluator<'a> {
     }
 
     /// Invariant noise budget in bits (SEAL-style): bits of headroom left
-    /// before `t·(phase)/Q` rounds to the wrong integer. Zero means
-    /// decryption is no longer guaranteed.
+    /// before `t·(phase)/Q` rounds to the wrong integer. Positive values
+    /// are safe doublings of headroom; any value `≤ 0` means decryption is
+    /// no longer guaranteed.
+    ///
+    /// Once the worst coefficient's noise magnitude is within a factor 4
+    /// of the wrap boundary `Q/2` the probe returns **−1** — the band
+    /// where genuinely swamped (mod-`Q`-wrapped) noise lands almost
+    /// surely. The probe **saturates** there: past the wrap, magnitude
+    /// information is unrecoverable (the centered residue is at most
+    /// `Q/2` however large the true noise), so arbitrarily worse noise
+    /// still reads −1 rather than underflowing the `i64`.
     pub fn noise_budget(&self, ct: &BfvCiphertext, sk: &SecretKey) -> i64 {
         let ctx = self.ctx;
         let x = self.phase(ct, sk);
         let coeffs = ctx.qb.poly_to_ubig(&x);
         let mut worst: usize = 0;
+        let mut swamped = false;
         for c in &coeffs {
             // v = t*c mod Q, centered
             let v = c.mul_u64(ctx.params.t).rem(&ctx.q);
             let mag = if v > ctx.half_q { ctx.q.sub(&v) } else { v };
+            swamped = swamped || mag.mul_u64(4) >= ctx.q;
             worst = worst.max(mag.bits());
         }
+        if swamped {
+            return -1;
+        }
+        // mag ≤ ⌊Q/2⌋ by centering, so this difference is never negative
+        // on its own; the explicit −1 above is the only negative value the
+        // probe can produce.
         ctx.q.bits() as i64 - 1 - worst as i64
     }
 

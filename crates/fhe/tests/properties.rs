@@ -227,3 +227,50 @@ fn noise_budget_decreases_under_mul() {
         assert!(after > 0, "one multiplication cannot exhaust the budget");
     }
 }
+
+/// The budget probe saturates instead of wrapping: repeated squaring
+/// drives the budget monotonically down to the declared saturation value
+/// `-1` (noise magnitude ≥ Q/4, past which the wrapped phase carries no
+/// recoverable magnitude information), and *stays* exactly `-1` for
+/// arbitrarily deeper circuits — no i64 underflow, no wrapped "recovered"
+/// positive budget.
+#[test]
+fn noise_budget_saturates_at_minus_one_once_swamped() {
+    let f = fixture();
+    let ev = BfvEvaluator::new(&f.ctx);
+    let enc = f.ctx.encoder();
+    let mut s = Sampler::from_seed(0x5A7);
+    let vals: Vec<u64> = (0..f.ctx.n() as u64).map(|i| (i * 3 + 1) % 17).collect();
+    let mut ct = ev.encrypt_sk(&enc.encode(&vals), &f.sk, &mut s);
+    let mut prev = ev.noise_budget(&ct, &f.sk);
+    assert!(prev > 0, "fresh ciphertext must have positive budget");
+    let mut exhausted_at = None;
+    for depth in 1..=24 {
+        ct = ev.mul(&ct, &ct, &f.rlk);
+        let b = ev.noise_budget(&ct, &f.sk);
+        if b >= 0 {
+            assert!(
+                b < prev,
+                "depth {depth}: healthy budget must keep shrinking ({prev} -> {b})"
+            );
+        } else {
+            assert_eq!(
+                b, -1,
+                "depth {depth}: saturation must read exactly -1, got {b}"
+            );
+            exhausted_at.get_or_insert(depth);
+        }
+        prev = b;
+    }
+    let first = exhausted_at.expect("test_small must exhaust within 24 squarings");
+    // Two more squarings past exhaustion: still exactly -1.
+    for _ in 0..2 {
+        ct = ev.mul(&ct, &ct, &f.rlk);
+        assert_eq!(
+            ev.noise_budget(&ct, &f.sk),
+            -1,
+            "saturation band must be sticky"
+        );
+    }
+    assert!(first >= 2, "budget should survive at least one squaring");
+}

@@ -476,6 +476,15 @@ pub mod op_stats {
     /// it incurred. Only meaningful when no other thread is evaluating
     /// (worker threads spawned *by* `f` are counted — the counters are
     /// process-global).
+    ///
+    /// Thread-count invariance: `par::parallel_*` workers are joined
+    /// before their entry point returns, so every bump a step's workers
+    /// make lands inside that step's bracket regardless of
+    /// `ATHENA_THREADS` — per-step deltas are identical at 1 and N
+    /// workers (pinned by `per_step_counts_are_thread_count_invariant` in
+    /// `athena-core`). Nested `measure()` calls double-attribute: the
+    /// inner bracket's counts also appear in the outer delta, so callers
+    /// composing brackets must subtract inner deltas themselves.
     pub fn measure<T>(f: impl FnOnce() -> T) -> (T, HomOpCounts) {
         let before = snapshot();
         let out = f();
