@@ -37,6 +37,14 @@ pub struct EncryptedInference {
     pub stats: PipelineStats,
 }
 
+impl EncryptedInference {
+    /// Predicted class ([`crate::util::argmax`] over the logits, the same
+    /// tie-breaking as the simulated and plain-Q paths).
+    pub fn predicted(&self) -> usize {
+        crate::util::argmax(&self.logits)
+    }
+}
+
 /// Runs a quantized model under FHE on one quantized input image.
 ///
 /// # Panics

@@ -10,8 +10,11 @@
 //!   S2C, plus the homomorphic max-tree and softmax of §3.2.3.
 //! * [`plan`] — the execution-plan IR: a typed per-layer step program
 //!   compiled from a quantized model, with layouts, LUTs, Galois elements,
-//!   key requirements, and analytic op counts resolved up front. One plan
-//!   drives the executor, the accelerator trace, and key generation.
+//!   key requirements, and analytic op counts resolved up front. One
+//!   generic interpreter drives the plan across three backends (encrypted,
+//!   noise simulation, analytic counting); the same plan also feeds the
+//!   accelerator trace, key generation, and the cached batched
+//!   `InferenceSession`.
 //! * [`infer`] — end-to-end encrypted inference of a quantized model (a
 //!   thin compile-then-execute wrapper over [`plan`]).
 //! * [`simulate`] — the validated `e_ms` noise model driving full-scale
@@ -51,3 +54,4 @@ pub mod pipeline;
 pub mod plan;
 pub mod simulate;
 pub mod trace;
+pub mod util;

@@ -1,0 +1,527 @@
+//! The generic plan interpreter and its drivers.
+//!
+//! [`run_step`] owns the control flow of every step — group accumulation,
+//! residual re-extraction, the pooling window streams and max tree — and
+//! is generic over [`PlanBackend`], so all three backends interpret the
+//! identical step structure. Three drivers walk the plan:
+//!
+//! * [`execute`] / [`execute_probed`] — the encrypted run, with optional
+//!   per-step noise probing and measured `op-stats` brackets;
+//! * [`execute_sim`] — the plan-driven noise-faithful simulation
+//!   ([`super::NoiseSimBackend`]);
+//! * [`execute_counting`] — the value-free analytic dry run
+//!   ([`super::CountingBackend`]), which `compile` uses to backfill
+//!   [`super::PlanStep::analytic`].
+
+use athena_fhe::bfv::{BfvCiphertext, BfvEvaluator};
+use athena_fhe::fbs::Lut;
+use athena_math::sampler::Sampler;
+use athena_math::stats::op_stats;
+use athena_nn::tensor::ITensor;
+
+use crate::pipeline::{AthenaEngine, AthenaEvalKeys, AthenaSecrets, PipelineStats};
+use crate::simulate::NoiseSpec;
+use crate::trace::{OpCounts, Phase};
+
+use super::backend::{CountingBackend, EncryptedBackend, NoiseSimBackend, PlanBackend};
+use super::ir::{counts_from_hom, ExecutionPlan, StepOp};
+
+/// The measured record of one executed step.
+#[derive(Debug, Clone)]
+pub struct StepReport {
+    /// Source node index.
+    pub node: usize,
+    /// Step index within the node.
+    pub step: usize,
+    /// Step label ([`StepOp::label`]).
+    pub label: &'static str,
+    /// Phase attribution.
+    pub phase: Phase,
+    /// Compile-time analytic counts.
+    pub analytic: OpCounts,
+    /// Counter-measured counts (zero when the `op-stats` feature is off,
+    /// and attributable only when no other thread drives the engine
+    /// concurrently — the counters are process-global).
+    pub measured: OpCounts,
+    /// Compile-time analytic noise charge in bits
+    /// ([`super::PlanStep::noise_bits`]).
+    pub noise_bits: u32,
+    /// Measured invariant-noise budget of the step's RLWE output, sampled
+    /// right after the step ran. `Some` only under [`NoiseProbe::On`] and
+    /// only for RLWE-producing steps (`linear`, `pack`, `fbs`, `s2c`) —
+    /// extraction and LWE-level steps have no `Q`-basis ciphertext to
+    /// probe, and the pooling composite's inner chains end at the LWE
+    /// level.
+    pub noise_budget: Option<i64>,
+    /// Measured noise consumption of the step in bits: the budget of its
+    /// RLWE input (the stored value for `linear`, the fresh input budget
+    /// for `pack` — packing restarts the chain from fresh key-material
+    /// noise — the packed/bootstrapped register for `fbs`/`s2c`) minus
+    /// [`StepReport::noise_budget`]. The plan pins
+    /// `noise_bits ≥ noise_consumed` in tests.
+    pub noise_consumed: Option<i64>,
+}
+
+/// Typed failure of a probed execution: the measured invariant-noise
+/// budget reached zero after a step, so every value downstream of it would
+/// decrypt to garbage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NoiseExhausted {
+    /// Source node index of the exhausting step.
+    pub node: usize,
+    /// Step index within the node.
+    pub step: usize,
+    /// Step label ([`StepOp::label`]).
+    pub label: &'static str,
+    /// The measured budget (`≤ 0`; `-1` once the noise has swamped the
+    /// invariant — the probe saturates there).
+    pub budget: i64,
+}
+
+impl std::fmt::Display for NoiseExhausted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "noise budget exhausted at node {} step {} ({}): {} bits left",
+            self.node, self.step, self.label, self.budget
+        )
+    }
+}
+
+impl std::error::Error for NoiseExhausted {}
+
+/// Whether [`execute_probed`] samples the measured noise budget after
+/// every step. Probing needs the secret key (already supplied to the
+/// executor for input encryption) and is for tests/debugging only: a
+/// production server holds no secret key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NoiseProbe {
+    /// No probing; `noise_budget`/`noise_consumed` stay `None` and the
+    /// execution cannot fail.
+    Off,
+    /// Probe after every RLWE-producing step and fail with
+    /// [`NoiseExhausted`] the moment a budget reaches zero, instead of
+    /// silently decrypting garbage at the end.
+    On,
+}
+
+/// Result of executing a plan.
+#[derive(Debug)]
+pub struct PlanRun {
+    /// Decrypted float logits.
+    pub logits: Vec<f64>,
+    /// Aggregate pipeline statistics.
+    pub stats: PipelineStats,
+    /// Per-step analytic vs measured counts, in execution order.
+    pub steps: Vec<StepReport>,
+    /// Budget of the freshly encrypted input (probe mode only): the
+    /// baseline every chain starts from.
+    pub fresh_budget: Option<i64>,
+}
+
+/// Result of a plan-driven simulated execution.
+#[derive(Debug, Clone)]
+pub struct SimRun {
+    /// Float logits.
+    pub logits: Vec<f64>,
+    /// Predicted class.
+    pub predicted: usize,
+}
+
+/// Executor state: the registers the step vocabulary reads and writes,
+/// generic over the backend's value types.
+pub(crate) struct ExecState<B: PlanBackend> {
+    /// Stored values (S2C outputs + the encrypted input), by value index.
+    pub values: Vec<Option<B::Rlwe>>,
+    /// Pending linear output (between `Linear` and `ModSwitch`).
+    pub cur: Option<B::Rlwe>,
+    /// Mod-switched RLWE (between `ModSwitch` and `ExtractLwes`).
+    pub small: Option<B::Mid>,
+    /// Extracted dimension-`N` LWEs (between `ExtractLwes` and
+    /// `DimSwitch`).
+    pub big: Vec<B::Lwe>,
+    /// The layer's LWE accumulator (grows across groups, consumed by
+    /// `Pack`/reduce/`Output`).
+    pub acc: Vec<B::Lwe>,
+    /// Slot assignment of the last `Pack` (the FBS mask needs it).
+    pub slots: Vec<Option<B::Lwe>>,
+    /// Packed ciphertext (between `Pack` and `Fbs`).
+    pub packed: Option<B::Rlwe>,
+    /// Bootstrapped ciphertext (between `Fbs` and `S2C`).
+    pub boot: Option<B::Rlwe>,
+    pub logits: Vec<f64>,
+}
+
+impl<B: PlanBackend> ExecState<B> {
+    fn new(plan: &ExecutionPlan) -> Self {
+        Self {
+            values: (0..plan.layers.len() + 1).map(|_| None).collect(),
+            cur: None,
+            small: None,
+            big: Vec::new(),
+            acc: Vec::new(),
+            slots: Vec::new(),
+            packed: None,
+            boot: None,
+            logits: Vec::new(),
+        }
+    }
+}
+
+/// Places the flat input activations at the plan's input-layout
+/// coefficient positions.
+fn place_input(plan: &ExecutionPlan, input: &ITensor) -> Vec<i64> {
+    assert_eq!(input.shape(), &plan.input_shape[..], "input shape mismatch");
+    let mut coeffs = vec![0i64; plan.n];
+    for (flat, &pos) in plan.input_positions.iter().enumerate() {
+        coeffs[pos] = input.data()[flat];
+    }
+    coeffs
+}
+
+/// Interprets one step against a backend. All control flow — including
+/// the pooling composites' window streams, max tree, and window sums, and
+/// the residual re-extraction — lives here, decomposed into backend
+/// primitives, so every backend runs the identical structure.
+pub(crate) fn run_step<B: PlanBackend>(
+    backend: &mut B,
+    plan: &ExecutionPlan,
+    op: &StepOp,
+    st: &mut ExecState<B>,
+) {
+    match op {
+        StepOp::Linear {
+            value,
+            kernel,
+            bias,
+        } => {
+            let ct = st.values[*value].as_ref().expect("producer stored");
+            st.cur = Some(backend.linear(ct, kernel, bias));
+        }
+        StepOp::ModSwitch { value } => {
+            let src = match value {
+                Some(i) => st.values[*i].as_ref().expect("value stored"),
+                None => st.cur.as_ref().expect("pending linear output"),
+            };
+            st.small = Some(backend.mod_switch(src));
+        }
+        StepOp::ExtractLwes { positions } => {
+            let small = st.small.as_ref().expect("mod-switched ciphertext");
+            st.big = backend.extract_lwes(small, positions);
+        }
+        StepOp::DimSwitch { drop_to_t } => {
+            let big = std::mem::take(&mut st.big);
+            st.acc.extend(backend.dim_switch(big, *drop_to_t));
+        }
+        StepOp::ResidualAdd {
+            skip,
+            positions,
+            mult,
+            drop_to_t,
+        } => {
+            let ct = st.values[*skip].as_ref().expect("skip stored");
+            let small = backend.mod_switch(ct);
+            let big = backend.extract_lwes(&small, positions);
+            let sw = backend.dim_switch(big, *drop_to_t);
+            assert_eq!(sw.len(), st.acc.len(), "skip shape mismatch");
+            for (a, s) in st.acc.iter_mut().zip(&sw) {
+                *a = backend.lwe_add_scaled(a, s, *mult);
+            }
+        }
+        StepOp::MaxReduce { k, shape } => {
+            let lwes = std::mem::take(&mut st.acc);
+            let (c, h, w) = (shape[0], shape[1], shape[2]);
+            let (oh, ow) = (h / k, w / k);
+            // Window-position streams, then a max tree over them. Each
+            // round is max(a,b) = b + ReLU(a − b): LWE diffs, one
+            // pack → FBS(ReLU) → S2C cycle, re-extraction, and the add —
+            // the same decomposition as `AthenaEngine::lwe_max`, spelled
+            // in backend primitives.
+            let mut streams: Vec<Vec<B::Lwe>> = Vec::with_capacity(k * k);
+            for ky in 0..*k {
+                for kx in 0..*k {
+                    let mut s = Vec::with_capacity(c * oh * ow);
+                    for ci in 0..c {
+                        for oy in 0..oh {
+                            for ox in 0..ow {
+                                s.push(lwes[(ci * h + oy * k + ky) * w + ox * k + kx].clone());
+                            }
+                        }
+                    }
+                    streams.push(s);
+                }
+            }
+            let relu = Lut::from_signed_fn(plan.t, |x| x.max(0));
+            while streams.len() > 1 {
+                let b = streams.pop().expect("len > 1");
+                let a = streams.pop().expect("len > 1");
+                let diffs: Vec<Option<B::Lwe>> = a
+                    .iter()
+                    .zip(&b)
+                    .map(|(x, y)| Some(backend.lwe_add_scaled(x, y, -1)))
+                    .collect();
+                let packed = backend.pack(&diffs);
+                let relu_ct = backend.fbs(&packed, &relu, &diffs);
+                let relu_coeff = backend.s2c(&relu_ct);
+                let small = backend.mod_switch(&relu_coeff);
+                let positions: Vec<usize> = (0..a.len()).collect();
+                let big = backend.extract_lwes(&small, &positions);
+                let relu_lwes = backend.dim_switch(big, true);
+                streams.push(
+                    b.iter()
+                        .zip(&relu_lwes)
+                        .map(|(y, r)| backend.lwe_add_scaled(y, r, 1))
+                        .collect(),
+                );
+            }
+            st.acc = streams.pop().expect("one stream left");
+        }
+        StepOp::AvgReduce { k, shape } => {
+            let lwes = std::mem::take(&mut st.acc);
+            let (c, h, w) = (shape[0], shape[1], shape[2]);
+            let (oh, ow) = (h / k, w / k);
+            let mut sums = Vec::with_capacity(c * oh * ow);
+            for ci in 0..c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc: Option<B::Lwe> = None;
+                        for ky in 0..*k {
+                            for kx in 0..*k {
+                                let e = &lwes[(ci * h + oy * k + ky) * w + ox * k + kx];
+                                acc = Some(match acc {
+                                    None => e.clone(),
+                                    Some(a) => backend.lwe_add_scaled(&a, e, 1),
+                                });
+                            }
+                        }
+                        sums.push(acc.expect("k >= 1"));
+                    }
+                }
+            }
+            st.acc = sums;
+        }
+        StepOp::Pack { slot_of } => {
+            let acc = std::mem::take(&mut st.acc);
+            let mut slots: Vec<Option<B::Lwe>> = (0..plan.n).map(|_| None).collect();
+            for (slot, flat) in slot_of.iter().enumerate() {
+                if let Some(f) = flat {
+                    slots[slot] = Some(acc[*f].clone());
+                }
+            }
+            st.packed = Some(backend.pack(&slots));
+            st.slots = slots;
+        }
+        StepOp::Fbs { lut } => {
+            let packed = st.packed.take().expect("packed ciphertext");
+            st.boot = Some(backend.fbs(&packed, lut, &st.slots));
+        }
+        StepOp::S2C { value, .. } => {
+            let boot = st.boot.take().expect("bootstrapped ciphertext");
+            st.values[*value] = Some(backend.s2c(&boot));
+            st.slots.clear();
+        }
+        StepOp::Output { scale } => {
+            st.logits = backend.output(&st.acc, *scale);
+        }
+    }
+}
+
+/// Executes a compiled plan on one encrypted input.
+///
+/// Bit-identical to the pre-plan monolithic loop: the steps perform the
+/// same exact modular arithmetic in the same order, and the only sampler
+/// draws are the input encryption's. Equivalent to [`execute_probed`] with
+/// [`NoiseProbe::Off`], which cannot fail.
+pub fn execute(
+    engine: &AthenaEngine,
+    secrets: &AthenaSecrets,
+    keys: &AthenaEvalKeys,
+    plan: &ExecutionPlan,
+    input: &ITensor,
+    sampler: &mut Sampler,
+) -> PlanRun {
+    execute_probed(engine, secrets, keys, plan, input, sampler, NoiseProbe::Off)
+        .expect("unprobed execution cannot exhaust")
+}
+
+/// Per-register noise-budget tracker for probe mode: mirrors the RLWE
+/// registers of [`ExecState`] so each step's consumption is measured
+/// against its actual chain predecessor.
+struct NoiseTracker {
+    /// Fresh input budget (also the baseline of every `pack`, whose output
+    /// noise is built from fresh packing-key encryptions).
+    fresh: i64,
+    /// Budget of each stored value (input + S2C outputs).
+    values: Vec<Option<i64>>,
+    /// Budget after the last `pack`.
+    packed: Option<i64>,
+    /// Budget after the last `fbs`.
+    boot: Option<i64>,
+}
+
+/// Executes a compiled plan, optionally sampling the measured
+/// invariant-noise budget after every RLWE-producing step.
+///
+/// With [`NoiseProbe::On`] the returned [`StepReport`]s carry
+/// `noise_budget`/`noise_consumed` alongside the analytic `noise_bits`
+/// charge, and the execution aborts with a typed [`NoiseExhausted`] error
+/// the moment a probed budget reaches zero — the paper's Table-4 invariant
+/// ("total noise stays under Δ/2") made observable and enforced at
+/// runtime, instead of decrypting garbage logits. Probing performs no
+/// sampler draws and no homomorphic ops, so the logits (and the measured
+/// op counts) are bit-identical with the probe on or off.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_probed(
+    engine: &AthenaEngine,
+    secrets: &AthenaSecrets,
+    keys: &AthenaEvalKeys,
+    plan: &ExecutionPlan,
+    input: &ITensor,
+    sampler: &mut Sampler,
+    probe: NoiseProbe,
+) -> Result<PlanRun, NoiseExhausted> {
+    let coeffs = place_input(plan, input);
+    let mut backend = EncryptedBackend::new(engine, secrets, keys, sampler);
+    let mut st = ExecState::new(plan);
+    st.values[0] = Some(backend.encrypt_input(&coeffs));
+
+    let budget_of =
+        |ct: &BfvCiphertext| BfvEvaluator::new(engine.context()).noise_budget(ct, &secrets.sk);
+    let mut tracker = match probe {
+        NoiseProbe::Off => None,
+        NoiseProbe::On => {
+            let fresh = budget_of(st.values[0].as_ref().expect("input encrypted"));
+            let mut values = vec![None; plan.layers.len() + 1];
+            values[0] = Some(fresh);
+            Some(NoiseTracker {
+                fresh,
+                values,
+                packed: None,
+                boot: None,
+            })
+        }
+    };
+
+    let mut reports = Vec::with_capacity(plan.step_count());
+    for layer in &plan.layers {
+        for (si, step) in layer.steps.iter().enumerate() {
+            let ((), hom) = op_stats::measure(|| run_step(&mut backend, plan, &step.op, &mut st));
+            let (budget, consumed) = match &mut tracker {
+                None => (None, None),
+                Some(tr) => probe_step(&step.op, &st, tr, &budget_of),
+            };
+            reports.push(StepReport {
+                node: layer.node,
+                step: si,
+                label: step.op.label(),
+                phase: step.phase,
+                analytic: step.analytic,
+                measured: counts_from_hom(&hom),
+                noise_bits: step.noise_bits,
+                noise_budget: budget,
+                noise_consumed: consumed,
+            });
+            if let Some(b) = budget {
+                if b <= 0 {
+                    return Err(NoiseExhausted {
+                        node: layer.node,
+                        step: si,
+                        label: step.op.label(),
+                        budget: b,
+                    });
+                }
+            }
+        }
+    }
+    Ok(PlanRun {
+        logits: st.logits,
+        stats: backend.into_stats(),
+        steps: reports,
+        fresh_budget: tracker.map(|t| t.fresh),
+    })
+}
+
+/// Probes the RLWE register a step just wrote and charges the consumption
+/// to the step's chain predecessor. Steps whose output lives below the
+/// RLWE layer (extraction, dimension/modulus switches, LWE adds, the
+/// pooling composites, output) yield `(None, None)`.
+fn probe_step(
+    op: &StepOp,
+    st: &ExecState<EncryptedBackend<'_>>,
+    tr: &mut NoiseTracker,
+    budget_of: &dyn Fn(&BfvCiphertext) -> i64,
+) -> (Option<i64>, Option<i64>) {
+    match op {
+        StepOp::Linear { value, .. } => {
+            let after = budget_of(st.cur.as_ref().expect("linear output"));
+            (Some(after), tr.values[*value].map(|b| b - after))
+        }
+        StepOp::Pack { .. } => {
+            // Packing starts a new chain: its output noise is a sum of
+            // PMulted fresh packing-key encryptions, so the fresh budget
+            // is the chain's baseline.
+            let after = budget_of(st.packed.as_ref().expect("packed output"));
+            tr.packed = Some(after);
+            (Some(after), Some(tr.fresh - after))
+        }
+        StepOp::Fbs { .. } => {
+            let after = budget_of(st.boot.as_ref().expect("bootstrapped output"));
+            let consumed = tr.packed.take().map(|b| b - after);
+            tr.boot = Some(after);
+            (Some(after), consumed)
+        }
+        StepOp::S2C { value, .. } => {
+            let after = budget_of(st.values[*value].as_ref().expect("s2c output"));
+            let consumed = tr.boot.take().map(|b| b - after);
+            tr.values[*value] = Some(after);
+            (Some(after), consumed)
+        }
+        _ => (None, None),
+    }
+}
+
+/// Runs the plan through the noise-faithful [`NoiseSimBackend`]: exact
+/// integer semantics with the §3.2.2 `e_ms` injection at every LWE drop,
+/// no ciphertext work. At σ = 0 the logits equal the plain-Q integer
+/// reference exactly (pinned in the backend-equivalence tests), so the
+/// simulation is certified against the same plan the encrypted executor
+/// interprets.
+pub fn execute_sim(
+    plan: &ExecutionPlan,
+    input: &ITensor,
+    noise: &NoiseSpec,
+    sampler: &mut Sampler,
+) -> SimRun {
+    let coeffs = place_input(plan, input);
+    let mut backend = NoiseSimBackend::new(plan, noise, sampler);
+    let mut st = ExecState::new(plan);
+    st.values[0] = Some(backend.encrypt_input(&coeffs));
+    for layer in &plan.layers {
+        for step in &layer.steps {
+            run_step(&mut backend, plan, &step.op, &mut st);
+        }
+    }
+    SimRun {
+        predicted: crate::util::argmax(&st.logits),
+        logits: st.logits,
+    }
+}
+
+/// Runs the plan through the value-free [`CountingBackend`] and returns
+/// one [`OpCounts`] per step, in execution order. This is the pass
+/// [`super::compile`] uses to backfill [`super::PlanStep::analytic`] —
+/// exposed so tests and reports can re-derive the counts independently.
+pub fn execute_counting(engine: &AthenaEngine, plan: &ExecutionPlan) -> Vec<OpCounts> {
+    let mut backend = CountingBackend::new(engine);
+    let mut st = ExecState::new(plan);
+    backend.encrypt_input(&vec![0i64; plan.n]);
+    st.values[0] = Some(());
+    let mut out = Vec::with_capacity(plan.step_count());
+    for layer in &plan.layers {
+        for step in &layer.steps {
+            run_step(&mut backend, plan, &step.op, &mut st);
+            out.push(backend.take_counts());
+        }
+    }
+    out
+}

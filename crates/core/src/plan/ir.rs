@@ -1,49 +1,23 @@
-//! The execution-plan IR: a typed, per-layer step program compiled from a
-//! [`QModel`] ahead of any ciphertext work.
-//!
-//! The planner ([`compile`]) resolves everything that is static for a
-//! (model, engine) pair up front — consumer layouts, output-channel group
-//! splits, encoded kernels and bias positions, materialized remap LUTs,
-//! Galois-element and key requirements, and per-step *analytic* operation
-//! counts. The executor ([`execute`]) is then a thin interpreter: it walks
-//! the steps calling the corresponding [`AthenaEngine`] primitive for each
-//! and records the *measured* operation counts around every step via the
-//! `op-stats` counters. Three consumers hang off the same plan:
-//!
-//! * the executor (encrypted inference, bit-identical to the pre-plan
-//!   `infer::run_encrypted` path — every step is exact modular arithmetic,
-//!   so re-grouping the loop cannot change a single coefficient);
-//! * [`ExecutionPlan::to_trace`], which derives the [`ModelTrace`] the
-//!   accelerator model lowers to cycles/energy from the steps' analytic
-//!   counts;
-//! * [`AthenaEngine::keygen_for_plan`], which generates exactly the
-//!   deduplicated key material [`ExecutionPlan::required_keys`] demands and
-//!   validates Galois coverage with `ensure_covers`.
-//!
-//! Step vocabulary: `Linear` (coefficient-encoded conv/FC group),
-//! `ModSwitch` (Q → q_mid), `ExtractLwes` (Alg. 1 sample extraction),
-//! `DimSwitch` (LWE N → n, optionally dropping to `t`), `ResidualAdd`
-//! (skip-path extraction + LWE-level scaled add), `Pack` (LWE → RLWE
-//! homomorphic decryption), `Fbs` (the fused remap LUT of Alg. 2), `S2C`
-//! (slots back to coefficients), the pooling composites
-//! `MaxReduce`/`AvgReduce` (LWE-level trees over the accumulator), and
-//! `Output` (client-side decrypt + dequantize).
+//! Plan types and the compiler: the typed step program, key requirements,
+//! trace derivation, and plan-driven key generation.
 
-use athena_fhe::bfv::{BfvCiphertext, BfvEvaluator, GaloisKeys, RelinKey, SecretKey};
-use athena_fhe::extract::{rlwe_secret_as_lwe_mod, SmallRlwe};
-use athena_fhe::fbs::{expected_stats, FbsStats, Lut};
-use athena_fhe::lwe::{LweCiphertext, LweKeySwitchKey, LweSecret};
+use athena_fhe::bfv::{GaloisKeys, RelinKey, SecretKey};
+use athena_fhe::extract::rlwe_secret_as_lwe_mod;
+use athena_fhe::fbs::Lut;
+use athena_fhe::lwe::{LweKeySwitchKey, LweSecret};
 use athena_fhe::noise::{NoiseModel, StepDepths};
 use athena_fhe::pack::{BsgsPackingKey, ColumnPackingKey};
 use athena_math::sampler::Sampler;
-use athena_math::stats::op_stats::{self, HomOpCounts};
+use athena_math::stats::op_stats::HomOpCounts;
+use athena_nn::models::ConvShape;
 use athena_nn::qmodel::{QLinear, QModel, QOp, QuantConfig};
 use athena_nn::tensor::ITensor;
 
 use crate::encoding::ConvEncoder;
-use crate::pipeline::{AthenaEngine, AthenaEvalKeys, AthenaSecrets, PackingMethod, PipelineStats};
+use crate::pipeline::{AthenaEngine, AthenaEvalKeys, AthenaSecrets, PackingMethod};
 use crate::trace::{LayerTrace, ModelTrace, OpCounts, Phase, TraceParams};
-use athena_nn::models::ConvShape;
+
+use super::exec::execute_counting;
 
 /// The layout a consumer wants its input packed into.
 #[derive(Debug, Clone)]
@@ -228,10 +202,13 @@ pub struct PlanStep {
     pub op: StepOp,
     /// Phase attribution (Fig. 9 breakdown).
     pub phase: Phase,
-    /// Analytic operation counts the step should perform, resolved at
-    /// compile time from the schedules themselves (BSGS splits, diagonal
-    /// occupancy, LUT interpolation). The executor's measured counts must
-    /// match these exactly up to documented data-dependent skips.
+    /// Analytic operation counts the step should perform. The compiler
+    /// fills these by dry-running the finished plan through the value-free
+    /// [`super::CountingBackend`] — the same generic `run_step`
+    /// interpreter the executor uses, with each engine primitive replaced
+    /// by its schedule dry-run — so the analytic accounting is literally
+    /// the execution code path. The executor's measured counts must match
+    /// these exactly up to documented data-dependent skips.
     pub analytic: OpCounts,
     /// Analytic noise charge in bits (Table-4 model): an upper bound on
     /// the invariant-noise growth this step inflicts on the RLWE chain it
@@ -242,7 +219,7 @@ pub struct PlanStep {
     /// switch, LWE adds, output) charge 0; the pooling composite charges
     /// its worst single inner pack→FBS→S2C chain (each round restarts from
     /// fresh packing noise, so one round's chain is the binding
-    /// constraint). The probe mode of [`execute_probed`] pins
+    /// constraint). The probe mode of [`super::execute_probed`] pins
     /// `charge ≥ measured consumption` per step.
     pub noise_bits: u32,
 }
@@ -418,46 +395,6 @@ fn fbs_runtime_charge(t: u64, mask: bool, nm: &NoiseModel, ks_slack: u32) -> u32
         + ks_slack
 }
 
-/// Analytic counts of one FBS step: the dry-run BSGS schedule of the
-/// interpolated LUT, the final constant add (paid whenever the evaluation
-/// is non-trivial), and the non-valid-slot mask PMult when needed.
-fn fbs_analytic(lut: &Lut, mask: bool) -> OpCounts {
-    let es = expected_stats(lut);
-    let mut c = OpCounts {
-        cmult: es.cmult as u64,
-        smult: es.smult as u64,
-        hadd: es.hadd as u64,
-        ..OpCounts::default()
-    };
-    if es != FbsStats::default() {
-        c.hadd += 1; // the constant-coefficient add_plain
-    }
-    if mask {
-        c.pmult += 1;
-    }
-    c
-}
-
-/// Analytic counts of the `k²−1`-round max tree over `len` LWEs: each
-/// round is one pack + FBS(ReLU) + S2C + extract cycle (the LWE-level
-/// diffs and adds are below the op-count abstraction).
-fn max_reduce_analytic(engine: &AthenaEngine, k: usize, len: usize) -> OpCounts {
-    let relu = Lut::from_signed_fn(engine.context().t(), |x| x.max(0));
-    let mut per_round = counts_from_hom(&engine.pack_expected_op_counts(len));
-    per_round.add(&fbs_analytic(&relu, false));
-    per_round.add(&counts_from_hom(&engine.slot_to_coeff().op_counts()));
-    per_round.add(&OpCounts {
-        mod_switch: 1,
-        sample_extract: len as u64,
-        ..OpCounts::default()
-    });
-    let mut total = OpCounts::default();
-    for _ in 0..(k * k - 1) {
-        total.add(&per_round);
-    }
-    total
-}
-
 /// One output-channel group of a linear layer, fully resolved.
 struct LinearGroupPlan {
     kernel: Vec<i64>,
@@ -558,6 +495,13 @@ fn plan_linear_groups(
 
 /// Compiles a quantized model into an [`ExecutionPlan`] for an engine.
 ///
+/// The structural pass below resolves layouts, group splits, LUTs, key
+/// requirements, and per-step noise charges; the per-step *analytic op
+/// counts* are then backfilled by dry-running the finished plan through
+/// [`super::CountingBackend`] — the same `run_step` interpreter the
+/// executor walks, so the analytic accounting cannot drift from the
+/// execution semantics.
+///
 /// # Panics
 ///
 /// Panics if a layer does not fit the engine's ring degree in a single
@@ -629,15 +573,10 @@ pub fn compile(engine: &AthenaEngine, model: &QModel, input_shape: &[usize]) -> 
                 let fan_in = (eff_cin * k * k).max(1) as u64;
                 let (groups, out_shape) = plan_linear_groups(n, &sv_shape, sv_positions.len(), l);
                 for g in groups {
-                    let extracted = g.positions.len() as u64;
                     let has_bias = !g.bias.is_empty();
                     steps.push(PlanStep {
                         phase: Phase::Linear,
-                        analytic: OpCounts {
-                            pmult: 1,
-                            hadd: u64::from(has_bias),
-                            ..OpCounts::default()
-                        },
+                        analytic: OpCounts::default(),
                         noise_bits: StepDepths::linear(fan_in)
                             .with_hadd(u32::from(has_bias))
                             .noise_bits(&nm),
@@ -649,19 +588,13 @@ pub fn compile(engine: &AthenaEngine, model: &QModel, input_shape: &[usize]) -> 
                     });
                     steps.push(PlanStep {
                         phase: Phase::Conversion,
-                        analytic: OpCounts {
-                            mod_switch: 1,
-                            ..OpCounts::default()
-                        },
+                        analytic: OpCounts::default(),
                         noise_bits: 0,
                         op: StepOp::ModSwitch { value: None },
                     });
                     steps.push(PlanStep {
                         phase: Phase::Conversion,
-                        analytic: OpCounts {
-                            sample_extract: extracted,
-                            ..OpCounts::default()
-                        },
+                        analytic: OpCounts::default(),
                         noise_bits: 0,
                         op: StepOp::ExtractLwes {
                             positions: g.positions,
@@ -681,11 +614,7 @@ pub fn compile(engine: &AthenaEngine, model: &QModel, input_shape: &[usize]) -> 
                     let skip = values[skip_idx].as_ref().expect("skip planned");
                     steps.push(PlanStep {
                         phase: Phase::Conversion,
-                        analytic: OpCounts {
-                            mod_switch: 1,
-                            sample_extract: skip.positions.len() as u64,
-                            ..OpCounts::default()
-                        },
+                        analytic: OpCounts::default(),
                         noise_bits: 0,
                         op: StepOp::ResidualAdd {
                             skip: skip_idx,
@@ -699,13 +628,9 @@ pub fn compile(engine: &AthenaEngine, model: &QModel, input_shape: &[usize]) -> 
             }
             QOp::MaxPool { k } => {
                 let (c, h, w) = (sv_shape[0], sv_shape[1], sv_shape[2]);
-                let (oh, ow) = (h / k, w / k);
                 steps.push(PlanStep {
                     phase: Phase::Conversion,
-                    analytic: OpCounts {
-                        mod_switch: 1,
-                        ..OpCounts::default()
-                    },
+                    analytic: OpCounts::default(),
                     noise_bits: 0,
                     op: StepOp::ModSwitch {
                         value: Some(node.input),
@@ -713,10 +638,7 @@ pub fn compile(engine: &AthenaEngine, model: &QModel, input_shape: &[usize]) -> 
                 });
                 steps.push(PlanStep {
                     phase: Phase::Conversion,
-                    analytic: OpCounts {
-                        sample_extract: sv_positions.len() as u64,
-                        ..OpCounts::default()
-                    },
+                    analytic: OpCounts::default(),
                     noise_bits: 0,
                     op: StepOp::ExtractLwes {
                         positions: sv_positions.clone(),
@@ -734,7 +656,7 @@ pub fn compile(engine: &AthenaEngine, model: &QModel, input_shape: &[usize]) -> 
                 note_pack(&mut keys);
                 steps.push(PlanStep {
                     phase: Phase::Pooling,
-                    analytic: max_reduce_analytic(engine, *k, c * oh * ow),
+                    analytic: OpCounts::default(),
                     // Each inner round runs a full pack → FBS(ReLU) → S2C
                     // chain that restarts from fresh packing noise, so the
                     // composite's charge is one round's chain total.
@@ -746,16 +668,13 @@ pub fn compile(engine: &AthenaEngine, model: &QModel, input_shape: &[usize]) -> 
                         shape: [c, h, w],
                     },
                 });
-                vec![c, oh, ow]
+                vec![c, h / k, w / k]
             }
             QOp::AvgPool { k } => {
                 let (c, h, w) = (sv_shape[0], sv_shape[1], sv_shape[2]);
                 steps.push(PlanStep {
                     phase: Phase::Conversion,
-                    analytic: OpCounts {
-                        mod_switch: 1,
-                        ..OpCounts::default()
-                    },
+                    analytic: OpCounts::default(),
                     noise_bits: 0,
                     op: StepOp::ModSwitch {
                         value: Some(node.input),
@@ -763,10 +682,7 @@ pub fn compile(engine: &AthenaEngine, model: &QModel, input_shape: &[usize]) -> 
                 });
                 steps.push(PlanStep {
                     phase: Phase::Conversion,
-                    analytic: OpCounts {
-                        sample_extract: sv_positions.len() as u64,
-                        ..OpCounts::default()
-                    },
+                    analytic: OpCounts::default(),
                     noise_bits: 0,
                     op: StepOp::ExtractLwes {
                         positions: sv_positions.clone(),
@@ -810,7 +726,6 @@ pub fn compile(engine: &AthenaEngine, model: &QModel, input_shape: &[usize]) -> 
 
         // The five-step tail: pack into the consumer's layout, bootstrap
         // through the fused remap LUT, and bridge back to coefficients.
-        let out_len: usize = out_shape.iter().product();
         let layout = consumer_layout(model, ni + 1, &out_shape, n);
         let lut = match &node.op {
             QOp::Linear(l) => {
@@ -829,7 +744,7 @@ pub fn compile(engine: &AthenaEngine, model: &QModel, input_shape: &[usize]) -> 
         keys.relin = true;
         steps.push(PlanStep {
             phase: Phase::Conversion,
-            analytic: counts_from_hom(&engine.pack_expected_op_counts(out_len)),
+            analytic: OpCounts::default(),
             noise_bits: pack_charge,
             op: StepOp::Pack {
                 slot_of: layout.slot_of.clone(),
@@ -842,13 +757,13 @@ pub fn compile(engine: &AthenaEngine, model: &QModel, input_shape: &[usize]) -> 
         };
         steps.push(PlanStep {
             phase: fbs_phase,
-            analytic: fbs_analytic(&lut, needs_mask),
+            analytic: OpCounts::default(),
             noise_bits: fbs_runtime_charge(t, needs_mask, &nm, ks_slack),
             op: StepOp::Fbs { lut },
         });
         steps.push(PlanStep {
             phase: Phase::Conversion,
-            analytic: counts_from_hom(&engine.slot_to_coeff().op_counts()),
+            analytic: OpCounts::default(),
             noise_bits: s2c_charge,
             op: StepOp::S2C {
                 value: ni + 1,
@@ -885,7 +800,7 @@ pub fn compile(engine: &AthenaEngine, model: &QModel, input_shape: &[usize]) -> 
     galois.dedup();
     keys.galois = galois;
 
-    ExecutionPlan {
+    let mut plan = ExecutionPlan {
         n,
         t,
         q_mid: engine.q_mid(),
@@ -896,7 +811,21 @@ pub fn compile(engine: &AthenaEngine, model: &QModel, input_shape: &[usize]) -> 
         input_shape: input_shape.to_vec(),
         layers,
         keys,
+    };
+
+    // Backfill the analytic op counts by dry-running the finished plan
+    // through the CountingBackend: per-step counts come out of the same
+    // generic interpreter the executor runs, with every engine primitive
+    // replaced by its schedule dry-run.
+    let counts = execute_counting(engine, &plan);
+    debug_assert_eq!(counts.len(), plan.step_count());
+    let mut it = counts.into_iter();
+    for layer in &mut plan.layers {
+        for step in &mut layer.steps {
+            step.analytic = it.next().expect("one count per step");
+        }
     }
+    plan
 }
 
 impl AthenaEngine {
@@ -942,426 +871,5 @@ impl AthenaEngine {
                 pack_bsgs,
             },
         )
-    }
-}
-
-/// The measured record of one executed step.
-#[derive(Debug, Clone)]
-pub struct StepReport {
-    /// Source node index.
-    pub node: usize,
-    /// Step index within the node.
-    pub step: usize,
-    /// Step label ([`StepOp::label`]).
-    pub label: &'static str,
-    /// Phase attribution.
-    pub phase: Phase,
-    /// Compile-time analytic counts.
-    pub analytic: OpCounts,
-    /// Counter-measured counts (zero when the `op-stats` feature is off,
-    /// and attributable only when no other thread drives the engine
-    /// concurrently — the counters are process-global).
-    pub measured: OpCounts,
-    /// Compile-time analytic noise charge in bits
-    /// ([`PlanStep::noise_bits`]).
-    pub noise_bits: u32,
-    /// Measured invariant-noise budget of the step's RLWE output, sampled
-    /// right after the step ran. `Some` only under [`NoiseProbe::On`] and
-    /// only for RLWE-producing steps (`linear`, `pack`, `fbs`, `s2c`) —
-    /// extraction and LWE-level steps have no `Q`-basis ciphertext to
-    /// probe, and the pooling composite's inner chains end at the LWE
-    /// level.
-    pub noise_budget: Option<i64>,
-    /// Measured noise consumption of the step in bits: the budget of its
-    /// RLWE input (the stored value for `linear`, the fresh input budget
-    /// for `pack` — packing restarts the chain from fresh key-material
-    /// noise — the packed/bootstrapped register for `fbs`/`s2c`) minus
-    /// [`StepReport::noise_budget`]. The plan pins
-    /// `noise_bits ≥ noise_consumed` in tests.
-    pub noise_consumed: Option<i64>,
-}
-
-/// Typed failure of a probed execution: the measured invariant-noise
-/// budget reached zero after a step, so every value downstream of it would
-/// decrypt to garbage.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct NoiseExhausted {
-    /// Source node index of the exhausting step.
-    pub node: usize,
-    /// Step index within the node.
-    pub step: usize,
-    /// Step label ([`StepOp::label`]).
-    pub label: &'static str,
-    /// The measured budget (`≤ 0`; `-1` once the noise has swamped the
-    /// invariant — the probe saturates there).
-    pub budget: i64,
-}
-
-impl std::fmt::Display for NoiseExhausted {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "noise budget exhausted at node {} step {} ({}): {} bits left",
-            self.node, self.step, self.label, self.budget
-        )
-    }
-}
-
-impl std::error::Error for NoiseExhausted {}
-
-/// Whether [`execute_probed`] samples the measured noise budget after
-/// every step. Probing needs the secret key (already supplied to the
-/// executor for input encryption) and is for tests/debugging only: a
-/// production server holds no secret key.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum NoiseProbe {
-    /// No probing; `noise_budget`/`noise_consumed` stay `None` and the
-    /// execution cannot fail.
-    Off,
-    /// Probe after every RLWE-producing step and fail with
-    /// [`NoiseExhausted`] the moment a budget reaches zero, instead of
-    /// silently decrypting garbage at the end.
-    On,
-}
-
-/// Result of executing a plan.
-#[derive(Debug)]
-pub struct PlanRun {
-    /// Decrypted float logits.
-    pub logits: Vec<f64>,
-    /// Aggregate pipeline statistics.
-    pub stats: PipelineStats,
-    /// Per-step analytic vs measured counts, in execution order.
-    pub steps: Vec<StepReport>,
-    /// Budget of the freshly encrypted input (probe mode only): the
-    /// baseline every chain starts from.
-    pub fresh_budget: Option<i64>,
-}
-
-/// Executor state: the registers the step vocabulary reads and writes.
-struct ExecState {
-    /// Stored values (S2C outputs + the encrypted input), by value index.
-    values: Vec<Option<BfvCiphertext>>,
-    /// Pending linear output (between `Linear` and `ModSwitch`).
-    cur: Option<BfvCiphertext>,
-    /// Mod-switched RLWE (between `ModSwitch` and `ExtractLwes`).
-    small: Option<SmallRlwe>,
-    /// Extracted dimension-`N` LWEs (between `ExtractLwes` and
-    /// `DimSwitch`).
-    big: Vec<LweCiphertext>,
-    /// The layer's LWE accumulator (grows across groups, consumed by
-    /// `Pack`/reduce/`Output`).
-    acc: Vec<LweCiphertext>,
-    /// Slot assignment of the last `Pack` (the FBS mask needs it).
-    slots: Vec<Option<LweCiphertext>>,
-    /// Packed ciphertext (between `Pack` and `Fbs`).
-    packed: Option<BfvCiphertext>,
-    /// Bootstrapped ciphertext (between `Fbs` and `S2C`).
-    boot: Option<BfvCiphertext>,
-    logits: Vec<f64>,
-}
-
-/// Executes a compiled plan on one encrypted input.
-///
-/// Bit-identical to the pre-plan monolithic loop: the steps perform the
-/// same exact modular arithmetic in the same order, and the only sampler
-/// draws are the input encryption's. Equivalent to [`execute_probed`] with
-/// [`NoiseProbe::Off`], which cannot fail.
-pub fn execute(
-    engine: &AthenaEngine,
-    secrets: &AthenaSecrets,
-    keys: &AthenaEvalKeys,
-    plan: &ExecutionPlan,
-    input: &ITensor,
-    sampler: &mut Sampler,
-) -> PlanRun {
-    execute_probed(engine, secrets, keys, plan, input, sampler, NoiseProbe::Off)
-        .expect("unprobed execution cannot exhaust")
-}
-
-/// Per-register noise-budget tracker for probe mode: mirrors the RLWE
-/// registers of [`ExecState`] so each step's consumption is measured
-/// against its actual chain predecessor.
-struct NoiseTracker {
-    /// Fresh input budget (also the baseline of every `pack`, whose output
-    /// noise is built from fresh packing-key encryptions).
-    fresh: i64,
-    /// Budget of each stored value (input + S2C outputs).
-    values: Vec<Option<i64>>,
-    /// Budget after the last `pack`.
-    packed: Option<i64>,
-    /// Budget after the last `fbs`.
-    boot: Option<i64>,
-}
-
-/// Executes a compiled plan, optionally sampling the measured
-/// invariant-noise budget after every RLWE-producing step.
-///
-/// With [`NoiseProbe::On`] the returned [`StepReport`]s carry
-/// `noise_budget`/`noise_consumed` alongside the analytic `noise_bits`
-/// charge, and the execution aborts with a typed [`NoiseExhausted`] error
-/// the moment a probed budget reaches zero — the paper's Table-4 invariant
-/// ("total noise stays under Δ/2") made observable and enforced at
-/// runtime, instead of decrypting garbage logits. Probing performs no
-/// sampler draws and no homomorphic ops, so the logits (and the measured
-/// op counts) are bit-identical with the probe on or off.
-#[allow(clippy::too_many_arguments)]
-pub fn execute_probed(
-    engine: &AthenaEngine,
-    secrets: &AthenaSecrets,
-    keys: &AthenaEvalKeys,
-    plan: &ExecutionPlan,
-    input: &ITensor,
-    sampler: &mut Sampler,
-    probe: NoiseProbe,
-) -> Result<PlanRun, NoiseExhausted> {
-    assert_eq!(input.shape(), &plan.input_shape[..], "input shape mismatch");
-    let n = plan.n;
-    let mut stats = PipelineStats::default();
-    let mut st = ExecState {
-        values: vec![None; plan.layers.len() + 1],
-        cur: None,
-        small: None,
-        big: Vec::new(),
-        acc: Vec::new(),
-        slots: Vec::new(),
-        packed: None,
-        boot: None,
-        logits: Vec::new(),
-    };
-    // Encrypt the input in its consumer's layout.
-    let mut coeffs = vec![0i64; n];
-    for (flat, &pos) in plan.input_positions.iter().enumerate() {
-        coeffs[pos] = input.data()[flat];
-    }
-    let positions_all: Vec<usize> = (0..n).collect();
-    st.values[0] = Some(engine.encrypt_at(&coeffs, &positions_all, secrets, sampler));
-
-    let budget_of =
-        |ct: &BfvCiphertext| BfvEvaluator::new(engine.context()).noise_budget(ct, &secrets.sk);
-    let mut tracker = match probe {
-        NoiseProbe::Off => None,
-        NoiseProbe::On => {
-            let fresh = budget_of(st.values[0].as_ref().expect("input encrypted"));
-            let mut values = vec![None; plan.layers.len() + 1];
-            values[0] = Some(fresh);
-            Some(NoiseTracker {
-                fresh,
-                values,
-                packed: None,
-                boot: None,
-            })
-        }
-    };
-
-    let mut reports = Vec::with_capacity(plan.step_count());
-    for layer in &plan.layers {
-        for (si, step) in layer.steps.iter().enumerate() {
-            let ((), hom) = op_stats::measure(|| {
-                run_step(engine, secrets, keys, n, &step.op, &mut st, &mut stats)
-            });
-            let (budget, consumed) = match &mut tracker {
-                None => (None, None),
-                Some(tr) => probe_step(&step.op, &st, tr, &budget_of),
-            };
-            reports.push(StepReport {
-                node: layer.node,
-                step: si,
-                label: step.op.label(),
-                phase: step.phase,
-                analytic: step.analytic,
-                measured: counts_from_hom(&hom),
-                noise_bits: step.noise_bits,
-                noise_budget: budget,
-                noise_consumed: consumed,
-            });
-            if let Some(b) = budget {
-                if b <= 0 {
-                    return Err(NoiseExhausted {
-                        node: layer.node,
-                        step: si,
-                        label: step.op.label(),
-                        budget: b,
-                    });
-                }
-            }
-        }
-    }
-    Ok(PlanRun {
-        logits: st.logits,
-        stats,
-        steps: reports,
-        fresh_budget: tracker.map(|t| t.fresh),
-    })
-}
-
-/// Probes the RLWE register a step just wrote and charges the consumption
-/// to the step's chain predecessor. Steps whose output lives below the
-/// RLWE layer (extraction, dimension/modulus switches, LWE adds, the
-/// pooling composites, output) yield `(None, None)`.
-fn probe_step(
-    op: &StepOp,
-    st: &ExecState,
-    tr: &mut NoiseTracker,
-    budget_of: &dyn Fn(&BfvCiphertext) -> i64,
-) -> (Option<i64>, Option<i64>) {
-    match op {
-        StepOp::Linear { value, .. } => {
-            let after = budget_of(st.cur.as_ref().expect("linear output"));
-            (Some(after), tr.values[*value].map(|b| b - after))
-        }
-        StepOp::Pack { .. } => {
-            // Packing starts a new chain: its output noise is a sum of
-            // PMulted fresh packing-key encryptions, so the fresh budget
-            // is the chain's baseline.
-            let after = budget_of(st.packed.as_ref().expect("packed output"));
-            tr.packed = Some(after);
-            (Some(after), Some(tr.fresh - after))
-        }
-        StepOp::Fbs { .. } => {
-            let after = budget_of(st.boot.as_ref().expect("bootstrapped output"));
-            let consumed = tr.packed.take().map(|b| b - after);
-            tr.boot = Some(after);
-            (Some(after), consumed)
-        }
-        StepOp::S2C { value, .. } => {
-            let after = budget_of(st.values[*value].as_ref().expect("s2c output"));
-            let consumed = tr.boot.take().map(|b| b - after);
-            tr.values[*value] = Some(after);
-            (Some(after), consumed)
-        }
-        _ => (None, None),
-    }
-}
-
-fn run_step(
-    engine: &AthenaEngine,
-    secrets: &AthenaSecrets,
-    keys: &AthenaEvalKeys,
-    n: usize,
-    op: &StepOp,
-    st: &mut ExecState,
-    stats: &mut PipelineStats,
-) {
-    match op {
-        StepOp::Linear {
-            value,
-            kernel,
-            bias,
-        } => {
-            let ct = st.values[*value].as_ref().expect("producer stored");
-            st.cur = Some(engine.linear(ct, kernel, bias, stats));
-        }
-        StepOp::ModSwitch { value } => {
-            let src = match value {
-                Some(i) => st.values[*i].as_ref().expect("value stored"),
-                None => st.cur.as_ref().expect("pending linear output"),
-            };
-            st.small = Some(engine.mod_switch_mid(src));
-        }
-        StepOp::ExtractLwes { positions } => {
-            let small = st.small.as_ref().expect("mod-switched ciphertext");
-            st.big = engine.sample_extract(small, positions, stats);
-        }
-        StepOp::DimSwitch { drop_to_t } => {
-            let big = std::mem::take(&mut st.big);
-            let mut sw = engine.dim_switch(&big, keys);
-            if *drop_to_t {
-                sw = engine.lwes_to_t(&sw);
-            }
-            st.acc.extend(sw);
-        }
-        StepOp::ResidualAdd {
-            skip,
-            positions,
-            mult,
-            drop_to_t,
-        } => {
-            let ct = st.values[*skip].as_ref().expect("skip stored");
-            let small = engine.mod_switch_mid(ct);
-            let big = engine.sample_extract(&small, positions, stats);
-            let mut sw = engine.dim_switch(&big, keys);
-            if *drop_to_t {
-                sw = engine.lwes_to_t(&sw);
-            }
-            assert_eq!(sw.len(), st.acc.len(), "skip shape mismatch");
-            for (a, s) in st.acc.iter_mut().zip(&sw) {
-                *a = engine.lwe_add_scaled(a, s, *mult);
-            }
-        }
-        StepOp::MaxReduce { k, shape } => {
-            let lwes = std::mem::take(&mut st.acc);
-            let (c, h, w) = (shape[0], shape[1], shape[2]);
-            let (oh, ow) = (h / k, w / k);
-            // Window-position streams, then a max tree over them.
-            let mut streams: Vec<Vec<LweCiphertext>> = Vec::with_capacity(k * k);
-            for ky in 0..*k {
-                for kx in 0..*k {
-                    let mut s = Vec::with_capacity(c * oh * ow);
-                    for ci in 0..c {
-                        for oy in 0..oh {
-                            for ox in 0..ow {
-                                s.push(lwes[(ci * h + oy * k + ky) * w + ox * k + kx].clone());
-                            }
-                        }
-                    }
-                    streams.push(s);
-                }
-            }
-            while streams.len() > 1 {
-                let b = streams.pop().expect("len > 1");
-                let a = streams.pop().expect("len > 1");
-                streams.push(engine.lwe_max(&a, &b, keys, stats));
-            }
-            st.acc = streams.pop().expect("one stream left");
-        }
-        StepOp::AvgReduce { k, shape } => {
-            let lwes = std::mem::take(&mut st.acc);
-            let (c, h, w) = (shape[0], shape[1], shape[2]);
-            let (oh, ow) = (h / k, w / k);
-            let mut sums = Vec::with_capacity(c * oh * ow);
-            for ci in 0..c {
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        let mut acc: Option<LweCiphertext> = None;
-                        for ky in 0..*k {
-                            for kx in 0..*k {
-                                let e = &lwes[(ci * h + oy * k + ky) * w + ox * k + kx];
-                                acc = Some(match acc {
-                                    None => e.clone(),
-                                    Some(a) => engine.lwe_add_scaled(&a, e, 1),
-                                });
-                            }
-                        }
-                        sums.push(acc.expect("k >= 1"));
-                    }
-                }
-            }
-            st.acc = sums;
-        }
-        StepOp::Pack { slot_of } => {
-            let acc = std::mem::take(&mut st.acc);
-            let mut slots: Vec<Option<LweCiphertext>> = vec![None; n];
-            for (slot, flat) in slot_of.iter().enumerate() {
-                if let Some(f) = flat {
-                    slots[slot] = Some(acc[*f].clone());
-                }
-            }
-            st.packed = Some(engine.pack(&slots, keys, stats));
-            st.slots = slots;
-        }
-        StepOp::Fbs { lut } => {
-            let packed = st.packed.take().expect("packed ciphertext");
-            st.boot = Some(engine.fbs(&packed, lut, &st.slots, keys, stats));
-        }
-        StepOp::S2C { value, .. } => {
-            let boot = st.boot.take().expect("bootstrapped ciphertext");
-            st.values[*value] = Some(engine.s2c(&boot, keys, stats));
-            st.slots.clear();
-        }
-        StepOp::Output { scale } => {
-            let ints = engine.decrypt_lwes(&st.acc, secrets);
-            st.logits = ints.iter().map(|&v| v as f64 * scale).collect();
-        }
     }
 }

@@ -1,0 +1,59 @@
+//! The execution-plan IR: a typed, per-layer step program compiled from a
+//! [`athena_nn::qmodel::QModel`] ahead of any ciphertext work.
+//!
+//! The planner ([`compile`]) resolves everything that is static for a
+//! (model, engine) pair up front — consumer layouts, output-channel group
+//! splits, encoded kernels and bias positions, materialized remap LUTs,
+//! Galois-element and key requirements, and per-step *analytic* operation
+//! counts. Execution is one generic interpreter (`exec::run_step`)
+//! parameterized by a [`PlanBackend`] — the step structure, group
+//! accumulation, residual re-extraction, and pooling decompositions are
+//! written once and retargeted across three backends:
+//!
+//! * [`EncryptedBackend`] ([`execute`] / [`execute_probed`]) — real
+//!   RNS-BFV via the [`crate::pipeline::AthenaEngine`] primitives,
+//!   bit-identical to the pre-plan `infer::run_encrypted` path — every
+//!   step is exact modular arithmetic, so re-grouping the loop cannot
+//!   change a single coefficient;
+//! * [`NoiseSimBackend`] ([`execute_sim`]) — the §3.2.2 noise-faithful
+//!   integer simulation, driven step-by-step from the same compiled plan
+//!   (exact plain-Q semantics at σ = 0, `e_ms` injection at every LWE
+//!   drop otherwise);
+//! * [`CountingBackend`] ([`execute_counting`]) — a value-free dry run
+//!   producing the per-step analytic [`crate::trace::OpCounts`] that
+//!   `compile` backfills into [`PlanStep::analytic`], so analytic
+//!   accounting is literally the same code path as execution.
+//!
+//! Two more consumers hang off the same plan:
+//! [`ExecutionPlan::to_trace`], which derives the
+//! [`crate::trace::ModelTrace`] the accelerator model lowers to
+//! cycles/energy, and [`crate::pipeline::AthenaEngine::keygen_for_plan`],
+//! which generates
+//! exactly the deduplicated key material [`ExecutionPlan::required_keys`]
+//! demands and validates Galois coverage with `ensure_covers`. On top,
+//! [`InferenceSession`] caches compiled plans + key material in an LRU
+//! and batches encrypted requests over the worker pool.
+//!
+//! Step vocabulary: `Linear` (coefficient-encoded conv/FC group),
+//! `ModSwitch` (Q → q_mid), `ExtractLwes` (Alg. 1 sample extraction),
+//! `DimSwitch` (LWE N → n, optionally dropping to `t`), `ResidualAdd`
+//! (skip-path extraction + LWE-level scaled add), `Pack` (LWE → RLWE
+//! homomorphic decryption), `Fbs` (the fused remap LUT of Alg. 2), `S2C`
+//! (slots back to coefficients), the pooling composites
+//! `MaxReduce`/`AvgReduce` (LWE-level trees over the accumulator), and
+//! `Output` (client-side decrypt + dequantize).
+
+mod backend;
+mod exec;
+mod ir;
+mod session;
+
+pub use backend::{CountingBackend, EncryptedBackend, NoiseSimBackend, PlanBackend, SimLwe};
+pub use exec::{
+    execute, execute_counting, execute_probed, execute_sim, NoiseExhausted, NoiseProbe, PlanRun,
+    SimRun, StepReport,
+};
+pub use ir::{
+    compile, counts_from_hom, ExecutionPlan, KeyRequirements, PlanLayer, PlanStep, StepOp,
+};
+pub use session::{InferenceSession, SessionStats};

@@ -1,0 +1,336 @@
+//! [`InferenceSession`]: the serving-shaped front end over the plan
+//! pipeline.
+//!
+//! A session owns an [`AthenaEngine`] and an LRU cache of compiled
+//! artifacts, keyed by `(parameter fingerprint, model fingerprint, input
+//! shape)`. A cache hit returns the pointer-identical
+//! [`ExecutionPlan`] (and its key material), so repeated requests against
+//! the same model pay compilation and [`AthenaEngine::keygen_for_plan`]
+//! exactly once. [`InferenceSession::run_batch`] fans a batch of inputs
+//! out over `athena_math::par` worker threads (the `ATHENA_THREADS`
+//! knob), with per-input forked samplers so the results are bit-identical
+//! to the same inputs run sequentially at any thread count.
+
+use std::sync::Arc;
+
+use athena_math::par;
+use athena_math::sampler::Sampler;
+use athena_nn::qmodel::{QModel, QOp};
+use athena_nn::tensor::ITensor;
+
+use crate::infer::EncryptedInference;
+use crate::pipeline::{AthenaEngine, AthenaEvalKeys, AthenaSecrets};
+
+use super::exec::execute;
+use super::ir::{compile, ExecutionPlan};
+
+/// 64-bit FNV-1a — a tiny deterministic fingerprint hasher, enough to key
+/// an in-process plan cache (collisions are astronomically unlikely at
+/// the handful of models a session serves, and a collision only costs a
+/// wrong cache hit between models the caller deliberately aliased).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    fn i64(&mut self, v: i64) {
+        self.u64(v as u64);
+    }
+
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// Fingerprint of the engine's parameter set.
+fn fingerprint_params(engine: &AthenaEngine) -> u64 {
+    let p = engine.context().params();
+    let mut h = Fnv::new();
+    h.usize(p.n);
+    h.usize(p.q_primes.len());
+    for &q in &p.q_primes {
+        h.u64(q);
+    }
+    h.u64(p.t);
+    h.usize(p.lwe_n);
+    h.f64(p.sigma);
+    h.u64(u64::from(p.lwe_ks_base_log));
+    h.finish()
+}
+
+/// Structural fingerprint of a quantized model: weights, biases, scales,
+/// shapes, dataflow. Two models hash equal iff they compile to the same
+/// plan and execute identically.
+fn fingerprint_model(model: &QModel) -> u64 {
+    let mut h = Fnv::new();
+    h.u64(u64::from(model.cfg.w_bits));
+    h.u64(u64::from(model.cfg.a_bits));
+    h.f64(model.input_scale);
+    h.usize(model.nodes.len());
+    for node in &model.nodes {
+        h.usize(node.input);
+        match node.skip {
+            None => h.u64(0),
+            Some((v, m)) => {
+                h.u64(1);
+                h.usize(v);
+                h.i64(m);
+            }
+        }
+        match &node.op {
+            QOp::Linear(l) => {
+                h.u64(2);
+                h.usize(l.weight.shape().len());
+                for &d in l.weight.shape() {
+                    h.usize(d);
+                }
+                for &w in l.weight.data() {
+                    h.i64(w);
+                }
+                for &b in &l.bias {
+                    h.i64(b);
+                }
+                h.usize(l.stride);
+                h.usize(l.padding);
+                h.u64(u64::from(l.is_fc));
+                h.u64(l.act as u64);
+                h.f64(l.in_scale);
+                h.f64(l.w_scale);
+                h.f64(l.out_scale);
+            }
+            QOp::MaxPool { k } => {
+                h.u64(3);
+                h.usize(*k);
+            }
+            QOp::AvgPool { k } => {
+                h.u64(4);
+                h.usize(*k);
+            }
+        }
+    }
+    h.finish()
+}
+
+type CacheKey = (u64, u64, Vec<usize>);
+
+/// One cached compiled artifact: the plan and the key material generated
+/// for it, shared out to callers by `Arc`.
+#[derive(Clone)]
+struct CacheEntry {
+    key: CacheKey,
+    plan: Arc<ExecutionPlan>,
+    secrets: Arc<AthenaSecrets>,
+    keys: Arc<AthenaEvalKeys>,
+}
+
+/// Cache counters of a session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Requests served from the plan cache.
+    pub hits: u64,
+    /// Requests that compiled (and keygenned) a fresh plan.
+    pub misses: u64,
+    /// Plans currently cached.
+    pub entries: usize,
+}
+
+/// An owning inference server: engine + LRU plan cache + amortized
+/// keygen + batched execution.
+///
+/// # Examples
+///
+/// ```no_run
+/// use athena_core::pipeline::AthenaEngine;
+/// use athena_core::plan::InferenceSession;
+/// use athena_fhe::params::BfvParams;
+/// use athena_math::sampler::Sampler;
+/// # let model: athena_nn::qmodel::QModel = unimplemented!();
+/// # let inputs: Vec<athena_nn::tensor::ITensor> = unimplemented!();
+///
+/// let mut session = InferenceSession::new(AthenaEngine::new(BfvParams::test_small()), 4, 42);
+/// let mut sampler = Sampler::from_seed(7);
+/// let results = session.run_batch(&model, &inputs, &mut sampler);
+/// ```
+pub struct InferenceSession {
+    engine: AthenaEngine,
+    params_fp: u64,
+    capacity: usize,
+    key_sampler: Sampler,
+    entries: Vec<CacheEntry>,
+    hits: u64,
+    misses: u64,
+}
+
+impl InferenceSession {
+    /// Creates a session over `engine` caching at most `capacity` compiled
+    /// plans (LRU eviction). `key_seed` seeds the dedicated key-generation
+    /// sampler, so key material is independent of request order and of the
+    /// per-request encryption samplers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(engine: AthenaEngine, capacity: usize, key_seed: u64) -> Self {
+        assert!(capacity > 0, "cache capacity must be at least 1");
+        let params_fp = fingerprint_params(&engine);
+        Self {
+            engine,
+            params_fp,
+            capacity,
+            key_sampler: Sampler::from_seed(key_seed),
+            entries: Vec::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The engine this session serves with.
+    pub fn engine(&self) -> &AthenaEngine {
+        &self.engine
+    }
+
+    /// Cache counters.
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            hits: self.hits,
+            misses: self.misses,
+            entries: self.entries.len(),
+        }
+    }
+
+    /// The compiled plan for `model` at `input_shape` — from cache when
+    /// present (pointer-identical `Arc` across calls), compiled and
+    /// keygenned on first use.
+    pub fn plan_for(&mut self, model: &QModel, input_shape: &[usize]) -> Arc<ExecutionPlan> {
+        self.entry_for(model, input_shape).plan
+    }
+
+    /// Runs one encrypted inference through the session cache.
+    ///
+    /// Forks `sampler` for the request's encryption draws, so a sequence
+    /// of calls consumes exactly one fork per call — the property that
+    /// makes [`InferenceSession::run_batch`] bit-identical to a sequential
+    /// loop.
+    pub fn run_encrypted(
+        &mut self,
+        model: &QModel,
+        input: &ITensor,
+        sampler: &mut Sampler,
+    ) -> EncryptedInference {
+        let mut fork = sampler.fork();
+        let entry = self.entry_for(model, input.shape());
+        run_entry(&self.engine, &entry, input, &mut fork)
+    }
+
+    /// Runs a batch of encrypted inferences, fanning out over the
+    /// `athena_math::par` worker pool (`ATHENA_THREADS`).
+    ///
+    /// Samplers are forked from `sampler` sequentially (one per input, in
+    /// order) before the parallel region, so the results — and the
+    /// caller-visible sampler state afterwards — are bit-identical to
+    /// calling [`InferenceSession::run_encrypted`] on each input in order,
+    /// at any thread count. All inputs must share one shape (one plan).
+    pub fn run_batch(
+        &mut self,
+        model: &QModel,
+        inputs: &[ITensor],
+        sampler: &mut Sampler,
+    ) -> Vec<EncryptedInference> {
+        let Some(first) = inputs.first() else {
+            return Vec::new();
+        };
+        for input in inputs {
+            assert_eq!(
+                input.shape(),
+                first.shape(),
+                "batch inputs must share a shape"
+            );
+        }
+        let entry = self.entry_for(model, first.shape());
+        let mut jobs: Vec<(usize, Sampler, Option<EncryptedInference>)> = inputs
+            .iter()
+            .enumerate()
+            .map(|(i, _)| (i, sampler.fork(), None))
+            .collect();
+        let engine = &self.engine;
+        par::parallel_for_each_mut(&mut jobs, |(i, fork, out)| {
+            *out = Some(run_entry(engine, &entry, &inputs[*i], fork));
+        });
+        jobs.into_iter()
+            .map(|(_, _, out)| out.expect("every job ran"))
+            .collect()
+    }
+
+    /// Looks up (moving the entry to the back of the LRU order) or
+    /// compiles + keygens the artifact for `(model, input_shape)`.
+    fn entry_for(&mut self, model: &QModel, input_shape: &[usize]) -> CacheEntry {
+        let key: CacheKey = (
+            self.params_fp,
+            fingerprint_model(model),
+            input_shape.to_vec(),
+        );
+        if let Some(pos) = self.entries.iter().position(|e| e.key == key) {
+            let entry = self.entries.remove(pos);
+            self.entries.push(entry.clone());
+            self.hits += 1;
+            return entry;
+        }
+        self.misses += 1;
+        let plan = Arc::new(compile(&self.engine, model, input_shape));
+        let mut key_fork = self.key_sampler.fork();
+        let (secrets, keys) = self.engine.keygen_for_plan(&plan, &mut key_fork);
+        let entry = CacheEntry {
+            key,
+            plan,
+            secrets: Arc::new(secrets),
+            keys: Arc::new(keys),
+        };
+        if self.entries.len() == self.capacity {
+            self.entries.remove(0);
+        }
+        self.entries.push(entry.clone());
+        entry
+    }
+}
+
+/// Executes one input against a cached artifact.
+fn run_entry(
+    engine: &AthenaEngine,
+    entry: &CacheEntry,
+    input: &ITensor,
+    sampler: &mut Sampler,
+) -> EncryptedInference {
+    let run = execute(
+        engine,
+        &entry.secrets,
+        &entry.keys,
+        &entry.plan,
+        input,
+        sampler,
+    );
+    EncryptedInference {
+        logits: run.logits,
+        stats: run.stats,
+    }
+}

@@ -13,6 +13,7 @@
 //! tests: the measured `e_ms` distribution of `athena_core::pipeline`
 //! matches this sampler's parameters.
 
+use athena_fhe::params::BfvParams;
 use athena_math::sampler::Sampler;
 use athena_nn::qmodel::{QModel, QStats};
 use athena_nn::tensor::{ITensor, Tensor};
@@ -25,20 +26,31 @@ pub struct NoiseSpec {
 }
 
 impl NoiseSpec {
-    /// From the cryptosystem: ternary LWE secret of dimension `lwe_n`,
-    /// fresh error σ scaled down by `t/Q` (negligible), plus the rounding
-    /// term `(‖s‖² + 1)/12`.
-    pub fn from_params(lwe_n: usize, _sigma_fresh: f64) -> Self {
+    /// From the cryptosystem: the §3.2.2 model
+    /// `e_ms ~ N(0, (tσ/Q)² + (‖s‖² + 1)/12)` with `‖s‖² ≈ 2n/3` for a
+    /// ternary LWE secret of dimension `lwe_n`. The first term carries
+    /// the fresh error σ scaled down by the `Q → t` modulus switch; at
+    /// production parameters (`log₂ Q = 720`) it is astronomically small,
+    /// but it belongs to the model and matters for hypothetical shallow
+    /// moduli.
+    pub fn from_params(lwe_n: usize, sigma_fresh: f64, t: u64, log2_q: f64) -> Self {
+        let scaled_fresh = (t as f64) * sigma_fresh / log2_q.exp2();
         let s_norm_sq = 2.0 * lwe_n as f64 / 3.0;
         Self {
-            sigma: ((s_norm_sq + 1.0) / 12.0).sqrt(),
+            sigma: (scaled_fresh * scaled_fresh + (s_norm_sq + 1.0) / 12.0).sqrt(),
         }
     }
 
-    /// The paper's production model (`n = 2048`): σ ≈ 10.7, i.e. about
-    /// 4 bits — the "e_ms typically falls within about 4 bits" claim.
+    /// The noise model induced by a concrete parameter set.
+    pub fn for_bfv(params: &BfvParams) -> Self {
+        Self::from_params(params.lwe_n, params.sigma, params.t, params.q_bits() as f64)
+    }
+
+    /// The paper's production model (`n = 2048`, `t = 65537`,
+    /// `log₂ Q = 720`): σ ≈ 10.7, i.e. about 4 bits — the "e_ms typically
+    /// falls within about 4 bits" claim.
     pub fn athena_production() -> Self {
-        Self::from_params(2048, 3.2)
+        Self::from_params(2048, 3.2, 65537, 720.0)
     }
 
     /// Noise-free (for plain-Q baselines).
@@ -59,6 +71,13 @@ pub struct SimulatedRun {
 }
 
 /// Simulates one encrypted inference.
+///
+/// This is the *fast path*: it walks [`QModel::forward_with_noise`]
+/// directly, without compiling a plan. It is validated against the
+/// plan-certified path ([`simulate_inference_planned`], which drives
+/// [`crate::plan::NoiseSimBackend`] step-by-step from the compiled plan)
+/// in the backend-equivalence tests: at σ = 0 both are exactly the
+/// plain-Q integer reference.
 pub fn simulate_inference(
     model: &QModel,
     input: &ITensor,
@@ -75,7 +94,7 @@ pub fn simulate_inference(
     } else {
         model.forward_with_noise(input, None, &mut stats)
     };
-    let predicted = argmax(&logits);
+    let predicted = crate::util::argmax(&logits);
     SimulatedRun {
         logits,
         predicted,
@@ -83,12 +102,21 @@ pub fn simulate_inference(
     }
 }
 
-fn argmax(v: &[f64]) -> usize {
-    v.iter()
-        .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaNs"))
-        .map(|(i, _)| i)
-        .unwrap_or(0)
+/// Simulates one encrypted inference by compiling the model and driving
+/// the noise backend step-by-step from the plan — the same compiled
+/// artifact the encrypted executor interprets, so the simulation is
+/// certified against the real step program rather than a parallel
+/// reimplementation. Slower than [`simulate_inference`] (it pays plan
+/// compilation), identical in semantics.
+pub fn simulate_inference_planned(
+    engine: &crate::pipeline::AthenaEngine,
+    model: &QModel,
+    input: &ITensor,
+    noise: &NoiseSpec,
+    sampler: &mut Sampler,
+) -> crate::plan::SimRun {
+    let compiled = crate::plan::compile(engine, model, input.shape());
+    crate::plan::execute_sim(&compiled, input, noise, sampler)
 }
 
 /// Accuracy of the simulated encrypted pipeline over a labelled set.
@@ -192,6 +220,32 @@ mod tests {
         assert!(n.sigma > 8.0 && n.sigma < 14.0, "sigma = {}", n.sigma);
         // "about 4 bits"
         assert!((n.sigma.log2() - 4.0).abs() < 1.0);
+        // Pin the constant: σ = sqrt((tσ_f/Q)² + (2·2048/3 + 1)/12) ≈ 10.67,
+        // the (tσ_f/Q)² term being ~2^-1370 at log₂Q = 720.
+        assert!((n.sigma - 10.67).abs() < 0.05, "sigma = {}", n.sigma);
+    }
+
+    #[test]
+    fn fresh_term_contributes_at_shallow_modulus() {
+        // With Q barely above t the scaled fresh error dominates: t·σ/Q =
+        // 65537·3.2/2^20 ≈ 0.2 adds in quadrature over the rounding term.
+        let deep = NoiseSpec::from_params(2048, 3.2, 65537, 720.0);
+        let shallow = NoiseSpec::from_params(2048, 3.2, 65537, 20.0);
+        assert!(shallow.sigma > deep.sigma);
+        let expected = {
+            let fresh = 65537.0 * 3.2 / (2f64).powi(20);
+            let round = (2.0 * 2048.0 / 3.0 + 1.0) / 12.0;
+            (fresh * fresh + round).sqrt()
+        };
+        assert!((shallow.sigma - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn for_bfv_matches_explicit_params() {
+        let p = athena_fhe::params::BfvParams::test_small();
+        let a = NoiseSpec::for_bfv(&p);
+        let b = NoiseSpec::from_params(p.lwe_n, p.sigma, p.t, p.q_bits() as f64);
+        assert_eq!(a.sigma.to_bits(), b.sigma.to_bits());
     }
 
     #[test]

@@ -1,0 +1,59 @@
+//! Small shared utilities.
+
+/// Index of the maximal logit, with ties broken toward the **last**
+/// maximal index — the convention every Athena result path shares
+/// (simulated, encrypted, and plain-Q reference), so predictions stay
+/// comparable across backends. Returns `0` for an empty slice.
+///
+/// # Panics
+///
+/// Panics if any logit is NaN (logits are dequantized integers scaled by
+/// finite scales; a NaN means the caller already has corrupt data).
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(athena_core::util::argmax(&[0.5, 2.0, -1.0]), 1);
+/// assert_eq!(athena_core::util::argmax(&[1.0, 3.0, 3.0]), 2);
+/// ```
+pub fn argmax(logits: &[f64]) -> usize {
+    logits
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN logit"))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::argmax;
+
+    #[test]
+    fn picks_the_maximum() {
+        assert_eq!(argmax(&[-3.0, 7.5, 2.0, 7.4]), 1);
+        assert_eq!(argmax(&[4.0]), 0);
+    }
+
+    #[test]
+    fn ties_break_toward_last() {
+        assert_eq!(argmax(&[1.0, 5.0, 5.0, 0.0]), 2);
+        assert_eq!(argmax(&[2.0, 2.0]), 1);
+    }
+
+    #[test]
+    fn empty_returns_zero() {
+        assert_eq!(argmax(&[]), 0);
+    }
+
+    #[test]
+    fn infinities_are_ordinary_values() {
+        assert_eq!(argmax(&[f64::NEG_INFINITY, 0.0, f64::INFINITY]), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN logit")]
+    fn nan_panics() {
+        argmax(&[1.0, f64::NAN]);
+    }
+}

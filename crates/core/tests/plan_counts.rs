@@ -21,6 +21,8 @@
 //! read them serialize on one mutex (same pattern as
 //! `crates/fhe/tests/hoisting.rs`).
 
+#![cfg(feature = "op-stats")]
+
 use std::sync::Mutex;
 
 use athena_core::pipeline::{AthenaEngine, PackingMethod};

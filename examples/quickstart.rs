@@ -69,18 +69,9 @@ fn main() {
 
     println!("\nplaintext logits : {reference:?}");
     println!("encrypted logits : {:?}", enc.logits);
-    let plain_arg = reference
-        .iter()
-        .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-        .map(|(i, _)| i);
-    let enc_arg = enc
-        .logits
-        .iter()
-        .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-        .map(|(i, _)| i);
-    println!("predicted class  : plaintext {plain_arg:?}, encrypted {enc_arg:?}");
+    let plain_arg = athena::core::util::argmax(&reference);
+    let enc_arg = athena::core::util::argmax(&enc.logits);
+    println!("predicted class  : plaintext {plain_arg}, encrypted {enc_arg}");
     let max_delta = reference
         .iter()
         .zip(&enc.logits)

@@ -67,15 +67,10 @@ fn trained_micro_cnn_agrees_across_all_three_pipelines() {
     for img in test_set.images.iter().take(n_imgs) {
         let q = qm.quantize_input(img);
         let ref_pred = qm.predict(&q);
-        let sim = simulate_inference(&qm, &q, &NoiseSpec::from_params(32, 3.2), &mut sampler);
+        let noise = NoiseSpec::for_bfv(engine.context().params());
+        let sim = simulate_inference(&qm, &q, &noise, &mut sampler);
         let enc = run_encrypted(&engine, &secrets, &keys, &qm, &q, &mut sampler);
-        let enc_pred = enc
-            .logits
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .map(|(i, _)| i)
-            .unwrap();
+        let enc_pred = athena::core::util::argmax(&enc.logits);
         if enc_pred == ref_pred {
             ref_agree += 1;
         }

@@ -45,7 +45,7 @@ fn e_ms_distribution_matches_noise_model() {
     let var: f64 =
         errors.iter().map(|e| (e - mean) * (e - mean)).sum::<f64>() / errors.len() as f64;
     let measured_sigma = var.sqrt();
-    let model = NoiseSpec::from_params(engine.context().params().lwe_n, 3.2);
+    let model = NoiseSpec::for_bfv(engine.context().params());
     assert!(mean.abs() < 1.0, "e_ms mean {mean}");
     assert!(
         measured_sigma < model.sigma * 2.5 && measured_sigma > model.sigma * 0.3,
