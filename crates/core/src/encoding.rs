@@ -14,8 +14,86 @@
 //! carries few valid outputs; *Athena* packs output channels first, so the
 //! results land compactly (Table 2).
 
+use std::fmt;
+
 use athena_nn::models::ConvShape;
 use athena_nn::tensor::ITensor;
+
+/// Typed failure of a coefficient encoding. These are the shape checks a
+/// *served* model can violate (the serving path reaches them with
+/// user-supplied architectures), so the `try_*` constructors surface them
+/// as values; the panicking wrappers remain for internal call sites that
+/// have already validated their shapes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodingError {
+    /// One input channel (plus the kernel's coefficient margin) does not
+    /// fit the ring degree: `hw² + margin ≥ n`.
+    ChannelTooLarge {
+        /// Spatial size `H·W` of one channel.
+        hw: usize,
+        /// Kernel margin `HW(K−1) + K−1`.
+        margin: usize,
+        /// Ring degree.
+        n: usize,
+    },
+    /// The conv group's top coefficient `T` plus one channel span exceeds
+    /// the ring degree.
+    GroupTooLarge {
+        /// `T` of Eq. 1 for the group.
+        t_index: usize,
+        /// Input span `C_in·H·W` the product must also hold.
+        input_len: usize,
+        /// Ring degree.
+        n: usize,
+    },
+    /// The input tensor's shape differs from the encoder's layer shape.
+    InputShapeMismatch {
+        /// Shape the encoder was built for (`[C_in, H, W]`).
+        expected: [usize; 3],
+        /// Shape the caller supplied.
+        got: Vec<usize>,
+    },
+    /// The kernel tensor's shape differs from the encoder's layer shape.
+    KernelShapeMismatch {
+        /// Shape the encoder was built for (`[C_out, C_in, K, K]`).
+        expected: [usize; 4],
+        /// Shape the caller supplied.
+        got: Vec<usize>,
+    },
+}
+
+impl fmt::Display for EncodingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodingError::ChannelTooLarge { hw, margin, n } => write!(
+                f,
+                "one channel must fit in the ring: HW {hw} + margin {margin} >= N {n}"
+            ),
+            EncodingError::GroupTooLarge {
+                t_index,
+                input_len,
+                n,
+            } => write!(
+                f,
+                "conv group does not fit degree {n} (T = {t_index}, input span {input_len})"
+            ),
+            EncodingError::InputShapeMismatch { expected, got } => {
+                write!(
+                    f,
+                    "input shape mismatch: expected {expected:?}, got {got:?}"
+                )
+            }
+            EncodingError::KernelShapeMismatch { expected, got } => {
+                write!(
+                    f,
+                    "kernel shape mismatch: expected {expected:?}, got {got:?}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for EncodingError {}
 
 /// How a convolution layer is split across ciphertexts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,10 +136,23 @@ fn divisor_at_most(x: usize, cap: usize) -> usize {
 
 /// Athena's output-channel-first packing: maximize output channels per
 /// result ciphertext, then fit input-channel groups.
+///
+/// # Panics
+///
+/// Panics if one channel does not fit the ring
+/// ([`try_athena_packing`] is the fallible form).
 pub fn athena_packing(shape: &ConvShape, n: usize) -> Packing {
+    try_athena_packing(shape, n).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`athena_packing`]: returns a typed error instead of
+/// panicking when one channel does not fit the ring.
+pub fn try_athena_packing(shape: &ConvShape, n: usize) -> Result<Packing, EncodingError> {
     let hw = shape.hw * shape.hw;
     let m = margin(shape);
-    assert!(hw + m < n, "one channel must fit in the ring");
+    if hw + m >= n {
+        return Err(EncodingError::ChannelTooLarge { hw, margin: m, n });
+    }
     // Largest ci group with room for at least one output channel.
     // Prefer maximizing co first: try co from C_out downward (pow2 splits).
     let mut best: Option<(usize, usize)> = None;
@@ -85,14 +176,14 @@ pub fn athena_packing(shape: &ConvShape, n: usize) -> Packing {
     let (co, ci) = best.expect("at least (1,1) fits");
     let co_groups = shape.c_out / co;
     let ci_groups = shape.c_in / ci;
-    Packing {
+    Ok(Packing {
         co_per_ct: co,
         ci_per_ct: ci,
         input_cts: ci_groups,
         result_cts: co_groups,
         pmults: co_groups * ci_groups,
         hadds: co_groups * (ci_groups - 1),
-    }
+    })
 }
 
 /// Cheetah's input-channel-first packing: the input ciphertext packs as many
@@ -138,14 +229,25 @@ impl ConvEncoder {
     ///
     /// # Panics
     ///
-    /// Panics if the group does not fit the ring degree.
+    /// Panics if the group does not fit the ring degree
+    /// ([`ConvEncoder::try_new`] is the fallible form).
     pub fn new(shape: ConvShape, n: usize) -> Self {
+        Self::try_new(shape, n).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`ConvEncoder::new`]: returns a typed error when the group
+    /// does not fit the ring degree.
+    pub fn try_new(shape: ConvShape, n: usize) -> Result<Self, EncodingError> {
         let t_idx = Self::t_index(&shape);
-        assert!(
-            t_idx + shape.c_in * shape.hw * shape.hw <= n,
-            "conv group does not fit degree {n} (T = {t_idx})"
-        );
-        Self { shape, n }
+        let input_len = shape.c_in * shape.hw * shape.hw;
+        if t_idx + input_len > n {
+            return Err(EncodingError::GroupTooLarge {
+                t_index: t_idx,
+                input_len,
+                n,
+            });
+        }
+        Ok(Self { shape, n })
     }
 
     /// `T` of Eq. 1.
@@ -156,9 +258,25 @@ impl ConvEncoder {
 
     /// Encodes the input feature map `[C_in, H, W]` into polynomial
     /// coefficients (length `N`, signed values to be reduced mod `t`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an input-shape mismatch
+    /// ([`ConvEncoder::try_encode_input`] is the fallible form).
     pub fn encode_input(&self, m: &ITensor) -> Vec<i64> {
+        self.try_encode_input(m).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`ConvEncoder::encode_input`]: returns a typed error on an
+    /// input-shape mismatch.
+    pub fn try_encode_input(&self, m: &ITensor) -> Result<Vec<i64>, EncodingError> {
         let s = &self.shape;
-        assert_eq!(m.shape(), &[s.c_in, s.hw, s.hw], "input shape mismatch");
+        if m.shape() != [s.c_in, s.hw, s.hw] {
+            return Err(EncodingError::InputShapeMismatch {
+                expected: [s.c_in, s.hw, s.hw],
+                got: m.shape().to_vec(),
+            });
+        }
         let hw = s.hw * s.hw;
         let mut out = vec![0i64; self.n];
         for c in 0..s.c_in {
@@ -168,17 +286,29 @@ impl ConvEncoder {
                 }
             }
         }
-        out
+        Ok(out)
     }
 
     /// Encodes the kernel `[C_out, C_in, K, K]` into polynomial coefficients.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a kernel-shape mismatch
+    /// ([`ConvEncoder::try_encode_kernel`] is the fallible form).
     pub fn encode_kernel(&self, k: &ITensor) -> Vec<i64> {
+        self.try_encode_kernel(k).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`ConvEncoder::encode_kernel`]: returns a typed error on a
+    /// kernel-shape mismatch.
+    pub fn try_encode_kernel(&self, k: &ITensor) -> Result<Vec<i64>, EncodingError> {
         let s = &self.shape;
-        assert_eq!(
-            k.shape(),
-            &[s.c_out, s.c_in, s.k, s.k],
-            "kernel shape mismatch"
-        );
+        if k.shape() != [s.c_out, s.c_in, s.k, s.k] {
+            return Err(EncodingError::KernelShapeMismatch {
+                expected: [s.c_out, s.c_in, s.k, s.k],
+                got: k.shape().to_vec(),
+            });
+        }
         let hw = s.hw * s.hw;
         let t = Self::t_index(s);
         let mut out = vec![0i64; self.n];
@@ -192,7 +322,7 @@ impl ConvEncoder {
                 }
             }
         }
-        out
+        Ok(out)
     }
 
     /// Coefficient index of output `(c_out, y, x)` — valid for

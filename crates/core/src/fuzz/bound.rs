@@ -1,0 +1,129 @@
+//! The documented `e_ms` deviation bound the encrypted oracle is held
+//! to, and the headroom budget the generator enforces.
+//!
+//! Every `q_mid → t` LWE drop injects a rounding error
+//! `e_ms = ⌊q̃·v/q_mid⌉ − ...` bounded in magnitude by `(‖s‖₁ + 1)/2`
+//! plus the dimension-switch key-switch noise (negligible at `t/q_mid ≈
+//! 2⁻⁴²` but budgeted as a constant here). The bound below propagates a
+//! worst-case per-value integer deviation through the model exactly the
+//! way the executor accumulates it:
+//!
+//! * a **non-final linear** layer's accumulator deviates by at most
+//!   `‖W_row‖₁ · dev_in + |mult| · dev_skip`, gains one `e_ms` at the
+//!   drop, and the FBS remap (clamped, Lipschitz-bounded activation over
+//!   `v · in_scale · w_scale / out_scale`, rounded) turns that into the
+//!   next value's deviation;
+//! * the **final linear** layer's accumulator stays at `q_mid` (no
+//!   `e_ms`), so its logits deviate by the propagated input deviation
+//!   through the weights, dequantized;
+//! * **max pooling** is a max tree of 1-Lipschitz rounds, each paying a
+//!   fresh `e_ms` on re-extraction (`k² − 1` rounds bounds the tree);
+//! * **average pooling** sums `k²` LWEs (deviations add), pays one
+//!   `e_ms` per summed LWE, and divides (with rounding) in the next LUT.
+//!
+//! Every intermediate value is clamped to `[-a_max, a_max]`, so a
+//! deviation can never exceed `2·a_max`.
+
+use athena_nn::qmodel::{Activation, QModel, QOp};
+
+/// Worst-case magnitude of one `q_mid → t` drop's injected error, in
+/// integer (plaintext) units: the mod-switch rounding bound
+/// `(‖s‖₁ + 1)/2 ≤ (lwe_n + 1)/2` for a ternary secret, plus a constant
+/// 2 covering the dimension-switch key-switch noise scaled down by
+/// `t/q_mid`.
+pub fn e_ms_bound(lwe_n: usize) -> f64 {
+    (lwe_n as f64 + 1.0) / 2.0 + 2.0
+}
+
+/// Lipschitz constant of an activation (slope bound over ℝ).
+fn lipschitz(act: Activation) -> f64 {
+    match act {
+        Activation::Identity | Activation::ReLU => 1.0,
+        Activation::Sigmoid => 0.25,
+        // |Gelu'(x)| peaks at ≈ 1.129 near x ≈ 1.
+        Activation::Gelu => 1.13,
+    }
+}
+
+/// Propagated worst-case deviations of an encrypted run from the exact
+/// integer reference, in integer units per value and logit units at the
+/// output.
+#[derive(Debug, Clone)]
+pub struct DeviationBound {
+    /// Per-value integer deviation bound (index 0 = input, deviation 0).
+    pub per_value: Vec<f64>,
+    /// Per-node accumulator deviation bound *including* the node's own
+    /// `e_ms` where one is paid — the margin the accumulator headroom
+    /// check must add on top of the exact `max_acc` statistic.
+    pub per_node_acc: Vec<f64>,
+    /// Deviation bound on the dequantized output logits.
+    pub logits: f64,
+}
+
+/// Propagates the worst-case `e_ms` deviation bound through `model` for
+/// an engine with LWE dimension `lwe_n`.
+pub fn propagate(model: &QModel, lwe_n: usize) -> DeviationBound {
+    let e = e_ms_bound(lwe_n);
+    let a_max = model.cfg.a_max() as f64;
+    let cap = 2.0 * a_max;
+    let mut per_value: Vec<f64> = vec![0.0];
+    let mut per_node_acc: Vec<f64> = Vec::with_capacity(model.nodes.len());
+    let mut logits = 0.0f64;
+    for (ni, node) in model.nodes.iter().enumerate() {
+        let dev_in = per_value[node.input];
+        let is_last = ni == model.nodes.len() - 1;
+        let out_dev = match &node.op {
+            QOp::Linear(l) => {
+                let (c_out, c_in, k) = (
+                    l.weight.shape()[0],
+                    l.weight.shape()[1],
+                    l.weight.shape()[2],
+                );
+                let per = c_in * k * k;
+                let row_l1 = (0..c_out)
+                    .map(|co| {
+                        l.weight.data()[co * per..(co + 1) * per]
+                            .iter()
+                            .map(|&w| w.abs())
+                            .sum::<i64>()
+                    })
+                    .max()
+                    .unwrap_or(0) as f64;
+                let mut acc_dev = row_l1 * dev_in;
+                if let Some((skip_idx, mult)) = node.skip {
+                    acc_dev += (mult.abs() as f64) * per_value[skip_idx];
+                }
+                if is_last {
+                    // Client-bound: the accumulator never drops to `t`,
+                    // and the exact mod-q_mid decrypt rounds once.
+                    per_node_acc.push(acc_dev);
+                    logits = (acc_dev + 1.0) * (l.in_scale * l.w_scale).abs();
+                    0.0
+                } else {
+                    acc_dev += e;
+                    per_node_acc.push(acc_dev);
+                    let slope = lipschitz(l.act) * (l.in_scale * l.w_scale / l.out_scale).abs();
+                    (slope * acc_dev + 1.0).min(cap)
+                }
+            }
+            QOp::MaxPool { k } => {
+                let rounds = (k * k - 1) as f64;
+                let d = dev_in + e + rounds * e;
+                per_node_acc.push(d);
+                d.min(cap)
+            }
+            QOp::AvgPool { k } => {
+                let kk = (k * k) as f64;
+                let sum_dev = kk * (dev_in + e);
+                per_node_acc.push(sum_dev);
+                (sum_dev / kk + 1.0).min(cap)
+            }
+        };
+        per_value.push(out_dev);
+    }
+    DeviationBound {
+        per_value,
+        per_node_acc,
+        logits,
+    }
+}

@@ -1,0 +1,325 @@
+//! Text serialization of fuzz cases and the pinned regression corpus.
+//!
+//! Every minimized failure gets committed under `tests/fuzz_corpus/` as a
+//! `.case` file in a versioned, line-oriented text format (floats are
+//! written as hexadecimal `f64` bit patterns, so round-tripping is exact
+//! and diffs are stable). `tests/fuzz_corpus.rs` replays the whole
+//! directory through all four oracles forever after.
+
+use std::path::PathBuf;
+
+use athena_nn::qmodel::{Activation, QLinear, QModel, QNode, QOp, QuantConfig};
+use athena_nn::tensor::ITensor;
+
+use crate::pipeline::PackingMethod;
+
+use super::gen::{CaseParams, FuzzCase};
+
+/// The committed corpus directory (workspace-relative, resolved from this
+/// crate's manifest so it is stable for every consumer crate).
+pub fn corpus_dir() -> PathBuf {
+    PathBuf::from(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/fuzz_corpus"
+    ))
+}
+
+fn f64_hex(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+fn act_name(a: Activation) -> &'static str {
+    match a {
+        Activation::Identity => "identity",
+        Activation::ReLU => "relu",
+        Activation::Sigmoid => "sigmoid",
+        Activation::Gelu => "gelu",
+    }
+}
+
+fn ints(data: &[i64]) -> String {
+    data.iter()
+        .map(|v| v.to_string())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Serializes a case to the versioned text format.
+pub fn to_text(case: &FuzzCase) -> String {
+    let mut out = String::new();
+    out.push_str("athena-fuzz-case v1\n");
+    out.push_str(&format!("seed {}\n", case.seed));
+    let packing = match case.params.packing {
+        PackingMethod::Column => "column",
+        PackingMethod::Bsgs => "bsgs",
+    };
+    out.push_str(&format!(
+        "params {} {} {} {packing}\n",
+        case.params.n, case.params.lwe_n, case.params.ks_base_log
+    ));
+    out.push_str(&format!(
+        "cfg {} {}\n",
+        case.model.cfg.w_bits, case.model.cfg.a_bits
+    ));
+    out.push_str(&format!(
+        "input_scale {}\n",
+        f64_hex(case.model.input_scale)
+    ));
+    let s = case.input.shape();
+    out.push_str(&format!(
+        "input {} {} {} : {}\n",
+        s[0],
+        s[1],
+        s[2],
+        ints(case.input.data())
+    ));
+    for node in &case.model.nodes {
+        let skip = match node.skip {
+            Some((v, m)) => format!("{v}*{m}"),
+            None => "-".into(),
+        };
+        match &node.op {
+            QOp::Linear(l) => {
+                let w = l.weight.shape();
+                out.push_str(&format!(
+                    "node linear {} {skip} {} {} {} {} {} {} {} w {} {} {} {} : {} b : {}\n",
+                    node.input,
+                    if l.is_fc { "fc" } else { "conv" },
+                    l.stride,
+                    l.padding,
+                    act_name(l.act),
+                    f64_hex(l.in_scale),
+                    f64_hex(l.w_scale),
+                    f64_hex(l.out_scale),
+                    w[0],
+                    w[1],
+                    w[2],
+                    w[3],
+                    ints(l.weight.data()),
+                    ints(&l.bias)
+                ));
+            }
+            QOp::MaxPool { k } => {
+                out.push_str(&format!("node maxpool {} {skip} {k}\n", node.input));
+            }
+            QOp::AvgPool { k } => {
+                out.push_str(&format!("node avgpool {} {skip} {k}\n", node.input));
+            }
+        }
+    }
+    out.push_str("end\n");
+    out
+}
+
+struct Cursor<'a> {
+    toks: std::str::SplitWhitespace<'a>,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(line: &'a str) -> Self {
+        Self {
+            toks: line.split_whitespace(),
+        }
+    }
+    fn tok(&mut self, what: &str) -> Result<&'a str, String> {
+        self.toks.next().ok_or_else(|| format!("missing {what}"))
+    }
+    fn usize(&mut self, what: &str) -> Result<usize, String> {
+        self.tok(what)?
+            .parse()
+            .map_err(|e| format!("bad {what}: {e}"))
+    }
+    fn f64_bits(&mut self, what: &str) -> Result<f64, String> {
+        let raw = self.tok(what)?;
+        u64::from_str_radix(raw, 16)
+            .map(f64::from_bits)
+            .map_err(|e| format!("bad {what}: {e}"))
+    }
+    fn ints_until(&mut self, stop: Option<&str>) -> Result<Vec<i64>, String> {
+        let mut out = Vec::new();
+        for t in self.toks.by_ref() {
+            if Some(t) == stop {
+                return Ok(out);
+            }
+            out.push(t.parse().map_err(|e| format!("bad int {t}: {e}"))?);
+        }
+        match stop {
+            None => Ok(out),
+            Some(s) => Err(format!("missing {s} separator")),
+        }
+    }
+}
+
+fn parse_skip(tok: &str) -> Result<Option<(usize, i64)>, String> {
+    if tok == "-" {
+        return Ok(None);
+    }
+    let (v, m) = tok
+        .split_once('*')
+        .ok_or_else(|| format!("bad skip {tok}"))?;
+    Ok(Some((
+        v.parse().map_err(|e| format!("bad skip value: {e}"))?,
+        m.parse().map_err(|e| format!("bad skip mult: {e}"))?,
+    )))
+}
+
+/// Parses the versioned text format back into a case.
+pub fn from_text(text: &str) -> Result<FuzzCase, String> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    if lines.next().map(str::trim) != Some("athena-fuzz-case v1") {
+        return Err("missing 'athena-fuzz-case v1' header".into());
+    }
+    let mut seed = 0u64;
+    let mut params: Option<CaseParams> = None;
+    let mut cfg: Option<QuantConfig> = None;
+    let mut input_scale = 1.0f64;
+    let mut input: Option<ITensor> = None;
+    let mut nodes: Vec<QNode> = Vec::new();
+    for line in lines {
+        let mut c = Cursor::new(line);
+        match c.tok("directive")? {
+            "seed" => {
+                seed = c
+                    .tok("seed")?
+                    .parse()
+                    .map_err(|e| format!("bad seed: {e}"))?;
+            }
+            "params" => {
+                let n = c.usize("n")?;
+                let lwe_n = c.usize("lwe_n")?;
+                let ks_base_log = c.usize("ks_base_log")? as u32;
+                let packing = match c.tok("packing")? {
+                    "column" => PackingMethod::Column,
+                    "bsgs" => PackingMethod::Bsgs,
+                    other => return Err(format!("unknown packing {other}")),
+                };
+                params = Some(CaseParams {
+                    n,
+                    lwe_n,
+                    ks_base_log,
+                    packing,
+                });
+            }
+            "cfg" => {
+                let w = c.usize("w_bits")? as u32;
+                let a = c.usize("a_bits")? as u32;
+                cfg = Some(QuantConfig::new(w, a));
+            }
+            "input_scale" => input_scale = c.f64_bits("input_scale")?,
+            "input" => {
+                let shape = [c.usize("c")?, c.usize("h")?, c.usize("w")?];
+                c.tok(":")?;
+                let data = c.ints_until(None)?;
+                if data.len() != shape.iter().product::<usize>() {
+                    return Err(format!(
+                        "input has {} values, shape wants {}",
+                        data.len(),
+                        shape.iter().product::<usize>()
+                    ));
+                }
+                input = Some(ITensor::from_vec(&shape, data));
+            }
+            "node" => {
+                let kind = c.tok("node kind")?;
+                let inp = c.usize("input")?;
+                let skip = parse_skip(c.tok("skip")?)?;
+                let op = match kind {
+                    "linear" => {
+                        let is_fc = match c.tok("fc|conv")? {
+                            "fc" => true,
+                            "conv" => false,
+                            other => return Err(format!("unknown linear kind {other}")),
+                        };
+                        let stride = c.usize("stride")?;
+                        let padding = c.usize("padding")?;
+                        let act = match c.tok("act")? {
+                            "identity" => Activation::Identity,
+                            "relu" => Activation::ReLU,
+                            "sigmoid" => Activation::Sigmoid,
+                            "gelu" => Activation::Gelu,
+                            other => return Err(format!("unknown activation {other}")),
+                        };
+                        let in_scale = c.f64_bits("in_scale")?;
+                        let w_scale = c.f64_bits("w_scale")?;
+                        let out_scale = c.f64_bits("out_scale")?;
+                        c.tok("w")?;
+                        let ws = [
+                            c.usize("c_out")?,
+                            c.usize("c_in")?,
+                            c.usize("k")?,
+                            c.usize("k")?,
+                        ];
+                        c.tok(":")?;
+                        let wdata = c.ints_until(Some("b"))?;
+                        if wdata.len() != ws.iter().product::<usize>() {
+                            return Err(format!(
+                                "weight has {} values, shape wants {}",
+                                wdata.len(),
+                                ws.iter().product::<usize>()
+                            ));
+                        }
+                        c.tok(":")?;
+                        let bias = c.ints_until(None)?;
+                        QOp::Linear(QLinear {
+                            weight: ITensor::from_vec(&ws, wdata),
+                            bias,
+                            stride,
+                            padding,
+                            is_fc,
+                            act,
+                            in_scale,
+                            w_scale,
+                            out_scale,
+                        })
+                    }
+                    "maxpool" => QOp::MaxPool { k: c.usize("k")? },
+                    "avgpool" => QOp::AvgPool { k: c.usize("k")? },
+                    other => return Err(format!("unknown node kind {other}")),
+                };
+                nodes.push(QNode {
+                    op,
+                    input: inp,
+                    skip,
+                });
+            }
+            "end" => break,
+            other => return Err(format!("unknown directive {other}")),
+        }
+    }
+    let params = params.ok_or("missing params line")?;
+    let cfg = cfg.ok_or("missing cfg line")?;
+    let input = input.ok_or("missing input line")?;
+    if nodes.is_empty() {
+        return Err("no nodes".into());
+    }
+    Ok(FuzzCase {
+        seed,
+        params,
+        model: QModel {
+            nodes,
+            input_scale,
+            cfg,
+        },
+        input,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::gen_case;
+    use super::*;
+
+    #[test]
+    fn round_trips_generated_cases_exactly() {
+        for seed in [1u64, 2, 3, 17, 99] {
+            let case = gen_case(seed);
+            let text = to_text(&case);
+            let back = from_text(&text).expect("parse back");
+            assert_eq!(to_text(&back), text, "seed {seed} round-trip drifted");
+            assert_eq!(back.seed, case.seed);
+            assert_eq!(back.params, case.params);
+            assert_eq!(back.input.data(), case.input.data());
+            assert_eq!(back.model.nodes.len(), case.model.nodes.len());
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Greedy failure minimization: repeatedly tries structurally smaller
+//! variants of a failing case and keeps the first that still fails, until
+//! no candidate does.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use athena_nn::qmodel::{Activation, QOp, QStats};
+use athena_nn::tensor::ITensor;
+
+use crate::plan::validate_model;
+
+use super::gen::FuzzCase;
+use super::oracle::{run_case, FuzzFailure, Oracle, OracleCtx};
+
+/// Minimizes `failure`: greedily applies drop-suffix, drop-first-layer,
+/// halve-output-channels, drop-skip, zero-bias, identity-activation, and
+/// unit-scale transforms, re-running the oracles after each and keeping
+/// any variant that still fails (in any way). Candidates that are no
+/// longer valid models are discarded, so the minimized case is always a
+/// genuine reproducer.
+pub fn shrink(ctx: &mut OracleCtx, failure: FuzzFailure, encrypted: bool) -> FuzzFailure {
+    let mut cur = failure;
+    loop {
+        let mut improved = false;
+        for case in candidates(&cur.case) {
+            if validate_model(&case.model, case.input.shape(), case.params.n).is_err() {
+                continue;
+            }
+            match catch_unwind(AssertUnwindSafe(|| run_case(ctx, &case, encrypted))) {
+                Ok(Ok(_)) => {}
+                Ok(Err(f)) => {
+                    cur = *f;
+                    improved = true;
+                    break;
+                }
+                Err(payload) => {
+                    // A panic on a still-valid model is itself the bug; keep
+                    // the reproducer with the panic message as the detail.
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".into());
+                    cur = FuzzFailure {
+                        case,
+                        oracle: Oracle::Encrypted,
+                        detail: format!("panic during oracle run: {msg}"),
+                    };
+                    improved = true;
+                    break;
+                }
+            }
+        }
+        if !improved {
+            return cur;
+        }
+    }
+}
+
+fn with_model(case: &FuzzCase, model: athena_nn::qmodel::QModel, input: ITensor) -> FuzzCase {
+    FuzzCase {
+        seed: case.seed,
+        params: case.params,
+        model,
+        input,
+    }
+}
+
+/// Structurally smaller variants, most aggressive first. Every candidate
+/// differs from `case`; validity is the caller's problem.
+fn candidates(case: &FuzzCase) -> Vec<FuzzCase> {
+    let model = &case.model;
+    let n = model.nodes.len();
+    let mut out = Vec::new();
+
+    // Keep only a prefix whose final node is linear (shortest first).
+    for len in 1..n {
+        if matches!(model.nodes[len - 1].op, QOp::Linear(_)) {
+            let mut m = model.clone();
+            m.nodes.truncate(len);
+            out.push(with_model(case, m, case.input.clone()));
+        }
+    }
+
+    // Drop the first node, re-rooting the input at its traced output.
+    if n > 1 {
+        let can_reroot = model.nodes[1..]
+            .iter()
+            .all(|nd| nd.input >= 1 && nd.skip.is_none_or(|(v, _)| v >= 1));
+        if can_reroot {
+            let mut stats = QStats::default();
+            let (_, values) = model.forward_traced(&case.input, None, &mut stats);
+            let mut m = model.clone();
+            m.nodes.remove(0);
+            for nd in &mut m.nodes {
+                nd.input -= 1;
+                if let Some((v, mult)) = nd.skip {
+                    nd.skip = Some((v - 1, mult));
+                }
+            }
+            out.push(with_model(case, m, values[1].clone()));
+        }
+    }
+
+    // Halve a node's output channels (slicing consumers to match).
+    for ni in 0..n {
+        if let Some(c) = halve_cout(case, ni) {
+            out.push(c);
+        }
+    }
+
+    // Local simplifications: drop skips, zero biases, strip activations
+    // and scales.
+    for ni in 0..n {
+        if model.nodes[ni].skip.is_some() {
+            let mut m = model.clone();
+            m.nodes[ni].skip = None;
+            out.push(with_model(case, m, case.input.clone()));
+        }
+        if let QOp::Linear(l) = &model.nodes[ni].op {
+            if l.bias.iter().any(|&b| b != 0) {
+                let mut m = model.clone();
+                if let QOp::Linear(l) = &mut m.nodes[ni].op {
+                    l.bias.iter_mut().for_each(|b| *b = 0);
+                }
+                out.push(with_model(case, m, case.input.clone()));
+            }
+            if l.act != Activation::Identity {
+                let mut m = model.clone();
+                if let QOp::Linear(l) = &mut m.nodes[ni].op {
+                    l.act = Activation::Identity;
+                }
+                out.push(with_model(case, m, case.input.clone()));
+            }
+            if l.in_scale != 1.0 || l.w_scale != 1.0 || l.out_scale != 1.0 {
+                let mut m = model.clone();
+                if let QOp::Linear(l) = &mut m.nodes[ni].op {
+                    l.in_scale = 1.0;
+                    l.w_scale = 1.0;
+                    l.out_scale = 1.0;
+                }
+                out.push(with_model(case, m, case.input.clone()));
+            }
+        }
+    }
+    if case.model.input_scale != 1.0 {
+        let mut m = model.clone();
+        m.input_scale = 1.0;
+        out.push(with_model(case, m, case.input.clone()));
+    }
+
+    out
+}
+
+/// Halves node `ni`'s output channels and slices every downstream
+/// consumer's weights to match; channel halving propagates through pools
+/// (channel-preserving), and skips whose two endpoints now disagree on
+/// channel count are dropped.
+fn halve_cout(case: &FuzzCase, ni: usize) -> Option<FuzzCase> {
+    let model = &case.model;
+    let keep = match &model.nodes[ni].op {
+        QOp::Linear(l) if l.weight.shape()[0] >= 2 => l.weight.shape()[0] / 2,
+        _ => return None,
+    };
+    let mut stats = QStats::default();
+    let (_, values) = model.forward_traced(&case.input, None, &mut stats);
+    let mut m = model.clone();
+
+    if let QOp::Linear(l) = &mut m.nodes[ni].op {
+        let (c_in, k) = (l.weight.shape()[1], l.weight.shape()[2]);
+        let per = c_in * k * k;
+        l.weight = ITensor::from_vec(&[keep, c_in, k, k], l.weight.data()[..keep * per].to_vec());
+        l.bias.truncate(keep);
+    }
+
+    // Which values now have half their original channels: node ni's
+    // output, and transitively every pool output fed from one.
+    let mut halved = vec![false; model.nodes.len() + 1];
+    halved[ni + 1] = true;
+    for nj in (ni + 1)..m.nodes.len() {
+        let input_halved = halved[m.nodes[nj].input];
+        let in_val = m.nodes[nj].input;
+        match &mut m.nodes[nj].op {
+            QOp::Linear(l) if input_halved => {
+                let old_c = values[in_val].shape()[0];
+                let keep_c = old_c / 2;
+                let co = l.weight.shape()[0];
+                if l.is_fc {
+                    let flat_old = l.weight.shape()[1];
+                    let flat_new = keep_c * (flat_old / old_c);
+                    let mut data = Vec::with_capacity(co * flat_new);
+                    for c in 0..co {
+                        data.extend_from_slice(
+                            &l.weight.data()[c * flat_old..c * flat_old + flat_new],
+                        );
+                    }
+                    l.weight = ITensor::from_vec(&[co, flat_new, 1, 1], data);
+                } else {
+                    let (cin_old, k) = (l.weight.shape()[1], l.weight.shape()[2]);
+                    let keep_cin = cin_old / 2;
+                    let mut data = Vec::with_capacity(co * keep_cin * k * k);
+                    for c in 0..co {
+                        let base = c * cin_old * k * k;
+                        data.extend_from_slice(&l.weight.data()[base..base + keep_cin * k * k]);
+                    }
+                    l.weight = ITensor::from_vec(&[co, keep_cin, k, k], data);
+                }
+            }
+            QOp::MaxPool { .. } | QOp::AvgPool { .. } if input_halved => {
+                halved[nj + 1] = true;
+            }
+            _ => {}
+        }
+    }
+    for nj in 0..m.nodes.len() {
+        if let Some((v, _)) = m.nodes[nj].skip {
+            if halved[v] != halved[nj + 1] {
+                m.nodes[nj].skip = None;
+            }
+        }
+    }
+    Some(with_model(case, m, case.input.clone()))
+}

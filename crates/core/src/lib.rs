@@ -19,6 +19,10 @@
 //!   thin compile-then-execute wrapper over [`plan`]).
 //! * [`simulate`] — the validated `e_ms` noise model driving full-scale
 //!   accuracy experiments (Table 5, Fig. 4, Fig. 12).
+//! * [`fuzz`] — deterministic differential fuzzing: a seeded model-zoo
+//!   generator run through four oracles (plain reference, fast sim,
+//!   plan-driven sim, real encryption), with a shrinker and a pinned
+//!   regression corpus.
 //! * [`trace`] — per-layer FHE-op counts at production parameters, consumed
 //!   by the accelerator model.
 //! * [`complexity`] / [`paramsets`] — Tables 3 and 1.
@@ -48,6 +52,7 @@
 
 pub mod complexity;
 pub mod encoding;
+pub mod fuzz;
 pub mod infer;
 pub mod paramsets;
 pub mod pipeline;

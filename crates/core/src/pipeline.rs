@@ -287,7 +287,10 @@ impl AthenaEngine {
         // Extraction + dimension switch is independent per position — the
         // per-LWE loop the paper fans out across FRU lanes; run it on the
         // parallel layer (results stay in position order).
-        par::parallel_map(positions, |&p| {
+        // Work per position ≈ the key-switch inner product (bytes()/8
+        // entries touched) plus the O(N) extraction copy.
+        let work = keys.lwe_ksk.bytes() / 8 + self.ctx.n();
+        par::parallel_map_with(par::threads_for(positions.len(), work), positions, |&p| {
             let big = sample_extract_one(&small, p);
             keys.lwe_ksk.switch(&big)
         })
@@ -357,12 +360,14 @@ impl AthenaEngine {
         stats: &mut PipelineStats,
     ) -> Vec<LweCiphertext> {
         stats.extracts += positions.len();
-        par::parallel_map(positions, |&p| sample_extract_one(small, p))
+        let threads = par::threads_for(positions.len(), self.ctx.n());
+        par::parallel_map_with(threads, positions, |&p| sample_extract_one(small, p))
     }
 
     /// Step ③b alone — LWE dimension switch `N → n` at `q_mid`.
     pub fn dim_switch(&self, big: &[LweCiphertext], keys: &AthenaEvalKeys) -> Vec<LweCiphertext> {
-        par::parallel_map(big, |c| keys.lwe_ksk.switch(c))
+        let threads = par::threads_for(big.len(), keys.lwe_ksk.bytes() / 8);
+        par::parallel_map_with(threads, big, |c| keys.lwe_ksk.switch(c))
     }
 
     /// Step ③c alone — the final LWE modulus drop to `t` (this rounding is

@@ -13,11 +13,197 @@ use athena_nn::models::ConvShape;
 use athena_nn::qmodel::{QLinear, QModel, QOp, QuantConfig};
 use athena_nn::tensor::ITensor;
 
-use crate::encoding::ConvEncoder;
+use std::fmt;
+
+use crate::encoding::{ConvEncoder, EncodingError};
 use crate::pipeline::{AthenaEngine, AthenaEvalKeys, AthenaSecrets, PackingMethod};
 use crate::trace::{LayerTrace, ModelTrace, OpCounts, Phase, TraceParams};
 
 use super::exec::execute_counting;
+
+/// Typed failure of plan compilation. Everything here is reachable with a
+/// user-supplied model on the serving path ([`super::InferenceSession`]),
+/// so [`try_compile`] returns these as values; [`compile`] keeps the
+/// panicking contract for internal callers with pre-validated models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// The model has no nodes.
+    EmptyModel,
+    /// The input tensor is not rank-3 (`[C, H, W]`).
+    BadInputShape {
+        /// The shape supplied.
+        shape: Vec<usize>,
+    },
+    /// The final node is a pooling op. The integer reference
+    /// ([`QModel::forward`]) defines logits only for a final *linear*
+    /// node (pool-final models return no logits), so there is nothing
+    /// well-defined for the encrypted pipeline to output.
+    PoolingFinal {
+        /// Offending node index.
+        node: usize,
+    },
+    /// A node reads a value that is not produced before it runs
+    /// (`input`/`skip` must reference value `0..=node`).
+    BadReference {
+        /// Offending node index.
+        node: usize,
+        /// The out-of-range value index.
+        value: usize,
+    },
+    /// A coefficient encoding rejected the layer.
+    Encoding {
+        /// Offending node index.
+        node: usize,
+        /// The underlying encoding failure.
+        source: EncodingError,
+    },
+    /// The layer does not fit the ring degree even with one output
+    /// channel per group.
+    LayerTooLarge {
+        /// Offending node index.
+        node: usize,
+        /// Ring degree.
+        n: usize,
+    },
+    /// Input channel count does not match the consumed value's shape
+    /// (conv: weight `C_in` vs value channels; FC: weight `C_in` vs the
+    /// value's flat length).
+    ChannelMismatch {
+        /// Offending node index.
+        node: usize,
+        /// Channels the weight expects.
+        expected: usize,
+        /// Channels the consumed value provides.
+        got: usize,
+    },
+    /// Bias length does not match the layer's output channel count.
+    BiasMismatch {
+        /// Offending node index.
+        node: usize,
+        /// Output channel count.
+        expected: usize,
+        /// Bias entries supplied.
+        got: usize,
+    },
+    /// The kernel is larger than the (padded) input extent it slides
+    /// over, or an FC weight has a spatial kernel.
+    KernelExceedsInput {
+        /// Offending node index.
+        node: usize,
+        /// Kernel size `K`.
+        k: usize,
+        /// Padded input extent the kernel must fit.
+        extent: usize,
+    },
+    /// A stride or pool kernel of zero.
+    ZeroDim {
+        /// Offending node index.
+        node: usize,
+    },
+    /// Pooling would produce an empty output (`k` exceeds the input).
+    PoolEmptyOutput {
+        /// Offending node index.
+        node: usize,
+        /// Pool kernel.
+        k: usize,
+        /// Input spatial extent.
+        h: usize,
+    },
+    /// A residual skip's element count differs from the accumulator's.
+    SkipShapeMismatch {
+        /// Offending node index.
+        node: usize,
+        /// Accumulator element count.
+        acc: usize,
+        /// Skip value element count.
+        skip: usize,
+    },
+    /// A value is consumed under conflicting layouts: every linear/pool
+    /// consumer of one stored value must demand the same padding (the
+    /// value is packed into coefficient slots exactly once, for its
+    /// first consumer).
+    LayoutConflict {
+        /// The multiply-consumed value index.
+        value: usize,
+        /// The distinct paddings demanded by its consumers.
+        paddings: Vec<usize>,
+    },
+    /// A stored value (with its consumer's padding) exceeds the ring.
+    ValueTooLarge {
+        /// The value index.
+        value: usize,
+        /// Padded slot count the consumer demands.
+        len: usize,
+        /// Ring degree.
+        n: usize,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::EmptyModel => write!(f, "model has no nodes"),
+            CompileError::BadInputShape { shape } => {
+                write!(f, "input must be rank-3 [C, H, W], got {shape:?}")
+            }
+            CompileError::PoolingFinal { node } => write!(
+                f,
+                "node {node}: final node is a pooling op (no logits defined); end with a linear node"
+            ),
+            CompileError::BadReference { node, value } => {
+                write!(f, "node {node}: reads value {value} which is not yet produced")
+            }
+            CompileError::Encoding { node, source } => write!(f, "node {node}: {source}"),
+            CompileError::LayerTooLarge { node, n } => write!(
+                f,
+                "node {node}: layer does not fit ring degree {n} even with one output channel"
+            ),
+            CompileError::ChannelMismatch {
+                node,
+                expected,
+                got,
+            } => write!(
+                f,
+                "node {node}: input channel mismatch (weight expects {expected}, value has {got})"
+            ),
+            CompileError::BiasMismatch {
+                node,
+                expected,
+                got,
+            } => write!(f, "node {node}: bias length {got} != output channels {expected}"),
+            CompileError::KernelExceedsInput { node, k, extent } => write!(
+                f,
+                "node {node}: kernel {k} exceeds padded input extent {extent}"
+            ),
+            CompileError::ZeroDim { node } => {
+                write!(f, "node {node}: stride / pool kernel must be nonzero")
+            }
+            CompileError::PoolEmptyOutput { node, k, h } => {
+                write!(f, "node {node}: pool k={k} over extent {h} yields an empty output")
+            }
+            CompileError::SkipShapeMismatch { node, acc, skip } => write!(
+                f,
+                "node {node}: skip value has {skip} elements, accumulator has {acc}"
+            ),
+            CompileError::LayoutConflict { value, paddings } => write!(
+                f,
+                "value {value}: consumers demand conflicting paddings {paddings:?}"
+            ),
+            CompileError::ValueTooLarge { value, len, n } => {
+                write!(f, "value {value}: padded layout of {len} slots exceeds ring degree {n}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CompileError::Encoding { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
 
 /// The layout a consumer wants its input packed into.
 #[derive(Debug, Clone)]
@@ -405,25 +591,29 @@ struct LinearGroupPlan {
 /// Splits a linear layer into output-channel groups that fit the ring and
 /// resolves each group's encoded kernel, bias placement, and output
 /// positions (the planner half of the old `run_linear_accumulate`).
+/// `node` only labels errors.
 fn plan_linear_groups(
+    node: usize,
     n: usize,
     in_shape: &[usize],
     in_len: usize,
     l: &QLinear,
-) -> (Vec<LinearGroupPlan>, Vec<usize>) {
+) -> Result<(Vec<LinearGroupPlan>, Vec<usize>), CompileError> {
     let (c_out, c_in, k) = (
         l.weight.shape()[0],
         l.weight.shape()[1],
         l.weight.shape()[2],
     );
-    // Effective input spatial dims (padded for conv; 1×1 for FC).
+    // Effective input spatial dims (padded for conv; 1×1 for FC). The
+    // shape-level constraints (channel/bias/kernel fit, nonzero stride)
+    // were checked by `validate_model` before planning started.
     let (hp, wp) = if l.is_fc {
         (1usize, 1usize)
     } else {
         (in_shape[1] + 2 * l.padding, in_shape[2] + 2 * l.padding)
     };
     let eff_cin = if l.is_fc { in_len } else { c_in };
-    assert_eq!(
+    debug_assert_eq!(
         if l.is_fc { eff_cin } else { c_in },
         if l.is_fc { c_in } else { in_shape[0] },
         "input channel mismatch"
@@ -436,10 +626,9 @@ fn plan_linear_groups(
         if t_idx + eff_cin * hw <= n {
             break;
         }
-        assert!(
-            co_g > 1,
-            "layer does not fit ring degree {n} even with one output channel"
-        );
+        if co_g == 1 {
+            return Err(CompileError::LayerTooLarge { node, n });
+        }
         co_g = co_g.div_ceil(2);
     }
     let groups = c_out.div_ceil(co_g);
@@ -462,7 +651,8 @@ fn plan_linear_groups(
             stride: 1,
             padding: 0,
         };
-        let enc = ConvEncoder::new(shape, n);
+        let enc = ConvEncoder::try_new(shape, n)
+            .map_err(|source| CompileError::Encoding { node, source })?;
         let per = eff_cin * k * k;
         let kw = ITensor::from_vec(
             &[g_cout, eff_cin, k, k],
@@ -485,12 +675,179 @@ fn plan_linear_groups(
             }
         }
         out.push(LinearGroupPlan {
-            kernel: enc.encode_kernel(&kw),
+            kernel: enc
+                .try_encode_kernel(&kw)
+                .map_err(|source| CompileError::Encoding { node, source })?,
             bias,
             positions,
         });
     }
-    (out, vec![c_out, out_hw, out_hw])
+    Ok((out, vec![c_out, out_hw, out_hw]))
+}
+
+/// Shape-level validation of a model against a ring degree: walks the
+/// dataflow once (no encoding work), inferring every value's shape and
+/// rejecting anything the planner or the executor would otherwise panic
+/// on. Also enforces the one-layout-per-value rule: every linear/pool
+/// consumer of a stored value must demand the same padding, because the
+/// value is packed into coefficient slots exactly once (for its first
+/// consumer).
+pub(crate) fn validate_model(
+    model: &QModel,
+    input_shape: &[usize],
+    n: usize,
+) -> Result<Vec<Vec<usize>>, CompileError> {
+    if model.nodes.is_empty() {
+        return Err(CompileError::EmptyModel);
+    }
+    if input_shape.len() != 3 {
+        return Err(CompileError::BadInputShape {
+            shape: input_shape.to_vec(),
+        });
+    }
+    let last = model.nodes.len() - 1;
+    if !matches!(model.nodes[last].op, QOp::Linear(_)) {
+        return Err(CompileError::PoolingFinal { node: last });
+    }
+    let mut shapes: Vec<Vec<usize>> = vec![input_shape.to_vec()];
+    for (ni, node) in model.nodes.iter().enumerate() {
+        if node.input > ni {
+            return Err(CompileError::BadReference {
+                node: ni,
+                value: node.input,
+            });
+        }
+        let in_shape = shapes[node.input].clone();
+        let out_shape: Vec<usize> = match &node.op {
+            QOp::Linear(l) => {
+                let (c_out, c_in, k) = (
+                    l.weight.shape()[0],
+                    l.weight.shape()[1],
+                    l.weight.shape()[2],
+                );
+                if l.stride == 0 {
+                    return Err(CompileError::ZeroDim { node: ni });
+                }
+                if l.bias.len() != c_out {
+                    return Err(CompileError::BiasMismatch {
+                        node: ni,
+                        expected: c_out,
+                        got: l.bias.len(),
+                    });
+                }
+                if l.is_fc {
+                    let in_len: usize = in_shape.iter().product();
+                    if c_in != in_len {
+                        return Err(CompileError::ChannelMismatch {
+                            node: ni,
+                            expected: c_in,
+                            got: in_len,
+                        });
+                    }
+                    if k != 1 {
+                        return Err(CompileError::KernelExceedsInput {
+                            node: ni,
+                            k,
+                            extent: 1,
+                        });
+                    }
+                    // Single-output-channel group fit (the planner's co_g=1
+                    // floor): 2·in_len − 1 coefficients.
+                    if 2 * in_len - 1 > n {
+                        return Err(CompileError::LayerTooLarge { node: ni, n });
+                    }
+                    vec![c_out, 1, 1]
+                } else {
+                    if c_in != in_shape[0] {
+                        return Err(CompileError::ChannelMismatch {
+                            node: ni,
+                            expected: c_in,
+                            got: in_shape[0],
+                        });
+                    }
+                    let extent = in_shape[1].min(in_shape[2]) + 2 * l.padding;
+                    if k == 0 || k > extent {
+                        return Err(CompileError::KernelExceedsInput {
+                            node: ni,
+                            k,
+                            extent,
+                        });
+                    }
+                    // Single-output-channel group fit (the planner's co_g=1
+                    // floor): the tail kernel tap plus one input copy.
+                    let (hp, wp) = (in_shape[1] + 2 * l.padding, in_shape[2] + 2 * l.padding);
+                    let hw = hp * wp;
+                    let t_idx = hw * (c_in - 1) + wp * (k - 1) + k - 1;
+                    if t_idx + c_in * hw > n {
+                        return Err(CompileError::LayerTooLarge { node: ni, n });
+                    }
+                    let oh = (in_shape[1] + 2 * l.padding - k) / l.stride + 1;
+                    let ow = (in_shape[2] + 2 * l.padding - k) / l.stride + 1;
+                    vec![c_out, oh, ow]
+                }
+            }
+            QOp::MaxPool { k } | QOp::AvgPool { k } => {
+                if *k == 0 {
+                    return Err(CompileError::ZeroDim { node: ni });
+                }
+                let (c, h, w) = (in_shape[0], in_shape[1], in_shape[2]);
+                if h / k == 0 || w / k == 0 {
+                    return Err(CompileError::PoolEmptyOutput {
+                        node: ni,
+                        k: *k,
+                        h: h.min(w),
+                    });
+                }
+                vec![c, h / k, w / k]
+            }
+        };
+        if let Some((skip_idx, _)) = node.skip {
+            if skip_idx > ni {
+                return Err(CompileError::BadReference {
+                    node: ni,
+                    value: skip_idx,
+                });
+            }
+            let acc: usize = out_shape.iter().product();
+            let skip: usize = shapes[skip_idx].iter().product();
+            if acc != skip {
+                return Err(CompileError::SkipShapeMismatch {
+                    node: ni,
+                    acc,
+                    skip,
+                });
+            }
+        }
+        shapes.push(out_shape);
+    }
+    // One layout per stored value: collect the padding every linear/pool
+    // consumer demands (FC and pooling read the flat layout, which equals
+    // a conv layout of padding 0) and reject conflicts. Residual skips
+    // read by stored positions, so they are layout-agnostic.
+    for (value, s) in shapes.iter().enumerate() {
+        let mut paddings: Vec<usize> = Vec::new();
+        for node in &model.nodes {
+            if node.input != value {
+                continue;
+            }
+            let p = match &node.op {
+                QOp::Linear(l) if !l.is_fc => l.padding,
+                _ => 0,
+            };
+            if !paddings.contains(&p) {
+                paddings.push(p);
+            }
+        }
+        if paddings.len() > 1 {
+            return Err(CompileError::LayoutConflict { value, paddings });
+        }
+        let p = paddings.first().copied().unwrap_or(0);
+        let len = s[0] * (s[1] + 2 * p) * (s[2] + 2 * p);
+        if len > n {
+            return Err(CompileError::ValueTooLarge { value, len, n });
+        }
+    }
+    Ok(shapes)
 }
 
 /// Compiles a quantized model into an [`ExecutionPlan`] for an engine.
@@ -504,13 +861,25 @@ fn plan_linear_groups(
 ///
 /// # Panics
 ///
-/// Panics if a layer does not fit the engine's ring degree in a single
-/// input-channel group (use larger parameters or a smaller model).
+/// Panics if the model is rejected by [`try_compile`] — misfit layers,
+/// shape mismatches, pool-final models, conflicting consumer layouts.
 pub fn compile(engine: &AthenaEngine, model: &QModel, input_shape: &[usize]) -> ExecutionPlan {
+    try_compile(engine, model, input_shape)
+        .unwrap_or_else(|e| panic!("plan compilation failed: {e}"))
+}
+
+/// Fallible [`compile`]: the serving path, which takes user-shaped models,
+/// gets a typed [`CompileError`] instead of a panic.
+pub fn try_compile(
+    engine: &AthenaEngine,
+    model: &QModel,
+    input_shape: &[usize],
+) -> Result<ExecutionPlan, CompileError> {
     let ctx = engine.context();
     let n = ctx.n();
     let t = ctx.t();
     let a_max = model.cfg.a_max();
+    validate_model(model, input_shape, n)?;
 
     // The Table-4 noise model at this engine's parameters, and the charges
     // of the two fixed-shape tail steps. The S2C fan-in is the single-stage
@@ -571,7 +940,8 @@ pub fn compile(engine: &AthenaEngine, model: &QModel, input_shape: &[usize]) -> 
                     l.weight.shape()[1]
                 };
                 let fan_in = (eff_cin * k * k).max(1) as u64;
-                let (groups, out_shape) = plan_linear_groups(n, &sv_shape, sv_positions.len(), l);
+                let (groups, out_shape) =
+                    plan_linear_groups(ni, n, &sv_shape, sv_positions.len(), l)?;
                 for g in groups {
                     let has_bias = !g.bias.is_empty();
                     steps.push(PlanStep {
@@ -825,7 +1195,7 @@ pub fn compile(engine: &AthenaEngine, model: &QModel, input_shape: &[usize]) -> 
             step.analytic = it.next().expect("one count per step");
         }
     }
-    plan
+    Ok(plan)
 }
 
 impl AthenaEngine {

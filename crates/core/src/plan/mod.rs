@@ -53,7 +53,9 @@ pub use exec::{
     execute, execute_counting, execute_probed, execute_sim, NoiseExhausted, NoiseProbe, PlanRun,
     SimRun, StepReport,
 };
+pub(crate) use ir::validate_model;
 pub use ir::{
-    compile, counts_from_hom, ExecutionPlan, KeyRequirements, PlanLayer, PlanStep, StepOp,
+    compile, counts_from_hom, try_compile, CompileError, ExecutionPlan, KeyRequirements, PlanLayer,
+    PlanStep, StepOp,
 };
-pub use session::{InferenceSession, SessionStats};
+pub use session::{InferenceSession, SessionError, SessionStats};

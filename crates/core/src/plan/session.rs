@@ -11,6 +11,8 @@
 //! knob), with per-input forked samplers so the results are bit-identical
 //! to the same inputs run sequentially at any thread count.
 
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 use athena_math::par;
@@ -22,7 +24,69 @@ use crate::infer::EncryptedInference;
 use crate::pipeline::{AthenaEngine, AthenaEvalKeys, AthenaSecrets};
 
 use super::exec::execute;
-use super::ir::{compile, ExecutionPlan};
+use super::ir::{try_compile, CompileError, ExecutionPlan};
+
+/// Typed failure of a session request. The serving path takes
+/// user-shaped models and batches, so shape problems and per-worker
+/// failures come back as values that say *which* input failed, not as an
+/// anonymous unwind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionError {
+    /// The model cannot be compiled for this session's engine.
+    Compile(CompileError),
+    /// Batch input `input`'s shape differs from the first input's (one
+    /// batch shares one plan).
+    ShapeMismatch {
+        /// Index of the offending input.
+        input: usize,
+        /// Shape of the batch's first input.
+        expected: Vec<usize>,
+        /// Shape of the offending input.
+        got: Vec<usize>,
+    },
+    /// The worker running `input` panicked; `reason` carries the panic
+    /// payload when it was a string.
+    WorkerFailed {
+        /// Index of the input whose job failed.
+        input: usize,
+        /// Stringified panic payload.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Compile(e) => write!(f, "plan compilation failed: {e}"),
+            SessionError::ShapeMismatch {
+                input,
+                expected,
+                got,
+            } => write!(
+                f,
+                "batch input {input} has shape {got:?}, batch shape is {expected:?}"
+            ),
+            SessionError::WorkerFailed { input, reason } => {
+                write!(f, "worker for batch input {input} failed: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SessionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SessionError::Compile(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CompileError> for SessionError {
+    fn from(e: CompileError) -> Self {
+        SessionError::Compile(e)
+    }
+}
 
 /// 64-bit FNV-1a — a tiny deterministic fingerprint hasher, enough to key
 /// an in-process plan cache (collisions are astronomically unlikely at
@@ -55,7 +119,19 @@ impl Fnv {
     }
 
     fn f64(&mut self, v: f64) {
-        self.u64(v.to_bits());
+        // Normalize before hashing: `-0.0` and `0.0` compare equal (and
+        // behave identically through every scale computation), and all
+        // NaN payloads behave alike, but their bit patterns differ —
+        // hashing raw bits would key semantically identical models to
+        // different cache slots.
+        let bits = if v == 0.0 {
+            0u64
+        } else if v.is_nan() {
+            f64::NAN.to_bits()
+        } else {
+            v.to_bits()
+        };
+        self.u64(bits);
     }
 
     fn finish(self) -> u64 {
@@ -222,8 +298,24 @@ impl InferenceSession {
     /// The compiled plan for `model` at `input_shape` — from cache when
     /// present (pointer-identical `Arc` across calls), compiled and
     /// keygenned on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model fails to compile
+    /// ([`InferenceSession::try_plan_for`] is the fallible form).
     pub fn plan_for(&mut self, model: &QModel, input_shape: &[usize]) -> Arc<ExecutionPlan> {
-        self.entry_for(model, input_shape).plan
+        self.try_plan_for(model, input_shape)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`InferenceSession::plan_for`]: returns the typed
+    /// [`CompileError`] when the model cannot be served.
+    pub fn try_plan_for(
+        &mut self,
+        model: &QModel,
+        input_shape: &[usize],
+    ) -> Result<Arc<ExecutionPlan>, CompileError> {
+        Ok(self.entry_for(model, input_shape)?.plan)
     }
 
     /// Runs one encrypted inference through the session cache.
@@ -239,7 +331,9 @@ impl InferenceSession {
         sampler: &mut Sampler,
     ) -> EncryptedInference {
         let mut fork = sampler.fork();
-        let entry = self.entry_for(model, input.shape());
+        let entry = self
+            .entry_for(model, input.shape())
+            .unwrap_or_else(|e| panic!("{e}"));
         run_entry(&self.engine, &entry, input, &mut fork)
     }
 
@@ -251,40 +345,71 @@ impl InferenceSession {
     /// caller-visible sampler state afterwards — are bit-identical to
     /// calling [`InferenceSession::run_encrypted`] on each input in order,
     /// at any thread count. All inputs must share one shape (one plan).
+    ///
+    /// Failures are typed and name the offending input: a shape mismatch
+    /// or a compile rejection fails before any ciphertext work; a worker
+    /// that panics mid-batch is caught and reported as
+    /// [`SessionError::WorkerFailed`] for *its* input index instead of
+    /// unwinding through the pool.
     pub fn run_batch(
         &mut self,
         model: &QModel,
         inputs: &[ITensor],
         sampler: &mut Sampler,
-    ) -> Vec<EncryptedInference> {
+    ) -> Result<Vec<EncryptedInference>, SessionError> {
         let Some(first) = inputs.first() else {
-            return Vec::new();
+            return Ok(Vec::new());
         };
-        for input in inputs {
-            assert_eq!(
-                input.shape(),
-                first.shape(),
-                "batch inputs must share a shape"
-            );
+        for (i, input) in inputs.iter().enumerate() {
+            if input.shape() != first.shape() {
+                return Err(SessionError::ShapeMismatch {
+                    input: i,
+                    expected: first.shape().to_vec(),
+                    got: input.shape().to_vec(),
+                });
+            }
         }
-        let entry = self.entry_for(model, first.shape());
-        let mut jobs: Vec<(usize, Sampler, Option<EncryptedInference>)> = inputs
+        let entry = self.entry_for(model, first.shape())?;
+        type JobResult = Result<EncryptedInference, String>;
+        let mut jobs: Vec<(usize, Sampler, Option<JobResult>)> = inputs
             .iter()
             .enumerate()
             .map(|(i, _)| (i, sampler.fork(), None))
             .collect();
         let engine = &self.engine;
         par::parallel_for_each_mut(&mut jobs, |(i, fork, out)| {
-            *out = Some(run_entry(engine, &entry, &inputs[*i], fork));
+            *out = Some(
+                catch_unwind(AssertUnwindSafe(|| {
+                    run_entry(engine, &entry, &inputs[*i], fork)
+                }))
+                .map_err(|payload| {
+                    payload
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".to_string())
+                }),
+            );
         });
         jobs.into_iter()
-            .map(|(_, _, out)| out.expect("every job ran"))
+            .map(|(i, _, out)| match out {
+                Some(Ok(inf)) => Ok(inf),
+                Some(Err(reason)) => Err(SessionError::WorkerFailed { input: i, reason }),
+                None => Err(SessionError::WorkerFailed {
+                    input: i,
+                    reason: "job never ran".to_string(),
+                }),
+            })
             .collect()
     }
 
     /// Looks up (moving the entry to the back of the LRU order) or
     /// compiles + keygens the artifact for `(model, input_shape)`.
-    fn entry_for(&mut self, model: &QModel, input_shape: &[usize]) -> CacheEntry {
+    fn entry_for(
+        &mut self,
+        model: &QModel,
+        input_shape: &[usize],
+    ) -> Result<CacheEntry, CompileError> {
         let key: CacheKey = (
             self.params_fp,
             fingerprint_model(model),
@@ -294,10 +419,10 @@ impl InferenceSession {
             let entry = self.entries.remove(pos);
             self.entries.push(entry.clone());
             self.hits += 1;
-            return entry;
+            return Ok(entry);
         }
         self.misses += 1;
-        let plan = Arc::new(compile(&self.engine, model, input_shape));
+        let plan = Arc::new(try_compile(&self.engine, model, input_shape)?);
         let mut key_fork = self.key_sampler.fork();
         let (secrets, keys) = self.engine.keygen_for_plan(&plan, &mut key_fork);
         let entry = CacheEntry {
@@ -310,7 +435,69 @@ impl InferenceSession {
             self.entries.remove(0);
         }
         self.entries.push(entry.clone());
-        entry
+        Ok(entry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use athena_nn::qmodel::{Activation, QLinear, QuantConfig};
+
+    fn model_with_scales(input_scale: f64, out_scale: f64) -> QModel {
+        QModel {
+            nodes: vec![athena_nn::qmodel::QNode {
+                op: QOp::Linear(QLinear {
+                    weight: ITensor::from_vec(&[1, 4, 1, 1], vec![1, -1, 2, 0]),
+                    bias: vec![0],
+                    stride: 1,
+                    padding: 0,
+                    is_fc: true,
+                    act: Activation::Identity,
+                    in_scale: 1.0,
+                    w_scale: 0.5,
+                    out_scale,
+                }),
+                input: 0,
+                skip: None,
+            }],
+            input_scale,
+            cfg: QuantConfig::new(3, 3),
+        }
+    }
+
+    /// `-0.0` and `0.0` scales are semantically identical (they compare
+    /// equal and flow identically through every scale product), so they
+    /// must fingerprint — and therefore cache — identically.
+    #[test]
+    fn negative_zero_scale_fingerprints_equal() {
+        let a = fingerprint_model(&model_with_scales(0.5, 0.0));
+        let b = fingerprint_model(&model_with_scales(0.5, -0.0));
+        assert_eq!(a, b, "-0.0 vs 0.0 out_scale must not split the cache");
+        let a = fingerprint_model(&model_with_scales(0.0, 1.0));
+        let b = fingerprint_model(&model_with_scales(-0.0, 1.0));
+        assert_eq!(a, b, "-0.0 vs 0.0 input_scale must not split the cache");
+    }
+
+    /// All NaN payloads behave alike downstream; they must hash alike.
+    #[test]
+    fn nan_payloads_fingerprint_equal() {
+        let q1 = f64::NAN;
+        let q2 = f64::from_bits(f64::NAN.to_bits() ^ 0x1); // different payload
+        assert!(q2.is_nan());
+        assert_ne!(q1.to_bits(), q2.to_bits());
+        let a = fingerprint_model(&model_with_scales(1.0, q1));
+        let b = fingerprint_model(&model_with_scales(1.0, q2));
+        assert_eq!(a, b, "NaN payloads must not split the cache");
+    }
+
+    /// Distinct ordinary scales still fingerprint apart (the
+    /// normalization only merges the degenerate classes).
+    #[test]
+    fn distinct_scales_fingerprint_apart() {
+        let a = fingerprint_model(&model_with_scales(1.0, 0.5));
+        let b = fingerprint_model(&model_with_scales(1.0, 0.25));
+        assert_ne!(a, b);
     }
 }
 

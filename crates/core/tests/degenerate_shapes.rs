@@ -1,0 +1,211 @@
+//! Degenerate-shape coverage: 1×1 convolutions (with and without
+//! padding), output-channel counts that do not divide the packing group
+//! split, and single-layer models — each run through all four
+//! differential oracles (plain reference, fast sim, plan sim, real
+//! encryption at reduced parameters) via the fuzz harness.
+
+use athena_core::fuzz::{run_case, CaseParams, FuzzCase, OracleCtx};
+use athena_core::pipeline::PackingMethod;
+use athena_nn::qmodel::{Activation, QLinear, QModel, QNode, QOp, QuantConfig};
+use athena_nn::tensor::ITensor;
+
+fn params(packing: PackingMethod) -> CaseParams {
+    CaseParams {
+        n: 64,
+        lwe_n: 16,
+        ks_base_log: 4,
+        packing,
+    }
+}
+
+fn conv(
+    weight: ITensor,
+    bias: Vec<i64>,
+    stride: usize,
+    padding: usize,
+    act: Activation,
+    input: usize,
+) -> QNode {
+    QNode {
+        op: QOp::Linear(QLinear {
+            weight,
+            bias,
+            stride,
+            padding,
+            is_fc: false,
+            act,
+            in_scale: 0.5,
+            w_scale: 0.5,
+            out_scale: 1.0,
+        }),
+        input,
+        skip: None,
+    }
+}
+
+fn check(name: &str, model: QModel, input: ITensor, packing: PackingMethod) {
+    let case = FuzzCase {
+        seed: 0,
+        params: params(packing),
+        model,
+        input,
+    };
+    let mut ctx = OracleCtx::new();
+    if let Err(failure) = run_case(&mut ctx, &case, true) {
+        panic!("{name} ({packing:?}): {failure}");
+    }
+}
+
+/// A 1×1 convolution is a pure per-pixel channel mix; the coefficient
+/// encoding degenerates to kernel taps with no spatial extent.
+#[test]
+fn one_by_one_conv_all_oracles() {
+    for packing in [PackingMethod::Column, PackingMethod::Bsgs] {
+        let model = QModel {
+            nodes: vec![
+                conv(
+                    ITensor::from_vec(&[2, 2, 1, 1], vec![1, -2, 2, 1]),
+                    vec![1, -1],
+                    1,
+                    0,
+                    Activation::ReLU,
+                    0,
+                ),
+                conv(
+                    ITensor::from_vec(&[1, 2, 1, 1], vec![2, -1]),
+                    vec![0],
+                    1,
+                    0,
+                    Activation::Identity,
+                    1,
+                ),
+            ],
+            input_scale: 0.5,
+            cfg: QuantConfig::new(3, 3),
+        };
+        let input = ITensor::from_vec(&[2, 3, 3], (0..18).map(|i| (i % 5) - 2).collect());
+        check("1x1 conv chain", model, input, packing);
+    }
+}
+
+/// A 1×1 kernel with padding 1: every border output sees only the
+/// zero-padding, so the layer *grows* the spatial extent — a planner
+/// layout edge case.
+#[test]
+fn one_by_one_conv_with_padding_grows_output() {
+    let model = QModel {
+        nodes: vec![conv(
+            ITensor::from_vec(&[1, 1, 1, 1], vec![2]),
+            vec![1],
+            1,
+            1,
+            Activation::Identity,
+            0,
+        )],
+        input_scale: 1.0,
+        cfg: QuantConfig::new(3, 3),
+    };
+    // Reference: output is 5×5 with the 3×3 input centered.
+    let input = ITensor::from_vec(&[1, 3, 3], (0..9).map(|i| (i % 3) - 1).collect());
+    let logits = model.forward(&input);
+    assert_eq!(logits.len(), 25, "padding must grow 3×3 to 5×5");
+    check("1x1 conv pad 1", model, input, PackingMethod::Column);
+}
+
+/// `c_out = 3` at a ring degree where only 2 output channels fit per
+/// group: the planner must split 2 + 1 (non-dividing), and the tail
+/// group's partial fill must still place every output and bias.
+#[test]
+fn non_dividing_output_channel_split() {
+    for packing in [PackingMethod::Column, PackingMethod::Bsgs] {
+        let w: Vec<i64> = (0..3)
+            .flat_map(|co| vec![1 + co as i64, -1, 0, 2])
+            .collect();
+        let model = QModel {
+            nodes: vec![conv(
+                ITensor::from_vec(&[3, 1, 2, 2], w.clone()),
+                vec![1, 0, -2],
+                1,
+                0,
+                Activation::Identity,
+                0,
+            )],
+            input_scale: 0.5,
+            cfg: QuantConfig::new(3, 3),
+        };
+        // n = 64, input 5×5 (hw = 25): co_g = 3 needs 25·2 + 2·5+1 + 25 > 64,
+        // so the planner halves to co_g = 2 → groups of 2 and 1.
+        let input = ITensor::from_vec(&[1, 5, 5], (0..25).map(|i| (i % 5) - 2).collect());
+        check("non-dividing channel split", model, input, packing);
+    }
+}
+
+/// Single-node models: one conv, one FC — the plan has exactly one
+/// linear layer ending in `Output`, no FBS chain at all.
+#[test]
+fn single_layer_models_all_oracles() {
+    let conv_model = QModel {
+        nodes: vec![conv(
+            ITensor::from_vec(&[2, 1, 2, 2], vec![1, -1, 2, 0, -2, 1, 1, 1]),
+            vec![0, 3],
+            1,
+            0,
+            Activation::Identity,
+            0,
+        )],
+        input_scale: 1.0,
+        cfg: QuantConfig::new(3, 3),
+    };
+    let input = ITensor::from_vec(&[1, 4, 4], (0..16).map(|i| (i % 4) - 1).collect());
+    check("single conv", conv_model, input, PackingMethod::Column);
+
+    let fc_model = QModel {
+        nodes: vec![QNode {
+            op: QOp::Linear(QLinear {
+                weight: ITensor::from_vec(&[2, 9, 1, 1], (0..18).map(|i| (i % 3) - 1).collect()),
+                bias: vec![1, -1],
+                stride: 1,
+                padding: 0,
+                is_fc: true,
+                act: Activation::Identity,
+                in_scale: 0.5,
+                w_scale: 0.5,
+                out_scale: 1.0,
+            }),
+            input: 0,
+            skip: None,
+        }],
+        input_scale: 0.5,
+        cfg: QuantConfig::new(3, 3),
+    };
+    let input = ITensor::from_vec(&[1, 3, 3], (0..9).map(|i| (i % 3) - 1).collect());
+    check("single fc", fc_model, input, PackingMethod::Bsgs);
+}
+
+/// Stride 2 over an even extent leaves a dangling input column/row
+/// (5 = 2·2+1 taps at positions 0, 2 — position 4 unused by row 3);
+/// the planner's position mapping must skip it exactly like the
+/// reference.
+#[test]
+fn stride_two_with_dangling_tail() {
+    let model = QModel {
+        nodes: vec![conv(
+            ITensor::from_vec(&[1, 1, 2, 2], vec![1, -1, -1, 1]),
+            vec![0],
+            2,
+            0,
+            Activation::Identity,
+            0,
+        )],
+        input_scale: 1.0,
+        cfg: QuantConfig::new(3, 3),
+    };
+    let input = ITensor::from_vec(&[1, 5, 5], (0..25).map(|i| (i % 3) - 1).collect());
+    assert_eq!(model.forward(&input).len(), 4, "stride-2 5×5 → 2×2");
+    check(
+        "stride-2 dangling tail",
+        model,
+        input,
+        PackingMethod::Column,
+    );
+}

@@ -1,0 +1,39 @@
+//! Replays every pinned case in `tests/fuzz_corpus/` through all four
+//! oracles. Each `.case` file is a minimized fuzzing failure that was
+//! fixed; this test keeps it fixed forever. A regression panics with the
+//! file name, the originating seed, and the full minimized case text.
+
+use athena_core::fuzz::{corpus, run_case, OracleCtx};
+
+#[test]
+fn pinned_corpus_cases_stay_fixed() {
+    let dir = corpus::corpus_dir();
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("corpus dir {} unreadable: {e}", dir.display()))
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("case"))
+        .collect();
+    entries.sort();
+    assert!(
+        !entries.is_empty(),
+        "corpus at {} holds no .case files; the directory must ship with \
+         the pinned regression set",
+        dir.display()
+    );
+    let mut ctx = OracleCtx::new();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("?");
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("corpus case {name} unreadable: {e}"));
+        let case = corpus::from_text(&text)
+            .unwrap_or_else(|e| panic!("corpus case {name} does not parse: {e}"));
+        if let Err(failure) = run_case(&mut ctx, &case, true) {
+            panic!(
+                "pinned corpus case {name} regressed (originating seed {}): \
+                 {failure}\ncase:\n{text}",
+                case.seed
+            );
+        }
+    }
+}

@@ -161,7 +161,9 @@ fn run_batch_matches_sequential_at_any_thread_count() {
         par::set_threads(threads);
         let mut session = InferenceSession::new(AthenaEngine::new(BfvParams::test_small()), 4, 77);
         let mut sampler = Sampler::from_seed(555);
-        let batch = session.run_batch(&model, &imgs, &mut sampler);
+        let batch = session
+            .run_batch(&model, &imgs, &mut sampler)
+            .expect("batch runs");
         par::set_threads(0);
         assert_eq!(batch.len(), imgs.len());
         for (i, (b, s)) in batch.iter().zip(&sequential).enumerate() {
@@ -181,7 +183,72 @@ fn run_batch_matches_sequential_at_any_thread_count() {
 fn empty_batch_is_a_no_op() {
     let mut session = InferenceSession::new(AthenaEngine::new(BfvParams::test_small()), 2, 9);
     let mut sampler = Sampler::from_seed(1);
-    let out = session.run_batch(&model_with(-2), &[], &mut sampler);
+    let out = session
+        .run_batch(&model_with(-2), &[], &mut sampler)
+        .expect("empty batch");
     assert!(out.is_empty());
     assert_eq!(session.stats().misses, 0, "no plan should be compiled");
+}
+
+/// A shape-mixed batch fails with a typed error naming the offending
+/// input, before any ciphertext work (no plan compiled).
+#[test]
+fn mixed_shape_batch_reports_offending_input() {
+    use athena_core::plan::SessionError;
+    let mut session = InferenceSession::new(AthenaEngine::new(BfvParams::test_small()), 2, 9);
+    let mut sampler = Sampler::from_seed(1);
+    let mut imgs = inputs(3);
+    imgs[2] = ITensor::from_vec(&[1, 4, 4], vec![0; 16]);
+    let err = session
+        .run_batch(&model_with(-2), &imgs, &mut sampler)
+        .expect_err("mixed shapes must be rejected");
+    match err {
+        SessionError::ShapeMismatch {
+            input,
+            expected,
+            got,
+        } => {
+            assert_eq!(input, 2);
+            assert_eq!(expected, vec![1, 5, 5]);
+            assert_eq!(got, vec![1, 4, 4]);
+        }
+        other => panic!("expected ShapeMismatch, got {other:?}"),
+    }
+    assert_eq!(session.stats().misses, 0, "no plan should be compiled");
+}
+
+/// An uncompilable model comes back as `SessionError::Compile`, not a
+/// panic, from the batch path.
+#[test]
+fn uncompilable_model_is_a_typed_batch_error() {
+    use athena_core::plan::{CompileError, SessionError};
+    let mut session = InferenceSession::new(AthenaEngine::new(BfvParams::test_small()), 2, 9);
+    let mut sampler = Sampler::from_seed(1);
+    // Pool-final model: the plain reference defines no logits for it.
+    let model = QModel {
+        nodes: vec![QNode {
+            op: QOp::MaxPool { k: 2 },
+            input: 0,
+            skip: None,
+        }],
+        input_scale: 1.0,
+        cfg: QuantConfig::new(3, 3),
+    };
+    let err = session
+        .run_batch(&model, &inputs(1), &mut sampler)
+        .expect_err("pool-final model must be rejected");
+    assert!(
+        matches!(
+            err,
+            SessionError::Compile(CompileError::PoolingFinal { node: 0 })
+        ),
+        "got {err:?}"
+    );
+}
+
+/// Capacity 0 is rejected at construction (documented contract).
+#[test]
+#[should_panic(expected = "cache capacity must be at least 1")]
+fn zero_capacity_session_is_rejected() {
+    let _ = InferenceSession::new(AthenaEngine::new(BfvParams::test_small()), 0, 9);
 }

@@ -218,8 +218,10 @@ impl BfvContext {
             "digit decomposition needs coefficient form"
         );
         rot_stats::record_decompose();
-        // The per-digit lifts are independent — fan out like the limbs.
-        par::parallel_map_range(self.qb.len(), |i| {
+        // The per-digit lifts are independent — fan out like the limbs
+        // (each digit costs a full-basis lift plus NTTs).
+        let work = self.qb.len() * self.qb.n() * (self.qb.n().ilog2() as usize + 2);
+        par::parallel_map_range_with(par::threads_for(self.qb.len(), work), self.qb.len(), |i| {
             // Lift limb i of d to the full basis, centered: |value| ≤ q_i/2.
             let qi = self.qb.rings()[i].modulus().value();
             let half = qi / 2;
@@ -474,13 +476,17 @@ impl KeySwitchKey {
     /// Panics unless there is exactly one digit per key pair.
     pub fn apply_digits(&self, ctx: &BfvContext, digits: &[RnsPoly]) -> (RnsPoly, RnsPoly) {
         assert_eq!(digits.len(), self.pairs.len(), "one digit per key pair");
-        // The per-digit products are independent — fan out like the limbs.
-        let terms: Vec<(RnsPoly, RnsPoly)> = par::parallel_map_range(digits.len(), |i| {
-            (
-                ctx.qb.mul_poly(&digits[i], &self.pairs[i].0),
-                ctx.qb.mul_poly(&digits[i], &self.pairs[i].1),
-            )
-        });
+        // The per-digit products are independent — fan out like the limbs
+        // (two Eval-form RNS multiplications per digit).
+        let work = 2 * ctx.qb.len() * ctx.qb.n();
+        let threads = par::threads_for(digits.len(), work);
+        let terms: Vec<(RnsPoly, RnsPoly)> =
+            par::parallel_map_range_with(threads, digits.len(), |i| {
+                (
+                    ctx.qb.mul_poly(&digits[i], &self.pairs[i].0),
+                    ctx.qb.mul_poly(&digits[i], &self.pairs[i].1),
+                )
+            });
         let mut p0 = ctx.qb.zero_poly(Domain::Eval);
         let mut p1 = ctx.qb.zero_poly(Domain::Eval);
         for (t0, t1) in &terms {
@@ -984,8 +990,11 @@ impl<'a> BfvEvaluator<'a> {
     ) -> BfvCiphertext {
         let ctx = self.ctx;
         op_stats::record_hrot();
-        let permuted: Vec<RnsPoly> =
-            par::parallel_map_range(digits.len(), |i| ctx.qb.automorphism_poly(&digits[i], g));
+        let permuted: Vec<RnsPoly> = par::parallel_map_range_with(
+            par::threads_for(digits.len(), ctx.qb.len() * ctx.qb.n()),
+            digits.len(),
+            |i| ctx.qb.automorphism_poly(&digits[i], g),
+        );
         let (mut p0, p1) = key.apply_digits(ctx, &permuted);
         ctx.qb
             .add_assign_poly(&mut p0, &ctx.qb.automorphism_poly(c0_eval, g));

@@ -109,7 +109,8 @@ impl ColumnPackingKey {
         // The per-coordinate terms col_j ⊙ Enc(s'_j) are independent, so they
         // run on the parallel layer; the fold below is exact modular
         // arithmetic, so the result is bit-identical for any thread count.
-        let terms = par::parallel_map_range(n_lwe, |j| {
+        let work = 2 * ctx.q_basis().len() * n_slots;
+        let terms = par::parallel_map_range_with(par::threads_for(n_lwe, work), n_lwe, |j| {
             let mut col = vec![0u64; n_slots];
             let mut all_zero = true;
             for (i, ct) in lwes.iter().enumerate() {

@@ -54,6 +54,27 @@ pub fn set_threads(n: usize) {
     THREAD_OVERRIDE.store(n, Ordering::Relaxed);
 }
 
+/// Minimum work units (one unit ≈ one coefficient operation) each extra
+/// worker must receive before spawning it pays for itself: a scoped
+/// spawn + join costs tens of microseconds, so handing a thread less
+/// than ~32k coefficient ops makes the region slower than running it
+/// inline. Differential fuzzing at reduced ring degrees also showed the
+/// churn itself is a hazard: a sweep spawning millions of short-lived
+/// threads (one parallel region per per-limb op at `n = 64`)
+/// intermittently died in `pthread_join` on some kernels. Work-sized
+/// regions keep tiny rings inline and production rings parallel.
+const WORK_PER_WORKER: usize = 32 * 1024;
+
+/// The worker count for a region of `len` items costing roughly
+/// `work_per_item` units each: the default count ([`num_threads`]),
+/// capped so every worker gets at least `WORK_PER_WORKER` (32k) units.
+/// Chunking — and therefore every result — is identical at any worker
+/// count, so this only changes scheduling, never output.
+pub fn threads_for(len: usize, work_per_item: usize) -> usize {
+    let total = len.saturating_mul(work_per_item.max(1));
+    num_threads().min(total / WORK_PER_WORKER).max(1)
+}
+
 /// Splits `len` items into at most `workers` contiguous chunk ranges.
 fn chunk_ranges(len: usize, workers: usize) -> Vec<(usize, usize)> {
     let workers = workers.clamp(1, len.max(1));

@@ -100,6 +100,13 @@ impl Ring {
         self.n
     }
 
+    /// Estimated coefficient-op cost of one NTT over this ring
+    /// (`n·(log₂n + 1)` butterflies) — the work hint fed to
+    /// [`crate::par::threads_for`] by the batch converters.
+    fn ntt_work(&self) -> usize {
+        self.n * (self.n.ilog2() as usize + 1)
+    }
+
     /// Coefficient modulus.
     pub fn modulus(&self) -> &Modulus {
         &self.modulus
@@ -179,13 +186,15 @@ impl Ring {
     /// transforms are independent; order and results are deterministic for
     /// any thread count).
     pub fn to_eval_batch(&self, polys: &mut [Poly]) {
-        crate::par::parallel_for_each_mut(polys, |p| self.to_eval_inplace(p));
+        let threads = crate::par::threads_for(polys.len(), self.ntt_work());
+        crate::par::parallel_for_each_mut_with(threads, polys, |p| self.to_eval_inplace(p));
     }
 
     /// Converts a batch of polynomials to coefficient form in place, one
     /// inverse NTT per element, distributed over the parallel layer.
     pub fn to_coeff_batch(&self, polys: &mut [Poly]) {
-        crate::par::parallel_for_each_mut(polys, |p| self.to_coeff_inplace(p));
+        let threads = crate::par::threads_for(polys.len(), self.ntt_work());
+        crate::par::parallel_for_each_mut_with(threads, polys, |p| self.to_coeff_inplace(p));
     }
 
     fn zip(&self, a: &Poly, b: &Poly, f: impl Fn(&Modulus, u64, u64) -> u64) -> Poly {

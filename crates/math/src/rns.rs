@@ -245,11 +245,29 @@ impl RnsBasis {
         out
     }
 
+    /// Per-coefficient work of a linear (add/sub/scalar) limb op.
+    fn lin_work(&self) -> usize {
+        self.n()
+    }
+
+    /// Per-limb work of an NTT-bearing op (`n·(log₂n + 1)` butterflies).
+    fn ntt_work(&self) -> usize {
+        self.n() * (self.n().ilog2() as usize + 1)
+    }
+
     /// Maps a unary per-limb operation, one worker per limb (the limbs are
-    /// independent — this is exactly the parallelism the FRU array exploits).
-    fn map_limbs(&self, a: &RnsPoly, f: impl Fn(&Ring, &Poly) -> Poly + Sync) -> RnsPoly {
+    /// independent — this is exactly the parallelism the FRU array
+    /// exploits). `work` estimates one limb's cost in coefficient ops so
+    /// tiny rings run inline (see [`par::threads_for`]).
+    fn map_limbs(
+        &self,
+        a: &RnsPoly,
+        work: usize,
+        f: impl Fn(&Ring, &Poly) -> Poly + Sync,
+    ) -> RnsPoly {
         assert_eq!(a.limb_count(), self.len());
-        RnsPoly::from_limbs(par::parallel_map_range(self.len(), |i| {
+        let threads = par::threads_for(self.len(), work);
+        RnsPoly::from_limbs(par::parallel_map_range_with(threads, self.len(), |i| {
             f(&self.rings[i], &a.limbs[i])
         }))
     }
@@ -280,11 +298,13 @@ impl RnsBasis {
         &self,
         a: &RnsPoly,
         b: &RnsPoly,
+        work: usize,
         f: impl Fn(&Ring, &Poly, &Poly) -> Poly + Sync,
     ) -> RnsPoly {
         assert_eq!(a.limb_count(), self.len());
         assert_eq!(b.limb_count(), self.len());
-        RnsPoly::from_limbs(par::parallel_map_range(self.len(), |i| {
+        let threads = par::threads_for(self.len(), work);
+        RnsPoly::from_limbs(par::parallel_map_range_with(threads, self.len(), |i| {
             f(&self.rings[i], &a.limbs[i], &b.limbs[i])
         }))
     }
@@ -296,7 +316,7 @@ impl RnsBasis {
     /// Debug builds panic if the operands are in different domains.
     pub fn add_poly(&self, a: &RnsPoly, b: &RnsPoly) -> RnsPoly {
         self.debug_check_zip_domains(a, b, "add_poly");
-        self.zip_polys(a, b, Ring::add)
+        self.zip_polys(a, b, self.lin_work(), Ring::add)
     }
 
     /// Element-wise subtraction.
@@ -306,7 +326,7 @@ impl RnsBasis {
     /// Debug builds panic if the operands are in different domains.
     pub fn sub_poly(&self, a: &RnsPoly, b: &RnsPoly) -> RnsPoly {
         self.debug_check_zip_domains(a, b, "sub_poly");
-        self.zip_polys(a, b, Ring::sub)
+        self.zip_polys(a, b, self.lin_work(), Ring::sub)
     }
 
     /// In-place element-wise combination over the parallel layer, limbs
@@ -317,7 +337,10 @@ impl RnsBasis {
         b: &RnsPoly,
         f: impl Fn(&Ring, &mut Poly, &Poly) + Sync,
     ) {
-        par::parallel_zip_mut(&mut a.limbs, &b.limbs, |i, x, y| f(&self.rings[i], x, y));
+        let threads = par::threads_for(self.len(), self.lin_work());
+        par::parallel_zip_mut_with(threads, &mut a.limbs, &b.limbs, |i, x, y| {
+            f(&self.rings[i], x, y)
+        });
     }
 
     /// In-place addition.
@@ -342,39 +365,41 @@ impl RnsBasis {
 
     /// Negation.
     pub fn neg_poly(&self, a: &RnsPoly) -> RnsPoly {
-        self.map_limbs(a, Ring::neg)
+        self.map_limbs(a, self.lin_work(), Ring::neg)
     }
 
     /// Polynomial multiplication (result in `Eval` domain).
     pub fn mul_poly(&self, a: &RnsPoly, b: &RnsPoly) -> RnsPoly {
-        self.zip_polys(a, b, Ring::mul)
+        self.zip_polys(a, b, self.ntt_work(), Ring::mul)
     }
 
     /// Multiplication by a small scalar (applied per limb).
     pub fn scalar_mul_poly(&self, a: &RnsPoly, c: u64) -> RnsPoly {
-        self.map_limbs(a, |r, x| r.scalar_mul(x, c))
+        self.map_limbs(a, self.lin_work(), |r, x| r.scalar_mul(x, c))
     }
 
     /// Multiplication by a signed scalar.
     pub fn scalar_mul_poly_i64(&self, a: &RnsPoly, c: i64) -> RnsPoly {
-        self.map_limbs(a, |r, x| r.scalar_mul(x, r.modulus().from_i64(c)))
+        self.map_limbs(a, self.lin_work(), |r, x| {
+            r.scalar_mul(x, r.modulus().from_i64(c))
+        })
     }
 
     /// Converts all limbs to evaluation domain (one NTT per limb, run on the
     /// parallel layer — the per-limb transforms are independent).
     pub fn poly_to_eval(&self, a: &RnsPoly) -> RnsPoly {
-        self.map_limbs(a, Ring::to_eval)
+        self.map_limbs(a, self.ntt_work(), Ring::to_eval)
     }
 
     /// Converts all limbs to coefficient domain (one inverse NTT per limb,
     /// run on the parallel layer).
     pub fn poly_to_coeff(&self, a: &RnsPoly) -> RnsPoly {
-        self.map_limbs(a, Ring::to_coeff)
+        self.map_limbs(a, self.ntt_work(), Ring::to_coeff)
     }
 
     /// Applies the Galois automorphism `X → X^k` per limb (any domain).
     pub fn automorphism_poly(&self, a: &RnsPoly, k: usize) -> RnsPoly {
-        self.map_limbs(a, |r, x| match x.domain() {
+        self.map_limbs(a, self.lin_work(), |r, x| match x.domain() {
             Domain::Coeff => r.automorphism_coeff(x, k),
             Domain::Eval => r.automorphism_eval(x, k),
         })
@@ -426,30 +451,38 @@ impl RnsBasis {
         );
         let n = self.n();
         // y_i = [x_i * hat_inv_i]_{q_i}, independent per source limb.
-        let ys: Vec<Vec<u64>> = par::parallel_map_range(self.len(), |i| {
-            let m = self.rings[i].modulus();
-            p.limbs[i]
-                .values()
-                .iter()
-                .map(|&x| m.mul(x, self.hat_invs[i]))
-                .collect()
-        });
+        let ys: Vec<Vec<u64>> = par::parallel_map_range_with(
+            par::threads_for(self.len(), self.lin_work()),
+            self.len(),
+            |i| {
+                let m = self.rings[i].modulus();
+                p.limbs[i]
+                    .values()
+                    .iter()
+                    .map(|&x| m.mul(x, self.hat_invs[i]))
+                    .collect()
+            },
+        );
         // The target limbs are independent too: one worker per p_j.
-        let limbs = par::parallel_map_range(other.len(), |j| {
-            let pj = other.rings[j].modulus();
-            // precompute Q_i mod p_j
-            let hats_mod: Vec<u64> = self.hats.iter().map(|h| h.rem_u64(pj.value())).collect();
-            let mut vals = vec![0u64; n];
-            for (i, y) in ys.iter().enumerate() {
-                let h = hats_mod[i];
-                let h_sh = pj.shoup(pj.reduce(h));
-                let h = pj.reduce(h);
-                for (v, &yy) in vals.iter_mut().zip(y) {
-                    *v = pj.add(*v, pj.mul_shoup(pj.reduce(yy), h, h_sh));
+        let limbs = par::parallel_map_range_with(
+            par::threads_for(other.len(), self.n() * self.len()),
+            other.len(),
+            |j| {
+                let pj = other.rings[j].modulus();
+                // precompute Q_i mod p_j
+                let hats_mod: Vec<u64> = self.hats.iter().map(|h| h.rem_u64(pj.value())).collect();
+                let mut vals = vec![0u64; n];
+                for (i, y) in ys.iter().enumerate() {
+                    let h = hats_mod[i];
+                    let h_sh = pj.shoup(pj.reduce(h));
+                    let h = pj.reduce(h);
+                    for (v, &yy) in vals.iter_mut().zip(y) {
+                        *v = pj.add(*v, pj.mul_shoup(pj.reduce(yy), h, h_sh));
+                    }
                 }
-            }
-            Poly::from_values(vals, Domain::Coeff)
-        });
+                Poly::from_values(vals, Domain::Coeff)
+            },
+        );
         RnsPoly::from_limbs(limbs)
     }
 
