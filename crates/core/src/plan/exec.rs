@@ -16,7 +16,7 @@
 use athena_fhe::bfv::{BfvCiphertext, BfvEvaluator};
 use athena_fhe::fbs::Lut;
 use athena_math::sampler::Sampler;
-use athena_math::stats::op_stats;
+use athena_math::stats::{alloc_stats, op_stats};
 use athena_nn::tensor::ITensor;
 
 use crate::pipeline::{AthenaEngine, AthenaEvalKeys, AthenaSecrets, PipelineStats};
@@ -43,6 +43,13 @@ pub struct StepReport {
     /// and attributable only when no other thread drives the engine
     /// concurrently — the counters are process-global).
     pub measured: OpCounts,
+    /// Arena limb-buffer allocation counts of the step (zero when the
+    /// `alloc-stats` feature is off; process-global, like `measured`).
+    /// `takes` and the drop total are schedule-independent; the
+    /// `fresh`/pooled split of a *cold* step depends on thread
+    /// interleaving, so only the warm-pool invariant `fresh == 0` is
+    /// meaningful across thread counts.
+    pub alloc: alloc_stats::AllocCounts,
     /// Compile-time analytic noise charge in bits
     /// ([`super::PlanStep::noise_bits`]).
     pub noise_bits: u32,
@@ -405,7 +412,9 @@ pub fn execute_probed(
     let mut reports = Vec::with_capacity(plan.step_count());
     for layer in &plan.layers {
         for (si, step) in layer.steps.iter().enumerate() {
-            let ((), hom) = op_stats::measure(|| run_step(&mut backend, plan, &step.op, &mut st));
+            let (((), hom), alloc) = alloc_stats::measure(|| {
+                op_stats::measure(|| run_step(&mut backend, plan, &step.op, &mut st))
+            });
             let (budget, consumed) = match &mut tracker {
                 None => (None, None),
                 Some(tr) => probe_step(&step.op, &st, tr, &budget_of),
@@ -417,6 +426,7 @@ pub fn execute_probed(
                 phase: step.phase,
                 analytic: step.analytic,
                 measured: counts_from_hom(&hom),
+                alloc,
                 noise_bits: step.noise_bits,
                 noise_budget: budget,
                 noise_consumed: consumed,

@@ -15,6 +15,7 @@ use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
+use athena_math::arena::ArenaLease;
 use athena_math::par;
 use athena_math::sampler::Sampler;
 use athena_nn::qmodel::{QModel, QOp};
@@ -208,16 +209,56 @@ fn fingerprint_model(model: &QModel) -> u64 {
     h.finish()
 }
 
-type CacheKey = (u64, u64, Vec<usize>);
+/// Scratch-arena sizing for one cached plan: how much limb-pool retention
+/// (`athena_math::arena`) the steady-state working set of an execution
+/// needs beyond the base cap — the `k²` hoisted digit-lift polynomials
+/// (`k` limbs each) plus headroom for the in-flight ciphertext parts of a
+/// step. Derived deterministically from the engine's parameter set, so it
+/// can be fingerprinted into the cache key before compilation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ArenaConfig {
+    /// Limb length in words (the ring degree `N`).
+    limb_len: usize,
+    /// RNS limb count `k` of the `Q` basis.
+    limb_count: usize,
+    /// Bytes of pool retention reserved on top of the base cap.
+    reserve_bytes: usize,
+}
+
+impl ArenaConfig {
+    fn for_engine(engine: &AthenaEngine) -> Self {
+        let p = engine.context().params();
+        let (n, k) = (p.n, p.q_primes.len());
+        Self {
+            limb_len: n,
+            limb_count: k,
+            reserve_bytes: 8 * n * k * (k * k + 8),
+        }
+    }
+
+    fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.usize(self.limb_len);
+        h.usize(self.limb_count);
+        h.usize(self.reserve_bytes);
+        h.finish()
+    }
+}
+
+type CacheKey = (u64, u64, Vec<usize>, u64);
 
 /// One cached compiled artifact: the plan and the key material generated
-/// for it, shared out to callers by `Arc`.
+/// for it, shared out to callers by `Arc` — plus the arena reservation
+/// that keeps the plan's scratch working set pooled. Evicting the entry
+/// (once every shared `Arc` is gone) drops the lease, which releases the
+/// reservation and trims the pool back to cap.
 #[derive(Clone)]
 struct CacheEntry {
     key: CacheKey,
     plan: Arc<ExecutionPlan>,
     secrets: Arc<AthenaSecrets>,
     keys: Arc<AthenaEvalKeys>,
+    arena: Arc<ArenaLease>,
 }
 
 /// Cache counters of a session.
@@ -229,6 +270,9 @@ pub struct SessionStats {
     pub misses: u64,
     /// Plans currently cached.
     pub entries: usize,
+    /// Bytes of scratch-pool retention reserved by the cached plans'
+    /// arena leases (see `athena_math::arena`).
+    pub arena_reserved: usize,
 }
 
 /// An owning inference server: engine + LRU plan cache + amortized
@@ -292,6 +336,7 @@ impl InferenceSession {
             hits: self.hits,
             misses: self.misses,
             entries: self.entries.len(),
+            arena_reserved: self.entries.iter().map(|e| e.arena.bytes()).sum(),
         }
     }
 
@@ -410,10 +455,12 @@ impl InferenceSession {
         model: &QModel,
         input_shape: &[usize],
     ) -> Result<CacheEntry, CompileError> {
+        let arena_cfg = ArenaConfig::for_engine(&self.engine);
         let key: CacheKey = (
             self.params_fp,
             fingerprint_model(model),
             input_shape.to_vec(),
+            arena_cfg.fingerprint(),
         );
         if let Some(pos) = self.entries.iter().position(|e| e.key == key) {
             let entry = self.entries.remove(pos);
@@ -430,6 +477,7 @@ impl InferenceSession {
             plan,
             secrets: Arc::new(secrets),
             keys: Arc::new(keys),
+            arena: Arc::new(ArenaLease::reserve(arena_cfg.reserve_bytes)),
         };
         if self.entries.len() == self.capacity {
             self.entries.remove(0);

@@ -31,6 +31,7 @@
 //! [`rotate_rows`]: BfvEvaluator::rotate_rows
 //! [`mul_no_relin`]: BfvEvaluator::mul_no_relin
 
+use athena_math::arena::LimbVec;
 use athena_math::bigint::{IBig, UBig};
 use athena_math::par;
 use athena_math::poly::{Domain, Poly};
@@ -175,10 +176,11 @@ impl BfvContext {
             .zip(&self.delta_mod_qi)
             .map(|(r, &dq)| {
                 let q = r.modulus();
-                Poly::from_values(
-                    m.values().iter().map(|&v| q.mul(dq, q.reduce(v))).collect(),
-                    Domain::Coeff,
-                )
+                let mut vals = LimbVec::take_raw(m.values().len());
+                for (o, &v) in vals.iter_mut().zip(m.values()) {
+                    *o = q.mul(dq, q.reduce(v));
+                }
+                Poly::from_limbs(vals, Domain::Coeff)
             })
             .collect();
         RnsPoly::from_limbs(limbs)
@@ -189,7 +191,9 @@ impl BfvContext {
     /// leave Eval form on an encryption path: everything that *stays* on
     /// the hot path keeps the `mul_poly` output NTT-resident instead.
     pub fn mul_into_coeff(&self, a: &RnsPoly, b: &RnsPoly) -> RnsPoly {
-        self.qb.poly_to_coeff(&self.qb.mul_poly(a, b))
+        let mut prod = self.qb.mul_poly(a, b);
+        self.qb.poly_to_coeff_inplace(&mut prod);
+        prod
     }
 
     /// Digit-decomposes a coefficient-form polynomial `d` (interpreted mod
@@ -232,21 +236,20 @@ impl BfvContext {
                 .iter()
                 .map(|r| {
                     let m = r.modulus();
-                    Poly::from_values(
-                        vals.iter()
-                            .map(|&v| {
-                                if v <= half {
-                                    m.reduce(v)
-                                } else {
-                                    m.neg(m.reduce(qi - v))
-                                }
-                            })
-                            .collect(),
-                        Domain::Coeff,
-                    )
+                    let mut out = LimbVec::take_raw(vals.len());
+                    for (o, &v) in out.iter_mut().zip(vals) {
+                        *o = if v <= half {
+                            m.reduce(v)
+                        } else {
+                            m.neg(m.reduce(qi - v))
+                        };
+                    }
+                    Poly::from_limbs(out, Domain::Coeff)
                 })
                 .collect();
-            self.qb.poly_to_eval(&RnsPoly::from_limbs(lifted_limbs))
+            let mut lifted = RnsPoly::from_limbs(lifted_limbs);
+            self.qb.poly_to_eval_inplace(&mut lifted);
+            lifted
         })
     }
 
@@ -487,11 +490,14 @@ impl KeySwitchKey {
                     ctx.qb.mul_poly(&digits[i], &self.pairs[i].1),
                 )
             });
-        let mut p0 = ctx.qb.zero_poly(Domain::Eval);
-        let mut p1 = ctx.qb.zero_poly(Domain::Eval);
-        for (t0, t1) in &terms {
-            ctx.qb.add_assign_poly(&mut p0, t0);
-            ctx.qb.add_assign_poly(&mut p1, t1);
+        // Fold from the first term (0 + x = x exactly, so this is
+        // bit-identical to seeding with zero polynomials but skips two
+        // accumulator allocations and a full pass).
+        let mut terms = terms.into_iter();
+        let (mut p0, mut p1) = terms.next().expect("at least one digit");
+        for (t0, t1) in terms {
+            ctx.qb.add_assign_poly(&mut p0, &t0);
+            ctx.qb.add_assign_poly(&mut p1, &t1);
         }
         (p0, p1)
     }
@@ -632,12 +638,18 @@ impl<'a> BfvEvaluator<'a> {
     fn phase(&self, ct: &BfvCiphertext, sk: &SecretKey) -> RnsPoly {
         let ctx = self.ctx;
         let mut acc = ctx.qb.poly_to_coeff(&ct.parts[0]);
-        let mut s_pow = sk.rns.clone();
-        for part in &ct.parts[1..] {
-            let term = ctx.mul_into_coeff(part, &s_pow);
+        // The first power is the key itself, borrowed; higher powers (only
+        // needed for size-3 ciphertexts) are produced on demand, pointwise
+        // in Eval form.
+        let mut s_owned: Option<RnsPoly> = None;
+        for (i, part) in ct.parts[1..].iter().enumerate() {
+            let s = s_owned.as_ref().unwrap_or(&sk.rns);
+            let term = ctx.mul_into_coeff(part, s);
+            let next = (i + 2 < ct.parts.len()).then(|| ctx.qb.mul_poly(s, &sk.rns));
             ctx.qb.add_assign_poly(&mut acc, &term);
-            // Secret powers stay pointwise in Eval form.
-            s_pow = ctx.qb.mul_poly(&s_pow, &sk.rns);
+            if next.is_some() {
+                s_owned = next;
+            }
         }
         acc
     }
@@ -726,13 +738,17 @@ impl<'a> BfvEvaluator<'a> {
     pub fn add_plain(&self, a: &BfvCiphertext, m: &Poly) -> BfvCiphertext {
         op_stats::record_hadd();
         let ctx = self.ctx;
-        let mut out = a.clone();
         let mut d = ctx.delta_times(m);
-        if out.parts[0].domain() == Domain::Eval {
-            d = ctx.qb.poly_to_eval(&d);
+        if a.parts[0].domain() == Domain::Eval {
+            ctx.qb.poly_to_eval_inplace(&mut d);
         }
-        ctx.qb.add_assign_poly(&mut out.parts[0], &d);
-        out
+        // Build the result directly: part 0 is the sum, the rest are
+        // (pooled) copies — no whole-ciphertext clone followed by an
+        // in-place add.
+        let mut parts = Vec::with_capacity(a.size());
+        parts.push(ctx.qb.add_poly(&a.parts[0], &d));
+        parts.extend(a.parts[1..].iter().cloned());
+        BfvCiphertext { parts }
     }
 
     /// Plaintext multiplication (`PMult`): multiplies the encrypted
@@ -760,12 +776,11 @@ impl<'a> BfvEvaluator<'a> {
             .parts
             .iter()
             .map(|p| {
-                let prod = ctx.qb.mul_poly(p, lifted);
+                let mut prod = ctx.qb.mul_poly(p, lifted);
                 if keep_coeff {
-                    ctx.qb.poly_to_coeff(&prod)
-                } else {
-                    prod
+                    ctx.qb.poly_to_coeff_inplace(&mut prod);
                 }
+                prod
             })
             .collect();
         BfvCiphertext { parts }
@@ -804,16 +819,17 @@ impl<'a> BfvEvaluator<'a> {
             .iter()
             .map(|r| {
                 let m = r.modulus();
-                let mut vals = Vec::with_capacity(n);
-                for c in &coeffs {
-                    if *c > ctx.half_q {
+                debug_assert_eq!(coeffs.len(), n);
+                let mut vals = LimbVec::take_raw(n);
+                for (o, c) in vals.iter_mut().zip(&coeffs) {
+                    *o = if *c > ctx.half_q {
                         let mag = ctx.q.sub(c);
-                        vals.push(m.neg(mag.rem_u64(m.value())));
+                        m.neg(mag.rem_u64(m.value()))
                     } else {
-                        vals.push(c.rem_u64(m.value()));
-                    }
+                        c.rem_u64(m.value())
+                    };
                 }
-                Poly::from_values(vals, Domain::Coeff)
+                Poly::from_limbs(vals, Domain::Coeff)
             })
             .collect();
         RnsPoly::from_limbs(limbs)
@@ -849,20 +865,12 @@ impl<'a> BfvEvaluator<'a> {
             .iter()
             .map(|r| {
                 let m = r.modulus();
-                Poly::from_values(
-                    out_coeffs
-                        .iter()
-                        .map(|c| {
-                            let v = c.mag.rem_u64(m.value());
-                            if c.neg {
-                                m.neg(v)
-                            } else {
-                                v
-                            }
-                        })
-                        .collect(),
-                    Domain::Coeff,
-                )
+                let mut vals = LimbVec::take_raw(n);
+                for (o, c) in vals.iter_mut().zip(&out_coeffs) {
+                    let v = c.mag.rem_u64(m.value());
+                    *o = if c.neg { m.neg(v) } else { v };
+                }
+                Poly::from_limbs(vals, Domain::Coeff)
             })
             .collect();
         RnsPoly::from_limbs(limbs)
@@ -894,8 +902,9 @@ impl<'a> BfvEvaluator<'a> {
             .parts
             .iter()
             .map(|p| {
-                ctx.mb
-                    .poly_to_eval(&self.lift_centered(&ctx.qb.poly_to_coeff(p)))
+                let mut lifted = self.lift_centered(&ctx.qb.poly_to_coeff(p));
+                ctx.mb.poly_to_eval_inplace(&mut lifted);
+                lifted
             })
             .collect();
         TensorOperand { parts }
@@ -931,15 +940,14 @@ impl<'a> BfvEvaluator<'a> {
         let d = ctx.qb.poly_to_coeff(&ct.parts[2]);
         let (mut p0, mut p1) = rlk.0.apply(ctx, &d);
         if ct.parts[0].domain() == Domain::Coeff {
-            p0 = ctx.qb.poly_to_coeff(&p0);
-            p1 = ctx.qb.poly_to_coeff(&p1);
+            ctx.qb.poly_to_coeff_inplace(&mut p0);
+            ctx.qb.poly_to_coeff_inplace(&mut p1);
         }
-        let mut c0 = ct.parts[0].clone();
-        let mut c1 = ct.parts[1].clone();
-        ctx.qb.add_assign_poly(&mut c0, &p0);
-        ctx.qb.add_assign_poly(&mut c1, &p1);
         BfvCiphertext {
-            parts: vec![c0, c1],
+            parts: vec![
+                ctx.qb.add_poly(&ct.parts[0], &p0),
+                ctx.qb.add_poly(&ct.parts[1], &p1),
+            ],
         }
     }
 

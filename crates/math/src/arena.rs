@@ -1,0 +1,401 @@
+//! Pooled limb buffers: the scratch arena behind every [`crate::poly::Poly`].
+//!
+//! Steady-state FHE inference has a *fixed, plan-known working set*: every
+//! step of a compiled plan takes and releases the same ring-degree-sized
+//! limb buffers on every run. This module turns those buffers into a
+//! process-wide recycling pool so the hot path stops round-tripping through
+//! the system allocator: a [`LimbVec`] checks a buffer out of the pool on
+//! construction and returns it on drop, and once the pool has been warmed
+//! by one full run, later runs perform **zero fresh heap allocations** in
+//! the limb hot path (pinned by `alloc_discipline` in `athena-bench`).
+//!
+//! # Per-thread checkout
+//!
+//! The pool is split into [`N_SHARDS`] shards. Each thread is assigned a
+//! shard on first use (round-robin), checks buffers out of — and returns
+//! them to — *its own* shard, so the workers of a `par` scoped region
+//! normally never contend on a lock. Only when a thread's shard has no
+//! buffer of the right size does it *steal* from the other shards, and only
+//! when every shard misses does it fall back to a fresh allocation. The
+//! steal pass is what keeps the steady-state zero-miss guarantee
+//! independent of `ATHENA_THREADS`: `par` spawns fresh OS threads per
+//! region, so a buffer released by one region's worker must be reachable
+//! from the next region's differently-assigned workers.
+//!
+//! # Determinism
+//!
+//! Pooling changes *where* a buffer's memory comes from, never its
+//! contents as observed by correct code: [`LimbVec::take_raw`] contents are
+//! unspecified and the caller must fully overwrite them (enable
+//! [`set_poison`] in tests to enforce this), while [`LimbVec::take_zeroed`]
+//! always zeroes. Total take/recycle counts are schedule-independent;
+//! the fresh-vs-pooled split of a *cold* run depends on thread
+//! interleaving, so tests and reports only pin thread-invariant totals and
+//! the steady-state `fresh == 0` invariant.
+//!
+//! # Capacity and leases
+//!
+//! Each shard retains at most `BASE_SHARD_CAP` bytes plus its share of the
+//! process-wide [`ArenaLease`] reservation; buffers released above the cap
+//! are freed (counted by `alloc_stats::freed_count`). A long-lived owner
+//! with a known working set — the plan cache entry of an
+//! `InferenceSession` — holds a lease sized from its compiled plan, so the
+//! pool keeps that working set resident exactly as long as the plan is
+//! cached and trims back when the entry is evicted.
+
+use std::collections::BTreeMap;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::stats::alloc_stats;
+
+/// Number of pool shards. Threads are assigned round-robin, so regions
+/// with up to this many workers get contention-free checkout.
+pub const N_SHARDS: usize = 8;
+
+/// Bytes each shard retains with no lease outstanding (so short-lived
+/// usage — tests, one-shot tools — still gets recycling without a lease).
+const BASE_SHARD_CAP: usize = 4 * 1024 * 1024;
+
+/// One pool shard: buffers bucketed by exact length.
+struct Shard {
+    buckets: BTreeMap<usize, Vec<Vec<u64>>>,
+    bytes: usize,
+}
+
+impl Shard {
+    const fn new() -> Self {
+        Self {
+            buckets: BTreeMap::new(),
+            bytes: 0,
+        }
+    }
+}
+
+static SHARDS: [Mutex<Shard>; N_SHARDS] = [const { Mutex::new(Shard::new()) }; N_SHARDS];
+
+/// Round-robin shard assignment for new threads.
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+/// Process-wide extra retention reserved by live [`ArenaLease`]s.
+static RESERVED: AtomicUsize = AtomicUsize::new(0);
+
+/// Poison mode: when enabled, `take_raw` buffers are filled with
+/// [`poison_value`] instead of being handed out with stale contents.
+static POISON_ON: AtomicBool = AtomicBool::new(false);
+static POISON_VALUE: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// This thread's home shard index.
+    static SHARD_IDX: usize = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % N_SHARDS;
+}
+
+/// The calling thread's home shard (0 if thread-local storage is already
+/// being torn down).
+fn my_shard() -> usize {
+    SHARD_IDX.try_with(|&i| i).unwrap_or(0)
+}
+
+/// Per-shard retention cap: the base cap plus this shard's share of the
+/// lease reservation.
+fn shard_cap() -> usize {
+    BASE_SHARD_CAP + RESERVED.load(Ordering::Relaxed) / N_SHARDS
+}
+
+/// Enables (`Some(sentinel)`) or disables (`None`) poison-on-checkout.
+///
+/// With poisoning on, every [`LimbVec::take_raw`] buffer is filled with the
+/// sentinel before it is handed out. Code that honors the `take_raw`
+/// contract (fully overwrite before reading) is unaffected; code that
+/// reads stale pool data produces sentinel-dependent output. Running a
+/// deterministic computation with poisoning off and on and asserting
+/// bit-identical results therefore proves no op reads stale scratch
+/// (see `scratch_poisoning_is_invisible` in `athena-core`).
+pub fn set_poison(sentinel: Option<u64>) {
+    match sentinel {
+        Some(v) => {
+            POISON_VALUE.store(v, Ordering::Relaxed);
+            POISON_ON.store(true, Ordering::Relaxed);
+        }
+        None => POISON_ON.store(false, Ordering::Relaxed),
+    }
+}
+
+/// The active poison sentinel, if poisoning is enabled.
+pub fn poison_value() -> Option<u64> {
+    if POISON_ON.load(Ordering::Relaxed) {
+        Some(POISON_VALUE.load(Ordering::Relaxed))
+    } else {
+        None
+    }
+}
+
+/// Total bytes currently retained across all shards.
+pub fn pooled_bytes() -> usize {
+    SHARDS
+        .iter()
+        .map(|s| s.lock().expect("arena shard poisoned").bytes)
+        .sum()
+}
+
+/// Total bytes currently reserved by live [`ArenaLease`]s.
+pub fn reserved_bytes() -> usize {
+    RESERVED.load(Ordering::Relaxed)
+}
+
+/// Drops every retained buffer (test hook for measuring cold starts).
+pub fn clear() {
+    for s in &SHARDS {
+        let mut shard = s.lock().expect("arena shard poisoned");
+        shard.buckets.clear();
+        shard.bytes = 0;
+    }
+}
+
+/// Checks a length-`len` buffer out of the pool: own shard first, then a
+/// steal pass over the others, then a fresh (zeroed) allocation.
+fn take(len: usize) -> Vec<u64> {
+    alloc_stats::record_take();
+    let home = my_shard();
+    for probe in 0..N_SHARDS {
+        let idx = (home + probe) % N_SHARDS;
+        let mut shard = SHARDS[idx].lock().expect("arena shard poisoned");
+        if let Some(bucket) = shard.buckets.get_mut(&len) {
+            if let Some(buf) = bucket.pop() {
+                shard.bytes -= len * 8;
+                debug_assert_eq!(buf.len(), len);
+                return buf;
+            }
+        }
+    }
+    alloc_stats::record_fresh();
+    vec![0u64; len]
+}
+
+/// Returns a buffer to the caller's home shard, or frees it if the shard
+/// is at its retention cap.
+fn recycle(buf: Vec<u64>) {
+    let len = buf.len();
+    if len == 0 {
+        return;
+    }
+    let bytes = len * 8;
+    let mut shard = SHARDS[my_shard()].lock().expect("arena shard poisoned");
+    if shard.bytes + bytes > shard_cap() {
+        alloc_stats::record_freed();
+        return;
+    }
+    shard.bytes += bytes;
+    shard.buckets.entry(len).or_default().push(buf);
+    alloc_stats::record_recycle();
+}
+
+/// Trims every shard down to the current cap (called when a lease drops).
+fn trim_to_cap() {
+    let cap = shard_cap();
+    for s in &SHARDS {
+        let mut shard = s.lock().expect("arena shard poisoned");
+        while shard.bytes > cap {
+            // Drop from the largest bucket first: big buffers free the
+            // most memory per pop and are the least likely to be general.
+            let Some((&len, _)) = shard.buckets.iter().next_back() else {
+                break;
+            };
+            let bucket = shard.buckets.get_mut(&len).expect("bucket exists");
+            let (popped, empty) = (bucket.pop().is_some(), bucket.is_empty());
+            if popped {
+                shard.bytes -= len * 8;
+                alloc_stats::record_freed();
+            }
+            if empty {
+                shard.buckets.remove(&len);
+            }
+        }
+    }
+}
+
+/// A reservation raising the pool's retention cap by `bytes` for as long
+/// as the lease lives. Dropping the lease lowers the cap again and trims
+/// retained buffers back down to it, so a plan-cache eviction releases its
+/// arena memory deterministically.
+#[derive(Debug)]
+pub struct ArenaLease {
+    bytes: usize,
+}
+
+impl ArenaLease {
+    /// Reserves `bytes` of extra pool retention.
+    pub fn reserve(bytes: usize) -> Self {
+        RESERVED.fetch_add(bytes, Ordering::Relaxed);
+        Self { bytes }
+    }
+
+    /// The reservation size.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+}
+
+impl Drop for ArenaLease {
+    fn drop(&mut self) {
+        RESERVED.fetch_sub(self.bytes, Ordering::Relaxed);
+        trim_to_cap();
+    }
+}
+
+/// A pool-backed `u64` buffer: the backing store of every
+/// [`crate::poly::Poly`].
+///
+/// Construction checks a buffer out of the arena; `Drop` returns it.
+/// Dereferences to `[u64]`, and `Clone`/`PartialEq` behave exactly like
+/// `Vec<u64>`, so it is a drop-in replacement for owned limb storage.
+pub struct LimbVec {
+    inner: Vec<u64>,
+}
+
+impl LimbVec {
+    /// Checks out a buffer with **unspecified contents** (stale pool data,
+    /// the poison sentinel, or zeros). The caller must fully overwrite it
+    /// before reading — use [`LimbVec::take_zeroed`] for accumulators.
+    pub fn take_raw(len: usize) -> Self {
+        let mut inner = take(len);
+        if let Some(p) = poison_value() {
+            inner.fill(p);
+        }
+        Self { inner }
+    }
+
+    /// Checks out a zero-filled buffer.
+    pub fn take_zeroed(len: usize) -> Self {
+        let mut inner = take(len);
+        inner.fill(0);
+        Self { inner }
+    }
+
+    /// Checks out a buffer initialized as a copy of `src`.
+    pub fn take_copy(src: &[u64]) -> Self {
+        let mut inner = take(src.len());
+        inner.copy_from_slice(src);
+        Self { inner }
+    }
+
+    /// Adopts an existing vector: the allocation joins the pool when this
+    /// `LimbVec` drops.
+    pub fn from_vec(inner: Vec<u64>) -> Self {
+        Self { inner }
+    }
+
+    /// Escapes the pool: the buffer becomes a plain `Vec` owned by the
+    /// caller and is *not* recycled on drop.
+    pub fn into_vec(mut self) -> Vec<u64> {
+        std::mem::take(&mut self.inner)
+    }
+}
+
+impl Drop for LimbVec {
+    fn drop(&mut self) {
+        recycle(std::mem::take(&mut self.inner));
+    }
+}
+
+impl Deref for LimbVec {
+    type Target = [u64];
+
+    fn deref(&self) -> &[u64] {
+        &self.inner
+    }
+}
+
+impl DerefMut for LimbVec {
+    fn deref_mut(&mut self) -> &mut [u64] {
+        &mut self.inner
+    }
+}
+
+impl Clone for LimbVec {
+    fn clone(&self) -> Self {
+        Self::take_copy(&self.inner)
+    }
+}
+
+impl PartialEq for LimbVec {
+    fn eq(&self, other: &Self) -> bool {
+        self.inner == other.inner
+    }
+}
+
+impl Eq for LimbVec {}
+
+impl std::fmt::Debug for LimbVec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl From<Vec<u64>> for LimbVec {
+    fn from(v: Vec<u64>) -> Self {
+        Self::from_vec(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_recycle_roundtrip_reuses_buffer() {
+        // Use a length nothing else in the process plausibly uses so the
+        // pool state for this bucket is ours alone.
+        let len = 12347;
+        let a = LimbVec::take_raw(len);
+        let ptr = a.as_ptr();
+        drop(a);
+        let b = LimbVec::take_raw(len);
+        // Not guaranteed to be the *same* buffer under concurrent tests
+        // (another thread's shard may serve first), but the pooled bytes
+        // must cover the bucket either way.
+        let _ = ptr;
+        assert_eq!(b.len(), len);
+    }
+
+    #[test]
+    fn zeroed_checkout_is_zero_even_after_dirty_recycle() {
+        let len = 12349;
+        let mut a = LimbVec::take_raw(len);
+        a.fill(0xDEAD_BEEF);
+        drop(a);
+        let b = LimbVec::take_zeroed(len);
+        assert!(b.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn clone_and_eq_match_vec_semantics() {
+        let a = LimbVec::from_vec(vec![1, 2, 3]);
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(&*b, &[1, 2, 3]);
+        assert_eq!(b.into_vec(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn poison_fills_raw_checkouts() {
+        let len = 12351;
+        drop(LimbVec::take_raw(len)); // ensure a pooled buffer exists
+        set_poison(Some(0xABCD));
+        let a = LimbVec::take_raw(len);
+        set_poison(None);
+        assert!(a.iter().all(|&x| x == 0xABCD));
+        let z = LimbVec::take_zeroed(len);
+        assert!(z.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn lease_raises_and_trims_retention() {
+        let before = reserved_bytes();
+        let lease = ArenaLease::reserve(1 << 20);
+        assert_eq!(reserved_bytes(), before + (1 << 20));
+        drop(lease);
+        assert_eq!(reserved_bytes(), before);
+    }
+}

@@ -24,6 +24,7 @@
 //! assert_eq!(c.values().len(), 64);
 //! ```
 
+pub mod arena;
 pub mod bigint;
 pub mod bsgs;
 pub mod modops;
@@ -36,6 +37,7 @@ pub mod rns;
 pub mod sampler;
 pub mod stats;
 
+pub use arena::{ArenaLease, LimbVec};
 pub use bigint::{IBig, UBig};
 pub use modops::Modulus;
 pub use poly::{Domain, Poly, Ring};

@@ -5,6 +5,7 @@
 //! `Eval` (NTT/evaluation form). Multiplication is pointwise in `Eval` form;
 //! automorphisms are supported in both forms.
 
+use crate::arena::LimbVec;
 use crate::modops::Modulus;
 use crate::ntt::NttTables;
 
@@ -19,15 +20,31 @@ pub enum Domain {
 
 /// A residue polynomial: `N` values mod a single prime `q`, in one of two
 /// domains.
+///
+/// Backing storage is a pool-checked-out [`LimbVec`]: dropping a `Poly`
+/// recycles its buffer into the scratch arena (see [`crate::arena`]), and
+/// the [`Ring`] operations below check their result buffers out of the
+/// same pool — so steady-state ring arithmetic performs no heap
+/// allocation once the pool is warm.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Poly {
-    values: Vec<u64>,
+    values: LimbVec,
     domain: Domain,
 }
 
 impl Poly {
     /// Wraps raw values (each must already be reduced mod the ring modulus).
+    /// The vector's allocation is adopted into the scratch arena.
     pub fn from_values(values: Vec<u64>, domain: Domain) -> Self {
+        Self {
+            values: LimbVec::from_vec(values),
+            domain,
+        }
+    }
+
+    /// Wraps an arena buffer directly (the zero-copy constructor the
+    /// [`Ring`] hot paths use).
+    pub fn from_limbs(values: LimbVec, domain: Domain) -> Self {
         Self { values, domain }
     }
 
@@ -41,9 +58,10 @@ impl Poly {
         &mut self.values
     }
 
-    /// Consumes the polynomial and returns its values.
+    /// Consumes the polynomial and returns its values as a plain vector
+    /// (the buffer escapes the arena and is not recycled).
     pub fn into_values(self) -> Vec<u64> {
-        self.values
+        self.values.into_vec()
     }
 
     /// The representation domain.
@@ -119,26 +137,28 @@ impl Ring {
 
     /// The zero polynomial in the given domain.
     pub fn zero(&self, domain: Domain) -> Poly {
-        Poly::from_values(vec![0; self.n], domain)
+        Poly::from_limbs(LimbVec::take_zeroed(self.n), domain)
     }
 
     /// Builds a coefficient-domain polynomial from signed coefficients.
     pub fn from_i64(&self, coeffs: &[i64]) -> Poly {
         assert_eq!(coeffs.len(), self.n, "coefficient count must equal N");
-        Poly::from_values(
-            coeffs.iter().map(|&c| self.modulus.from_i64(c)).collect(),
-            Domain::Coeff,
-        )
+        let mut out = LimbVec::take_raw(self.n);
+        for (o, &c) in out.iter_mut().zip(coeffs) {
+            *o = self.modulus.from_i64(c);
+        }
+        Poly::from_limbs(out, Domain::Coeff)
     }
 
     /// Builds a coefficient-domain polynomial from unsigned values
     /// (reduced mod q).
     pub fn from_u64(&self, coeffs: &[u64]) -> Poly {
         assert_eq!(coeffs.len(), self.n, "coefficient count must equal N");
-        Poly::from_values(
-            coeffs.iter().map(|&c| self.modulus.reduce(c)).collect(),
-            Domain::Coeff,
-        )
+        let mut out = LimbVec::take_raw(self.n);
+        for (o, &c) in out.iter_mut().zip(coeffs) {
+            *o = self.modulus.reduce(c);
+        }
+        Poly::from_limbs(out, Domain::Coeff)
     }
 
     /// Converts to evaluation domain (no-op if already there).
@@ -146,9 +166,9 @@ impl Ring {
         match p.domain {
             Domain::Eval => p.clone(),
             Domain::Coeff => {
-                let mut v = p.values.clone();
+                let mut v = LimbVec::take_copy(&p.values);
                 self.ntt.forward(&mut v);
-                Poly::from_values(v, Domain::Eval)
+                Poly::from_limbs(v, Domain::Eval)
             }
         }
     }
@@ -158,9 +178,9 @@ impl Ring {
         match p.domain {
             Domain::Coeff => p.clone(),
             Domain::Eval => {
-                let mut v = p.values.clone();
+                let mut v = LimbVec::take_copy(&p.values);
                 self.ntt.inverse(&mut v);
-                Poly::from_values(v, Domain::Coeff)
+                Poly::from_limbs(v, Domain::Coeff)
             }
         }
     }
@@ -201,14 +221,11 @@ impl Ring {
         assert_eq!(a.domain, b.domain, "domain mismatch");
         assert_eq!(a.len(), self.n);
         assert_eq!(b.len(), self.n);
-        Poly::from_values(
-            a.values
-                .iter()
-                .zip(&b.values)
-                .map(|(&x, &y)| f(&self.modulus, x, y))
-                .collect(),
-            a.domain,
-        )
+        let mut out = LimbVec::take_raw(self.n);
+        for (o, (&x, &y)) in out.iter_mut().zip(a.values.iter().zip(b.values.iter())) {
+            *o = f(&self.modulus, x, y);
+        }
+        Poly::from_limbs(out, a.domain)
     }
 
     /// Element-wise addition (same domain required).
@@ -224,7 +241,7 @@ impl Ring {
     /// In-place addition `a += b`.
     pub fn add_assign(&self, a: &mut Poly, b: &Poly) {
         assert_eq!(a.domain, b.domain, "domain mismatch");
-        for (x, &y) in a.values.iter_mut().zip(&b.values) {
+        for (x, &y) in a.values.iter_mut().zip(b.values.iter()) {
             *x = self.modulus.add(*x, y);
         }
     }
@@ -232,30 +249,29 @@ impl Ring {
     /// In-place subtraction `a -= b`.
     pub fn sub_assign(&self, a: &mut Poly, b: &Poly) {
         assert_eq!(a.domain, b.domain, "domain mismatch");
-        for (x, &y) in a.values.iter_mut().zip(&b.values) {
+        for (x, &y) in a.values.iter_mut().zip(b.values.iter()) {
             *x = self.modulus.sub(*x, y);
         }
     }
 
     /// Negation.
     pub fn neg(&self, a: &Poly) -> Poly {
-        Poly::from_values(
-            a.values.iter().map(|&x| self.modulus.neg(x)).collect(),
-            a.domain,
-        )
+        let mut out = LimbVec::take_raw(a.len());
+        for (o, &x) in out.iter_mut().zip(a.values.iter()) {
+            *o = self.modulus.neg(x);
+        }
+        Poly::from_limbs(out, a.domain)
     }
 
     /// Scalar multiplication by `c ∈ Z_q` (domain preserved).
     pub fn scalar_mul(&self, a: &Poly, c: u64) -> Poly {
         let c = self.modulus.reduce(c);
         let c_shoup = self.modulus.shoup(c);
-        Poly::from_values(
-            a.values
-                .iter()
-                .map(|&x| self.modulus.mul_shoup(x, c, c_shoup))
-                .collect(),
-            a.domain,
-        )
+        let mut out = LimbVec::take_raw(a.len());
+        for (o, &x) in out.iter_mut().zip(a.values.iter()) {
+            *o = self.modulus.mul_shoup(x, c, c_shoup);
+        }
+        Poly::from_limbs(out, a.domain)
     }
 
     /// Pointwise multiplication of two `Eval`-domain polynomials.
@@ -301,7 +317,7 @@ impl Ring {
         );
         assert!(k % 2 == 1, "Galois element must be odd");
         let two_n = 2 * self.n;
-        let mut out = vec![0u64; self.n];
+        let mut out = LimbVec::take_zeroed(self.n);
         for i in 0..self.n {
             let e = (i * k) % two_n;
             let v = a.values[i];
@@ -311,7 +327,7 @@ impl Ring {
                 out[e - self.n] = self.modulus.sub(out[e - self.n], v);
             }
         }
-        Poly::from_values(out, Domain::Coeff)
+        Poly::from_limbs(out, Domain::Coeff)
     }
 
     /// Galois automorphism in evaluation domain (a pure index permutation).
@@ -327,11 +343,25 @@ impl Ring {
         );
         assert!(k % 2 == 1, "Galois element must be odd");
         let perm = self.automorphism_permutation(k);
-        let mut out = vec![0u64; self.n];
-        for j in 0..self.n {
-            out[j] = a.values[perm[j]];
+        self.automorphism_eval_perm(a, &perm)
+    }
+
+    /// Galois automorphism in evaluation domain from a precomputed
+    /// permutation (see [`Ring::automorphism_permutation`]) — the hot-path
+    /// variant: callers applying the same `k` across many limbs or digits
+    /// compute the permutation once.
+    pub fn automorphism_eval_perm(&self, a: &Poly, perm: &[usize]) -> Poly {
+        assert_eq!(
+            a.domain,
+            Domain::Eval,
+            "automorphism_eval needs Eval domain"
+        );
+        assert_eq!(perm.len(), self.n, "permutation length must equal N");
+        let mut out = LimbVec::take_raw(self.n);
+        for (o, &src) in out.iter_mut().zip(perm) {
+            *o = a.values[src];
         }
-        Poly::from_values(out, Domain::Eval)
+        Poly::from_limbs(out, Domain::Eval)
     }
 
     /// For output index `j`, the input index whose evaluation point maps to

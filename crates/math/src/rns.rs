@@ -2,6 +2,7 @@
 //! reconstruction through [`UBig`], and the fast (approximate) base
 //! conversion that the Athena accelerator's FRU executes in hardware.
 
+use crate::arena::LimbVec;
 use crate::bigint::{IBig, UBig};
 use crate::modops::Modulus;
 use crate::par;
@@ -397,12 +398,43 @@ impl RnsBasis {
         self.map_limbs(a, self.ntt_work(), Ring::to_coeff)
     }
 
+    /// In-place conversion of all limbs to evaluation domain: transforms
+    /// inside the existing limb buffers — zero checkouts, zero copies
+    /// (the write-into-scratch variant of [`RnsBasis::poly_to_eval`] for
+    /// callers that own their operand).
+    pub fn poly_to_eval_inplace(&self, a: &mut RnsPoly) {
+        assert_eq!(a.limb_count(), self.len());
+        let threads = par::threads_for(self.len(), self.ntt_work());
+        par::parallel_zip_mut_with(threads, a.limbs_mut(), &self.rings, |_, p, r| {
+            r.to_eval_inplace(p)
+        });
+    }
+
+    /// In-place conversion of all limbs to coefficient domain (see
+    /// [`RnsBasis::poly_to_eval_inplace`]).
+    pub fn poly_to_coeff_inplace(&self, a: &mut RnsPoly) {
+        assert_eq!(a.limb_count(), self.len());
+        let threads = par::threads_for(self.len(), self.ntt_work());
+        par::parallel_zip_mut_with(threads, a.limbs_mut(), &self.rings, |_, p, r| {
+            r.to_coeff_inplace(p)
+        });
+    }
+
     /// Applies the Galois automorphism `X → X^k` per limb (any domain).
+    ///
+    /// In Eval form the slot permutation depends only on the shared ring
+    /// degree, so it is computed once here and applied to every limb —
+    /// not recomputed per limb.
     pub fn automorphism_poly(&self, a: &RnsPoly, k: usize) -> RnsPoly {
-        self.map_limbs(a, self.lin_work(), |r, x| match x.domain() {
-            Domain::Coeff => r.automorphism_coeff(x, k),
-            Domain::Eval => r.automorphism_eval(x, k),
-        })
+        match a.domain() {
+            Domain::Coeff => self.map_limbs(a, self.lin_work(), |r, x| r.automorphism_coeff(x, k)),
+            Domain::Eval => {
+                let perm = self.rings[0].automorphism_permutation(k);
+                self.map_limbs(a, self.lin_work(), |r, x| {
+                    r.automorphism_eval_perm(x, &perm)
+                })
+            }
+        }
     }
 
     /// **Exact** scaled rounding `round(num · x / Q) mod target` applied per
@@ -451,16 +483,17 @@ impl RnsBasis {
         );
         let n = self.n();
         // y_i = [x_i * hat_inv_i]_{q_i}, independent per source limb.
-        let ys: Vec<Vec<u64>> = par::parallel_map_range_with(
+        let ys: Vec<LimbVec> = par::parallel_map_range_with(
             par::threads_for(self.len(), self.lin_work()),
             self.len(),
             |i| {
                 let m = self.rings[i].modulus();
-                p.limbs[i]
-                    .values()
-                    .iter()
-                    .map(|&x| m.mul(x, self.hat_invs[i]))
-                    .collect()
+                let src = p.limbs[i].values();
+                let mut y = LimbVec::take_raw(n);
+                for (o, &x) in y.iter_mut().zip(src) {
+                    *o = m.mul(x, self.hat_invs[i]);
+                }
+                y
             },
         );
         // The target limbs are independent too: one worker per p_j.
@@ -471,16 +504,16 @@ impl RnsBasis {
                 let pj = other.rings[j].modulus();
                 // precompute Q_i mod p_j
                 let hats_mod: Vec<u64> = self.hats.iter().map(|h| h.rem_u64(pj.value())).collect();
-                let mut vals = vec![0u64; n];
+                let mut vals = LimbVec::take_zeroed(n);
                 for (i, y) in ys.iter().enumerate() {
                     let h = hats_mod[i];
                     let h_sh = pj.shoup(pj.reduce(h));
                     let h = pj.reduce(h);
-                    for (v, &yy) in vals.iter_mut().zip(y) {
+                    for (v, &yy) in vals.iter_mut().zip(y.iter()) {
                         *v = pj.add(*v, pj.mul_shoup(pj.reduce(yy), h, h_sh));
                     }
                 }
-                Poly::from_values(vals, Domain::Coeff)
+                Poly::from_limbs(vals, Domain::Coeff)
             },
         );
         RnsPoly::from_limbs(limbs)

@@ -11,6 +11,13 @@
 //! concurrently with other NTT work — keep them in a dedicated integration
 //! test binary and serialize them behind a lock (see
 //! `crates/fhe/tests/domain_invariants.rs`).
+//!
+//! **Measurement discipline:** every module exposes `snapshot()` and
+//! `measure()` and *no reset*. A global reset racing a parallel region
+//! would silently corrupt any measurement running elsewhere in the
+//! process (the `report_*` binaries measure inside parallel sweeps), so
+//! the snapshot-and-diff bracket is the only sanctioned pattern — the
+//! counters are monotone for the life of the process.
 
 /// Forward/inverse negacyclic NTT counters.
 pub mod ntt_stats {
@@ -31,11 +38,6 @@ pub mod ntt_stats {
             INVERSE.fetch_add(1, Ordering::Relaxed);
         }
 
-        pub fn reset() {
-            FORWARD.store(0, Ordering::Relaxed);
-            INVERSE.store(0, Ordering::Relaxed);
-        }
-
         pub fn forward_count() -> u64 {
             FORWARD.load(Ordering::Relaxed)
         }
@@ -51,7 +53,6 @@ pub mod ntt_stats {
         pub fn record_forward() {}
         #[inline]
         pub fn record_inverse() {}
-        pub fn reset() {}
         pub fn forward_count() -> u64 {
             0
         }
@@ -60,7 +61,7 @@ pub mod ntt_stats {
         }
     }
 
-    pub use imp::{forward_count, inverse_count, record_forward, record_inverse, reset};
+    pub use imp::{forward_count, inverse_count, record_forward, record_inverse};
 
     /// Snapshot of both counters, for before/after deltas.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -127,12 +128,6 @@ pub mod rot_stats {
             DECOMPOSE.fetch_add(1, Ordering::Relaxed);
         }
 
-        pub fn reset() {
-            EAGER.store(0, Ordering::Relaxed);
-            HOISTED.store(0, Ordering::Relaxed);
-            DECOMPOSE.store(0, Ordering::Relaxed);
-        }
-
         pub fn eager_count() -> u64 {
             EAGER.load(Ordering::Relaxed)
         }
@@ -154,7 +149,6 @@ pub mod rot_stats {
         pub fn record_hoisted() {}
         #[inline]
         pub fn record_decompose() {}
-        pub fn reset() {}
         pub fn eager_count() -> u64 {
             0
         }
@@ -167,8 +161,7 @@ pub mod rot_stats {
     }
 
     pub use imp::{
-        decompose_count, eager_count, hoisted_count, record_decompose, record_eager,
-        record_hoisted, reset,
+        decompose_count, eager_count, hoisted_count, record_decompose, record_eager, record_hoisted,
     };
 
     /// Snapshot of the rotation counters, for before/after deltas.
@@ -237,11 +230,6 @@ pub mod lift_stats {
             REUSED.fetch_add(1, Ordering::Relaxed);
         }
 
-        pub fn reset() {
-            COMPUTED.store(0, Ordering::Relaxed);
-            REUSED.store(0, Ordering::Relaxed);
-        }
-
         pub fn computed_count() -> u64 {
             COMPUTED.load(Ordering::Relaxed)
         }
@@ -257,7 +245,6 @@ pub mod lift_stats {
         pub fn record_computed() {}
         #[inline]
         pub fn record_reused() {}
-        pub fn reset() {}
         pub fn computed_count() -> u64 {
             0
         }
@@ -266,7 +253,7 @@ pub mod lift_stats {
         }
     }
 
-    pub use imp::{computed_count, record_computed, record_reused, reset, reused_count};
+    pub use imp::{computed_count, record_computed, record_reused, reused_count};
 
     /// Snapshot of both lift counters.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -359,20 +346,6 @@ pub mod op_stats {
             MOD_SWITCH.fetch_add(1, Ordering::Relaxed);
         }
 
-        pub fn reset() {
-            for c in [
-                &PMULT,
-                &CMULT,
-                &SMULT,
-                &HADD,
-                &HROT,
-                &SAMPLE_EXTRACT,
-                &MOD_SWITCH,
-            ] {
-                c.store(0, Ordering::Relaxed);
-            }
-        }
-
         pub fn raw() -> [u64; 7] {
             [
                 PMULT.load(Ordering::Relaxed),
@@ -402,7 +375,6 @@ pub mod op_stats {
         pub fn record_sample_extract() {}
         #[inline]
         pub fn record_mod_switch() {}
-        pub fn reset() {}
         pub fn raw() -> [u64; 7] {
             [0; 7]
         }
@@ -410,7 +382,7 @@ pub mod op_stats {
 
     pub use imp::{
         record_cmult, record_hadd, record_hrot, record_mod_switch, record_pmult,
-        record_sample_extract, record_smult, reset,
+        record_sample_extract, record_smult,
     };
 
     /// Snapshot of every homomorphic-operation counter.
@@ -489,6 +461,156 @@ pub mod op_stats {
         let before = snapshot();
         let out = f();
         (out, snapshot().sub(&before))
+    }
+}
+
+/// Limb-buffer allocation counters for the scratch arena
+/// (`crate::arena`): checkouts, fresh heap allocations (pool misses),
+/// recycles, and cap-driven frees.
+///
+/// Compiled in under the default-on `alloc-stats` feature (the pooling
+/// itself is always on — only the telemetry is gated). `takes` and
+/// `recycled` are schedule-independent and therefore thread-count
+/// invariant per plan step; the `fresh`/pooled split of a *cold* run
+/// depends on thread interleaving, so only the steady-state invariant
+/// `fresh == 0` (warm pool) is pinned across thread counts.
+pub mod alloc_stats {
+    #[cfg(feature = "alloc-stats")]
+    mod imp {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        static TAKES: AtomicU64 = AtomicU64::new(0);
+        static FRESH: AtomicU64 = AtomicU64::new(0);
+        static RECYCLED: AtomicU64 = AtomicU64::new(0);
+        static FREED: AtomicU64 = AtomicU64::new(0);
+
+        #[inline]
+        pub fn record_take() {
+            TAKES.fetch_add(1, Ordering::Relaxed);
+        }
+
+        #[inline]
+        pub fn record_fresh() {
+            FRESH.fetch_add(1, Ordering::Relaxed);
+        }
+
+        #[inline]
+        pub fn record_recycle() {
+            RECYCLED.fetch_add(1, Ordering::Relaxed);
+        }
+
+        #[inline]
+        pub fn record_freed() {
+            FREED.fetch_add(1, Ordering::Relaxed);
+        }
+
+        pub fn raw() -> [u64; 4] {
+            [
+                TAKES.load(Ordering::Relaxed),
+                FRESH.load(Ordering::Relaxed),
+                RECYCLED.load(Ordering::Relaxed),
+                FREED.load(Ordering::Relaxed),
+            ]
+        }
+    }
+
+    #[cfg(not(feature = "alloc-stats"))]
+    mod imp {
+        #[inline]
+        pub fn record_take() {}
+        #[inline]
+        pub fn record_fresh() {}
+        #[inline]
+        pub fn record_recycle() {}
+        #[inline]
+        pub fn record_freed() {}
+        pub fn raw() -> [u64; 4] {
+            [0; 4]
+        }
+    }
+
+    pub use imp::{record_freed, record_fresh, record_recycle, record_take};
+
+    /// Snapshot of every arena allocation counter.
+    #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+    pub struct AllocCounts {
+        /// Limb-buffer checkouts (pool hits *and* misses).
+        pub takes: u64,
+        /// Checkouts that missed the pool and hit the heap allocator.
+        pub fresh: u64,
+        /// Buffers returned to the pool on drop.
+        pub recycled: u64,
+        /// Buffers freed instead of pooled (retention cap reached).
+        pub freed: u64,
+    }
+
+    impl AllocCounts {
+        /// Component-wise sum.
+        pub fn add(&mut self, o: &AllocCounts) {
+            self.takes += o.takes;
+            self.fresh += o.fresh;
+            self.recycled += o.recycled;
+            self.freed += o.freed;
+        }
+
+        /// Component-wise difference (saturating).
+        pub fn sub(&self, o: &AllocCounts) -> AllocCounts {
+            AllocCounts {
+                takes: self.takes.saturating_sub(o.takes),
+                fresh: self.fresh.saturating_sub(o.fresh),
+                recycled: self.recycled.saturating_sub(o.recycled),
+                freed: self.freed.saturating_sub(o.freed),
+            }
+        }
+
+        /// Checkouts served from the pool.
+        pub fn pooled(&self) -> u64 {
+            self.takes - self.fresh
+        }
+    }
+
+    /// Reads every counter at once.
+    pub fn snapshot() -> AllocCounts {
+        let [takes, fresh, recycled, freed] = imp::raw();
+        AllocCounts {
+            takes,
+            fresh,
+            recycled,
+            freed,
+        }
+    }
+
+    /// Runs `f` and returns its result together with the allocation counts
+    /// it incurred. Same bracket semantics as [`super::op_stats::measure`]: the
+    /// counters are process-global, workers spawned *by* `f` are joined
+    /// before it returns (so their bumps land inside the bracket), and
+    /// nested brackets double-attribute.
+    pub fn measure<T>(f: impl FnOnce() -> T) -> (T, AllocCounts) {
+        let before = snapshot();
+        let out = f();
+        (out, snapshot().sub(&before))
+    }
+}
+
+#[cfg(all(test, feature = "alloc-stats"))]
+mod alloc_tests {
+    use super::alloc_stats;
+    use crate::arena::LimbVec;
+
+    #[test]
+    fn alloc_counters_record_and_measure() {
+        // Counters are process-global and other tests allocate
+        // concurrently, so assert lower bounds only.
+        let ((), counts) = alloc_stats::measure(|| {
+            drop(LimbVec::take_raw(12353));
+        });
+        assert!(counts.takes >= 1);
+        assert!(counts.recycled + counts.freed >= 1);
+        let mut sum = counts;
+        sum.add(&counts);
+        assert_eq!(sum.takes, 2 * counts.takes);
+        assert_eq!(sum.sub(&counts), counts);
+        assert_eq!(counts.pooled(), counts.takes - counts.fresh);
     }
 }
 
