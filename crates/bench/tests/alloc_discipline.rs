@@ -100,14 +100,18 @@ fn warm_run_allocates_less_than_the_cold_run_that_filled_the_pool() {
     session.plan_for(&model, img.shape());
 
     let cold = count_allocs(|| {
-        session.run_encrypted(&model, &img, &mut sampler);
+        session
+            .run_encrypted(&model, &img, &mut sampler)
+            .expect("cold run");
     });
 
     // `alloc_stats::measure` exists with the feature off too (it reads
     // all-zero counters), so only the arena-counter asserts are gated.
     let ((), arena_counts) = athena_math::stats::alloc_stats::measure(|| {
         let warm = count_allocs(|| {
-            session.run_encrypted(&model, &img, &mut sampler);
+            session
+                .run_encrypted(&model, &img, &mut sampler)
+                .expect("warm run");
         });
         assert!(
             warm < cold,

@@ -29,14 +29,22 @@
 //! Seed policy: case `i` of a sweep uses generator seed `base + i`; every
 //! derived sampler (key material, encryption randomness) is salted from
 //! the case seed, so any failure reproduces from its printed seed alone.
+//!
+//! An orthogonal sweep dimension is chaos fuzzing ([`run_chaos`]): the
+//! same generated cases run under seeded fault plans
+//! ([`crate::plan::FaultPlan`]) through the resilient executor, pinning
+//! the serving path's typed-error and quarantine-recovery invariants
+//! (see the module docs of [`chaos`](self)).
 
 mod bound;
+mod chaos;
 pub mod corpus;
 mod gen;
 mod oracle;
 mod shrink;
 
 pub use bound::{e_ms_bound, DeviationBound};
+pub use chaos::{run_chaos, ChaosConfig, ChaosFailure, ChaosReport};
 pub use gen::{gen_case, CaseParams, FuzzCase};
 pub use oracle::{run_case, CaseOutcome, FuzzFailure, Oracle, OracleCtx};
 pub use shrink::shrink;

@@ -74,10 +74,10 @@ pub struct CaseOutcome {
     pub tolerance: f64,
 }
 
-struct EngineEntry {
-    engine: AthenaEngine,
-    secrets: AthenaSecrets,
-    keys: AthenaEvalKeys,
+pub(super) struct EngineEntry {
+    pub(super) engine: AthenaEngine,
+    pub(super) secrets: AthenaSecrets,
+    pub(super) keys: AthenaEvalKeys,
 }
 
 /// Caches one engine + key set per distinct [`CaseParams`] across a sweep
@@ -102,7 +102,7 @@ impl OracleCtx {
         }
     }
 
-    fn entry(&mut self, params: &CaseParams) -> &EngineEntry {
+    pub(super) fn entry(&mut self, params: &CaseParams) -> &EngineEntry {
         let fp = params.fingerprint();
         if let Some(pos) = self.engines.iter().position(|(f, _)| *f == fp) {
             return &self.engines[pos].1;

@@ -93,6 +93,7 @@ pub struct AthenaEngine {
     s2c: SlotToCoeff,
     q_mid: u64,
     packing: PackingMethod,
+    noise_margin: Option<u32>,
 }
 
 /// Aggregate operation statistics of an encrypted run.
@@ -130,7 +131,32 @@ impl AthenaEngine {
             s2c,
             q_mid,
             packing,
+            noise_margin: None,
         }
+    }
+
+    /// Sets the compile-time noise guardrail margin: `plan::try_compile`
+    /// rejects plans whose worst analytic chain plus this margin exceeds
+    /// the parameter set's noise headroom ([`CompileError::NoiseBudget`]).
+    /// The default is `None` — guardrail off — because the analytic
+    /// chain charge is deliberately conservative (every step's
+    /// `noise_bits` over-bounds its measured consumption, and the
+    /// over-bounds compound along a chain), so models that run fine on
+    /// small test parameter sets can carry analytic chains past the
+    /// headroom. Enable it (`Some(0)` or a positive safety margin) when
+    /// serving untrusted models on production-sized parameters, where a
+    /// rejected-at-compile-time error beats a mid-inference
+    /// [`NoiseExhausted`](crate::plan::NoiseExhausted).
+    ///
+    /// [`CompileError::NoiseBudget`]: crate::plan::CompileError::NoiseBudget
+    pub fn with_noise_margin(mut self, margin: Option<u32>) -> Self {
+        self.noise_margin = margin;
+        self
+    }
+
+    /// The configured guardrail margin (`None` = guardrail off).
+    pub fn noise_margin_bits(&self) -> Option<u32> {
+        self.noise_margin
     }
 
     /// The FHE context.

@@ -77,6 +77,11 @@ pub trait PlanBackend {
     fn take_counts(&mut self) -> OpCounts {
         OpCounts::default()
     }
+    /// Hook the executor calls immediately before interpreting the step
+    /// at `(node, step)` — `index` is the flat execution-order step
+    /// index. No-op by default; the fault-injection wrapper
+    /// ([`super::FaultInjectingBackend`]) fires panics/sleeps here.
+    fn note_step(&mut self, _node: usize, _step: usize, _index: usize) {}
 }
 
 /// The real pipeline: every primitive delegates to the corresponding

@@ -5,16 +5,39 @@
 //! is generic over [`PlanBackend`], so all three backends interpret the
 //! identical step structure. Three drivers walk the plan:
 //!
-//! * [`execute`] / [`execute_probed`] — the encrypted run, with optional
-//!   per-step noise probing and measured `op-stats` brackets;
+//! * [`execute`] / [`execute_probed`] / [`execute_resilient`] — the
+//!   encrypted run, with optional per-step noise probing, measured
+//!   `op-stats` brackets, and (for the resilient form) per-step
+//!   `catch_unwind` isolation, cooperative deadlines, fault injection,
+//!   and scratch-arena quarantine on unwind;
 //! * [`execute_sim`] — the plan-driven noise-faithful simulation
 //!   ([`super::NoiseSimBackend`]);
 //! * [`execute_counting`] — the value-free analytic dry run
 //!   ([`super::CountingBackend`]), which `compile` uses to backfill
 //!   [`super::PlanStep::analytic`].
+//!
+//! ## Panic safety and quarantine
+//!
+//! [`execute_resilient`] wraps every step in `catch_unwind`. When a step
+//! unwinds, the executor quarantines the scratch arena
+//! ([`athena_math::arena::quarantine`]) *before* constructing the typed
+//! error: the generation bump means every limb buffer checked out by the
+//! faulted request — including partially-written ones still held by the
+//! executor state — is freed on drop instead of recycled into the pool,
+//! so a faulted request can never leak scratch state into a later run.
+//! The caught payload is downcast back into the taxonomy: a typed
+//! [`athena_fhe::FheError`] becomes [`AthenaError::KeyMissing`] or
+//! [`AthenaError::Fhe`], a panic that poisoned a pool shard becomes
+//! [`AthenaError::PoolPoisoned`], and anything else
+//! [`AthenaError::StepPanicked`] — callers never see a raw unwind.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
 
 use athena_fhe::bfv::{BfvCiphertext, BfvEvaluator};
 use athena_fhe::fbs::Lut;
+use athena_fhe::FheError;
+use athena_math::arena;
 use athena_math::sampler::Sampler;
 use athena_math::stats::{alloc_stats, op_stats};
 use athena_nn::tensor::ITensor;
@@ -24,6 +47,8 @@ use crate::simulate::NoiseSpec;
 use crate::trace::{OpCounts, Phase};
 
 use super::backend::{CountingBackend, EncryptedBackend, NoiseSimBackend, PlanBackend};
+use super::error::{AthenaError, RunPolicy};
+use super::fault::{FaultInjectingBackend, FaultKind};
 use super::ir::{counts_from_hom, ExecutionPlan, StepOp};
 
 /// The measured record of one executed step.
@@ -83,6 +108,24 @@ pub struct NoiseExhausted {
     /// The measured budget (`≤ 0`; `-1` once the noise has swamped the
     /// invariant — the probe saturates there).
     pub budget: i64,
+    /// The exhausting step's compile-time analytic charge
+    /// ([`super::PlanStep::noise_bits`]), for comparing the analytic
+    /// model against what was measured.
+    pub analytic_bits: u32,
+    /// The measured consumption of the exhausting step (its chain
+    /// predecessor's budget minus [`NoiseExhausted::budget`]), when the
+    /// probe had a predecessor to charge against.
+    pub consumed: Option<i64>,
+}
+
+impl NoiseExhausted {
+    /// Analytic-minus-measured consumption of the exhausting step:
+    /// positive means the analytic model was conservative (the usual
+    /// case), negative means the step consumed more than its compile-time
+    /// charge — the signal that the Table-4 accounting missed something.
+    pub fn budget_gap(&self) -> Option<i64> {
+        self.consumed.map(|c| i64::from(self.analytic_bits) - c)
+    }
 }
 
 impl std::fmt::Display for NoiseExhausted {
@@ -184,6 +227,29 @@ fn place_input(plan: &ExecutionPlan, input: &ITensor) -> Vec<i64> {
         coeffs[pos] = input.data()[flat];
     }
     coeffs
+}
+
+/// Drives `backend` through the whole plan — encrypt plus every step, in
+/// order, with no resilience wrapping — and returns the logits.
+/// Crate-internal: the chaos sweep uses it to replay fault plans through
+/// the simulation and counting backends.
+pub(crate) fn drive_plain<B: PlanBackend>(
+    backend: &mut B,
+    plan: &ExecutionPlan,
+    input: &ITensor,
+) -> Vec<f64> {
+    let coeffs = place_input(plan, input);
+    let mut st = ExecState::new(plan);
+    st.values[0] = Some(backend.encrypt_input(&coeffs));
+    let mut flat = 0usize;
+    for layer in &plan.layers {
+        for (si, step) in layer.steps.iter().enumerate() {
+            backend.note_step(layer.node, si, flat);
+            run_step(backend, plan, &step.op, &mut st);
+            flat += 1;
+        }
+    }
+    st.logits
 }
 
 /// Interprets one step against a backend. All control flow — including
@@ -387,10 +453,191 @@ pub fn execute_probed(
     sampler: &mut Sampler,
     probe: NoiseProbe,
 ) -> Result<PlanRun, NoiseExhausted> {
+    let policy = RunPolicy {
+        probe: Some(probe),
+        ..RunPolicy::default()
+    };
+    match execute_resilient(
+        engine, secrets, keys, plan, input, sampler, &policy, 1, None,
+    ) {
+        Ok(run) => Ok(run),
+        Err(AthenaError::NoiseExhausted(ne)) => Err(ne),
+        // This driver keeps the pre-resilience contract: faults other
+        // than exhaustion propagate as panics (re-raised typed where the
+        // payload was typed).
+        Err(AthenaError::Fhe { source, .. }) => athena_fhe::error::raise(source),
+        Err(AthenaError::KeyMissing {
+            element, available, ..
+        }) => athena_fhe::error::raise(FheError::KeyMissing { element, available }),
+        Err(e) => std::panic::panic_any(e.to_string()),
+    }
+}
+
+/// Executes one attempt of a compiled plan under a [`RunPolicy`]: every
+/// step runs inside `catch_unwind` with the scratch arena quarantined on
+/// unwind, a cooperative deadline is checked before each step, and the
+/// policy's [`super::FaultPlan`] (if any) is injected. This is the
+/// single-attempt primitive [`super::InferenceSession`] builds its retry
+/// loop on; `attempt` (1-based) and `batch_input` scope the fault plan's
+/// filters.
+///
+/// With a default policy the run is bit-identical to [`execute`]: no
+/// extra sampler draws, no homomorphic ops, the same step order.
+///
+/// [`FaultKind::NoiseSpike`] faults force the probe on — an artificial
+/// budget burn is only observable at a probe point. A spike injected at a
+/// step with no RLWE output is carried to the next probed step (noise
+/// travels down the chain); one injected past the last probe point is
+/// charged against the fresh-input baseline at end of run.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_resilient(
+    engine: &AthenaEngine,
+    secrets: &AthenaSecrets,
+    keys: &AthenaEvalKeys,
+    plan: &ExecutionPlan,
+    input: &ITensor,
+    sampler: &mut Sampler,
+    policy: &RunPolicy,
+    attempt: u32,
+    batch_input: Option<usize>,
+) -> Result<PlanRun, AthenaError> {
+    if input.shape() != &plan.input_shape[..] {
+        return Err(AthenaError::ShapeMismatch {
+            input: batch_input.unwrap_or(0),
+            expected: plan.input_shape.clone(),
+            got: input.shape().to_vec(),
+        });
+    }
+    let spikes = policy.faults.as_ref().is_some_and(|fp| {
+        fp.faults
+            .iter()
+            .any(|f| matches!(f.kind, FaultKind::NoiseSpike { .. }))
+    });
+    let probe = match policy.probe {
+        Some(p) => p,
+        None if spikes => NoiseProbe::On,
+        None => NoiseProbe::Off,
+    };
+    match &policy.faults {
+        None => {
+            let backend = EncryptedBackend::new(engine, secrets, keys, sampler);
+            drive_resilient(
+                backend,
+                |_| 0,
+                EncryptedBackend::into_stats,
+                engine,
+                secrets,
+                plan,
+                input,
+                policy,
+                probe,
+            )
+        }
+        Some(fp) => {
+            let backend = FaultInjectingBackend::new(
+                EncryptedBackend::new(engine, secrets, keys, sampler),
+                fp,
+                attempt,
+                batch_input,
+            );
+            drive_resilient(
+                backend,
+                FaultInjectingBackend::take_spike,
+                |b| b.into_inner().into_stats(),
+                engine,
+                secrets,
+                plan,
+                input,
+                policy,
+                probe,
+            )
+        }
+    }
+}
+
+/// Classifies a caught panic payload into the [`AthenaError`] taxonomy.
+/// `recoveries` is the number of poisoned arena-shard locks recovered
+/// during the attempt (a nonzero count means the panic crossed — or
+/// another holder of — a shard lock, so the pool itself was implicated).
+fn classify_panic(
+    payload: Box<dyn std::any::Any + Send>,
+    node: usize,
+    step: usize,
+    label: &'static str,
+    recoveries: usize,
+) -> AthenaError {
+    if let Some(fhe) = payload.downcast_ref::<FheError>() {
+        return match fhe.clone() {
+            FheError::KeyMissing { element, available } => AthenaError::KeyMissing {
+                node,
+                step,
+                label,
+                element,
+                available,
+            },
+            source => AthenaError::Fhe {
+                node,
+                step,
+                label,
+                source,
+            },
+        };
+    }
+    let text = payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string());
+    if recoveries > 0 {
+        AthenaError::PoolPoisoned {
+            recoveries,
+            payload: text,
+        }
+    } else {
+        AthenaError::StepPanicked {
+            node,
+            step,
+            label,
+            payload: text,
+        }
+    }
+}
+
+/// The shared resilient driver: generic over the backend so the fault
+/// wrapper and the bare encrypted backend monomorphize to the same loop.
+#[allow(clippy::too_many_arguments)]
+fn drive_resilient<B>(
+    mut backend: B,
+    mut take_spike: impl FnMut(&mut B) -> u32,
+    into_stats: impl FnOnce(B) -> PipelineStats,
+    engine: &AthenaEngine,
+    secrets: &AthenaSecrets,
+    plan: &ExecutionPlan,
+    input: &ITensor,
+    policy: &RunPolicy,
+    probe: NoiseProbe,
+) -> Result<PlanRun, AthenaError>
+where
+    B: PlanBackend<Rlwe = BfvCiphertext>,
+{
+    let start = Instant::now();
+    let poison_base = arena::poison_recoveries();
+    // Quarantine-then-classify on every caught unwind: the generation
+    // bump must land before the executor state (and its in-flight limb
+    // checkouts) drops, so nothing the faulted attempt touched is pooled.
+    let caught =
+        |payload: Box<dyn std::any::Any + Send>, node: usize, step: usize, label: &'static str| {
+            arena::quarantine();
+            let recoveries = arena::poison_recoveries() - poison_base;
+            classify_panic(payload, node, step, label, recoveries)
+        };
+
     let coeffs = place_input(plan, input);
-    let mut backend = EncryptedBackend::new(engine, secrets, keys, sampler);
     let mut st = ExecState::new(plan);
-    st.values[0] = Some(backend.encrypt_input(&coeffs));
+    let first_node = plan.layers.first().map_or(0, |l| l.node);
+    let encrypted = catch_unwind(AssertUnwindSafe(|| backend.encrypt_input(&coeffs)))
+        .map_err(|p| caught(p, first_node, 0, "encrypt"))?;
+    st.values[0] = Some(encrypted);
 
     let budget_of =
         |ct: &BfvCiphertext| BfvEvaluator::new(engine.context()).noise_budget(ct, &secrets.sk);
@@ -410,15 +657,39 @@ pub fn execute_probed(
     };
 
     let mut reports = Vec::with_capacity(plan.step_count());
+    let mut carry_spike: i64 = 0;
+    let mut flat = 0usize;
     for layer in &plan.layers {
         for (si, step) in layer.steps.iter().enumerate() {
-            let (((), hom), alloc) = alloc_stats::measure(|| {
-                op_stats::measure(|| run_step(&mut backend, plan, &step.op, &mut st))
-            });
+            if let Some(deadline) = policy.deadline {
+                if start.elapsed() >= deadline {
+                    return Err(AthenaError::DeadlineExceeded {
+                        node: layer.node,
+                        step: si,
+                        label: step.op.label(),
+                        deadline,
+                    });
+                }
+            }
+            let (((), hom), alloc) = catch_unwind(AssertUnwindSafe(|| {
+                alloc_stats::measure(|| {
+                    op_stats::measure(|| {
+                        backend.note_step(layer.node, si, flat);
+                        run_step(&mut backend, plan, &step.op, &mut st)
+                    })
+                })
+            }))
+            .map_err(|p| caught(p, layer.node, si, step.op.label()))?;
+            flat += 1;
+            carry_spike += i64::from(take_spike(&mut backend));
             let (budget, consumed) = match &mut tracker {
                 None => (None, None),
                 Some(tr) => probe_step(&step.op, &st, tr, &budget_of),
             };
+            let budget = budget.map(|b| b - carry_spike);
+            if budget.is_some() {
+                carry_spike = 0;
+            }
             reports.push(StepReport {
                 node: layer.node,
                 step: si,
@@ -433,19 +704,47 @@ pub fn execute_probed(
             });
             if let Some(b) = budget {
                 if b <= 0 {
-                    return Err(NoiseExhausted {
+                    return Err(AthenaError::NoiseExhausted(NoiseExhausted {
                         node: layer.node,
                         step: si,
                         label: step.op.label(),
                         budget: b,
-                    });
+                        analytic_bits: step.noise_bits,
+                        consumed,
+                    }));
                 }
+            }
+        }
+    }
+    if carry_spike > 0 {
+        // A spike injected after the last probe point: charge it against
+        // the fresh-input baseline so it still surfaces typed.
+        if let Some(tr) = &tracker {
+            let b = tr.fresh - carry_spike;
+            if b <= 0 {
+                let (node, si, label) = plan
+                    .layers
+                    .last()
+                    .and_then(|l| {
+                        l.steps
+                            .last()
+                            .map(|s| (l.node, l.steps.len() - 1, s.op.label()))
+                    })
+                    .unwrap_or((0, 0, "encrypt"));
+                return Err(AthenaError::NoiseExhausted(NoiseExhausted {
+                    node,
+                    step: si,
+                    label,
+                    budget: b,
+                    analytic_bits: 0,
+                    consumed: None,
+                }));
             }
         }
     }
     Ok(PlanRun {
         logits: st.logits,
-        stats: backend.into_stats(),
+        stats: into_stats(backend),
         steps: reports,
         fresh_budget: tracker.map(|t| t.fresh),
     })
@@ -455,9 +754,9 @@ pub fn execute_probed(
 /// to the step's chain predecessor. Steps whose output lives below the
 /// RLWE layer (extraction, dimension/modulus switches, LWE adds, the
 /// pooling composites, output) yield `(None, None)`.
-fn probe_step(
+fn probe_step<B: PlanBackend<Rlwe = BfvCiphertext>>(
     op: &StepOp,
-    st: &ExecState<EncryptedBackend<'_>>,
+    st: &ExecState<B>,
     tr: &mut NoiseTracker,
     budget_of: &dyn Fn(&BfvCiphertext) -> i64,
 ) -> (Option<i64>, Option<i64>) {
@@ -506,9 +805,12 @@ pub fn execute_sim(
     let mut backend = NoiseSimBackend::new(plan, noise, sampler);
     let mut st = ExecState::new(plan);
     st.values[0] = Some(backend.encrypt_input(&coeffs));
+    let mut flat = 0usize;
     for layer in &plan.layers {
-        for step in &layer.steps {
+        for (si, step) in layer.steps.iter().enumerate() {
+            backend.note_step(layer.node, si, flat);
             run_step(&mut backend, plan, &step.op, &mut st);
+            flat += 1;
         }
     }
     SimRun {
@@ -527,10 +829,13 @@ pub fn execute_counting(engine: &AthenaEngine, plan: &ExecutionPlan) -> Vec<OpCo
     backend.encrypt_input(&vec![0i64; plan.n]);
     st.values[0] = Some(());
     let mut out = Vec::with_capacity(plan.step_count());
+    let mut flat = 0usize;
     for layer in &plan.layers {
-        for step in &layer.steps {
+        for (si, step) in layer.steps.iter().enumerate() {
+            backend.note_step(layer.node, si, flat);
             run_step(&mut backend, plan, &step.op, &mut st);
             out.push(backend.take_counts());
+            flat += 1;
         }
     }
     out

@@ -137,6 +137,20 @@ pub enum CompileError {
         /// Ring degree.
         n: usize,
     },
+    /// The compile-time noise guardrail: the plan's worst analytic RLWE
+    /// chain ([`ExecutionPlan::worst_chain_noise_bits`]) plus the
+    /// engine's configured safety margin exceeds the parameter set's
+    /// noise headroom, so a probed run would exhaust deterministically —
+    /// rejected at compile time instead of mid-inference. Disable via
+    /// [`crate::pipeline::AthenaEngine::with_noise_margin`]`(None)`.
+    NoiseBudget {
+        /// The worst chain's analytic charge in bits.
+        chain_bits: u32,
+        /// The parameter set's headroom in bits.
+        budget_bits: u32,
+        /// The engine's configured margin in bits.
+        margin: u32,
+    },
 }
 
 impl fmt::Display for CompileError {
@@ -192,6 +206,15 @@ impl fmt::Display for CompileError {
             CompileError::ValueTooLarge { value, len, n } => {
                 write!(f, "value {value}: padded layout of {len} slots exceeds ring degree {n}")
             }
+            CompileError::NoiseBudget {
+                chain_bits,
+                budget_bits,
+                margin,
+            } => write!(
+                f,
+                "analytic noise of the worst chain ({chain_bits} bits + {margin} margin) exceeds \
+                 the parameter set's {budget_bits}-bit headroom; a probed run would exhaust"
+            ),
         }
     }
 }
@@ -1193,6 +1216,22 @@ pub fn try_compile(
     for layer in &mut plan.layers {
         for step in &mut layer.steps {
             step.analytic = it.next().expect("one count per step");
+        }
+    }
+
+    // Compile-time noise guardrail: reject plans whose worst analytic
+    // chain cannot fit the parameter set's headroom (with the engine's
+    // configured margin) — the run would exhaust deterministically, so
+    // fail typed at compile time rather than mid-inference.
+    if let Some(margin) = engine.noise_margin_bits() {
+        let chain_bits = plan.worst_chain_noise_bits();
+        let budget_bits = nm.headroom_bits();
+        if chain_bits.saturating_add(margin) > budget_bits {
+            return Err(CompileError::NoiseBudget {
+                chain_bits,
+                budget_bits,
+                margin,
+            });
         }
     }
     Ok(plan)

@@ -43,19 +43,32 @@
 //! `MaxReduce`/`AvgReduce` (LWE-level trees over the accumulator), and
 //! `Output` (client-side decrypt + dequantize).
 
+//!
+//! The serving path is *resilient*: [`execute_resilient`] isolates every
+//! step behind `catch_unwind` with scratch-arena quarantine on unwind,
+//! enforces a cooperative [`RunPolicy`] deadline, and surfaces every
+//! failure as a typed [`AthenaError`]; the seeded fault-injection harness
+//! ([`FaultPlan`] / [`FaultInjectingBackend`]) drives those paths in the
+//! chaos tests.
+
 mod backend;
+mod error;
 mod exec;
+mod fault;
 mod ir;
 mod session;
 
 pub use backend::{CountingBackend, EncryptedBackend, NoiseSimBackend, PlanBackend, SimLwe};
+pub use error::{AthenaError, RetryPolicy, RunPolicy};
+pub(crate) use exec::drive_plain;
 pub use exec::{
-    execute, execute_counting, execute_probed, execute_sim, NoiseExhausted, NoiseProbe, PlanRun,
-    SimRun, StepReport,
+    execute, execute_counting, execute_probed, execute_resilient, execute_sim, NoiseExhausted,
+    NoiseProbe, PlanRun, SimRun, StepReport,
 };
+pub use fault::{FaultInjectingBackend, FaultKind, FaultPlan, FaultSpec, FaultTarget};
 pub(crate) use ir::validate_model;
 pub use ir::{
     compile, counts_from_hom, try_compile, CompileError, ExecutionPlan, KeyRequirements, PlanLayer,
     PlanStep, StepOp,
 };
-pub use session::{InferenceSession, SessionError, SessionStats};
+pub use session::{InferenceSession, SessionStats};

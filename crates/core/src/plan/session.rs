@@ -10,12 +10,23 @@
 //! out over `athena_math::par` worker threads (the `ATHENA_THREADS`
 //! knob), with per-input forked samplers so the results are bit-identical
 //! to the same inputs run sequentially at any thread count.
+//!
+//! ## Resilience
+//!
+//! Every request runs through [`super::execute_resilient`]: failures come
+//! back as typed [`AthenaError`] values (never a raw panic), a faulted
+//! attempt quarantines the scratch arena so no partially-written state
+//! survives into later requests, and a [`RunPolicy`] can add a
+//! cooperative deadline and a retry budget. Retries re-encrypt with a
+//! *fresh* sampler fork — the first attempt draws directly on the
+//! request's fork (preserving bit-identity with the no-retry path), and
+//! only transient faults ([`AthenaError::is_transient`]) are retried;
+//! deterministic ones fail fast.
 
-use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
-use athena_math::arena::ArenaLease;
+use athena_math::arena::{self, ArenaLease};
 use athena_math::par;
 use athena_math::sampler::Sampler;
 use athena_nn::qmodel::{QModel, QOp};
@@ -24,70 +35,9 @@ use athena_nn::tensor::ITensor;
 use crate::infer::EncryptedInference;
 use crate::pipeline::{AthenaEngine, AthenaEvalKeys, AthenaSecrets};
 
-use super::exec::execute;
+use super::error::{AthenaError, RunPolicy};
+use super::exec::execute_resilient;
 use super::ir::{try_compile, CompileError, ExecutionPlan};
-
-/// Typed failure of a session request. The serving path takes
-/// user-shaped models and batches, so shape problems and per-worker
-/// failures come back as values that say *which* input failed, not as an
-/// anonymous unwind.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum SessionError {
-    /// The model cannot be compiled for this session's engine.
-    Compile(CompileError),
-    /// Batch input `input`'s shape differs from the first input's (one
-    /// batch shares one plan).
-    ShapeMismatch {
-        /// Index of the offending input.
-        input: usize,
-        /// Shape of the batch's first input.
-        expected: Vec<usize>,
-        /// Shape of the offending input.
-        got: Vec<usize>,
-    },
-    /// The worker running `input` panicked; `reason` carries the panic
-    /// payload when it was a string.
-    WorkerFailed {
-        /// Index of the input whose job failed.
-        input: usize,
-        /// Stringified panic payload.
-        reason: String,
-    },
-}
-
-impl fmt::Display for SessionError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            SessionError::Compile(e) => write!(f, "plan compilation failed: {e}"),
-            SessionError::ShapeMismatch {
-                input,
-                expected,
-                got,
-            } => write!(
-                f,
-                "batch input {input} has shape {got:?}, batch shape is {expected:?}"
-            ),
-            SessionError::WorkerFailed { input, reason } => {
-                write!(f, "worker for batch input {input} failed: {reason}")
-            }
-        }
-    }
-}
-
-impl std::error::Error for SessionError {
-    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        match self {
-            SessionError::Compile(e) => Some(e),
-            _ => None,
-        }
-    }
-}
-
-impl From<CompileError> for SessionError {
-    fn from(e: CompileError) -> Self {
-        SessionError::Compile(e)
-    }
-}
 
 /// 64-bit FNV-1a — a tiny deterministic fingerprint hasher, enough to key
 /// an in-process plan cache (collisions are astronomically unlikely at
@@ -363,27 +313,44 @@ impl InferenceSession {
         Ok(self.entry_for(model, input_shape)?.plan)
     }
 
-    /// Runs one encrypted inference through the session cache.
+    /// Runs one encrypted inference through the session cache with a
+    /// default [`RunPolicy`] (no deadline, no retries, no probing).
     ///
     /// Forks `sampler` for the request's encryption draws, so a sequence
     /// of calls consumes exactly one fork per call — the property that
     /// makes [`InferenceSession::run_batch`] bit-identical to a sequential
-    /// loop.
+    /// loop. Failures are typed [`AthenaError`] values; a faulted request
+    /// quarantines the scratch arena, so the next clean request on this
+    /// session is bit-identical to one on a session that never faulted.
     pub fn run_encrypted(
         &mut self,
         model: &QModel,
         input: &ITensor,
         sampler: &mut Sampler,
-    ) -> EncryptedInference {
+    ) -> Result<EncryptedInference, AthenaError> {
+        self.run_encrypted_with(model, input, sampler, &RunPolicy::default())
+    }
+
+    /// [`InferenceSession::run_encrypted`] under an explicit
+    /// [`RunPolicy`]: deadline, retry budget, noise probing, and (for
+    /// chaos tests) fault injection.
+    pub fn run_encrypted_with(
+        &mut self,
+        model: &QModel,
+        input: &ITensor,
+        sampler: &mut Sampler,
+        policy: &RunPolicy,
+    ) -> Result<EncryptedInference, AthenaError> {
         let mut fork = sampler.fork();
         let entry = self
             .entry_for(model, input.shape())
-            .unwrap_or_else(|e| panic!("{e}"));
-        run_entry(&self.engine, &entry, input, &mut fork)
+            .map_err(AthenaError::from)?;
+        run_one(&self.engine, &entry, input, &mut fork, policy, None)
     }
 
     /// Runs a batch of encrypted inferences, fanning out over the
-    /// `athena_math::par` worker pool (`ATHENA_THREADS`).
+    /// `athena_math::par` worker pool (`ATHENA_THREADS`), with a default
+    /// [`RunPolicy`].
     ///
     /// Samplers are forked from `sampler` sequentially (one per input, in
     /// order) before the parallel region, so the results — and the
@@ -391,31 +358,48 @@ impl InferenceSession {
     /// calling [`InferenceSession::run_encrypted`] on each input in order,
     /// at any thread count. All inputs must share one shape (one plan).
     ///
-    /// Failures are typed and name the offending input: a shape mismatch
-    /// or a compile rejection fails before any ciphertext work; a worker
-    /// that panics mid-batch is caught and reported as
-    /// [`SessionError::WorkerFailed`] for *its* input index instead of
-    /// unwinding through the pool.
+    /// The outer `Result` fails for whole-batch problems (a shape
+    /// mismatch, a compile rejection) before any ciphertext work; each
+    /// inner `Result` is its input's own outcome, so one faulted item
+    /// never poisons its neighbors — the faulted worker routes through
+    /// the same arena-quarantine path as
+    /// [`InferenceSession::run_encrypted`], and the other items' logits
+    /// are bit-identical to an unfaulted batch.
     pub fn run_batch(
         &mut self,
         model: &QModel,
         inputs: &[ITensor],
         sampler: &mut Sampler,
-    ) -> Result<Vec<EncryptedInference>, SessionError> {
+    ) -> Result<Vec<Result<EncryptedInference, AthenaError>>, AthenaError> {
+        self.run_batch_with(model, inputs, sampler, &RunPolicy::default())
+    }
+
+    /// [`InferenceSession::run_batch`] under an explicit [`RunPolicy`].
+    /// The policy applies to every item; a [`super::FaultPlan`] in it can
+    /// scope faults to single items via `FaultSpec::on_input`.
+    pub fn run_batch_with(
+        &mut self,
+        model: &QModel,
+        inputs: &[ITensor],
+        sampler: &mut Sampler,
+        policy: &RunPolicy,
+    ) -> Result<Vec<Result<EncryptedInference, AthenaError>>, AthenaError> {
         let Some(first) = inputs.first() else {
             return Ok(Vec::new());
         };
         for (i, input) in inputs.iter().enumerate() {
             if input.shape() != first.shape() {
-                return Err(SessionError::ShapeMismatch {
+                return Err(AthenaError::ShapeMismatch {
                     input: i,
                     expected: first.shape().to_vec(),
                     got: input.shape().to_vec(),
                 });
             }
         }
-        let entry = self.entry_for(model, first.shape())?;
-        type JobResult = Result<EncryptedInference, String>;
+        let entry = self
+            .entry_for(model, first.shape())
+            .map_err(AthenaError::from)?;
+        type JobResult = Result<EncryptedInference, AthenaError>;
         let mut jobs: Vec<(usize, Sampler, Option<JobResult>)> = inputs
             .iter()
             .enumerate()
@@ -423,29 +407,40 @@ impl InferenceSession {
             .collect();
         let engine = &self.engine;
         par::parallel_for_each_mut(&mut jobs, |(i, fork, out)| {
+            // `run_one` already catches per-step unwinds and quarantines;
+            // this outer catch is the backstop for a panic outside the
+            // step loop, so a worker can never unwind through the pool —
+            // and it, too, quarantines before reporting.
             *out = Some(
                 catch_unwind(AssertUnwindSafe(|| {
-                    run_entry(engine, &entry, &inputs[*i], fork)
+                    run_one(engine, &entry, &inputs[*i], fork, policy, Some(*i))
                 }))
-                .map_err(|payload| {
-                    payload
-                        .downcast_ref::<&str>()
-                        .map(|s| (*s).to_string())
-                        .or_else(|| payload.downcast_ref::<String>().cloned())
-                        .unwrap_or_else(|| "non-string panic payload".to_string())
+                .unwrap_or_else(|payload| {
+                    arena::quarantine();
+                    Err(AthenaError::StepPanicked {
+                        node: 0,
+                        step: 0,
+                        label: "batch",
+                        payload: payload
+                            .downcast_ref::<&str>()
+                            .map(|s| (*s).to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "non-string panic payload".to_string()),
+                    })
                 }),
             );
         });
-        jobs.into_iter()
-            .map(|(i, _, out)| match out {
-                Some(Ok(inf)) => Ok(inf),
-                Some(Err(reason)) => Err(SessionError::WorkerFailed { input: i, reason }),
-                None => Err(SessionError::WorkerFailed {
-                    input: i,
-                    reason: "job never ran".to_string(),
-                }),
+        Ok(jobs
+            .into_iter()
+            .map(|(_, _, out)| {
+                out.unwrap_or(Err(AthenaError::StepPanicked {
+                    node: 0,
+                    step: 0,
+                    label: "batch",
+                    payload: "job never ran".to_string(),
+                }))
             })
-            .collect()
+            .collect())
     }
 
     /// Looks up (moving the entry to the back of the LRU order) or
@@ -484,6 +479,70 @@ impl InferenceSession {
         }
         self.entries.push(entry.clone());
         Ok(entry)
+    }
+}
+
+/// Executes one input against a cached artifact under `policy`,
+/// retrying transient faults with fresh encryption randomness.
+///
+/// Attempt 1 draws directly on `fork` (the request's sampler fork), so a
+/// no-retry success is bit-identical to the pre-retry serving path; each
+/// retry draws on a *fresh* sub-fork — the faulted attempt's randomness
+/// is never replayed, since a deterministic replay of a deterministic
+/// fault cannot succeed. Deterministic errors fail fast regardless of
+/// the retry budget.
+fn run_one(
+    engine: &AthenaEngine,
+    entry: &CacheEntry,
+    input: &ITensor,
+    fork: &mut Sampler,
+    policy: &RunPolicy,
+    input_idx: Option<usize>,
+) -> Result<EncryptedInference, AthenaError> {
+    let max_attempts = policy.retry.max_attempts.max(1);
+    let mut attempt = 1u32;
+    loop {
+        let result = if attempt == 1 {
+            execute_resilient(
+                engine,
+                &entry.secrets,
+                &entry.keys,
+                &entry.plan,
+                input,
+                fork,
+                policy,
+                attempt,
+                input_idx,
+            )
+        } else {
+            let mut retry_fork = fork.fork();
+            execute_resilient(
+                engine,
+                &entry.secrets,
+                &entry.keys,
+                &entry.plan,
+                input,
+                &mut retry_fork,
+                policy,
+                attempt,
+                input_idx,
+            )
+        };
+        match result {
+            Ok(run) => {
+                return Ok(EncryptedInference {
+                    logits: run.logits,
+                    stats: run.stats,
+                })
+            }
+            Err(e) if e.is_transient() && attempt < max_attempts => {
+                if !policy.retry.backoff.is_zero() {
+                    std::thread::sleep(policy.retry.backoff);
+                }
+                attempt += 1;
+            }
+            Err(e) => return Err(e),
+        }
     }
 }
 
@@ -546,26 +605,5 @@ mod tests {
         let a = fingerprint_model(&model_with_scales(1.0, 0.5));
         let b = fingerprint_model(&model_with_scales(1.0, 0.25));
         assert_ne!(a, b);
-    }
-}
-
-/// Executes one input against a cached artifact.
-fn run_entry(
-    engine: &AthenaEngine,
-    entry: &CacheEntry,
-    input: &ITensor,
-    sampler: &mut Sampler,
-) -> EncryptedInference {
-    let run = execute(
-        engine,
-        &entry.secrets,
-        &entry.keys,
-        &entry.plan,
-        input,
-        sampler,
-    );
-    EncryptedInference {
-        logits: run.logits,
-        stats: run.stats,
     }
 }

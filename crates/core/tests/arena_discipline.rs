@@ -106,11 +106,14 @@ fn warm_session_steady_state_has_zero_fresh_limb_allocations() {
     let model = model_with(-2);
     let mut sampler = Sampler::from_seed(555);
     // Cold run: compiles, keygens, and fills the pool.
-    let cold = session.run_encrypted(&model, &input(0), &mut sampler);
+    let cold = session
+        .run_encrypted(&model, &input(0), &mut sampler)
+        .expect("cold run");
     // Warm runs: every limb checkout must hit the pool.
     for round in 0..2 {
         let (inf, counts) =
             alloc_stats::measure(|| session.run_encrypted(&model, &input(0), &mut sampler));
+        let inf = inf.expect("warm run");
         assert!(counts.takes > 0, "executor must go through the arena");
         assert_eq!(
             counts.fresh, 0,
@@ -135,7 +138,9 @@ fn limb_checkout_totals_are_thread_count_invariant() {
         let mut session = InferenceSession::new(AthenaEngine::new(BfvParams::test_small()), 4, 77);
         let mut sampler = Sampler::from_seed(555);
         // Warm up so the measured run is steady-state at both counts.
-        session.run_encrypted(&model, &input(0), &mut sampler);
+        session
+            .run_encrypted(&model, &input(0), &mut sampler)
+            .expect("warm-up run");
         let (_, counts) =
             alloc_stats::measure(|| session.run_encrypted(&model, &input(0), &mut sampler));
         par::set_threads(0);
@@ -162,9 +167,12 @@ fn poisoned_pool_produces_bit_identical_logits() {
         let mut session = InferenceSession::new(AthenaEngine::new(BfvParams::test_small()), 4, 77);
         let mut sampler = Sampler::from_seed(555);
         // Two runs: the second consumes recycled (poison-refilled) buffers.
-        session.run_encrypted(&model, &input(0), &mut sampler);
         session
             .run_encrypted(&model, &input(0), &mut sampler)
+            .expect("first run");
+        session
+            .run_encrypted(&model, &input(0), &mut sampler)
+            .expect("second run")
             .logits
     };
     let clean = run(None);
@@ -190,7 +198,12 @@ fn poisoned_batch_matches_sequential_at_any_thread_count() {
         let mut session = InferenceSession::new(AthenaEngine::new(BfvParams::test_small()), 4, 77);
         let mut sampler = Sampler::from_seed(555);
         imgs.iter()
-            .map(|img| session.run_encrypted(&model, img, &mut sampler).logits)
+            .map(|img| {
+                session
+                    .run_encrypted(&model, img, &mut sampler)
+                    .expect("sequential run")
+                    .logits
+            })
             .collect()
     };
 
@@ -204,6 +217,7 @@ fn poisoned_batch_matches_sequential_at_any_thread_count() {
             .expect("batch runs");
         par::set_threads(0);
         for (i, (b, s)) in batch.iter().zip(&sequential).enumerate() {
+            let b = b.as_ref().expect("clean batch item");
             assert_eq!(
                 &b.logits, s,
                 "input {i} at {threads} threads diverged under poisoning"

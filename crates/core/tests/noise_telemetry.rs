@@ -324,4 +324,42 @@ fn exhaustion_surfaces_as_typed_error() {
     );
     let msg = err.to_string();
     assert!(msg.contains("noise budget exhausted"), "display: {msg}");
+    // Ergonomics: the error carries the analytic-vs-measured gap when the
+    // dying step had a measured consumption.
+    if let Some(gap) = err.budget_gap() {
+        let consumed = err.consumed.expect("gap implies a measurement");
+        assert_eq!(gap, i64::from(err.analytic_bits) - consumed);
+    }
+}
+
+/// The compile-time guardrail: an engine with a noise margin rejects a
+/// plan whose worst analytic chain cannot fit the parameter headroom,
+/// returning the typed [`plan::CompileError::NoiseBudget`] before any key
+/// or ciphertext work. The guardrail is opt-in (default `None`) because
+/// the analytic chain charge is deliberately conservative — the default
+/// engine must keep compiling models whose real runs fit fine.
+#[test]
+fn noise_margin_guardrail_rejects_at_compile_time() {
+    let model = conv_model();
+    let engine = AthenaEngine::new(BfvParams::test_small());
+    plan::try_compile(&engine, &model, &[1, 5, 5]).expect("guardrail is opt-in");
+
+    let engine = AthenaEngine::new(BfvParams::test_small()).with_noise_margin(Some(10_000));
+    let err = plan::try_compile(&engine, &model, &[1, 5, 5])
+        .expect_err("a 10k-bit margin cannot fit any parameter set");
+    match err {
+        plan::CompileError::NoiseBudget {
+            chain_bits,
+            budget_bits,
+            margin,
+        } => {
+            assert_eq!(margin, 10_000);
+            assert!(budget_bits > 0, "headroom must be reported");
+            assert!(
+                chain_bits.saturating_add(margin) > budget_bits,
+                "rejection arithmetic must hold: {chain_bits} + {margin} vs {budget_bits}"
+            );
+        }
+        other => panic!("expected NoiseBudget, got {other:?}"),
+    }
 }

@@ -153,7 +153,12 @@ fn run_batch_matches_sequential_at_any_thread_count() {
         let mut session = InferenceSession::new(AthenaEngine::new(BfvParams::test_small()), 4, 77);
         let mut sampler = Sampler::from_seed(555);
         imgs.iter()
-            .map(|img| session.run_encrypted(&model, img, &mut sampler).logits)
+            .map(|img| {
+                session
+                    .run_encrypted(&model, img, &mut sampler)
+                    .expect("clean run")
+                    .logits
+            })
             .collect()
     };
 
@@ -167,6 +172,7 @@ fn run_batch_matches_sequential_at_any_thread_count() {
         par::set_threads(0);
         assert_eq!(batch.len(), imgs.len());
         for (i, (b, s)) in batch.iter().zip(&sequential).enumerate() {
+            let b = b.as_ref().expect("clean batch item");
             assert_eq!(
                 &b.logits, s,
                 "input {i} at {threads} threads: batch diverged from sequential"
@@ -194,7 +200,7 @@ fn empty_batch_is_a_no_op() {
 /// input, before any ciphertext work (no plan compiled).
 #[test]
 fn mixed_shape_batch_reports_offending_input() {
-    use athena_core::plan::SessionError;
+    use athena_core::plan::AthenaError;
     let mut session = InferenceSession::new(AthenaEngine::new(BfvParams::test_small()), 2, 9);
     let mut sampler = Sampler::from_seed(1);
     let mut imgs = inputs(3);
@@ -203,7 +209,7 @@ fn mixed_shape_batch_reports_offending_input() {
         .run_batch(&model_with(-2), &imgs, &mut sampler)
         .expect_err("mixed shapes must be rejected");
     match err {
-        SessionError::ShapeMismatch {
+        AthenaError::ShapeMismatch {
             input,
             expected,
             got,
@@ -217,11 +223,11 @@ fn mixed_shape_batch_reports_offending_input() {
     assert_eq!(session.stats().misses, 0, "no plan should be compiled");
 }
 
-/// An uncompilable model comes back as `SessionError::Compile`, not a
+/// An uncompilable model comes back as `AthenaError::Compile`, not a
 /// panic, from the batch path.
 #[test]
 fn uncompilable_model_is_a_typed_batch_error() {
-    use athena_core::plan::{CompileError, SessionError};
+    use athena_core::plan::{AthenaError, CompileError};
     let mut session = InferenceSession::new(AthenaEngine::new(BfvParams::test_small()), 2, 9);
     let mut sampler = Sampler::from_seed(1);
     // Pool-final model: the plain reference defines no logits for it.
@@ -240,7 +246,7 @@ fn uncompilable_model_is_a_typed_batch_error() {
     assert!(
         matches!(
             err,
-            SessionError::Compile(CompileError::PoolingFinal { node: 0 })
+            AthenaError::Compile(CompileError::PoolingFinal { node: 0 })
         ),
         "got {err:?}"
     );

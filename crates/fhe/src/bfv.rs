@@ -41,6 +41,7 @@ use athena_math::stats::{lift_stats, op_stats, rot_stats};
 use std::collections::HashMap;
 
 use crate::encoder::SlotEncoder;
+use crate::error::FheError;
 use crate::params::BfvParams;
 
 /// Shared context: parameter set plus every precomputed table.
@@ -342,6 +343,15 @@ impl BfvCiphertext {
         &self.parts
     }
 
+    /// Mutable access to the component polynomials. The pipeline never
+    /// mutates parts in place; this exists for fault-injection tooling
+    /// (deliberate limb corruption) and tests. The caller must keep every
+    /// value reduced modulo its limb prime and preserve the shared-domain
+    /// invariant.
+    pub fn parts_mut(&mut self) -> &mut [RnsPoly] {
+        &mut self.parts
+    }
+
     /// Number of components (2 normally, 3 before relinearization).
     pub fn size(&self) -> usize {
         self.parts.len()
@@ -543,15 +553,16 @@ impl GaloisKeys {
         self.keys.get(&g)
     }
 
-    /// The key for element `g`, panicking with a coverage diagnostic
-    /// (required vs available elements) when it is absent.
+    /// The key for element `g`, panicking with a typed
+    /// [`FheError::KeyMissing`] payload (downcastable by panic-safe
+    /// drivers; its display text carries the coverage diagnostic) when it
+    /// is absent.
     fn key_or_panic(&self, g: usize) -> &KeySwitchKey {
         self.keys.get(&g).unwrap_or_else(|| {
-            panic!(
-                "missing Galois key for element {g}: available elements are {:?} — \
-                 generate keys for every element of `required_galois_elements` up front",
-                self.elements()
-            )
+            crate::error::raise(FheError::KeyMissing {
+                element: g,
+                available: self.elements(),
+            })
         })
     }
 
@@ -568,12 +579,13 @@ impl GaloisKeys {
             .copied()
             .filter(|g| !self.keys.contains_key(g))
             .collect();
-        assert!(
-            missing.is_empty(),
-            "Galois key coverage gap: missing elements {missing:?} \
-             (required {required:?}, available {:?})",
-            self.elements()
-        );
+        if !missing.is_empty() {
+            crate::error::raise(FheError::KeyCoverage {
+                missing,
+                required: required.to_vec(),
+                available: self.elements(),
+            });
+        }
     }
 
     /// Galois elements covered.
@@ -1292,27 +1304,52 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "missing Galois key for element")]
-    fn missing_galois_key_panics_with_diagnostic() {
+    fn missing_galois_key_panics_with_typed_payload() {
         let (ctx, sk, mut sampler) = setup();
         let ev = BfvEvaluator::new(&ctx);
         let enc = ctx.encoder();
         let g1 = enc.galois_for_rotation(1);
+        let g2 = enc.galois_for_rotation(2);
         let gk = GaloisKeys::generate(&ctx, &sk, &[g1], &mut sampler);
         let ct = ev.encrypt_sk(&encode_coeff(&[1], 257, 128), &sk, &mut sampler);
-        // Key for rotation 2 was never generated.
-        let _ = ev.rotate_rows(&ct, 2, &gk);
+        // Key for rotation 2 was never generated: the unwind payload must
+        // be the typed error, downcastable at a catch boundary.
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = ev.rotate_rows(&ct, 2, &gk);
+        }))
+        .expect_err("missing key must unwind");
+        let err = payload
+            .downcast_ref::<FheError>()
+            .expect("payload is FheError");
+        assert_eq!(
+            *err,
+            FheError::KeyMissing {
+                element: g2,
+                available: vec![g1],
+            }
+        );
+        assert!(err.to_string().contains("missing Galois key for element"));
     }
 
     #[test]
-    #[should_panic(expected = "Galois key coverage gap")]
-    fn ensure_covers_reports_missing_elements() {
+    fn ensure_covers_reports_missing_elements_as_typed_payload() {
         let (ctx, sk, mut sampler) = setup();
         let enc = ctx.encoder();
         let g1 = enc.galois_for_rotation(1);
         let g2 = enc.galois_for_rotation(2);
         let gk = GaloisKeys::generate(&ctx, &sk, &[g1], &mut sampler);
-        gk.ensure_covers(&[g1, g2]);
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            gk.ensure_covers(&[g1, g2]);
+        }))
+        .expect_err("coverage gap must unwind");
+        let err = payload
+            .downcast_ref::<FheError>()
+            .expect("payload is FheError");
+        assert!(
+            matches!(err, FheError::KeyCoverage { missing, .. } if missing == &vec![g2]),
+            "wrong payload: {err:?}"
+        );
+        assert!(err.to_string().contains("Galois key coverage gap"));
     }
 
     #[test]

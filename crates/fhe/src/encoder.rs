@@ -18,6 +18,8 @@ use athena_math::modops::Modulus;
 use athena_math::ntt::NttTables;
 use athena_math::poly::{Domain, Poly, Ring};
 
+use crate::error::FheError;
+
 /// Encoder/decoder between slot vectors over `Z_t` and plaintext polynomials.
 ///
 /// # Examples
@@ -106,10 +108,16 @@ impl SlotEncoder {
     ///
     /// # Panics
     ///
-    /// Panics if `values.len() != N`.
+    /// Panics with a typed [`FheError::EncodeLength`] payload if
+    /// `values.len() != N`.
     pub fn encode(&self, values: &[u64]) -> Poly {
         let n = self.ring.n();
-        assert_eq!(values.len(), n, "need one value per slot");
+        if values.len() != n {
+            crate::error::raise(FheError::EncodeLength {
+                got: values.len(),
+                expected: n,
+            });
+        }
         let t = self.ring.modulus();
         let mut eval = vec![0u64; n];
         for (s, &v) in values.iter().enumerate() {
@@ -188,9 +196,15 @@ impl SlotEncoder {
 ///
 /// # Panics
 ///
-/// Panics if more than `n` values are supplied.
+/// Panics with a typed [`FheError::CoeffOverflow`] payload if more than
+/// `n` values are supplied.
 pub fn encode_coeff(values: &[i64], t: u64, n: usize) -> Poly {
-    assert!(values.len() <= n, "too many coefficients for degree {n}");
+    if values.len() > n {
+        crate::error::raise(FheError::CoeffOverflow {
+            got: values.len(),
+            max: n,
+        });
+    }
     let m = Modulus::new(t);
     let mut v = vec![0u64; n];
     for (i, &x) in values.iter().enumerate() {

@@ -1,0 +1,210 @@
+//! Typed fault payloads for the user-reachable failure points of the FHE
+//! substrate.
+//!
+//! The deep call stacks of the hot path (rotation schedules, packing,
+//! encoders) validate their preconditions with what used to be anonymous
+//! `panic!`/`assert!` messages. Threading `Result` through every one of
+//! those layers would put error plumbing on paths that, by construction,
+//! cannot fail once a plan has been compiled and its key coverage
+//! validated — so instead the checks stay where they are but panic with a
+//! *typed* [`FheError`] payload via [`raise`]. A panic-safe driver (the
+//! plan executor's `execute_resilient` in `athena-core`) catches the
+//! unwind, downcasts the payload, and surfaces it as a typed error with
+//! the offending plan step attached; direct library users still get a
+//! panic, but one whose payload names the exact precondition violated.
+//!
+//! The payload type survives thread boundaries: `std::thread` scope joins
+//! repropagate the original `Box<dyn Any>`, so an [`FheError`] raised
+//! inside a parallel region reaches the catching driver intact.
+
+use std::fmt;
+
+/// A typed precondition violation of the FHE substrate, raised as a panic
+/// payload (see [`raise`]) and downcast by panic-safe drivers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FheError {
+    /// A rotation needed a Galois key that was never generated.
+    KeyMissing {
+        /// The absent Galois element.
+        element: usize,
+        /// The elements keys exist for.
+        available: Vec<usize>,
+    },
+    /// An up-front key coverage check (`GaloisKeys::ensure_covers`) found
+    /// gaps before a rotation schedule started.
+    KeyCoverage {
+        /// Required elements with no key.
+        missing: Vec<usize>,
+        /// The full requirement set.
+        required: Vec<usize>,
+        /// The elements keys exist for.
+        available: Vec<usize>,
+    },
+    /// A slot-encoding was given the wrong number of values.
+    EncodeLength {
+        /// Values supplied.
+        got: usize,
+        /// Slot count `N` required.
+        expected: usize,
+    },
+    /// A coefficient-encoding was given more values than the ring degree.
+    CoeffOverflow {
+        /// Values supplied.
+        got: usize,
+        /// Ring degree `N`.
+        max: usize,
+    },
+    /// More LWE ciphertexts than the ring has slots to pack them into.
+    PackCapacity {
+        /// Ciphertexts supplied.
+        lwes: usize,
+        /// Slot capacity `N`.
+        slots: usize,
+    },
+    /// An LWE ciphertext's dimension does not match the packing key's.
+    LweDimension {
+        /// The ciphertext's dimension.
+        got: usize,
+        /// The packing key's dimension.
+        expected: usize,
+    },
+    /// An LWE ciphertext is not at the plaintext modulus `t` packing
+    /// requires.
+    LweModulus {
+        /// The ciphertext's modulus.
+        got: u64,
+        /// The required modulus `t`.
+        expected: u64,
+    },
+    /// BSGS packing requires the LWE dimension to divide the slot row.
+    GroupMisfit {
+        /// LWE dimension.
+        lwe_n: usize,
+        /// Slot row size `N/2`.
+        row: usize,
+    },
+}
+
+impl fmt::Display for FheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FheError::KeyMissing { element, available } => write!(
+                f,
+                "missing Galois key for element {element}: available elements are {available:?} — \
+                 generate keys for every element of `required_galois_elements` up front"
+            ),
+            FheError::KeyCoverage {
+                missing,
+                required,
+                available,
+            } => write!(
+                f,
+                "Galois key coverage gap: missing elements {missing:?} \
+                 (required {required:?}, available {available:?})"
+            ),
+            FheError::EncodeLength { got, expected } => {
+                write!(f, "need one value per slot: got {got} for {expected} slots")
+            }
+            FheError::CoeffOverflow { got, max } => {
+                write!(f, "too many coefficients for degree {max}: got {got}")
+            }
+            FheError::PackCapacity { lwes, slots } => {
+                write!(f, "more LWE ciphertexts than slots: {lwes} > {slots}")
+            }
+            FheError::LweDimension { got, expected } => {
+                write!(f, "LWE dimension mismatch: got {got}, expected {expected}")
+            }
+            FheError::LweModulus { got, expected } => {
+                write!(f, "LWE modulus must equal t: got {got}, t is {expected}")
+            }
+            FheError::GroupMisfit { lwe_n, row } => {
+                write!(f, "LWE dimension must divide N/2: n = {lwe_n}, N/2 = {row}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FheError {}
+
+/// Raises `e` as a structured panic. The payload is the [`FheError`]
+/// itself (not a string), so a `catch_unwind` boundary can downcast it
+/// back into a typed value; its [`fmt::Display`] carries the same
+/// diagnostic text the old `assert!` messages did.
+#[cold]
+pub fn raise(e: FheError) -> ! {
+    std::panic::panic_any(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    #[test]
+    fn raised_payload_downcasts_back_to_the_typed_error() {
+        let err = FheError::EncodeLength {
+            got: 3,
+            expected: 128,
+        };
+        let payload = catch_unwind(AssertUnwindSafe(|| raise(err.clone())))
+            .expect_err("raise always unwinds");
+        let caught = payload
+            .downcast_ref::<FheError>()
+            .expect("payload is the typed error");
+        assert_eq!(*caught, err);
+        assert!(caught.to_string().contains("need one value per slot"));
+    }
+
+    #[test]
+    fn display_messages_name_the_precondition() {
+        let cases: Vec<(FheError, &str)> = vec![
+            (
+                FheError::KeyMissing {
+                    element: 3,
+                    available: vec![5],
+                },
+                "missing Galois key",
+            ),
+            (
+                FheError::KeyCoverage {
+                    missing: vec![3],
+                    required: vec![3, 5],
+                    available: vec![5],
+                },
+                "coverage gap",
+            ),
+            (
+                FheError::CoeffOverflow { got: 200, max: 128 },
+                "too many coefficients",
+            ),
+            (
+                FheError::PackCapacity {
+                    lwes: 200,
+                    slots: 128,
+                },
+                "more LWE ciphertexts than slots",
+            ),
+            (
+                FheError::LweDimension {
+                    got: 16,
+                    expected: 32,
+                },
+                "dimension mismatch",
+            ),
+            (
+                FheError::LweModulus {
+                    got: 65537,
+                    expected: 257,
+                },
+                "must equal t",
+            ),
+            (
+                FheError::GroupMisfit { lwe_n: 24, row: 64 },
+                "must divide N/2",
+            ),
+        ];
+        for (e, needle) in cases {
+            assert!(e.to_string().contains(needle), "{e}");
+        }
+    }
+}

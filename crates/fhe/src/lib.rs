@@ -33,6 +33,7 @@
 
 pub mod bfv;
 pub mod encoder;
+pub mod error;
 pub mod extract;
 pub mod fbs;
 pub mod linear;
@@ -46,5 +47,6 @@ pub mod seeded;
 pub use bfv::{
     BfvCiphertext, BfvContext, BfvEvaluator, GaloisKeys, PublicKey, RelinKey, SecretKey,
 };
+pub use error::FheError;
 pub use fbs::{fbs_apply, Lut};
 pub use params::BfvParams;

@@ -23,7 +23,33 @@ use athena_math::stats::op_stats::HomOpCounts;
 use crate::bfv::{
     BfvCiphertext, BfvContext, BfvEvaluator, GaloisKeys, HoistedCiphertext, SecretKey,
 };
+use crate::error::FheError;
 use crate::lwe::{LweCiphertext, LweSecret};
+
+/// Validates the shared preconditions of both packing strategies, raising
+/// a typed [`FheError`] payload on violation.
+fn check_pack_operands(lwes: &[LweCiphertext], n_slots: usize, n_lwe: usize, t: u64) {
+    if lwes.len() > n_slots {
+        crate::error::raise(FheError::PackCapacity {
+            lwes: lwes.len(),
+            slots: n_slots,
+        });
+    }
+    for ct in lwes {
+        if ct.dim() != n_lwe {
+            crate::error::raise(FheError::LweDimension {
+                got: ct.dim(),
+                expected: n_lwe,
+            });
+        }
+        if ct.q() != t {
+            crate::error::raise(FheError::LweModulus {
+                got: ct.q(),
+                expected: t,
+            });
+        }
+    }
+}
 
 /// Packing key for the naive column method: `pk[j]` encrypts the constant
 /// `s'_j` in every slot. The component ciphertexts are key material — they
@@ -94,16 +120,12 @@ impl ColumnPackingKey {
     ///
     /// # Panics
     ///
-    /// Panics if more than `N` ciphertexts are supplied or dimensions
-    /// mismatch.
+    /// Panics with a typed [`FheError`] payload if more than `N`
+    /// ciphertexts are supplied or dimensions mismatch.
     pub fn pack(&self, ctx: &BfvContext, lwes: &[LweCiphertext]) -> BfvCiphertext {
         let n_slots = ctx.n();
         let n_lwe = self.keys.len();
-        assert!(lwes.len() <= n_slots, "more LWE ciphertexts than slots");
-        for ct in lwes {
-            assert_eq!(ct.dim(), n_lwe, "LWE dimension mismatch");
-            assert_eq!(ct.q(), ctx.t(), "LWE modulus must equal t");
-        }
+        check_pack_operands(lwes, n_slots, n_lwe, ctx.t());
         let ev = BfvEvaluator::new(ctx);
         let enc = ctx.encoder();
         // The per-coordinate terms col_j ⊙ Enc(s'_j) are independent, so they
@@ -200,7 +222,9 @@ impl BsgsPackingKey {
     ) -> Self {
         let n_lwe = lwe_sk.dim();
         let row = ctx.encoder().row_size();
-        assert_eq!(row % n_lwe, 0, "LWE dimension must divide N/2");
+        if !row.is_multiple_of(n_lwe) {
+            crate::error::raise(FheError::GroupMisfit { lwe_n: n_lwe, row });
+        }
         let ev = BfvEvaluator::new(ctx);
         let enc = ctx.encoder();
         // Replicate s' with period n along both rows.
@@ -281,17 +305,13 @@ impl BsgsPackingKey {
     ///
     /// # Panics
     ///
-    /// Panics on dimension/modulus mismatches or if `gk` is missing an
-    /// element the schedule needs.
+    /// Panics with a typed [`FheError`] payload on dimension/modulus
+    /// mismatches or if `gk` is missing an element the schedule needs.
     pub fn pack(&self, ctx: &BfvContext, lwes: &[LweCiphertext], gk: &GaloisKeys) -> BfvCiphertext {
         let n_slots = ctx.n();
         let row = ctx.encoder().row_size();
         let n_lwe = self.lwe_dim;
-        assert!(lwes.len() <= n_slots, "more LWE ciphertexts than slots");
-        for ct in lwes {
-            assert_eq!(ct.dim(), n_lwe, "LWE dimension mismatch");
-            assert_eq!(ct.q(), ctx.t(), "LWE modulus must equal t");
-        }
+        check_pack_operands(lwes, n_slots, n_lwe, ctx.t());
         // Fail up front on a missing key, not mid-schedule.
         gk.ensure_covers(&self.required_galois_elements(ctx));
         let ev = BfvEvaluator::new(ctx);

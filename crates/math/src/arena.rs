@@ -42,6 +42,25 @@
 //! `InferenceSession` — holds a lease sized from its compiled plan, so the
 //! pool keeps that working set resident exactly as long as the plan is
 //! cached and trims back when the entry is evicted.
+//!
+//! # Quarantine (panic safety)
+//!
+//! A panic mid-step can leave partially written buffers: the unwinding
+//! drops recycle them into the pool looking like any other released
+//! buffer. Contents never affect correct code (the [`LimbVec::take_raw`]
+//! contract requires a full overwrite before reading), but a faulted
+//! request must not be able to leave *anything* behind — so an executor
+//! that catches a panic calls [`quarantine`], which bumps the pool
+//! generation and frees every pooled buffer. [`LimbVec`]s are stamped with
+//! the generation at checkout; a buffer from a pre-quarantine generation
+//! is freed, never re-pooled, when it finally drops. The next run re-warms
+//! the pool from fresh allocations (one cold run after a fault — visible
+//! as `fresh > 0` in the `alloc-stats` counters, then `fresh == 0` again).
+//!
+//! A panic *inside* the arena (while a shard lock is held) poisons that
+//! shard's mutex. Every lock site recovers: the poisoned shard's contents
+//! are freed, the poison is cleared, and [`poison_recoveries`] counts the
+//! event so an executor can surface it as a typed `PoolPoisoned` error.
 
 use std::collections::BTreeMap;
 use std::ops::{Deref, DerefMut};
@@ -85,6 +104,14 @@ static RESERVED: AtomicUsize = AtomicUsize::new(0);
 /// [`poison_value`] instead of being handed out with stale contents.
 static POISON_ON: AtomicBool = AtomicBool::new(false);
 static POISON_VALUE: AtomicU64 = AtomicU64::new(0);
+
+/// Pool generation, bumped by [`quarantine`]. Buffers checked out under an
+/// older generation are freed instead of recycled when they drop.
+static GENERATION: AtomicU64 = AtomicU64::new(0);
+
+/// Count of shard-lock poison recoveries (a thread panicked while holding
+/// a shard mutex; the shard was flushed and the poison cleared).
+static POISON_RECOVERED: AtomicUsize = AtomicUsize::new(0);
 
 thread_local! {
     /// This thread's home shard index.
@@ -131,12 +158,32 @@ pub fn poison_value() -> Option<u64> {
     }
 }
 
+/// Locks shard `idx`, recovering from lock poisoning: a thread that
+/// panicked while holding the lock may have left the shard mid-update, so
+/// its retained buffers are suspect — free them all, clear the poison, and
+/// count the recovery (surfaced by [`poison_recoveries`]).
+fn lock_shard(idx: usize) -> std::sync::MutexGuard<'static, Shard> {
+    match SHARDS[idx].lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => {
+            let mut guard = poisoned.into_inner();
+            for bucket in guard.buckets.values() {
+                for _ in bucket {
+                    alloc_stats::record_freed();
+                }
+            }
+            guard.buckets.clear();
+            guard.bytes = 0;
+            SHARDS[idx].clear_poison();
+            POISON_RECOVERED.fetch_add(1, Ordering::Relaxed);
+            guard
+        }
+    }
+}
+
 /// Total bytes currently retained across all shards.
 pub fn pooled_bytes() -> usize {
-    SHARDS
-        .iter()
-        .map(|s| s.lock().expect("arena shard poisoned").bytes)
-        .sum()
+    (0..N_SHARDS).map(|i| lock_shard(i).bytes).sum()
 }
 
 /// Total bytes currently reserved by live [`ArenaLease`]s.
@@ -144,13 +191,71 @@ pub fn reserved_bytes() -> usize {
     RESERVED.load(Ordering::Relaxed)
 }
 
-/// Drops every retained buffer (test hook for measuring cold starts).
-pub fn clear() {
-    for s in &SHARDS {
-        let mut shard = s.lock().expect("arena shard poisoned");
+/// The current pool generation (bumped by every [`quarantine`]).
+pub fn generation() -> u64 {
+    GENERATION.load(Ordering::Relaxed)
+}
+
+/// Number of shard-lock poison recoveries since process start.
+pub fn poison_recoveries() -> usize {
+    POISON_RECOVERED.load(Ordering::Relaxed)
+}
+
+/// What [`quarantine`] flushed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuarantineReport {
+    /// The generation the pool is now on.
+    pub generation: u64,
+    /// Pooled buffers freed by the flush.
+    pub freed: usize,
+}
+
+/// Quarantines the pool after a caught panic: bumps the generation (so
+/// every buffer checked out *before* the quarantine is freed, not
+/// re-pooled, when it drops) and frees everything currently pooled —
+/// including buffers a panicking step recycled on its way out with
+/// partially written contents. Conservative by design: the next run pays
+/// one cold warm-up, and no state from the faulted request can reach a
+/// later one.
+pub fn quarantine() -> QuarantineReport {
+    // Bump first: a concurrent recycle racing the flush below must route
+    // its (old-generation) buffer to the free path, not re-pool it after
+    // we have already swept its shard.
+    let generation = GENERATION.fetch_add(1, Ordering::Relaxed) + 1;
+    let mut freed = 0usize;
+    for i in 0..N_SHARDS {
+        let mut shard = lock_shard(i);
+        for bucket in shard.buckets.values() {
+            freed += bucket.len();
+            for _ in bucket {
+                alloc_stats::record_freed();
+            }
+        }
         shard.buckets.clear();
         shard.bytes = 0;
     }
+    QuarantineReport { generation, freed }
+}
+
+/// Drops every retained buffer (test hook for measuring cold starts).
+pub fn clear() {
+    for i in 0..N_SHARDS {
+        let mut shard = lock_shard(i);
+        shard.buckets.clear();
+        shard.bytes = 0;
+    }
+}
+
+/// Poisons shard `idx`'s lock by panicking a throwaway thread inside it —
+/// a test hook for the poison-recovery path; never call it from code that
+/// holds arena buffers.
+#[doc(hidden)]
+pub fn poison_shard_lock_for_test(idx: usize) {
+    let _ = std::thread::spawn(move || {
+        let _guard = SHARDS[idx % N_SHARDS].lock().expect("not yet poisoned");
+        panic!("deliberate poison (test hook)");
+    })
+    .join();
 }
 
 /// Checks a length-`len` buffer out of the pool: own shard first, then a
@@ -160,7 +265,7 @@ fn take(len: usize) -> Vec<u64> {
     let home = my_shard();
     for probe in 0..N_SHARDS {
         let idx = (home + probe) % N_SHARDS;
-        let mut shard = SHARDS[idx].lock().expect("arena shard poisoned");
+        let mut shard = lock_shard(idx);
         if let Some(bucket) = shard.buckets.get_mut(&len) {
             if let Some(buf) = bucket.pop() {
                 shard.bytes -= len * 8;
@@ -174,14 +279,19 @@ fn take(len: usize) -> Vec<u64> {
 }
 
 /// Returns a buffer to the caller's home shard, or frees it if the shard
-/// is at its retention cap.
-fn recycle(buf: Vec<u64>) {
+/// is at its retention cap — or if the buffer was checked out before the
+/// last [`quarantine`] (its contents are suspect; drop, don't recycle).
+fn recycle(buf: Vec<u64>, checkout_generation: u64) {
     let len = buf.len();
     if len == 0 {
         return;
     }
+    if checkout_generation != GENERATION.load(Ordering::Relaxed) {
+        alloc_stats::record_freed();
+        return;
+    }
     let bytes = len * 8;
-    let mut shard = SHARDS[my_shard()].lock().expect("arena shard poisoned");
+    let mut shard = lock_shard(my_shard());
     if shard.bytes + bytes > shard_cap() {
         alloc_stats::record_freed();
         return;
@@ -194,8 +304,8 @@ fn recycle(buf: Vec<u64>) {
 /// Trims every shard down to the current cap (called when a lease drops).
 fn trim_to_cap() {
     let cap = shard_cap();
-    for s in &SHARDS {
-        let mut shard = s.lock().expect("arena shard poisoned");
+    for i in 0..N_SHARDS {
+        let mut shard = lock_shard(i);
         while shard.bytes > cap {
             // Drop from the largest bucket first: big buffers free the
             // most memory per pop and are the least likely to be general.
@@ -252,9 +362,19 @@ impl Drop for ArenaLease {
 /// `Vec<u64>`, so it is a drop-in replacement for owned limb storage.
 pub struct LimbVec {
     inner: Vec<u64>,
+    /// Pool generation at checkout: [`quarantine`] invalidates older
+    /// generations, routing their drop to the free path.
+    generation: u64,
 }
 
 impl LimbVec {
+    fn wrap(inner: Vec<u64>) -> Self {
+        Self {
+            inner,
+            generation: GENERATION.load(Ordering::Relaxed),
+        }
+    }
+
     /// Checks out a buffer with **unspecified contents** (stale pool data,
     /// the poison sentinel, or zeros). The caller must fully overwrite it
     /// before reading — use [`LimbVec::take_zeroed`] for accumulators.
@@ -263,27 +383,27 @@ impl LimbVec {
         if let Some(p) = poison_value() {
             inner.fill(p);
         }
-        Self { inner }
+        Self::wrap(inner)
     }
 
     /// Checks out a zero-filled buffer.
     pub fn take_zeroed(len: usize) -> Self {
         let mut inner = take(len);
         inner.fill(0);
-        Self { inner }
+        Self::wrap(inner)
     }
 
     /// Checks out a buffer initialized as a copy of `src`.
     pub fn take_copy(src: &[u64]) -> Self {
         let mut inner = take(src.len());
         inner.copy_from_slice(src);
-        Self { inner }
+        Self::wrap(inner)
     }
 
     /// Adopts an existing vector: the allocation joins the pool when this
     /// `LimbVec` drops.
     pub fn from_vec(inner: Vec<u64>) -> Self {
-        Self { inner }
+        Self::wrap(inner)
     }
 
     /// Escapes the pool: the buffer becomes a plain `Vec` owned by the
@@ -295,7 +415,7 @@ impl LimbVec {
 
 impl Drop for LimbVec {
     fn drop(&mut self) {
-        recycle(std::mem::take(&mut self.inner));
+        recycle(std::mem::take(&mut self.inner), self.generation);
     }
 }
 
@@ -397,5 +517,54 @@ mod tests {
         assert_eq!(reserved_bytes(), before + (1 << 20));
         drop(lease);
         assert_eq!(reserved_bytes(), before);
+    }
+
+    #[test]
+    fn quarantine_frees_in_flight_checkouts_instead_of_pooling() {
+        // Unique length so concurrent tests cannot feed this bucket.
+        let len = 12353;
+        let held = LimbVec::take_raw(len);
+        let report = quarantine();
+        assert_eq!(report.generation, generation());
+        // The pre-quarantine checkout must not re-enter the pool on drop.
+        drop(held);
+        let probe = LimbVec::take_raw(len);
+        // Whether this came from a pool repopulated by *post*-quarantine
+        // drops or fresh, it can never be the quarantined buffer's bucket
+        // entry: the pool held nothing of this length right after the
+        // flush. (Exact identity is unobservable; the generation stamp is
+        // the mechanism under test.)
+        assert_eq!(probe.generation, generation());
+        assert_eq!(probe.len(), len);
+    }
+
+    #[test]
+    fn quarantine_bumps_generation_and_flushes_pool() {
+        let len = 12361;
+        drop(LimbVec::take_raw(len)); // ensure something is pooled
+        let g0 = generation();
+        let report = quarantine();
+        assert_eq!(report.generation, g0 + 1);
+        assert_eq!(generation(), g0 + 1);
+        // Post-quarantine checkouts recycle normally again.
+        let a = LimbVec::take_raw(len);
+        drop(a);
+        let b = LimbVec::take_raw(len);
+        assert_eq!(b.generation, g0 + 1);
+    }
+
+    #[test]
+    fn poisoned_shard_lock_is_recovered_and_counted() {
+        let before = poison_recoveries();
+        poison_shard_lock_for_test(5);
+        // Any path that locks shard 5 recovers it; pooled_bytes locks all.
+        let _ = pooled_bytes();
+        assert!(
+            poison_recoveries() > before,
+            "lock poisoning must be recovered and counted"
+        );
+        // The arena remains fully usable afterwards.
+        let v = LimbVec::take_zeroed(12373);
+        assert!(v.iter().all(|&x| x == 0));
     }
 }
